@@ -1,0 +1,41 @@
+"""Benchmark-harness helpers.
+
+Each ``benchmarks/test_figXX.py`` regenerates one of the paper's tables or
+figures through ``pytest-benchmark`` (timing the whole experiment driver)
+and writes the reproduction table to ``results/<figure>.txt``.
+
+Scale selection: ``REPRO_SCALE=smoke|default|full`` (default: smoke, so the
+harness completes in minutes; use ``default``/``full`` for paper-grade
+numbers as recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+sys.setrecursionlimit(100000)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "smoke")
+
+
+def save_result(name: str, result) -> None:
+    """Persist an ExperimentResult (or dict of them) under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if isinstance(result, dict):
+        text = "\n\n".join(part.to_text() for part in result.values())
+    else:
+        text = result.to_text()
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_and_save(benchmark, name: str, fn, **kwargs):
+    """Benchmark one experiment driver and persist its table."""
+    result = benchmark.pedantic(lambda: fn(scale=scale(), **kwargs), rounds=1, iterations=1)
+    save_result(name, result)
+    return result

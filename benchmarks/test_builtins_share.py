@@ -1,0 +1,11 @@
+"""Section VII — builtin share of execution time."""
+
+from conftest import run_and_save
+
+from repro.experiments import builtin_time
+
+
+def test_builtin_share(benchmark):
+    result = run_and_save(benchmark, "builtins", builtin_time.run)
+    shares = {row["benchmark"]: row["builtin %"] for row in result.rows}
+    assert all(0 <= share <= 100 for share in shares.values())

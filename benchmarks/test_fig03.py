@@ -1,0 +1,11 @@
+"""Fig. 3 — annotated assembly listing with PC samples."""
+
+from conftest import run_and_save
+
+from repro.experiments import fig03_annotated_asm
+
+
+def test_fig03_annotated_listing(benchmark):
+    result = run_and_save(benchmark, "fig03", fig03_annotated_asm.run)
+    text = result.to_text()
+    assert "check" in text

@@ -1,0 +1,17 @@
+"""Fig. 4 — check frequency and overhead by group."""
+
+from conftest import run_and_save
+
+from repro.experiments import fig04_breakdown
+
+
+def test_fig04_breakdown(benchmark):
+    tables = run_and_save(benchmark, "fig04", fig04_breakdown.run)
+    overhead = tables["overhead"]
+    regex_rows = [r for r in overhead.rows if r["benchmark"].startswith("REGEX")]
+    other_rows = [r for r in overhead.rows if not r["benchmark"].startswith("REGEX")]
+    if regex_rows and other_rows:
+        # Paper: regex benchmarks show essentially no check overhead.
+        regex_mean = sum(r["total %"] for r in regex_rows) / len(regex_rows)
+        other_mean = sum(r["total %"] for r in other_rows) / len(other_rows)
+        assert regex_mean < other_mean

@@ -1,0 +1,23 @@
+"""Fig. 6 — per-iteration time with vs without checks (+ leftovers)."""
+
+from conftest import run_and_save, scale
+
+from repro.experiments import fig06_iteration_profile, leftover
+
+
+def test_fig06_iteration_profile(benchmark):
+    result = run_and_save(benchmark, "fig06", fig06_iteration_profile.run)
+    diffs = [row["time diff %"] for row in result.rows]
+    assert sum(diffs) / len(diffs) > 0  # checks cost time on average
+    speedups = [row["steady speedup vs iter0"] for row in result.rows]
+    assert max(speedups) > 1.5  # warm-up curve exists
+
+
+def test_leftover_checks(benchmark):
+    result = benchmark.pedantic(
+        lambda: leftover.run(scale=scale()), rounds=1, iterations=1
+    )
+    from conftest import save_result
+
+    save_result("leftover", result)
+    assert result.notes

@@ -1,0 +1,12 @@
+"""Fig. 7 — per-benchmark speedups from both estimators."""
+
+from conftest import run_and_save
+
+from repro.experiments import fig07_speedups
+
+
+def test_fig07_speedups(benchmark):
+    result = run_and_save(benchmark, "fig07", fig07_speedups.run)
+    speedups = [row["removal speedup"] for row in result.rows]
+    assert all(s > 0.85 for s in speedups)
+    assert max(speedups) > 1.02

@@ -1,0 +1,16 @@
+"""Fig. 8 — speedups by benchmark category."""
+
+from conftest import run_and_save
+
+from repro.experiments import fig08_categories
+
+
+def test_fig08_categories(benchmark):
+    result = run_and_save(benchmark, "fig08", fig08_categories.run)
+    by_category = {row["category"]: row for row in result.rows}
+    if "Regex" in by_category and "Sparse" in by_category:
+        # Paper: math/sparse benefit most, regex essentially not at all.
+        assert (
+            by_category["Regex"]["removal speedup (geomean)"]
+            <= by_category["Sparse"]["removal speedup (geomean)"]
+        )

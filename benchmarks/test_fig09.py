@@ -1,0 +1,11 @@
+"""Fig. 9 — correlation of the two overhead estimators."""
+
+from conftest import run_and_save
+
+from repro.experiments import fig09_correlation
+
+
+def test_fig09_correlation(benchmark):
+    result = run_and_save(benchmark, "fig09", fig09_correlation.run)
+    for row in result.rows:
+        assert row["r"] > 0  # statistically positive correlation

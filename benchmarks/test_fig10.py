@@ -1,0 +1,15 @@
+"""Fig. 10 — removing only the check branches."""
+
+from conftest import run_and_save
+
+from repro.experiments import fig10_branch_cost
+
+
+def test_fig10_branch_cost(benchmark):
+    result = run_and_save(benchmark, "fig10", fig10_branch_cost.run)
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    branches = mean([row["d branches %"] for row in result.rows])
+    cycles = mean([row["d cycles %"] for row in result.rows])
+    # Paper: -20 % branches but only -1..-2 % cycles.
+    assert branches < -5
+    assert abs(cycles) < abs(branches)

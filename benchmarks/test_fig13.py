@@ -1,0 +1,13 @@
+"""Fig. 13 — SMI ISA extension speedups on the gem5-like CPU models."""
+
+from conftest import run_and_save
+
+from repro.experiments import fig13_isa_speedup
+
+
+def test_fig13_isa_speedup(benchmark):
+    result = run_and_save(benchmark, "fig13", fig13_isa_speedup.run)
+    reductions = [row["time reduction %"] for row in result.rows]
+    assert sum(reductions) / len(reductions) > 0  # net win (paper: ~3 %)
+    instr = [row["instr reduction %"] for row in result.rows]
+    assert sum(instr) / len(instr) > 1  # fewer retired instructions (paper: ~4 %)

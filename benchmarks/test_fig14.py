@@ -1,0 +1,11 @@
+"""Fig. 14 — execution-time distributions, default vs SMI-extended ISA."""
+
+from conftest import run_and_save
+
+from repro.experiments import fig14_distributions
+
+
+def test_fig14_distributions(benchmark):
+    result = run_and_save(benchmark, "fig14", fig14_distributions.run)
+    assert result.rows
+    assert {row["isa"] for row in result.rows} == {"default", "smi-ext"}

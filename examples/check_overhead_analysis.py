@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Measure deoptimization-check overhead on one benchmark, both ways.
+
+Replicates the paper's two estimators (Sections III-A and III-B) on a
+single benchmark of your choice:
+
+* PC sampling with the window heuristic -> estimated overhead per check
+  group (plus the ground-truth attribution the paper could not have);
+* check removal (Fig. 5 short-circuiting) -> measured speedup.
+
+Run:  python examples/check_overhead_analysis.py [BENCHMARK] [TARGET]
+      python examples/check_overhead_analysis.py SPMV-CSR-SMI arm64
+"""
+
+import sys
+
+from repro.engine import Engine, EngineConfig
+from repro.jit.checks import CheckGroup
+from repro.profiling.attribution import attribute_samples
+from repro.profiling.sampler import attach_sampler
+from repro.suite import BenchmarkRunner, NoiseModel, determine_removable_kinds, get_benchmark
+
+ITERATIONS = 60
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "SPMV-CSR-SMI"
+    target = sys.argv[2] if len(sys.argv) > 2 else "arm64"
+    spec = get_benchmark(name)
+    print(f"benchmark {spec.name} [{spec.category}] on {target}\n")
+
+    # ---- estimator 1: PC sampling --------------------------------------
+    engine = Engine(EngineConfig(target=target))
+    engine.load(spec.source)
+    engine.call_global("setup")
+    for _ in range(ITERATIONS // 4):
+        engine.call_global("run")  # warm up
+    sampler = attach_sampler(engine, period=211.0)
+    for _ in range(ITERATIONS):
+        engine.call_global("run")
+
+    window = attribute_samples(sampler, "window")
+    truth = attribute_samples(sampler, "truth", count_shared=True)
+    print("== PC sampling (perf-style) ==")
+    print(f"   samples: {sampler.total_samples} ({window.jit_share:.0%} in JIT code)")
+    print(f"   check overhead (window heuristic): {window.overhead:.1%}")
+    print(f"   check overhead (ground truth):     {truth.overhead:.1%}")
+    print("   by group (window):")
+    for group, share in sorted(window.by_group().items(), key=lambda kv: -kv[1]):
+        print(f"      {group.value:<12} {share:.1%}")
+    print(f"   estimated speedup if removed: {window.estimated_speedup:.3f}x")
+
+    # ---- estimator 2: check removal -------------------------------------
+    removable, leftovers = determine_removable_kinds(
+        spec, EngineConfig(target=target), iterations=ITERATIONS // 2
+    )
+    if leftovers:
+        print(
+            "\n   leftover checks kept for correctness: "
+            + ", ".join(sorted(k.name for k in leftovers))
+        )
+    base = BenchmarkRunner(spec, EngineConfig(target=target), NoiseModel(enabled=False)).run(
+        iterations=ITERATIONS
+    )
+    removed = BenchmarkRunner(
+        spec,
+        EngineConfig(target=target, removed_checks=removable),
+        NoiseModel(enabled=False),
+    ).run(iterations=ITERATIONS)
+    assert removed.result == base.result or spec.tolerance, "removal broke semantics!"
+
+    speedup = base.steady_state_cycles / removed.steady_state_cycles
+    print("\n== check removal (TurboFan-patch-style) ==")
+    print(f"   steady-state cycles with checks:    {base.steady_state_cycles:12.0f}")
+    print(f"   steady-state cycles without checks: {removed.steady_state_cycles:12.0f}")
+    print(f"   measured speedup: {speedup:.3f}x")
+    print(
+        "\nThe two estimates use entirely different machinery; their"
+        " agreement (or gap) is what the paper's Fig. 9 quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The jsldrsmi ISA extension, end to end (paper Section V).
+
+Compiles an SMI-heavy kernel for plain ARM64 and for ARM64 with the SMI
+load extension, shows the machine-code diff (ldr+asr / ldr+tst+b.ne+asr
+fused into a single jsldrsmi with commit-time bailout), then times both on
+the gem5-like in-order and out-of-order CPU models.
+
+Run:  python examples/isa_extension_demo.py
+"""
+
+from repro.engine import Engine, EngineConfig
+from repro.isa.base import MOp
+from repro.suite import get_benchmark
+from repro.uarch import GEM5_CPUS, simulate
+
+KERNEL = "DP"
+WARMUP = 30
+MEASURED = 3
+
+
+def compile_and_trace(target: str):
+    spec = get_benchmark(KERNEL)
+    engine = Engine(EngineConfig(target=target))
+    engine.load(spec.source)
+    engine.call_global("setup")
+    for _ in range(WARMUP):
+        engine.call_global("run")
+    engine.executor.trace = []
+    for _ in range(MEASURED):
+        engine.call_global("run")
+    trace = engine.executor.trace
+    engine.executor.trace = None
+    hot = max(
+        (f for f in engine.functions if f.code is not None),
+        key=lambda f: len(f.code.instrs),
+    )
+    fused = sum(
+        sum(1 for i in f.code.instrs if i.op == MOp.JSLDRSMI)
+        for f in engine.functions
+        if f.code is not None
+    )
+    return hot.code, trace, fused
+
+
+def main() -> None:
+    base_code, base_trace, _ = compile_and_trace("arm64")
+    ext_code, ext_trace, fused = compile_and_trace("arm64+smi")
+
+    print(f"== {KERNEL} kernel, default ARM64 ==")
+    print(base_code.annotated_asm())
+    print(f"\n== {KERNEL} kernel, ARM64 + SMI load extension ==")
+    print(ext_code.annotated_asm())
+
+    print(f"\n{fused} SMI loads fused into jsldrsmi (check + untag folded in)")
+    print(
+        f"dynamic instructions per measurement: {len(base_trace)} -> "
+        f"{len(ext_trace)} "
+        f"({100 * (1 - len(ext_trace) / len(base_trace)):.1f} % fewer retired"
+        " instructions; paper: ~4 %)"
+    )
+
+    print(f"\n{'CPU model':<16} {'default':>12} {'smi-ext':>12} {'speedup':>9}")
+    for cpu in GEM5_CPUS:
+        base_stats = simulate(base_trace, cpu)
+        ext_stats = simulate(ext_trace, cpu)
+        speedup = base_stats.cycles / ext_stats.cycles
+        print(
+            f"{cpu.name:<16} {base_stats.cycles:12.0f} {ext_stats.cycles:12.0f}"
+            f" {speedup:8.3f}x"
+        )
+    print(
+        "\npaper Fig. 13: ~3 % average execution-time reduction, up to 10 %"
+        " on SMI-heavy kernels; in-order cores benefit slightly more on"
+        " average."
+    )
+
+
+if __name__ == "__main__":
+    main()

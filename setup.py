@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package (offline editable
+installs): `python setup.py develop` or plain `pip install -e .` where
+build isolation works."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Reproduction of "The Cost of Speculation: Revisiting Overheads in the V8
+JavaScript Engine" (Parravicini & Mueller, IISWC 2021).
+
+A pure-Python, simulation-based reproduction: a V8-like tiered JavaScript
+engine (interpreter with type feedback + speculative optimizing compiler
+with explicit deoptimization checks), two modelled target ISAs (CISC
+"x64", RISC "arm64") plus the paper's jsldrsmi SMI-load extension, a
+functional machine simulator with timing models (fast cost model and
+gem5-like in-order/out-of-order pipelines), a perf-style PC sampler, the
+extended JetStream2-like benchmark suite, and per-figure experiment
+drivers.
+
+Quickstart::
+
+    from repro import Engine, EngineConfig
+    engine = Engine(EngineConfig(target="arm64"))
+    engine.load("function f(x) { return x * 2 + 1; }")
+    print(engine.call_global("f", 20))  # 41
+
+Figures::
+
+    python -m repro.experiments fig06 --scale default
+"""
+
+from .engine import Engine, EngineConfig, SharedFunction
+from .jit.checks import CheckGroup, CheckKind, DeoptCategory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckGroup",
+    "CheckKind",
+    "DeoptCategory",
+    "Engine",
+    "EngineConfig",
+    "SharedFunction",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Bytecode tier: opcodes, AST->bytecode compiler, disassembler."""
+
+from .compiler import CompiledProgram, UnsupportedFeatureError, compile_source
+from .disasm import disassemble, format_instr
+from .opcodes import (
+    BINARY_OPS,
+    COMPARE_OPS,
+    FEEDBACK_OPS,
+    ConstantPool,
+    FunctionInfo,
+    Instr,
+    Op,
+)
+
+__all__ = [
+    "BINARY_OPS",
+    "COMPARE_OPS",
+    "CompiledProgram",
+    "ConstantPool",
+    "FEEDBACK_OPS",
+    "FunctionInfo",
+    "Instr",
+    "Op",
+    "UnsupportedFeatureError",
+    "compile_source",
+    "disassemble",
+    "format_instr",
+]

@@ -1,0 +1,753 @@
+"""AST -> bytecode compiler (the engine's parser/Ignition front half).
+
+Register allocation is simple and deterministic: parameters occupy the first
+registers, hoisted locals the next block, and expression temporaries grow
+past them with statement-level reset.  ``var``/``let``/``const`` are all
+function-scoped (a documented subset simplification).
+
+Top-level declarations become *globals*, so the common benchmark idiom of
+top-level state shared by top-level functions works without closure support.
+Capturing a non-global local of an enclosing function raises
+:class:`UnsupportedFeatureError` — the JIT tier under study never compiles
+such functions in our subset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lang import ast_nodes as ast
+from ..lang.errors import JSSyntaxError
+from .opcodes import ConstantPool, FunctionInfo, Instr, Op
+
+_BINARY_OPCODES = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "/": Op.DIV,
+    "%": Op.MOD,
+    "|": Op.BIT_OR,
+    "&": Op.BIT_AND,
+    "^": Op.BIT_XOR,
+    "<<": Op.SHL,
+    ">>": Op.SAR,
+    ">>>": Op.SHR,
+    "<": Op.TEST_LT,
+    "<=": Op.TEST_LE,
+    ">": Op.TEST_GT,
+    ">=": Op.TEST_GE,
+    "==": Op.TEST_EQ,
+    "!=": Op.TEST_NE,
+    "===": Op.TEST_EQ_STRICT,
+    "!==": Op.TEST_NE_STRICT,
+}
+
+_COMPOUND_TO_BINARY = {
+    "+=": "+",
+    "-=": "-",
+    "*=": "*",
+    "/=": "/",
+    "%=": "%",
+    "&=": "&",
+    "|=": "|",
+    "^=": "^",
+    "<<=": "<<",
+    ">>=": ">>",
+    ">>>=": ">>>",
+}
+
+
+class UnsupportedFeatureError(JSSyntaxError):
+    """Source uses a feature outside the supported subset."""
+
+
+class CompiledProgram:
+    """Result of compiling a whole source: a main function + a table.
+
+    ``functions[0]`` is always the synthesized top-level ``<main>``.
+    """
+
+    def __init__(self, main: FunctionInfo, functions: List[FunctionInfo]) -> None:
+        self.main = main
+        self.functions = functions
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"], is_function_toplevel: bool) -> None:
+        self.parent = parent
+        self.is_function_toplevel = is_function_toplevel
+        self.bindings: Dict[str, int] = {}
+
+    def lookup(self, name: str) -> Optional[int]:
+        return self.bindings.get(name)
+
+    def lookup_in_enclosing_functions(self, name: str) -> bool:
+        scope = self.parent
+        while scope is not None:
+            if name in scope.bindings:
+                return True
+            scope = scope.parent
+        return False
+
+
+class _LoopContext:
+    def __init__(self) -> None:
+        self.break_patches: List[int] = []
+        self.continue_patches: List[int] = []
+
+
+class _FunctionCompiler:
+    """Compiles a single function body to bytecode."""
+
+    def __init__(
+        self,
+        program: "_ProgramCompiler",
+        name: str,
+        params: Sequence[str],
+        is_toplevel: bool,
+        parent_scope: Optional[_Scope],
+    ) -> None:
+        self.program = program
+        self.name = name
+        self.params = list(params)
+        self.is_toplevel = is_toplevel
+        self.scope = _Scope(parent_scope, is_function_toplevel=True)
+        self.code: List[Instr] = []
+        self.constants = ConstantPool()
+        self.names: List[str] = []
+        self._name_index: Dict[str, int] = {}
+        self.feedback_slots = 0
+        self.uses_this = False
+        self.loop_stack: List[_LoopContext] = []
+        for i, param in enumerate(self.params):
+            self.scope.bindings[param] = i
+        self.locals_end = len(self.params)
+        self.next_temp = self.locals_end
+        self.max_register = max(0, self.locals_end)
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+
+    def emit(self, op: Op, **kwargs) -> int:
+        instr = Instr(op, **kwargs)
+        self.code.append(instr)
+        return len(self.code) - 1
+
+    def new_feedback_slot(self) -> int:
+        slot = self.feedback_slots
+        self.feedback_slots += 1
+        return slot
+
+    def name_index(self, name: str) -> int:
+        existing = self._name_index.get(name)
+        if existing is not None:
+            return existing
+        index = len(self.names)
+        self.names.append(name)
+        self._name_index[name] = index
+        return index
+
+    def new_temp(self) -> int:
+        reg = self.next_temp
+        self.next_temp += 1
+        self.max_register = max(self.max_register, self.next_temp)
+        return reg
+
+    def reset_temps(self) -> None:
+        self.next_temp = self.locals_end
+
+    def declare_local(self, name: str) -> int:
+        existing = self.scope.bindings.get(name)
+        if existing is not None:
+            return existing
+        reg = self.locals_end
+        self.scope.bindings[name] = reg
+        self.locals_end += 1
+        self.next_temp = max(self.next_temp, self.locals_end)
+        self.max_register = max(self.max_register, self.locals_end)
+        return reg
+
+    # ------------------------------------------------------------------
+    # Hoisting
+    # ------------------------------------------------------------------
+
+    def hoist(self, body: Sequence[ast.Node]) -> None:
+        """Pre-declare vars and compile nested function declarations."""
+        for node in body:
+            self._hoist_node(node)
+
+    def _hoist_node(self, node: ast.Node) -> None:
+        if isinstance(node, ast.VariableDeclaration):
+            for name, _init in node.declarations:
+                if not self.is_toplevel:
+                    self.declare_local(name)
+        elif isinstance(node, ast.FunctionDeclaration):
+            function_index = self.program.compile_function(
+                node.name, node.params, node.body, self.scope
+            )
+            if self.is_toplevel:
+                temp = self.new_temp()
+                self.emit(Op.CREATE_CLOSURE, dst=temp, a=function_index, line=node.line)
+                self.emit(
+                    Op.STORE_GLOBAL, a=self.name_index(node.name), b=temp, line=node.line
+                )
+                self.reset_temps()
+            else:
+                reg = self.declare_local(node.name)
+                self.emit(Op.CREATE_CLOSURE, dst=reg, a=function_index, line=node.line)
+        elif isinstance(node, ast.BlockStatement):
+            self.hoist(node.body)
+        elif isinstance(node, ast.IfStatement):
+            self._hoist_node(node.consequent)
+            if node.alternate is not None:
+                self._hoist_node(node.alternate)
+        elif isinstance(node, (ast.WhileStatement, ast.DoWhileStatement)):
+            self._hoist_node(node.body)
+        elif isinstance(node, ast.ForStatement):
+            if node.init is not None:
+                self._hoist_node(node.init)
+            self._hoist_node(node.body)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def compile_body(self, body: Sequence[ast.Node]) -> FunctionInfo:
+        self.hoist(body)
+        for node in body:
+            self.compile_statement(node)
+        undef = self.new_temp()
+        self.emit(Op.LOAD_CONST, dst=undef, a=self.constants.special("undefined"))
+        self.emit(Op.RETURN, a=undef)
+        return FunctionInfo(
+            self.name,
+            self.params,
+            max(self.max_register, 1),
+            self.code,
+            self.constants,
+            self.names,
+            self.feedback_slots,
+            uses_this=self.uses_this,
+        )
+
+    def compile_statement(self, node: ast.Node) -> None:
+        if isinstance(node, ast.ExpressionStatement):
+            self.compile_expression(node.expression)
+            self.reset_temps()
+        elif isinstance(node, ast.VariableDeclaration):
+            self._compile_variable_declaration(node)
+        elif isinstance(node, ast.FunctionDeclaration):
+            pass  # handled during hoisting
+        elif isinstance(node, ast.BlockStatement):
+            for child in node.body:
+                self.compile_statement(child)
+        elif isinstance(node, ast.IfStatement):
+            self._compile_if(node)
+        elif isinstance(node, ast.WhileStatement):
+            self._compile_while(node)
+        elif isinstance(node, ast.DoWhileStatement):
+            self._compile_do_while(node)
+        elif isinstance(node, ast.ForStatement):
+            self._compile_for(node)
+        elif isinstance(node, ast.ReturnStatement):
+            self._compile_return(node)
+        elif isinstance(node, ast.BreakStatement):
+            self._compile_break(node)
+        elif isinstance(node, ast.ContinueStatement):
+            self._compile_continue(node)
+        elif isinstance(node, ast.EmptyStatement):
+            pass
+        else:
+            raise UnsupportedFeatureError(
+                f"unsupported statement {type(node).__name__}", node.line
+            )
+
+    def _compile_variable_declaration(self, node: ast.VariableDeclaration) -> None:
+        for name, init in node.declarations:
+            if init is None:
+                if self.is_toplevel:
+                    undef = self.new_temp()
+                    self.emit(
+                        Op.LOAD_CONST,
+                        dst=undef,
+                        a=self.constants.special("undefined"),
+                        line=node.line,
+                    )
+                    self.emit(
+                        Op.STORE_GLOBAL,
+                        a=self.name_index(name),
+                        b=undef,
+                        line=node.line,
+                    )
+                continue
+            value = self.compile_expression(init)
+            if self.is_toplevel:
+                self.emit(
+                    Op.STORE_GLOBAL, a=self.name_index(name), b=value, line=node.line
+                )
+            else:
+                reg = self.scope.bindings[name]
+                if reg != value:
+                    self.emit(Op.MOVE, dst=reg, a=value, line=node.line)
+            self.reset_temps()
+
+    def _compile_if(self, node: ast.IfStatement) -> None:
+        test = self.compile_expression(node.test)
+        jump_false = self.emit(Op.JUMP_IF_FALSE, b=test, line=node.line)
+        self.reset_temps()
+        self.compile_statement(node.consequent)
+        if node.alternate is not None:
+            jump_end = self.emit(Op.JUMP, line=node.line)
+            self.code[jump_false].a = len(self.code)
+            self.compile_statement(node.alternate)
+            self.code[jump_end].a = len(self.code)
+        else:
+            self.code[jump_false].a = len(self.code)
+
+    def _compile_while(self, node: ast.WhileStatement) -> None:
+        loop = _LoopContext()
+        self.loop_stack.append(loop)
+        test_pos = len(self.code)
+        test = self.compile_expression(node.test)
+        jump_false = self.emit(Op.JUMP_IF_FALSE, b=test, line=node.line)
+        self.reset_temps()
+        self.compile_statement(node.body)
+        self.emit(Op.JUMP, a=test_pos, line=node.line)
+        end = len(self.code)
+        self.code[jump_false].a = end
+        self.loop_stack.pop()
+        for patch in loop.break_patches:
+            self.code[patch].a = end
+        for patch in loop.continue_patches:
+            self.code[patch].a = test_pos
+
+    def _compile_do_while(self, node: ast.DoWhileStatement) -> None:
+        loop = _LoopContext()
+        self.loop_stack.append(loop)
+        body_pos = len(self.code)
+        self.compile_statement(node.body)
+        test_pos = len(self.code)
+        test = self.compile_expression(node.test)
+        self.emit(Op.JUMP_IF_TRUE, a=body_pos, b=test, line=node.line)
+        self.reset_temps()
+        end = len(self.code)
+        self.loop_stack.pop()
+        for patch in loop.break_patches:
+            self.code[patch].a = end
+        for patch in loop.continue_patches:
+            self.code[patch].a = test_pos
+
+    def _compile_for(self, node: ast.ForStatement) -> None:
+        if node.init is not None:
+            self.compile_statement(node.init)
+        loop = _LoopContext()
+        self.loop_stack.append(loop)
+        test_pos = len(self.code)
+        jump_false = -1
+        if node.test is not None:
+            test = self.compile_expression(node.test)
+            jump_false = self.emit(Op.JUMP_IF_FALSE, b=test, line=node.line)
+            self.reset_temps()
+        self.compile_statement(node.body)
+        update_pos = len(self.code)
+        if node.update is not None:
+            self.compile_expression(node.update)
+            self.reset_temps()
+        self.emit(Op.JUMP, a=test_pos, line=node.line)
+        end = len(self.code)
+        if jump_false >= 0:
+            self.code[jump_false].a = end
+        self.loop_stack.pop()
+        for patch in loop.break_patches:
+            self.code[patch].a = end
+        for patch in loop.continue_patches:
+            self.code[patch].a = update_pos
+
+    def _compile_return(self, node: ast.ReturnStatement) -> None:
+        if node.argument is not None:
+            value = self.compile_expression(node.argument)
+        else:
+            value = self.new_temp()
+            self.emit(
+                Op.LOAD_CONST, dst=value, a=self.constants.special("undefined"),
+                line=node.line,
+            )
+        self.emit(Op.RETURN, a=value, line=node.line)
+        self.reset_temps()
+
+    def _compile_break(self, node: ast.BreakStatement) -> None:
+        if not self.loop_stack:
+            raise JSSyntaxError("break outside loop", node.line)
+        self.loop_stack[-1].break_patches.append(self.emit(Op.JUMP, line=node.line))
+
+    def _compile_continue(self, node: ast.ContinueStatement) -> None:
+        if not self.loop_stack:
+            raise JSSyntaxError("continue outside loop", node.line)
+        self.loop_stack[-1].continue_patches.append(self.emit(Op.JUMP, line=node.line))
+
+    # ------------------------------------------------------------------
+    # Expressions (each returns the register holding the value)
+    # ------------------------------------------------------------------
+
+    def compile_expression(self, node: ast.Node) -> int:
+        if isinstance(node, ast.NumberLiteral):
+            dst = self.new_temp()
+            self.emit(
+                Op.LOAD_CONST,
+                dst=dst,
+                a=self.constants.number(node.value, node.is_integer),
+                line=node.line,
+            )
+            return dst
+        if isinstance(node, ast.StringLiteral):
+            dst = self.new_temp()
+            self.emit(
+                Op.LOAD_CONST, dst=dst, a=self.constants.string(node.value), line=node.line
+            )
+            return dst
+        if isinstance(node, ast.BooleanLiteral):
+            dst = self.new_temp()
+            self.emit(
+                Op.LOAD_CONST,
+                dst=dst,
+                a=self.constants.special("true" if node.value else "false"),
+                line=node.line,
+            )
+            return dst
+        if isinstance(node, ast.NullLiteral):
+            dst = self.new_temp()
+            self.emit(
+                Op.LOAD_CONST, dst=dst, a=self.constants.special("null"), line=node.line
+            )
+            return dst
+        if isinstance(node, ast.UndefinedLiteral):
+            dst = self.new_temp()
+            self.emit(
+                Op.LOAD_CONST,
+                dst=dst,
+                a=self.constants.special("undefined"),
+                line=node.line,
+            )
+            return dst
+        if isinstance(node, ast.Identifier):
+            return self._compile_identifier(node)
+        if isinstance(node, ast.ThisExpression):
+            self.uses_this = True
+            dst = self.new_temp()
+            self.emit(Op.LOAD_THIS, dst=dst, line=node.line)
+            return dst
+        if isinstance(node, ast.ArrayLiteral):
+            element_regs = [self.compile_expression(element) for element in node.elements]
+            dst = self.new_temp()
+            self.emit(Op.CREATE_ARRAY, dst=dst, c=element_regs, line=node.line)
+            return dst
+        if isinstance(node, ast.ObjectLiteral):
+            keys = [self.name_index(key) for key, _value in node.properties]
+            value_regs = [self.compile_expression(value) for _key, value in node.properties]
+            dst = self.new_temp()
+            self.emit(Op.CREATE_OBJECT, dst=dst, c=keys, e=value_regs, line=node.line)
+            return dst
+        if isinstance(node, ast.FunctionExpression):
+            function_index = self.program.compile_function(
+                node.name or "<anonymous>", node.params, node.body, self.scope
+            )
+            dst = self.new_temp()
+            self.emit(Op.CREATE_CLOSURE, dst=dst, a=function_index, line=node.line)
+            return dst
+        if isinstance(node, ast.BinaryExpression):
+            return self._compile_binary(node)
+        if isinstance(node, ast.LogicalExpression):
+            return self._compile_logical(node)
+        if isinstance(node, ast.ConditionalExpression):
+            return self._compile_conditional(node)
+        if isinstance(node, ast.UnaryExpression):
+            return self._compile_unary(node)
+        if isinstance(node, ast.UpdateExpression):
+            return self._compile_update(node)
+        if isinstance(node, ast.AssignmentExpression):
+            return self._compile_assignment(node)
+        if isinstance(node, ast.CallExpression):
+            return self._compile_call(node)
+        if isinstance(node, ast.NewExpression):
+            return self._compile_new(node)
+        if isinstance(node, ast.MemberExpression):
+            return self._compile_member_load(node)
+        raise UnsupportedFeatureError(
+            f"unsupported expression {type(node).__name__}", node.line
+        )
+
+    def _compile_identifier(self, node: ast.Identifier) -> int:
+        reg = self.scope.lookup(node.name)
+        if reg is not None:
+            return reg
+        if self.scope.lookup_in_enclosing_functions(node.name):
+            raise UnsupportedFeatureError(
+                f"closure capture of local {node.name!r} is outside the subset",
+                node.line,
+            )
+        dst = self.new_temp()
+        self.emit(
+            Op.LOAD_GLOBAL,
+            dst=dst,
+            a=self.name_index(node.name),
+            d=self.new_feedback_slot(),
+            line=node.line,
+        )
+        return dst
+
+    def _compile_binary(self, node: ast.BinaryExpression) -> int:
+        if node.operator == ",":
+            self.compile_expression(node.left)
+            return self.compile_expression(node.right)
+        opcode = _BINARY_OPCODES.get(node.operator)
+        if opcode is None:
+            raise UnsupportedFeatureError(
+                f"unsupported operator {node.operator!r}", node.line
+            )
+        lhs = self.compile_expression(node.left)
+        rhs = self.compile_expression(node.right)
+        dst = self.new_temp()
+        self.emit(
+            opcode, dst=dst, a=lhs, b=rhs, d=self.new_feedback_slot(), line=node.line
+        )
+        return dst
+
+    def _compile_logical(self, node: ast.LogicalExpression) -> int:
+        dst = self.new_temp()
+        lhs = self.compile_expression(node.left)
+        self.emit(Op.MOVE, dst=dst, a=lhs, line=node.line)
+        if node.operator == "&&":
+            jump = self.emit(Op.JUMP_IF_FALSE, b=dst, line=node.line)
+        else:
+            jump = self.emit(Op.JUMP_IF_TRUE, b=dst, line=node.line)
+        rhs = self.compile_expression(node.right)
+        self.emit(Op.MOVE, dst=dst, a=rhs, line=node.line)
+        self.code[jump].a = len(self.code)
+        return dst
+
+    def _compile_conditional(self, node: ast.ConditionalExpression) -> int:
+        dst = self.new_temp()
+        test = self.compile_expression(node.test)
+        jump_false = self.emit(Op.JUMP_IF_FALSE, b=test, line=node.line)
+        consequent = self.compile_expression(node.consequent)
+        self.emit(Op.MOVE, dst=dst, a=consequent, line=node.line)
+        jump_end = self.emit(Op.JUMP, line=node.line)
+        self.code[jump_false].a = len(self.code)
+        alternate = self.compile_expression(node.alternate)
+        self.emit(Op.MOVE, dst=dst, a=alternate, line=node.line)
+        self.code[jump_end].a = len(self.code)
+        return dst
+
+    def _compile_unary(self, node: ast.UnaryExpression) -> int:
+        operand = self.compile_expression(node.operand)
+        dst = self.new_temp()
+        opcode = {
+            "-": Op.NEG,
+            "+": Op.TO_NUMBER,
+            "!": Op.NOT,
+            "~": Op.BIT_NOT,
+            "typeof": Op.TYPEOF,
+        }[node.operator]
+        feedback = self.new_feedback_slot() if opcode in (Op.NEG, Op.TO_NUMBER) else -1
+        self.emit(opcode, dst=dst, a=operand, d=feedback, line=node.line)
+        return dst
+
+    def _compile_update(self, node: ast.UpdateExpression) -> int:
+        binary_op = Op.ADD if node.operator == "++" else Op.SUB
+        one = self.new_temp()
+        self.emit(Op.LOAD_CONST, dst=one, a=self.constants.number(1, True), line=node.line)
+        if isinstance(node.target, ast.Identifier):
+            old = self._compile_identifier(node.target)
+            if not node.prefix:
+                saved = self.new_temp()
+                self.emit(Op.MOVE, dst=saved, a=old, line=node.line)
+            new = self.new_temp()
+            self.emit(
+                binary_op, dst=new, a=old, b=one, d=self.new_feedback_slot(), line=node.line
+            )
+            self._store_identifier(node.target, new)
+            return new if node.prefix else saved
+        if isinstance(node.target, ast.MemberExpression):
+            obj, key = self._compile_member_parts(node.target)
+            old = self._emit_member_get(node.target, obj, key)
+            if not node.prefix:
+                saved = self.new_temp()
+                self.emit(Op.MOVE, dst=saved, a=old, line=node.line)
+            new = self.new_temp()
+            self.emit(
+                binary_op, dst=new, a=old, b=one, d=self.new_feedback_slot(), line=node.line
+            )
+            self._emit_member_set(node.target, obj, key, new)
+            return new if node.prefix else saved
+        raise UnsupportedFeatureError("invalid update target", node.line)
+
+    def _store_identifier(self, node: ast.Identifier, value: int) -> None:
+        reg = self.scope.lookup(node.name)
+        if reg is not None:
+            if reg != value:
+                self.emit(Op.MOVE, dst=reg, a=value, line=node.line)
+            return
+        if self.scope.lookup_in_enclosing_functions(node.name):
+            raise UnsupportedFeatureError(
+                f"closure capture of local {node.name!r} is outside the subset",
+                node.line,
+            )
+        self.emit(Op.STORE_GLOBAL, a=self.name_index(node.name), b=value, line=node.line)
+
+    def _compile_member_parts(self, node: ast.MemberExpression) -> Tuple[int, int]:
+        obj = self.compile_expression(node.object)
+        if node.computed:
+            key = self.compile_expression(node.property)
+        else:
+            assert isinstance(node.property, ast.Identifier)
+            key = self.name_index(node.property.name)
+        return obj, key
+
+    def _emit_member_get(self, node: ast.MemberExpression, obj: int, key: int) -> int:
+        dst = self.new_temp()
+        if node.computed:
+            self.emit(
+                Op.GET_ELEMENT,
+                dst=dst,
+                a=obj,
+                b=key,
+                d=self.new_feedback_slot(),
+                line=node.line,
+            )
+        else:
+            self.emit(
+                Op.GET_PROPERTY,
+                dst=dst,
+                a=obj,
+                b=key,
+                d=self.new_feedback_slot(),
+                line=node.line,
+            )
+        return dst
+
+    def _emit_member_set(
+        self, node: ast.MemberExpression, obj: int, key: int, value: int
+    ) -> None:
+        if node.computed:
+            self.emit(
+                Op.SET_ELEMENT,
+                a=obj,
+                b=key,
+                c=value,
+                d=self.new_feedback_slot(),
+                line=node.line,
+            )
+        else:
+            self.emit(
+                Op.SET_PROPERTY,
+                a=obj,
+                b=key,
+                c=value,
+                d=self.new_feedback_slot(),
+                line=node.line,
+            )
+
+    def _compile_member_load(self, node: ast.MemberExpression) -> int:
+        obj, key = self._compile_member_parts(node)
+        return self._emit_member_get(node, obj, key)
+
+    def _compile_assignment(self, node: ast.AssignmentExpression) -> int:
+        if node.operator != "=":
+            binary = _COMPOUND_TO_BINARY[node.operator]
+            expanded = ast.AssignmentExpression(
+                line=node.line,
+                operator="=",
+                target=node.target,
+                value=ast.BinaryExpression(
+                    line=node.line, operator=binary, left=node.target, right=node.value
+                ),
+            )
+            return self._compile_assignment(expanded)
+        if isinstance(node.target, ast.Identifier):
+            value = self.compile_expression(node.value)
+            self._store_identifier(node.target, value)
+            return value
+        if isinstance(node.target, ast.MemberExpression):
+            obj, key = self._compile_member_parts(node.target)
+            value = self.compile_expression(node.value)
+            self._emit_member_set(node.target, obj, key, value)
+            return value
+        raise UnsupportedFeatureError("invalid assignment target", node.line)
+
+    def _compile_call(self, node: ast.CallExpression) -> int:
+        if (
+            isinstance(node.callee, ast.MemberExpression)
+            and not node.callee.computed
+            and isinstance(node.callee.property, ast.Identifier)
+        ):
+            obj = self.compile_expression(node.callee.object)
+            args = [self.compile_expression(argument) for argument in node.arguments]
+            dst = self.new_temp()
+            self.emit(
+                Op.CALL_METHOD,
+                dst=dst,
+                b=obj,
+                c=args,
+                d=self.new_feedback_slot(),
+                e=self.name_index(node.callee.property.name),
+                line=node.line,
+            )
+            return dst
+        callee = self.compile_expression(node.callee)
+        args = [self.compile_expression(argument) for argument in node.arguments]
+        dst = self.new_temp()
+        self.emit(
+            Op.CALL, dst=dst, b=callee, c=args, d=self.new_feedback_slot(), line=node.line
+        )
+        return dst
+
+    def _compile_new(self, node: ast.NewExpression) -> int:
+        callee = self.compile_expression(node.callee)
+        args = [self.compile_expression(argument) for argument in node.arguments]
+        dst = self.new_temp()
+        self.emit(
+            Op.NEW, dst=dst, b=callee, c=args, d=self.new_feedback_slot(), line=node.line
+        )
+        return dst
+
+
+class _ProgramCompiler:
+    """Compiles a program: top level plus all (transitively) nested functions."""
+
+    def __init__(self) -> None:
+        self.functions: List[FunctionInfo] = []
+
+    def compile_program(self, program: ast.Program) -> CompiledProgram:
+        main_compiler = _FunctionCompiler(
+            self, "<main>", [], is_toplevel=True, parent_scope=None
+        )
+        self.functions.insert(0, None)  # type: ignore[arg-type] # reserve index 0
+        main = main_compiler.compile_body(program.body)
+        self.functions[0] = main
+        for index, function in enumerate(self.functions):
+            function.index = index
+        return CompiledProgram(main, self.functions)
+
+    def compile_function(
+        self,
+        name: str,
+        params: Sequence[str],
+        body: Sequence[ast.Node],
+        parent_scope: Optional[_Scope],
+    ) -> int:
+        compiler = _FunctionCompiler(
+            self, name, params, is_toplevel=False, parent_scope=parent_scope
+        )
+        index = len(self.functions)
+        self.functions.append(None)  # type: ignore[arg-type] # reserve position
+        info = compiler.compile_body(body)
+        self.functions[index] = info
+        return index
+
+
+def compile_source(source: str) -> CompiledProgram:
+    """Parse and compile ``source``; entry point for the engine."""
+    from ..lang.parser import parse
+
+    return _ProgramCompiler().compile_program(parse(source))

@@ -1,0 +1,82 @@
+"""Human-readable bytecode listings (for debugging and documentation)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .opcodes import FunctionInfo, Instr, Op
+
+
+def format_instr(info: FunctionInfo, index: int, instr: Instr) -> str:
+    op = instr.op
+    parts: List[str] = [f"{index:4d}  {op.name:<16}"]
+
+    def const(i: int) -> str:
+        kind, value = info.constants[i]
+        return f"{value!r}" if kind != "special" else str(value)
+
+    def name(i: int) -> str:
+        return info.names[i]
+
+    if op == Op.LOAD_CONST:
+        parts.append(f"r{instr.dst} <- {const(instr.a)}")
+    elif op == Op.LOAD_GLOBAL:
+        parts.append(f"r{instr.dst} <- global[{name(instr.a)}]  fb{instr.d}")
+    elif op == Op.STORE_GLOBAL:
+        parts.append(f"global[{name(instr.a)}] <- r{instr.b}")
+    elif op == Op.MOVE:
+        parts.append(f"r{instr.dst} <- r{instr.a}")
+    elif op == Op.LOAD_THIS:
+        parts.append(f"r{instr.dst} <- this")
+    elif op in (Op.JUMP,):
+        parts.append(f"-> {instr.a}")
+    elif op in (Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE):
+        parts.append(f"r{instr.b} -> {instr.a}")
+    elif op == Op.GET_PROPERTY:
+        parts.append(f"r{instr.dst} <- r{instr.a}.{name(instr.b)}  fb{instr.d}")
+    elif op == Op.SET_PROPERTY:
+        parts.append(f"r{instr.a}.{name(instr.b)} <- r{instr.c}  fb{instr.d}")
+    elif op == Op.GET_ELEMENT:
+        parts.append(f"r{instr.dst} <- r{instr.a}[r{instr.b}]  fb{instr.d}")
+    elif op == Op.SET_ELEMENT:
+        parts.append(f"r{instr.a}[r{instr.b}] <- r{instr.c}  fb{instr.d}")
+    elif op == Op.CALL:
+        args = ", ".join(f"r{r}" for r in (instr.c or []))
+        parts.append(f"r{instr.dst} <- r{instr.b}({args})  fb{instr.d}")
+    elif op == Op.CALL_METHOD:
+        args = ", ".join(f"r{r}" for r in (instr.c or []))
+        parts.append(f"r{instr.dst} <- r{instr.b}.{name(instr.e)}({args})  fb{instr.d}")
+    elif op == Op.NEW:
+        args = ", ".join(f"r{r}" for r in (instr.c or []))
+        parts.append(f"r{instr.dst} <- new r{instr.b}({args})  fb{instr.d}")
+    elif op == Op.CREATE_ARRAY:
+        elems = ", ".join(f"r{r}" for r in (instr.c or []))
+        parts.append(f"r{instr.dst} <- [{elems}]")
+    elif op == Op.CREATE_OBJECT:
+        pairs = ", ".join(
+            f"{name(k)}: r{v}" for k, v in zip(instr.c or [], instr.e or [])
+        )
+        parts.append(f"r{instr.dst} <- {{{pairs}}}")
+    elif op == Op.CREATE_CLOSURE:
+        parts.append(f"r{instr.dst} <- closure #{instr.a}")
+    elif op == Op.RETURN:
+        parts.append(f"return r{instr.a}")
+    else:
+        operands = []
+        if instr.dst >= 0:
+            operands.append(f"r{instr.dst} <-")
+        operands.append(f"r{instr.a}, r{instr.b}")
+        if instr.d >= 0:
+            operands.append(f"fb{instr.d}")
+        parts.append(" ".join(operands))
+    return " ".join(parts)
+
+
+def disassemble(info: FunctionInfo) -> str:
+    """Full listing of one function's bytecode."""
+    header = f"function {info.name}({', '.join(info.params)})" \
+             f"  registers={info.register_count} feedback={info.feedback_slot_count}"
+    lines = [header]
+    for index, instr in enumerate(info.bytecode):
+        lines.append(format_instr(info, index, instr))
+    return "\n".join(lines)

@@ -1,0 +1,266 @@
+"""Register-machine bytecode, the engine's first code representation.
+
+Mirrors V8's Ignition tier in role (not in encoding): the parser lowers the
+AST to compact bytecode; the interpreter executes it while recording type
+feedback; the optimizing compiler later consumes bytecode + feedback.
+
+Instructions are index-addressed (jump targets are instruction indices).
+Operand meaning per opcode is documented in the :class:`Op` docstrings and
+in :mod:`repro.bytecode.disasm`.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, auto
+from typing import List, Optional, Sequence, Union
+
+
+class Op(IntEnum):
+    # dst <- constant_pool[a]
+    LOAD_CONST = auto()
+    # dst <- globals[name_pool[a]]          (feedback slot d)
+    LOAD_GLOBAL = auto()
+    # globals[name_pool[a]] <- src
+    STORE_GLOBAL = auto()
+    # dst <- src
+    MOVE = auto()
+    # dst <- `this`
+    LOAD_THIS = auto()
+
+    # Binary numeric / string ops: dst <- op(lhs, rhs), feedback slot d.
+    ADD = auto()
+    SUB = auto()
+    MUL = auto()
+    DIV = auto()
+    MOD = auto()
+    BIT_OR = auto()
+    BIT_AND = auto()
+    BIT_XOR = auto()
+    SHL = auto()
+    SAR = auto()  # signed >>
+    SHR = auto()  # unsigned >>>
+
+    # Unary ops: dst <- op(src), feedback slot d.
+    NEG = auto()
+    NOT = auto()  # logical !
+    BIT_NOT = auto()
+    TYPEOF = auto()
+    TO_NUMBER = auto()  # unary +
+
+    # Comparisons: dst <- test(lhs, rhs) as boolean, feedback slot d.
+    TEST_LT = auto()
+    TEST_LE = auto()
+    TEST_GT = auto()
+    TEST_GE = auto()
+    TEST_EQ = auto()
+    TEST_NE = auto()
+    TEST_EQ_STRICT = auto()
+    TEST_NE_STRICT = auto()
+
+    # Control flow: jump to instruction index a (cond in b where applicable).
+    JUMP = auto()
+    JUMP_IF_FALSE = auto()
+    JUMP_IF_TRUE = auto()
+
+    # Property / element access (feedback slot d; name in name_pool[b]).
+    GET_PROPERTY = auto()  # dst <- obj.name
+    SET_PROPERTY = auto()  # obj.name <- src (src in c)
+    GET_ELEMENT = auto()  # dst <- obj[key]
+    SET_ELEMENT = auto()  # obj[key] <- src
+
+    # Calls: args are a register list in c, feedback slot d.
+    CALL = auto()  # dst <- callee(args)  callee reg in b
+    CALL_METHOD = auto()  # dst <- obj.name(args); obj reg in b, name idx in e
+    NEW = auto()  # dst <- new callee(args)
+
+    # Literals.
+    CREATE_ARRAY = auto()  # dst <- [regs in c]
+    CREATE_OBJECT = auto()  # dst <- {name_pool[k]: reg for k, reg in zip(c, e)}
+    CREATE_CLOSURE = auto()  # dst <- function_table[a]
+
+    RETURN = auto()  # return src (in a)
+
+
+#: Opcodes that carry a type-feedback slot in operand ``d``.
+FEEDBACK_OPS = frozenset(
+    {
+        Op.ADD,
+        Op.SUB,
+        Op.MUL,
+        Op.DIV,
+        Op.MOD,
+        Op.BIT_OR,
+        Op.BIT_AND,
+        Op.BIT_XOR,
+        Op.SHL,
+        Op.SAR,
+        Op.SHR,
+        Op.NEG,
+        Op.TO_NUMBER,
+        Op.TEST_LT,
+        Op.TEST_LE,
+        Op.TEST_GT,
+        Op.TEST_GE,
+        Op.TEST_EQ,
+        Op.TEST_NE,
+        Op.GET_PROPERTY,
+        Op.SET_PROPERTY,
+        Op.GET_ELEMENT,
+        Op.SET_ELEMENT,
+        Op.CALL,
+        Op.CALL_METHOD,
+        Op.NEW,
+    }
+)
+
+BINARY_OPS = frozenset(
+    {
+        Op.ADD,
+        Op.SUB,
+        Op.MUL,
+        Op.DIV,
+        Op.MOD,
+        Op.BIT_OR,
+        Op.BIT_AND,
+        Op.BIT_XOR,
+        Op.SHL,
+        Op.SAR,
+        Op.SHR,
+    }
+)
+
+COMPARE_OPS = frozenset(
+    {
+        Op.TEST_LT,
+        Op.TEST_LE,
+        Op.TEST_GT,
+        Op.TEST_GE,
+        Op.TEST_EQ,
+        Op.TEST_NE,
+        Op.TEST_EQ_STRICT,
+        Op.TEST_NE_STRICT,
+    }
+)
+
+
+class Instr:
+    """One bytecode instruction.
+
+    ``dst`` is the destination register (or -1), ``a``..``c`` are operands
+    whose meaning depends on the opcode (``c`` may be a register list for
+    calls/literals), ``d`` is the feedback slot (or -1), ``e`` an auxiliary
+    operand, and ``line`` the source line.
+    """
+
+    __slots__ = ("op", "dst", "a", "b", "c", "d", "e", "line")
+
+    def __init__(
+        self,
+        op: Op,
+        dst: int = -1,
+        a: int = 0,
+        b: int = 0,
+        c: Union[int, Sequence[int], None] = None,
+        d: int = -1,
+        e: Union[int, Sequence[int], None] = None,
+        line: int = 0,
+    ) -> None:
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+        self.c = c
+        self.d = d
+        self.e = e
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Instr({self.op.name}, dst={self.dst}, a={self.a}, b={self.b},"
+            f" c={self.c}, d={self.d}, e={self.e})"
+        )
+
+
+class ConstantPool:
+    """Deduplicated per-function constants (numbers, strings, sentinels)."""
+
+    UNDEFINED = ("special", "undefined")
+    NULL = ("special", "null")
+    TRUE = ("special", "true")
+    FALSE = ("special", "false")
+
+    def __init__(self) -> None:
+        self.entries: List[tuple] = []
+        self._index: dict = {}
+
+    def add(self, kind: str, value: object) -> int:
+        key = (kind, value)
+        existing = self._index.get(key)
+        if existing is not None:
+            return existing
+        index = len(self.entries)
+        self.entries.append(key)
+        self._index[key] = index
+        return index
+
+    def number(self, value: float, is_integer: bool) -> int:
+        if is_integer:
+            return self.add("int", int(value))
+        return self.add("float", float(value))
+
+    def string(self, value: str) -> int:
+        return self.add("string", value)
+
+    def special(self, name: str) -> int:
+        return self.add("special", name)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index: int) -> tuple:
+        return self.entries[index]
+
+
+class FunctionInfo:
+    """SharedFunctionInfo: everything the engine knows about one function."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str],
+        register_count: int,
+        bytecode: List[Instr],
+        constants: ConstantPool,
+        names: List[str],
+        feedback_slot_count: int,
+        uses_this: bool = False,
+    ) -> None:
+        self.name = name
+        self.params = list(params)
+        self.register_count = register_count
+        self.bytecode = bytecode
+        self.constants = constants
+        self.names = names  # property / global name pool
+        self.feedback_slot_count = feedback_slot_count
+        self.uses_this = uses_this
+        #: Index in the engine's function table (set on registration).
+        self.index: int = -1
+        #: Back-edge instruction indices (loop headers), used by tier-up.
+        self.loop_headers: List[int] = [
+            i
+            for i, instr in enumerate(bytecode)
+            if instr.op in (Op.JUMP, Op.JUMP_IF_TRUE, Op.JUMP_IF_FALSE) and instr.a <= i
+        ]
+
+    @property
+    def param_count(self) -> int:
+        return len(self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FunctionInfo {self.name}({', '.join(self.params)})"
+            f" regs={self.register_count} bc={len(self.bytecode)}>"
+        )
+
+
+NativeImpl = Optional[object]

@@ -1,0 +1,42 @@
+"""Per-figure experiment drivers (one module per paper table/figure)."""
+
+from . import (
+    builtin_time,
+    fig01_check_density,
+    fig03_annotated_asm,
+    fig04_breakdown,
+    fig06_iteration_profile,
+    fig07_speedups,
+    fig08_categories,
+    fig09_correlation,
+    fig10_branch_cost,
+    fig13_isa_speedup,
+    fig14_distributions,
+    leftover,
+)
+from .common import CACHE, SCALES, ExperimentResult, ResultsCache, Scale
+
+#: registry used by the CLI (`python -m repro.experiments <name>`)
+EXPERIMENTS = {
+    "fig01": fig01_check_density.run,
+    "fig03": fig03_annotated_asm.run,
+    "fig04": fig04_breakdown.run,
+    "fig06": fig06_iteration_profile.run,
+    "fig07": fig07_speedups.run,
+    "fig08": fig08_categories.run,
+    "fig09": fig09_correlation.run,
+    "fig10": fig10_branch_cost.run,
+    "fig13": fig13_isa_speedup.run,
+    "fig14": fig14_distributions.run,
+    "leftover": leftover.run,
+    "builtins": builtin_time.run,
+}
+
+__all__ = [
+    "CACHE",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ResultsCache",
+    "SCALES",
+    "Scale",
+]

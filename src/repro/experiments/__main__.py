@@ -1,0 +1,37 @@
+"""CLI: regenerate paper figures.
+
+    python -m repro.experiments fig01 [--scale smoke|default|full]
+    python -m repro.experiments all --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument("--scale", default="default", choices=("smoke", "default", "full"))
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        output = EXPERIMENTS[name](scale=args.scale)
+        if isinstance(output, dict):
+            for part in output.values():
+                print(part.to_text())
+                print()
+        else:
+            print(output.to_text())
+        print(f"[{name} done in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

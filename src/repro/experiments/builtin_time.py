@@ -1,0 +1,46 @@
+"""Section VII (conclusion) — time spent in builtin functions.
+
+Paper: frequently used builtins (e.g. string equality) "take up to 8 % of
+the execution time in string-intensive benchmarks" — one of the proposed
+future HW/SW codesign targets.  We report each benchmark's cycle share in
+the ``builtin`` bucket (string ops, regex, generic runtime helpers).
+"""
+
+from __future__ import annotations
+
+from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
+
+
+def run(scale="default", target: str = "arm64") -> ExperimentResult:
+    scale = resolve_scale(scale)
+    result = ExperimentResult(
+        experiment="Builtin time (Sec. VII)",
+        description=f"share of execution time in builtins ({target})",
+        columns=["benchmark", "category", "builtin %", "interpreter %", "gc %"],
+    )
+    string_shares = []
+    for spec in suite_for_scale(scale):
+        run_result = CACHE.timed_run(spec, target, scale.iterations, noise=False)
+        total = run_result.total_cycles or 1.0
+        builtin_pct = 100.0 * run_result.buckets.get("builtin", 0.0) / total
+        result.rows.append(
+            {
+                "benchmark": spec.name,
+                "category": spec.category,
+                "builtin %": builtin_pct,
+                "interpreter %": 100.0
+                * run_result.buckets.get("interpreter", 0.0)
+                / total,
+                "gc %": 100.0 * run_result.buckets.get("gc", 0.0) / total,
+            }
+        )
+        if spec.category == "String":
+            string_shares.append(builtin_pct)
+    if string_shares:
+        result.notes.append(
+            "string benchmarks: builtin share "
+            f"{min(string_shares):.1f}-{max(string_shares):.1f} %"
+            " (paper: builtins up to 8 % in string-intensive benchmarks;"
+            " note our builtin bucket also covers the allocation helpers)"
+        )
+    return result

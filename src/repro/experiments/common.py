@@ -1,0 +1,266 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every driver exposes ``run(scale=..., targets=...) -> ExperimentResult``.
+Scales trade fidelity for wall-clock time (the paper runs 1,000 iterations
+x 30 repetitions on real silicon; a pure-Python simulator cannot):
+
+* ``smoke``   — a few iterations, used by the test suite,
+* ``default`` — tens of iterations / a few repetitions, for the benchmark
+  harness (pytest-benchmark targets),
+* ``full``    — hundreds of iterations, closest to the paper's protocol.
+
+A process-wide :class:`ResultsCache` lets the figures share expensive runs
+(Fig. 7/8/9 all consume the same with/without-checks measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..engine import Engine, EngineConfig
+from ..jit.checks import CheckKind
+from ..profiling.attribution import AttributionResult, attribute_samples
+from ..profiling.sampler import attach_sampler
+from ..suite.runner import (
+    BenchmarkRunner,
+    NoiseModel,
+    RunResult,
+    determine_removable_kinds,
+)
+from ..suite.spec import BenchmarkSpec, all_benchmarks
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    iterations: int
+    reps: int
+    benchmark_limit: Optional[int] = None  # None = whole suite
+
+
+SCALES: Dict[str, Scale] = {
+    "smoke": Scale("smoke", iterations=10, reps=2, benchmark_limit=6),
+    "default": Scale("default", iterations=40, reps=4),
+    "full": Scale("full", iterations=200, reps=10),
+}
+
+
+def resolve_scale(scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    return SCALES[scale]
+
+
+def suite_for_scale(scale: Scale) -> List[BenchmarkSpec]:
+    benchmarks = all_benchmarks()
+    if scale.benchmark_limit is not None:
+        # A deterministic cross-category slice for smoke runs.
+        benchmarks = sorted(benchmarks, key=lambda s: (s.category, s.name))
+        step = max(1, len(benchmarks) // scale.benchmark_limit)
+        benchmarks = benchmarks[::step][: scale.benchmark_limit]
+    return benchmarks
+
+
+#: default sampling period (simulated cycles); odd to avoid phase lock
+SAMPLE_PERIOD = 211.0
+
+
+@dataclass
+class ProfiledRun:
+    run: RunResult
+    window: AttributionResult
+    truth: AttributionResult
+    #: static check counts over this benchmark's optimized code
+    static_checks: int = 0
+    static_body: int = 0
+    checks_by_kind: Dict[object, int] = field(default_factory=dict)
+
+    @property
+    def static_density(self) -> float:
+        """Checks emitted per 100 JIT instructions (Fig. 1 metric)."""
+        if not self.static_body:
+            return 0.0
+        return 100.0 * self.static_checks / self.static_body
+
+
+class ResultsCache:
+    """Memoizes benchmark runs across experiment drivers."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[tuple, RunResult] = {}
+        self._profiled: Dict[tuple, ProfiledRun] = {}
+        self._removable: Dict[tuple, Tuple[FrozenSet[CheckKind], FrozenSet[CheckKind]]] = {}
+
+    # -- plain timed runs ---------------------------------------------------
+
+    def timed_run(
+        self,
+        spec: BenchmarkSpec,
+        target: str,
+        iterations: int,
+        rep: int = 0,
+        removed: FrozenSet[CheckKind] = frozenset(),
+        emit_check_branches: bool = True,
+        noise: bool = True,
+    ) -> RunResult:
+        key = (
+            spec.name, target, iterations, rep, removed, emit_check_branches, noise,
+        )
+        cached = self._runs.get(key)
+        if cached is not None:
+            return cached
+        config = EngineConfig(
+            target=target,
+            removed_checks=removed,
+            emit_check_branches=emit_check_branches,
+        )
+        runner = BenchmarkRunner(spec, config, NoiseModel(enabled=noise))
+        result = runner.run(iterations=iterations, rep=rep)
+        self._runs[key] = result
+        return result
+
+    # -- profiled runs (PC sampling) ------------------------------------------
+
+    def profiled_run(
+        self, spec: BenchmarkSpec, target: str, iterations: int, rep: int = 0
+    ) -> ProfiledRun:
+        key = (spec.name, target, iterations, rep)
+        cached = self._profiled.get(key)
+        if cached is not None:
+            return cached
+        config = EngineConfig(target=target)
+        noise = NoiseModel(enabled=True)
+        import random as _random
+
+        rng = _random.Random((hash(spec.name) & 0xFFFFFFF) * 7919 + rep)
+        config = noise.perturb_config(config, rng)
+        engine = Engine(config)
+        engine.load(spec.source)
+        engine.call_global("setup")
+        # Warm up so steady-state code dominates the samples (the paper
+        # samples whole runs; warmup samples land outside JIT code either
+        # way and only dilute, which we also model).
+        warmup = max(4, iterations // 5)
+        for i in range(warmup):
+            engine.current_iteration = i
+            engine.call_global("run")
+        sampler = attach_sampler(engine, SAMPLE_PERIOD)
+        cycles: List[float] = []
+        for i in range(iterations):
+            engine.current_iteration = warmup + i
+            before = engine.total_cycles
+            engine.call_global("run")
+            cycles.append(engine.total_cycles - before)
+        window = attribute_samples(sampler, "window")
+        truth = attribute_samples(sampler, "truth")
+        static_checks = 0
+        static_body = 0
+        checks_by_kind: Dict[object, int] = {}
+        seen_codes = set()
+        for shared in engine.functions:
+            code = shared.code
+            if code is None or id(code) in seen_codes:
+                continue
+            seen_codes.add(id(code))
+            static_checks += len(code.deopt_points)
+            static_body += code.body_instruction_count()
+            for point in code.deopt_points.values():
+                checks_by_kind[point.kind] = checks_by_kind.get(point.kind, 0) + 1
+        run = RunResult(
+            name=spec.name,
+            target=target,
+            iterations=iterations,
+            cycles=cycles,
+            result=None,
+            valid=True,
+            deopts=[],
+            code_stats=_sum_code_stats(engine),
+            hw_stats=engine.executor.stats.snapshot(),
+            buckets=dict(engine.buckets),
+            total_cycles=engine.total_cycles,
+        )
+        profiled = ProfiledRun(
+            run=run,
+            window=window,
+            truth=truth,
+            static_checks=static_checks,
+            static_body=static_body,
+            checks_by_kind=checks_by_kind,
+        )
+        self._profiled[key] = profiled
+        return profiled
+
+    # -- leftover-check detection ----------------------------------------------
+
+    def removable_kinds(
+        self, spec: BenchmarkSpec, target: str, iterations: int = 40
+    ) -> Tuple[FrozenSet[CheckKind], FrozenSet[CheckKind]]:
+        key = (spec.name, target)
+        cached = self._removable.get(key)
+        if cached is not None:
+            return cached
+        result = determine_removable_kinds(
+            spec, EngineConfig(target=target), iterations=iterations
+        )
+        self._removable[key] = result
+        return result
+
+
+def _sum_code_stats(engine: Engine) -> Dict[str, int]:
+    totals = {"body_instructions": 0, "check_instructions": 0, "deopt_branches": 0}
+    seen = set()
+    for shared in engine.functions:
+        code = shared.code
+        if code is not None and id(code) not in seen:
+            seen.add(id(code))
+            stats = code.check_instruction_stats()
+            for k in totals:
+                totals[k] += stats[k]
+    return totals
+
+
+#: process-wide cache shared by all experiment drivers
+CACHE = ResultsCache()
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + rendering for one regenerated table/figure."""
+
+    experiment: str
+    description: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        widths = {c: len(c) for c in self.columns}
+        formatted_rows = []
+        for row in self.rows:
+            formatted = {}
+            for c in self.columns:
+                value = row.get(c, "")
+                if isinstance(value, float):
+                    text = f"{value:.3f}" if abs(value) < 1000 else f"{value:.0f}"
+                else:
+                    text = str(value)
+                formatted[c] = text
+                widths[c] = max(widths[c], len(text))
+            formatted_rows.append(formatted)
+        lines = [f"== {self.experiment}: {self.description} =="]
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for formatted in formatted_rows:
+            lines.append("  ".join(formatted[c].ljust(widths[c]) for c in self.columns))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+
+def relative_change(after: float, before: float) -> float:
+    """(after - before) / before, guarded."""
+    if before == 0:
+        return 0.0
+    return (after - before) / before

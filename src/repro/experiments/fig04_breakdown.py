@@ -1,0 +1,104 @@
+"""Fig. 4 — breakdown of check frequency and check overhead by type.
+
+Paper, Section III-A:
+
+* (a, b) how many checks TurboFan emits per 100 machine instructions, by
+  check group, on x64 and ARM64 (2-10 per 100, average ~5; ARM64 lower);
+* (c, d) the overhead of each check group from PC sampling with the window
+  heuristic (total 5-7 %; Type checks are ~half the *occurrences* but only
+  ~30 % of the *overhead*; SMI + Not-a-SMI + Boundary together are ~50 % of
+  both; regex benchmarks show essentially none).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Sequence
+
+from ..jit.checks import CheckGroup, group_of
+from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
+
+GROUP_ORDER = [
+    CheckGroup.TYPE,
+    CheckGroup.SMI,
+    CheckGroup.BOUNDS,
+    CheckGroup.MAP,
+    CheckGroup.ARITHMETIC,
+    CheckGroup.OTHER,
+]
+
+
+def run(scale="default", targets: Sequence[str] = ("x64", "arm64")) -> Dict[str, ExperimentResult]:
+    """Returns {"frequency": ..., "overhead": ...} tables."""
+    scale = resolve_scale(scale)
+    freq_columns = ["benchmark", "target", "total/100"] + [g.value for g in GROUP_ORDER]
+    ovh_columns = ["benchmark", "target", "total %"] + [g.value for g in GROUP_ORDER]
+    frequency = ExperimentResult(
+        experiment="Fig. 4a/4b",
+        description="checks emitted per 100 instructions, by group",
+        columns=freq_columns,
+    )
+    overhead = ExperimentResult(
+        experiment="Fig. 4c/4d",
+        description="check overhead (% of samples, window heuristic), by group",
+        columns=ovh_columns,
+    )
+    group_share_occurrences: Dict[CheckGroup, float] = defaultdict(float)
+    group_share_overhead: Dict[CheckGroup, float] = defaultdict(float)
+    totals = {t: [] for t in targets}
+    for spec in suite_for_scale(scale):
+        for target in targets:
+            profiled = CACHE.profiled_run(spec, target, scale.iterations)
+            body = profiled.static_body or 1
+            freq_row = {
+                "benchmark": spec.name,
+                "target": target,
+                "total/100": profiled.static_density,
+            }
+            for group in GROUP_ORDER:
+                count = sum(
+                    n for kind, n in profiled.checks_by_kind.items()
+                    if group_of(kind) == group  # type: ignore[arg-type]
+                )
+                freq_row[group.value] = 100.0 * count / body
+                group_share_occurrences[group] += count
+            frequency.rows.append(freq_row)
+
+            shares = profiled.window.by_group()
+            total_pct = 100.0 * profiled.window.overhead
+            ovh_row = {
+                "benchmark": spec.name,
+                "target": target,
+                "total %": total_pct,
+            }
+            for group in GROUP_ORDER:
+                pct = 100.0 * shares.get(group, 0.0)
+                ovh_row[group.value] = pct
+                group_share_overhead[group] += pct
+            overhead.rows.append(ovh_row)
+            totals[target].append(total_pct)
+
+    for target in targets:
+        values = totals[target]
+        if values:
+            overhead.notes.append(
+                f"{target}: mean total overhead {sum(values)/len(values):.2f} %"
+                " (paper: 5-7 % overall)"
+            )
+    occurrence_total = sum(group_share_occurrences.values()) or 1.0
+    overhead_total = sum(group_share_overhead.values()) or 1.0
+    frequency.notes.append(
+        "occurrence shares by group: "
+        + ", ".join(
+            f"{g.value} {100.0 * group_share_occurrences[g] / occurrence_total:.0f}%"
+            for g in GROUP_ORDER
+        )
+    )
+    overhead.notes.append(
+        "overhead shares by group: "
+        + ", ".join(
+            f"{g.value} {100.0 * group_share_overhead[g] / overhead_total:.0f}%"
+            for g in GROUP_ORDER
+        )
+    )
+    return {"frequency": frequency, "overhead": overhead}

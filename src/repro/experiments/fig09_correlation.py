@@ -1,0 +1,59 @@
+"""Fig. 9 — correlation between the two overhead estimators.
+
+Paper, Section IV-A: each benchmark is a point (sampling-estimated
+speedup, removal-measured speedup); OLS with 95 % CIs plus Pearson
+correlation.  The paper measures R² = 0.51 (r = 0.71) on x64 and
+R² = 0.36 (r = 0.60) on ARM64, both with p ~ 0 — statistically
+significant positive correlation, lower on ARM64 because RISC checks have
+a more complex structure that the window heuristic captures less well.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..stats.analysis import linear_regression, pearson_correlation
+from .common import ExperimentResult, resolve_scale
+from .fig07_speedups import collect_speedups
+
+
+def run(scale="default", targets: Sequence[str] = ("x64", "arm64")) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Fig. 9",
+        description="correlation of sampling vs removal speedup estimates",
+        columns=[
+            "target",
+            "n",
+            "r",
+            "R^2",
+            "p-value",
+            "slope",
+            "slope 95% CI",
+        ],
+    )
+    for target in targets:
+        data = collect_speedups(scale, target)
+        xs = [e.sampling_speedup for e in data]
+        ys = [e.removal_mean for e in data]
+        if len(xs) < 3:
+            continue
+        correlation = pearson_correlation(xs, ys)
+        regression = linear_regression(xs, ys)
+        result.rows.append(
+            {
+                "target": target,
+                "n": len(xs),
+                "r": correlation.r,
+                "R^2": correlation.r_squared,
+                "p-value": f"{correlation.p_value:.2e}",
+                "slope": regression.slope,
+                "slope 95% CI": (
+                    f"[{regression.slope_ci[0]:.2f}, {regression.slope_ci[1]:.2f}]"
+                ),
+            }
+        )
+    result.notes.append(
+        "paper: R^2=0.51 (r=0.71) on x64, R^2=0.36 (r=0.60) on ARM64,"
+        " p < 1e-7 for the zero-correlation null in both cases"
+    )
+    return result

@@ -1,0 +1,78 @@
+"""Section III-B.2 — leftover checks.
+
+Paper: "16 benchmarks out of 51 do not complete execution correctly if all
+checks are removed ... With this method, less than 20 % of checks of the
+otherwise failing benchmarks remain in the code.  This leftover overhead,
+estimated from perf, is less than 0.5 %."
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List
+
+from ..jit.checks import group_of
+from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
+
+
+def run(scale="default", target: str = "arm64") -> ExperimentResult:
+    scale = resolve_scale(scale)
+    result = ExperimentResult(
+        experiment="Leftover checks (Sec. III-B.2)",
+        description=f"benchmarks that need some checks for correctness ({target})",
+        columns=[
+            "benchmark",
+            "leftover kinds",
+            "leftover checks %",
+            "leftover overhead %",
+        ],
+    )
+    affected = 0
+    total = 0
+    remaining_shares: List[float] = []
+    leftover_overheads: List[float] = []
+    for spec in suite_for_scale(scale):
+        total += 1
+        removable, leftovers = CACHE.removable_kinds(spec, target)
+        if not leftovers:
+            continue
+        affected += 1
+        profiled = CACHE.profiled_run(spec, target, scale.iterations)
+        total_checks = sum(profiled.checks_by_kind.values()) or 1
+        leftover_checks = sum(
+            count
+            for kind, count in profiled.checks_by_kind.items()
+            if kind in leftovers
+        )
+        share = 100.0 * leftover_checks / total_checks
+        remaining_shares.append(share)
+        leftover_kind_names = {k for k in leftovers}
+        leftover_overhead = 100.0 * sum(
+            count
+            for kind, count in profiled.window.by_kind.items()
+            if kind in leftover_kind_names
+        ) / max(1, profiled.window.total_samples)
+        leftover_overheads.append(leftover_overhead)
+        result.rows.append(
+            {
+                "benchmark": spec.name,
+                "leftover kinds": ",".join(sorted(k.name for k in leftovers)),
+                "leftover checks %": share,
+                "leftover overhead %": leftover_overhead,
+            }
+        )
+    result.notes.append(
+        f"{affected}/{total} benchmarks keep leftover checks"
+        " (paper: 16/51)"
+    )
+    if remaining_shares:
+        result.notes.append(
+            f"mean leftover share of checks {statistics.mean(remaining_shares):.1f} %"
+            " (paper: < 20 %)"
+        )
+    if leftover_overheads:
+        result.notes.append(
+            f"mean leftover overhead {statistics.mean(leftover_overheads):.2f} %"
+            " of samples (paper: < 0.5 %)"
+        )
+    return result

@@ -1,0 +1,26 @@
+"""Interpreter tier: bytecode execution, type feedback, builtins."""
+
+from .feedback import (
+    BinaryOpSlot,
+    CallSlot,
+    ElementSlot,
+    FeedbackVector,
+    GlobalSlot,
+    ICState,
+    OperandFeedback,
+    PropertySlot,
+)
+from .interpreter import INTERP_BASE_COST, Interpreter
+
+__all__ = [
+    "BinaryOpSlot",
+    "CallSlot",
+    "ElementSlot",
+    "FeedbackVector",
+    "GlobalSlot",
+    "ICState",
+    "INTERP_BASE_COST",
+    "Interpreter",
+    "OperandFeedback",
+    "PropertySlot",
+]

@@ -1,0 +1,465 @@
+"""Builtin functions (V8's Torque-built builtins, approximated).
+
+V8 implements common operations — ``Math.*``, string methods, array
+methods, ``RegExp`` — as builtins compiled ahead of time; they run outside
+JIT-compiled JavaScript and contain no deoptimization checks.  The paper
+leans on this: string/regex-heavy benchmarks show low check overhead
+because their work happens in builtins (Section III-A), and Section VII
+measures builtins at up to 8 % of time in string-intensive workloads.
+
+Each builtin charges cycles proportional to the work it performs; the
+engine books them in the ``builtin`` bucket so experiments can report the
+builtin share of execution time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+from ..lang.errors import JSTypeError
+from ..regex.engine import Regex
+from ..values.heap import Heap
+from ..values.maps import ElementsKind, InstanceType
+from ..values.tagged import is_smi, pointer_untag, smi_untag
+from . import runtime
+
+#: A native implementation: (engine, this_word, args) -> (result_word, cycles)
+NativeFn = Callable[[object, int, List[int]], Tuple[int, int]]
+
+
+class DeterministicRandom:
+    """xorshift128+ style PRNG so benchmark runs are reproducible."""
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        self.state0 = seed & 0xFFFFFFFFFFFFFFFF
+        self.state1 = (seed * 0x2545F4914F6CDD1D + 0x1234567) & 0xFFFFFFFFFFFFFFFF
+
+    def next_float(self) -> float:
+        s1 = self.state0
+        s0 = self.state1
+        self.state0 = s0
+        s1 ^= (s1 << 23) & 0xFFFFFFFFFFFFFFFF
+        s1 ^= s1 >> 17
+        s1 ^= s0
+        s1 ^= s0 >> 26
+        self.state1 = s1
+        return ((self.state0 + self.state1) & 0xFFFFFFFFFFFFFFFF) / float(1 << 64)
+
+
+# ---------------------------------------------------------------------------
+# Math builtins
+# ---------------------------------------------------------------------------
+
+
+def _num(engine, word: int) -> float:
+    return runtime.js_to_number(engine.heap, word)
+
+
+def _math_unary(fn: Callable[[float], float], cost: int) -> NativeFn:
+    def impl(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+        value = fn(_num(engine, args[0])) if args else float("nan")
+        return engine.heap.number_from_float(value), cost
+
+    return impl
+
+
+def _math_floor(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    value = _num(engine, args[0]) if args else float("nan")
+    if math.isnan(value) or math.isinf(value):
+        return engine.heap.number_from_float(value), 6
+    return engine.heap.number_from_float(float(math.floor(value))), 6
+
+
+def _math_ceil(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    value = _num(engine, args[0]) if args else float("nan")
+    if math.isnan(value) or math.isinf(value):
+        return engine.heap.number_from_float(value), 6
+    return engine.heap.number_from_float(float(math.ceil(value))), 6
+
+
+def _math_round(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    value = _num(engine, args[0]) if args else float("nan")
+    if math.isnan(value) or math.isinf(value):
+        return engine.heap.number_from_float(value), 8
+    return engine.heap.number_from_float(float(math.floor(value + 0.5))), 8
+
+
+def _math_abs(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    return engine.heap.number_from_float(abs(_num(engine, args[0]))), 4
+
+
+def _math_sqrt(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    value = _num(engine, args[0])
+    result = math.sqrt(value) if value >= 0 else float("nan")
+    return engine.heap.number_from_float(result), 18
+
+
+def _math_pow(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    base = _num(engine, args[0])
+    exponent = _num(engine, args[1]) if len(args) > 1 else float("nan")
+    try:
+        result = math.pow(base, exponent)
+    except (OverflowError, ValueError):
+        result = float("nan") if base < 0 else float("inf")
+    return engine.heap.number_from_float(result), 40
+
+
+def _math_min(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    values = [_num(engine, a) for a in args]
+    if not values:
+        return engine.heap.number_from_float(float("inf")), 4
+    if any(math.isnan(v) for v in values):
+        return engine.heap.number_from_float(float("nan")), 4
+    return engine.heap.number_from_float(min(values)), 4 + len(values)
+
+
+def _math_max(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    values = [_num(engine, a) for a in args]
+    if not values:
+        return engine.heap.number_from_float(float("-inf")), 4
+    if any(math.isnan(v) for v in values):
+        return engine.heap.number_from_float(float("nan")), 4
+    return engine.heap.number_from_float(max(values)), 4 + len(values)
+
+
+def _math_random(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    return engine.heap.alloc_number(engine.random.next_float()), 12
+
+
+def _math_imul(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    a = runtime.js_to_int32(_num(engine, args[0]))
+    b = runtime.js_to_int32(_num(engine, args[1])) if len(args) > 1 else 0
+    return engine.heap.number_from_float(float(runtime.js_to_int32(float(a * b)))), 4
+
+
+def _safe_log(v: float) -> float:
+    if v < 0:
+        return float("nan")
+    if v == 0:
+        return float("-inf")
+    return math.log(v)
+
+
+MATH_BUILTINS: Dict[str, NativeFn] = {
+    "floor": _math_floor,
+    "ceil": _math_ceil,
+    "round": _math_round,
+    "abs": _math_abs,
+    "sqrt": _math_sqrt,
+    "pow": _math_pow,
+    "min": _math_min,
+    "max": _math_max,
+    "random": _math_random,
+    "imul": _math_imul,
+    "sin": _math_unary(math.sin, 30),
+    "cos": _math_unary(math.cos, 30),
+    "tan": _math_unary(math.tan, 35),
+    "atan": _math_unary(math.atan, 30),
+    "asin": _math_unary(lambda v: math.asin(v) if -1 <= v <= 1 else float("nan"), 30),
+    "acos": _math_unary(lambda v: math.acos(v) if -1 <= v <= 1 else float("nan"), 30),
+    "exp": _math_unary(math.exp, 30),
+    "log": _math_unary(_safe_log, 30),
+}
+
+MATH_CONSTANTS = {"PI": math.pi, "E": math.e, "LN2": math.log(2.0), "SQRT2": math.sqrt(2.0)}
+
+
+# ---------------------------------------------------------------------------
+# String methods
+# ---------------------------------------------------------------------------
+
+
+def _this_string(engine, this: int) -> str:
+    return engine.heap.string_value(this)
+
+
+def string_method(engine, this: int, name: str, args: List[int]) -> Tuple[int, int]:
+    heap: Heap = engine.heap
+    text = _this_string(engine, this)
+    if name == "charCodeAt":
+        index = int(_num(engine, args[0])) if args else 0
+        if 0 <= index < len(text):
+            return heap.to_word(ord(text[index])), 6
+        return heap.number_from_float(float("nan")), 6
+    if name == "charAt":
+        index = int(_num(engine, args[0])) if args else 0
+        char = text[index] if 0 <= index < len(text) else ""
+        return heap.alloc_string(char), 8
+    if name == "indexOf":
+        needle = runtime.js_to_string(heap, args[0]) if args else "undefined"
+        start = int(_num(engine, args[1])) if len(args) > 1 else 0
+        return heap.to_word(text.find(needle, start)), 8 + len(text) // 4
+    if name == "lastIndexOf":
+        needle = runtime.js_to_string(heap, args[0]) if args else "undefined"
+        return heap.to_word(text.rfind(needle)), 8 + len(text) // 4
+    if name == "substring":
+        start = max(0, int(_num(engine, args[0]))) if args else 0
+        end = int(_num(engine, args[1])) if len(args) > 1 else len(text)
+        end = max(0, min(end, len(text)))
+        start = min(start, len(text))
+        if start > end:
+            start, end = end, start
+        return heap.alloc_string(text[start:end]), 8 + (end - start) // 4
+    if name == "slice":
+        start = int(_num(engine, args[0])) if args else 0
+        end = int(_num(engine, args[1])) if len(args) > 1 else len(text)
+        return heap.alloc_string(text[start:end] if start >= 0 or end >= 0 else ""), 8
+    if name == "split":
+        if not args:
+            return heap.to_word([text]), 10
+        separator = runtime.js_to_string(heap, args[0])
+        pieces = list(text) if separator == "" else text.split(separator)
+        result = heap.alloc_array(ElementsKind.PACKED, len(pieces))
+        for i, piece in enumerate(pieces):
+            heap.array_set(result, i, heap.alloc_string(piece))
+        return result, 12 + 2 * len(pieces) + len(text) // 4
+    if name == "toUpperCase":
+        return heap.alloc_string(text.upper()), 6 + len(text) // 2
+    if name == "toLowerCase":
+        return heap.alloc_string(text.lower()), 6 + len(text) // 2
+    if name == "trim":
+        return heap.alloc_string(text.strip()), 6 + len(text) // 4
+    if name == "concat":
+        for arg in args:
+            text = text + runtime.js_to_string(heap, arg)
+        return heap.alloc_string(text), 6 + len(text) // 4
+    if name == "repeat":
+        count = int(_num(engine, args[0])) if args else 0
+        return heap.alloc_string(text * max(0, count)), 6 + len(text) * max(0, count) // 4
+    if name == "startsWith":
+        needle = runtime.js_to_string(heap, args[0]) if args else ""
+        return (heap.true_value if text.startswith(needle) else heap.false_value), 6
+    if name == "endsWith":
+        needle = runtime.js_to_string(heap, args[0]) if args else ""
+        return (heap.true_value if text.endswith(needle) else heap.false_value), 6
+    if name == "replace":
+        return _string_replace(engine, text, args)
+    if name == "match":
+        return _string_match(engine, text, args)
+    if name == "search":
+        regex = engine.regex_from_word(args[0]) if args else None
+        if regex is None:
+            raise JSTypeError("String.search expects a RegExp")
+        regex.steps = 0
+        result = regex.search(text)
+        cost = 10 + regex.steps * 2
+        return heap.to_word(result.start if result else -1), cost
+    raise JSTypeError(f"unknown string method {name!r}")
+
+
+def _string_replace(engine, text: str, args: List[int]) -> Tuple[int, int]:
+    heap: Heap = engine.heap
+    if not args:
+        return heap.alloc_string(text), 4
+    replacement = runtime.js_to_string(heap, args[1]) if len(args) > 1 else "undefined"
+    regex = engine.regex_from_word(args[0])
+    if regex is not None:
+        regex.steps = 0
+        replaced = regex.replace(text, replacement)
+        return heap.alloc_string(replaced), 12 + regex.steps * 2
+    needle = runtime.js_to_string(heap, args[0])
+    return heap.alloc_string(text.replace(needle, replacement, 1)), 10 + len(text) // 4
+
+
+def _string_match(engine, text: str, args: List[int]) -> Tuple[int, int]:
+    heap: Heap = engine.heap
+    regex = engine.regex_from_word(args[0]) if args else None
+    if regex is None:
+        raise JSTypeError("String.match expects a RegExp")
+    regex.steps = 0
+    if regex.is_global:
+        matches = regex.find_all(text)
+        cost = 12 + regex.steps * 2
+        if not matches:
+            return heap.null, cost
+        result = heap.alloc_array(ElementsKind.PACKED, len(matches))
+        for i, m in enumerate(matches):
+            heap.array_set(result, i, heap.alloc_string(m.matched))
+        return result, cost
+    match = regex.search(text)
+    cost = 12 + regex.steps * 2
+    if match is None:
+        return heap.null, cost
+    result = heap.alloc_array(ElementsKind.PACKED, 1 + match.group_count)
+    heap.array_set(result, 0, heap.alloc_string(match.matched))
+    for g in range(1, match.group_count + 1):
+        group = match.group(g)
+        heap.array_set(
+            result, g, heap.alloc_string(group) if group is not None else heap.undefined
+        )
+    return result, cost
+
+
+# ---------------------------------------------------------------------------
+# Array methods
+# ---------------------------------------------------------------------------
+
+
+def array_method(engine, this: int, name: str, args: List[int]) -> Tuple[int, int]:
+    heap: Heap = engine.heap
+    if name == "push":
+        length = 0
+        for arg in args:
+            length = heap.array_push(this, arg)
+        return heap.to_word(length), 10 + 4 * len(args)
+    if name == "pop":
+        length = heap.array_length(this)
+        if length == 0:
+            return heap.undefined, 8
+        value = heap.array_get(this, length - 1)
+        addr = pointer_untag(this)
+        from ..values.heap import JS_ARRAY_LENGTH_OFFSET
+
+        heap.write(addr, JS_ARRAY_LENGTH_OFFSET, heap.to_word(length - 1))
+        return value, 10
+    if name == "join":
+        separator = runtime.js_to_string(heap, args[0]) if args else ","
+        length = heap.array_length(this)
+        pieces = [
+            runtime.js_to_string(heap, heap.array_get(this, i)) for i in range(length)
+        ]
+        text = separator.join(pieces)
+        return heap.alloc_string(text), 10 + 3 * length + len(text) // 4
+    if name == "indexOf":
+        needle = args[0] if args else heap.undefined
+        length = heap.array_length(this)
+        for i in range(length):
+            equal, _fb = runtime.js_strict_equals(heap, heap.array_get(this, i), needle)
+            if equal:
+                return heap.to_word(i), 8 + 2 * (i + 1)
+        return heap.to_word(-1), 8 + 2 * length
+    if name == "slice":
+        length = heap.array_length(this)
+        start = int(_num(engine, args[0])) if args else 0
+        end = int(_num(engine, args[1])) if len(args) > 1 else length
+        if start < 0:
+            start += length
+        if end < 0:
+            end += length
+        start = max(0, min(start, length))
+        end = max(start, min(end, length))
+        kind = heap.map_of(pointer_untag(this)).elements_kind
+        result = heap.alloc_array(kind, end - start)
+        for i in range(start, end):
+            heap.array_set(result, i - start, heap.array_get(this, i))
+        return result, 10 + 3 * (end - start)
+    if name == "fill":
+        value = args[0] if args else heap.undefined
+        length = heap.array_length(this)
+        for i in range(length):
+            heap.array_set(this, i, value)
+        return this, 6 + 2 * length
+    if name == "reverse":
+        length = heap.array_length(this)
+        words = [heap.array_get(this, i) for i in range(length)]
+        for i, word in enumerate(reversed(words)):
+            heap.array_set(this, i, word)
+        return this, 6 + 3 * length
+    if name == "sort":
+        return _array_sort(engine, this, args)
+    if name == "concat":
+        length = heap.array_length(this)
+        extra = []
+        for arg in args:
+            if not is_smi(arg) and heap.map_of(pointer_untag(arg)).instance_type == InstanceType.JS_ARRAY:
+                extra.extend(heap.array_get(arg, i) for i in range(heap.array_length(arg)))
+            else:
+                extra.append(arg)
+        result = heap.alloc_array(ElementsKind.PACKED, length + len(extra))
+        for i in range(length):
+            heap.array_set(result, i, heap.array_get(this, i))
+        for i, word in enumerate(extra):
+            heap.array_set(result, length + i, word)
+        return result, 10 + 3 * (length + len(extra))
+    raise JSTypeError(f"unknown array method {name!r}")
+
+
+def _array_sort(engine, this: int, args: List[int]) -> Tuple[int, int]:
+    import functools
+
+    heap: Heap = engine.heap
+    length = heap.array_length(this)
+    words = [heap.array_get(this, i) for i in range(length)]
+    if args and not is_smi(args[0]):
+        comparator = args[0]
+
+        def compare(a: int, b: int) -> int:
+            result = engine.call_value(comparator, heap.undefined, [a, b], None)
+            value = runtime.js_to_number(heap, result)
+            return -1 if value < 0 else (1 if value > 0 else 0)
+
+        words.sort(key=functools.cmp_to_key(compare))
+    else:
+        words.sort(key=lambda w: runtime.js_to_string(heap, w))
+    for i, word in enumerate(words):
+        heap.array_set(this, i, word)
+    import math as _math
+
+    cost = 12 + int(6 * length * max(1.0, _math.log2(length) if length > 1 else 1.0))
+    return this, cost
+
+
+# ---------------------------------------------------------------------------
+# Global namespace builtins
+# ---------------------------------------------------------------------------
+
+
+def _parse_int(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    heap: Heap = engine.heap
+    text = runtime.js_to_string(heap, args[0]).strip() if args else ""
+    radix = int(_num(engine, args[1])) if len(args) > 1 else 10
+    if radix == 0:
+        radix = 10
+    sign = 1
+    if text[:1] in "+-":
+        if text[0] == "-":
+            sign = -1
+        text = text[1:]
+    if radix == 16 and text[:2].lower() == "0x":
+        text = text[2:]
+    digits = "0123456789abcdefghijklmnopqrstuvwxyz"[:radix]
+    end = 0
+    while end < len(text) and text[end].lower() in digits:
+        end += 1
+    if end == 0:
+        return heap.number_from_float(float("nan")), 10
+    return heap.number_from_float(float(sign * int(text[:end], radix))), 10 + end
+
+
+def _parse_float(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    heap: Heap = engine.heap
+    text = runtime.js_to_string(heap, args[0]).strip() if args else ""
+    import re as _re
+
+    match = _re.match(r"[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?", text)
+    if not match:
+        return heap.number_from_float(float("nan")), 10
+    return heap.number_from_float(float(match.group(0))), 10 + len(match.group(0))
+
+
+def _is_nan(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    value = _num(engine, args[0]) if args else float("nan")
+    heap = engine.heap
+    return (heap.true_value if math.isnan(value) else heap.false_value), 4
+
+
+def _print(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    heap: Heap = engine.heap
+    text = " ".join(runtime.js_to_string(heap, arg) for arg in args)
+    engine.print_output.append(text)
+    return heap.undefined, 10
+
+
+def _string_from_char_code(engine, _this: int, args: List[int]) -> Tuple[int, int]:
+    heap: Heap = engine.heap
+    text = "".join(chr(int(_num(engine, arg)) & 0xFFFF) for arg in args)
+    return heap.alloc_string(text), 6 + 2 * len(args)
+
+
+GLOBAL_BUILTINS: Dict[str, NativeFn] = {
+    "parseInt": _parse_int,
+    "parseFloat": _parse_float,
+    "isNaN": _is_nan,
+    "print": _print,
+}

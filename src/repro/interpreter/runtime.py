@@ -1,0 +1,406 @@
+"""JavaScript operator semantics over tagged words.
+
+These helpers implement the ECMAScript coercion rules our subset needs and
+report what :class:`~repro.interpreter.feedback.OperandFeedback` the
+operation observed — the interpreter records that into feedback vectors.
+
+They are also the engine's *deopt-safe* slow paths: when JIT-compiled code
+bails out, execution resumes in the interpreter, which funnels every
+operation through these functions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..lang.errors import JSTypeError
+from ..values.heap import Heap, ODDBALL_KIND_OFFSET, ODDBALL_TRUE, ODDBALL_UNDEFINED
+from ..values.maps import InstanceType
+from ..values.tagged import is_smi, pointer_untag, smi_untag
+from .feedback import OperandFeedback
+
+_TWO_32 = 1 << 32
+_TWO_31 = 1 << 31
+
+
+# ---------------------------------------------------------------------------
+# Type inspection / coercion
+# ---------------------------------------------------------------------------
+
+
+def kind_of(heap: Heap, word: int) -> InstanceType:
+    """InstanceType of a word; SMIs map to HEAP_NUMBER-like numeric kind."""
+    if is_smi(word):
+        return InstanceType.HEAP_NUMBER
+    return heap.map_of(pointer_untag(word)).instance_type
+
+
+def is_number(heap: Heap, word: int) -> bool:
+    return is_smi(word) or (
+        heap.map_of(pointer_untag(word)).instance_type == InstanceType.HEAP_NUMBER
+    )
+
+
+def is_string(heap: Heap, word: int) -> bool:
+    return not is_smi(word) and (
+        heap.map_of(pointer_untag(word)).instance_type == InstanceType.STRING
+    )
+
+
+def js_truthy(heap: Heap, word: int) -> bool:
+    if is_smi(word):
+        return smi_untag(word) != 0
+    addr = pointer_untag(word)
+    itype = heap.map_of(addr).instance_type
+    if itype == InstanceType.HEAP_NUMBER:
+        value = heap.number_to_float(word)
+        return value != 0.0 and not math.isnan(value)
+    if itype == InstanceType.STRING:
+        return len(heap.string_value(word)) != 0
+    if itype == InstanceType.ODDBALL:
+        return heap.read(addr, ODDBALL_KIND_OFFSET) == ODDBALL_TRUE
+    return True  # objects, arrays, functions
+
+
+def js_to_number(heap: Heap, word: int) -> float:
+    if is_smi(word):
+        return float(smi_untag(word))
+    addr = pointer_untag(word)
+    itype = heap.map_of(addr).instance_type
+    if itype == InstanceType.HEAP_NUMBER:
+        return heap.number_to_float(word)
+    if itype == InstanceType.ODDBALL:
+        kind = heap.read(addr, ODDBALL_KIND_OFFSET)
+        if kind == ODDBALL_TRUE:
+            return 1.0
+        if kind == ODDBALL_UNDEFINED:
+            return float("nan")
+        return 0.0  # null, false
+    if itype == InstanceType.STRING:
+        text = heap.string_value(word).strip()
+        if not text:
+            return 0.0
+        try:
+            if text.startswith(("0x", "0X")):
+                return float(int(text, 16))
+            return float(text)
+        except ValueError:
+            return float("nan")
+    return float("nan")  # objects without valueOf in the subset
+
+
+def js_number_to_string(value: float) -> str:
+    """ECMAScript Number::toString for the common cases."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value == int(value) and abs(value) < 1e21:
+        return str(int(value))
+    return repr(value)
+
+
+def js_to_string(heap: Heap, word: int) -> str:
+    if is_smi(word):
+        return str(smi_untag(word))
+    addr = pointer_untag(word)
+    itype = heap.map_of(addr).instance_type
+    if itype == InstanceType.STRING:
+        return heap.string_value(word)
+    if itype == InstanceType.HEAP_NUMBER:
+        return js_number_to_string(heap.number_to_float(word))
+    if itype == InstanceType.ODDBALL:
+        kind = heap.read(addr, ODDBALL_KIND_OFFSET)
+        return {0: "undefined", 1: "null", 2: "true", 3: "false", 4: "hole"}[kind]  # type: ignore[index]
+    if itype == InstanceType.JS_ARRAY:
+        # Array -> string joins elements with "," (the paper's intro example:
+        # [1,2,3] + 7 === "1,2,37").
+        return ",".join(
+            js_to_string(heap, heap.array_get(word, i))
+            for i in range(heap.array_length(word))
+        )
+    if itype == InstanceType.JS_FUNCTION:
+        return "function"
+    return "[object Object]"
+
+
+def js_to_int32(value: float) -> int:
+    if math.isnan(value) or math.isinf(value):
+        return 0
+    value = math.trunc(value)
+    value = int(value) % _TWO_32
+    return value - _TWO_32 if value >= _TWO_31 else value
+
+
+def js_to_uint32(value: float) -> int:
+    if math.isnan(value) or math.isinf(value):
+        return 0
+    return int(math.trunc(value)) % _TWO_32
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def js_add(heap: Heap, lhs: int, rhs: int) -> Tuple[int, OperandFeedback]:
+    if is_smi(lhs) and is_smi(rhs):
+        result = smi_untag(lhs) + smi_untag(rhs)
+        if heap.config.fits_smi(result):
+            return (result << 1), OperandFeedback.SIGNED_SMALL
+        return heap.alloc_number(float(result)), OperandFeedback.NUMBER
+    if is_number(heap, lhs) and is_number(heap, rhs):
+        value = heap.number_to_float(lhs) + heap.number_to_float(rhs)
+        return heap.number_from_float(value), OperandFeedback.NUMBER
+    if is_string(heap, lhs) or is_string(heap, rhs):
+        text = js_to_string(heap, lhs) + js_to_string(heap, rhs)
+        return heap.alloc_string(text), OperandFeedback.STRING
+    # ToPrimitive on objects/arrays yields strings in the subset.
+    if kind_of(heap, lhs) in (InstanceType.JS_ARRAY, InstanceType.JS_OBJECT) or kind_of(
+        heap, rhs
+    ) in (InstanceType.JS_ARRAY, InstanceType.JS_OBJECT):
+        text = js_to_string(heap, lhs) + js_to_string(heap, rhs)
+        return heap.alloc_string(text), OperandFeedback.ANY
+    value = js_to_number(heap, lhs) + js_to_number(heap, rhs)
+    return heap.number_from_float(value), OperandFeedback.ANY
+
+
+def js_subtract(heap: Heap, lhs: int, rhs: int) -> Tuple[int, OperandFeedback]:
+    if is_smi(lhs) and is_smi(rhs):
+        result = smi_untag(lhs) - smi_untag(rhs)
+        if heap.config.fits_smi(result):
+            return (result << 1), OperandFeedback.SIGNED_SMALL
+        return heap.alloc_number(float(result)), OperandFeedback.NUMBER
+    feedback = (
+        OperandFeedback.NUMBER
+        if is_number(heap, lhs) and is_number(heap, rhs)
+        else OperandFeedback.ANY
+    )
+    value = js_to_number(heap, lhs) - js_to_number(heap, rhs)
+    return heap.number_from_float(value), feedback
+
+
+def js_multiply(heap: Heap, lhs: int, rhs: int) -> Tuple[int, OperandFeedback]:
+    if is_smi(lhs) and is_smi(rhs):
+        a, b = smi_untag(lhs), smi_untag(rhs)
+        result = a * b
+        # -0 results force the NUMBER representation (V8's minus-zero deopt).
+        if heap.config.fits_smi(result) and not (
+            result == 0 and (a < 0 or b < 0)
+        ):
+            return (result << 1), OperandFeedback.SIGNED_SMALL
+        # float multiply produces the correct -0.0 for e.g. -1 * 0.
+        return heap.number_from_float(float(a) * float(b)), OperandFeedback.NUMBER
+    feedback = (
+        OperandFeedback.NUMBER
+        if is_number(heap, lhs) and is_number(heap, rhs)
+        else OperandFeedback.ANY
+    )
+    value = js_to_number(heap, lhs) * js_to_number(heap, rhs)
+    return heap.number_from_float(value), feedback
+
+
+def js_divide(heap: Heap, lhs: int, rhs: int) -> Tuple[int, OperandFeedback]:
+    numeric = is_number(heap, lhs) and is_number(heap, rhs)
+    a = js_to_number(heap, lhs)
+    b = js_to_number(heap, rhs)
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            value = float("nan")
+        else:
+            sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+            value = math.inf * sign
+    else:
+        value = a / b
+    if (
+        is_smi(lhs)
+        and is_smi(rhs)
+        and not math.isnan(value)
+        and not math.isinf(value)
+        and value == int(value)
+        and heap.config.fits_smi(int(value))
+        and not (value == 0.0 and math.copysign(1.0, value) < 0)
+    ):
+        return (int(value) << 1), OperandFeedback.SIGNED_SMALL
+    return heap.number_from_float(value), (
+        OperandFeedback.NUMBER if numeric else OperandFeedback.ANY
+    )
+
+
+def js_modulo(heap: Heap, lhs: int, rhs: int) -> Tuple[int, OperandFeedback]:
+    numeric = is_number(heap, lhs) and is_number(heap, rhs)
+    a = js_to_number(heap, lhs)
+    b = js_to_number(heap, rhs)
+    if b == 0.0 or math.isnan(a) or math.isnan(b) or math.isinf(a):
+        value = float("nan")
+    elif math.isinf(b):
+        value = a
+    else:
+        value = math.fmod(a, b)
+    if (
+        is_smi(lhs)
+        and is_smi(rhs)
+        and not math.isnan(value)
+        and value == int(value)
+        and not (value == 0.0 and (math.copysign(1.0, value) < 0 or smi_untag(lhs) < 0))
+        and heap.config.fits_smi(int(value))
+    ):
+        return (int(value) << 1), OperandFeedback.SIGNED_SMALL
+    return heap.number_from_float(value), (
+        OperandFeedback.NUMBER if numeric else OperandFeedback.ANY
+    )
+
+
+def js_negate(heap: Heap, operand: int) -> Tuple[int, OperandFeedback]:
+    if is_smi(operand):
+        value = -smi_untag(operand)
+        if value != 0 and heap.config.fits_smi(value):
+            return (value << 1), OperandFeedback.SIGNED_SMALL
+        # -0 and SMI_MIN overflow go to the double domain.
+        return heap.number_from_float(-float(smi_untag(operand))), OperandFeedback.NUMBER
+    feedback = OperandFeedback.NUMBER if is_number(heap, operand) else OperandFeedback.ANY
+    return heap.number_from_float(-js_to_number(heap, operand)), feedback
+
+
+_BITWISE = {
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: js_to_int32(float((a % _TWO_32) << (b & 31))),
+    "sar": lambda a, b: a >> (b & 31),
+}
+
+
+def js_bitwise(heap: Heap, op: str, lhs: int, rhs: int) -> Tuple[int, OperandFeedback]:
+    smi_inputs = is_smi(lhs) and is_smi(rhs)
+    numeric = is_number(heap, lhs) and is_number(heap, rhs)
+    a = js_to_int32(js_to_number(heap, lhs))
+    b = js_to_int32(js_to_number(heap, rhs))
+    if op == "shr":
+        result = (a % _TWO_32) >> (js_to_uint32(js_to_number(heap, rhs)) & 31)
+        value = float(result)
+        if smi_inputs and heap.config.fits_smi(result):
+            return (result << 1), OperandFeedback.SIGNED_SMALL
+        return heap.number_from_float(value), (
+            OperandFeedback.NUMBER if numeric else OperandFeedback.ANY
+        )
+    if op == "shl":
+        result = js_to_int32(float(((a % _TWO_32) << (b & 31)) % _TWO_32))
+    elif op == "sar":
+        result = a >> (b & 31)
+    else:
+        result = _BITWISE[op](a, b)
+    if smi_inputs and heap.config.fits_smi(result):
+        return (result << 1), OperandFeedback.SIGNED_SMALL
+    return heap.number_from_float(float(result)), (
+        OperandFeedback.NUMBER if numeric else OperandFeedback.ANY
+    )
+
+
+def js_bit_not(heap: Heap, operand: int) -> Tuple[int, OperandFeedback]:
+    value = ~js_to_int32(js_to_number(heap, operand))
+    if is_smi(operand) and heap.config.fits_smi(value):
+        return (value << 1), OperandFeedback.SIGNED_SMALL
+    return heap.number_from_float(float(value)), (
+        OperandFeedback.NUMBER if is_number(heap, operand) else OperandFeedback.ANY
+    )
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def js_compare(heap: Heap, op: str, lhs: int, rhs: int) -> Tuple[bool, OperandFeedback]:
+    """Relational <, <=, >, >= with JS coercion."""
+    if is_smi(lhs) and is_smi(rhs):
+        a, b = smi_untag(lhs), smi_untag(rhs)
+        return _relate(op, a, b), OperandFeedback.SIGNED_SMALL
+    if is_number(heap, lhs) and is_number(heap, rhs):
+        a_f, b_f = heap.number_to_float(lhs), heap.number_to_float(rhs)
+        if math.isnan(a_f) or math.isnan(b_f):
+            return False, OperandFeedback.NUMBER
+        return _relate(op, a_f, b_f), OperandFeedback.NUMBER
+    if is_string(heap, lhs) and is_string(heap, rhs):
+        return _relate(op, heap.string_value(lhs), heap.string_value(rhs)), OperandFeedback.STRING
+    a_f, b_f = js_to_number(heap, lhs), js_to_number(heap, rhs)
+    if math.isnan(a_f) or math.isnan(b_f):
+        return False, OperandFeedback.ANY
+    return _relate(op, a_f, b_f), OperandFeedback.ANY
+
+
+def _relate(op: str, a, b) -> bool:
+    if op == "lt":
+        return a < b
+    if op == "le":
+        return a <= b
+    if op == "gt":
+        return a > b
+    return a >= b
+
+
+def js_strict_equals(heap: Heap, lhs: int, rhs: int) -> Tuple[bool, OperandFeedback]:
+    if is_smi(lhs) and is_smi(rhs):
+        return lhs == rhs, OperandFeedback.SIGNED_SMALL
+    if is_number(heap, lhs) and is_number(heap, rhs):
+        a, b = heap.number_to_float(lhs), heap.number_to_float(rhs)
+        return (not math.isnan(a) and not math.isnan(b) and a == b), OperandFeedback.NUMBER
+    lk, rk = kind_of(heap, lhs), kind_of(heap, rhs)
+    if lk != rk:
+        return False, OperandFeedback.ANY
+    if lk == InstanceType.STRING:
+        return heap.string_value(lhs) == heap.string_value(rhs), OperandFeedback.STRING
+    return lhs == rhs, OperandFeedback.ANY  # identity for objects/oddballs
+
+
+def js_loose_equals(heap: Heap, lhs: int, rhs: int) -> Tuple[bool, OperandFeedback]:
+    if is_smi(lhs) and is_smi(rhs):
+        return lhs == rhs, OperandFeedback.SIGNED_SMALL
+    if is_number(heap, lhs) and is_number(heap, rhs):
+        a, b = heap.number_to_float(lhs), heap.number_to_float(rhs)
+        return (not math.isnan(a) and not math.isnan(b) and a == b), OperandFeedback.NUMBER
+    lk, rk = kind_of(heap, lhs), kind_of(heap, rhs)
+    if lk == InstanceType.STRING and rk == InstanceType.STRING:
+        return heap.string_value(lhs) == heap.string_value(rhs), OperandFeedback.STRING
+    if lk == InstanceType.ODDBALL and rk == InstanceType.ODDBALL:
+        # null == undefined (and every oddball equals itself).
+        null_like = {heap.undefined, heap.null}
+        if lhs in null_like and rhs in null_like:
+            return True, OperandFeedback.ANY
+        return lhs == rhs, OperandFeedback.ANY
+    if lk == InstanceType.ODDBALL and lhs in (heap.undefined, heap.null):
+        return False, OperandFeedback.ANY
+    if rk == InstanceType.ODDBALL and rhs in (heap.undefined, heap.null):
+        return False, OperandFeedback.ANY
+    if lk in (InstanceType.JS_OBJECT, InstanceType.JS_ARRAY, InstanceType.JS_FUNCTION) and rk == lk:
+        return lhs == rhs, OperandFeedback.ANY
+    # Mixed types: compare numerically (covers number==string, bool==number).
+    a, b = js_to_number(heap, lhs), js_to_number(heap, rhs)
+    return (not math.isnan(a) and not math.isnan(b) and a == b), OperandFeedback.ANY
+
+
+def js_typeof(heap: Heap, word: int) -> str:
+    if is_smi(word):
+        return "number"
+    addr = pointer_untag(word)
+    itype = heap.map_of(addr).instance_type
+    if itype == InstanceType.HEAP_NUMBER:
+        return "number"
+    if itype == InstanceType.STRING:
+        return "string"
+    if itype == InstanceType.ODDBALL:
+        kind = heap.read(addr, ODDBALL_KIND_OFFSET)
+        if kind == ODDBALL_UNDEFINED:
+            return "undefined"
+        if kind in (2, 3):
+            return "boolean"
+        return "object"  # null
+    if itype == InstanceType.JS_FUNCTION:
+        return "function"
+    return "object"
+
+
+def require_callable(heap: Heap, word: int) -> None:
+    if is_smi(word) or heap.map_of(pointer_untag(word)).instance_type != InstanceType.JS_FUNCTION:
+        raise JSTypeError(f"value is not callable: {heap.to_python(word)!r}")

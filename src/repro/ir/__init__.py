@@ -1,0 +1,16 @@
+"""Optimizing-tier IR: graph, builder, and passes."""
+
+from .builder import BailoutCompilation, GraphBuilder, build_graph
+from .graph import Graph
+from .nodes import Block, Checkpoint, Node, Repr
+
+__all__ = [
+    "BailoutCompilation",
+    "Block",
+    "Checkpoint",
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "Repr",
+    "build_graph",
+]

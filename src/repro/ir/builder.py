@@ -1,0 +1,1691 @@
+"""Speculative graph builder: bytecode + type feedback -> IR with checks.
+
+This is the TurboFan-equivalent front end.  It abstractly interprets the
+bytecode with an environment mapping interpreter registers to IR nodes,
+speculates according to the recorded feedback, and *materializes every
+speculation as an explicit check node* — the artifacts the paper measures:
+
+* ``checked_untag``            Not-a-SMI check + untagging shift
+* ``check_map``                SMI check + wrong-map check
+* ``check_bounds``             array bounds check (tagged-SMI compare)
+* ``checked_int32_*``          overflow / minus-zero / div-by-zero /
+                               lost-precision arithmetic checks
+* ``checked_to_float64``       not-a-number check
+* ``check_call_target``        wrong-call-target check
+* ``deopt``                    soft deopt on insufficient feedback
+
+Redundant-check elimination is performed on the fly with environment-scoped
+caches (a value checked on every incoming path is not re-checked), the same
+effect TurboFan gets from its CheckElimination phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bytecode.opcodes import FunctionInfo, Instr, Op
+from ..interpreter.feedback import (
+    BinaryOpSlot,
+    CallSlot,
+    ElementSlot,
+    FeedbackVector,
+    GlobalSlot,
+    ICState,
+    OperandFeedback,
+    PropertySlot,
+)
+from ..jit.checks import CheckKind
+from ..values.heap import (
+    FIXED_ARRAY_ELEMENTS_OFFSET,
+    JS_ARRAY_ELEMENTS_OFFSET,
+    JS_ARRAY_LENGTH_OFFSET,
+    NUMBER_VALUE_OFFSET,
+    STRING_LENGTH_OFFSET,
+)
+from ..values.maps import ElementsKind, InstanceType, Map
+from .graph import Graph
+from .liveness import compute_liveness
+from .nodes import Block, Checkpoint, Node, Repr
+
+#: INT32-producing ops whose result always fits in an SMI (so re-tagging
+#: needs no overflow check).
+_SMI_SAFE_OPS = frozenset(
+    {
+        "checked_int32_add",
+        "checked_int32_sub",
+        "checked_int32_mul",
+        "checked_int32_div",
+        "checked_int32_mod",
+        "checked_int32_neg",
+        "checked_untag",
+        "untag_signed",
+        "checked_float64_to_int32",
+        "load_array_length",
+        "load_string_length",
+    }
+)
+
+_ARITH_BYTECODES = {
+    Op.ADD: "add",
+    Op.SUB: "sub",
+    Op.MUL: "mul",
+    Op.DIV: "div",
+    Op.MOD: "mod",
+}
+
+_BITWISE_BYTECODES = {
+    Op.BIT_OR: "or",
+    Op.BIT_AND: "and",
+    Op.BIT_XOR: "xor",
+    Op.SHL: "shl",
+    Op.SAR: "sar",
+    Op.SHR: "shr",
+}
+
+# TEST_NE compiles as eq + bool_not (the negate flag), so both map to "eq".
+_COMPARE_BYTECODES = {
+    Op.TEST_LT: "lt",
+    Op.TEST_LE: "le",
+    Op.TEST_GT: "gt",
+    Op.TEST_GE: "ge",
+    Op.TEST_EQ: "eq",
+    Op.TEST_NE: "eq",
+    Op.TEST_EQ_STRICT: "eq",
+    Op.TEST_NE_STRICT: "eq",
+}
+
+
+class BailoutCompilation(Exception):
+    """The function cannot be optimized (e.g. unsupported shape)."""
+
+
+class Env:
+    """Abstract interpreter state: register contents + check caches."""
+
+    __slots__ = ("regs", "untagged", "floated", "tagged_of", "checked_maps", "bounded")
+
+    def __init__(self, register_count: int, fill: Node) -> None:
+        self.regs: List[Node] = [fill] * register_count
+        #: tagged node id -> its checked-untagged INT32 node
+        self.untagged: Dict[int, Node] = {}
+        #: node id -> FLOAT64 version
+        self.floated: Dict[int, Node] = {}
+        #: INT32/FLOAT64 node id -> its tagged source/version
+        self.tagged_of: Dict[int, Node] = {}
+        #: node id -> Map it was check_map'ed against
+        self.checked_maps: Dict[int, Map] = {}
+        #: (index node id, array node id) pairs proven in bounds by a
+        #: dominating `i < a.length` guard (bounds-check elimination)
+        self.bounded: Set[Tuple[int, int]] = set()
+
+    def copy(self) -> "Env":
+        duplicate = Env.__new__(Env)
+        duplicate.regs = list(self.regs)
+        duplicate.untagged = dict(self.untagged)
+        duplicate.floated = dict(self.floated)
+        duplicate.tagged_of = dict(self.tagged_of)
+        duplicate.checked_maps = dict(self.checked_maps)
+        duplicate.bounded = set(self.bounded)
+        return duplicate
+
+    def flush_effects(self) -> None:
+        """Drop caches invalidated by arbitrary side effects (calls)."""
+        self.checked_maps.clear()
+        self.bounded.clear()  # a call may shrink an array
+
+
+def _merge_caches(target: Dict[int, object], other: Dict[int, object]) -> None:
+    for key in list(target):
+        if other.get(key) is not target[key]:
+            del target[key]
+
+
+class CompilationContext:
+    """Engine-facing services the builder needs (duck-typed)."""
+
+    heap = None  # Heap
+    config = None  # EngineConfig
+
+    def closure_word_for(self, shared_index: int) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def global_array_word(self) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def global_cell_index(self, name: str) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+
+class GraphBuilder:
+    """Builds the speculative IR for one function."""
+
+    #: maximum callee bytecode length considered for inlining
+    INLINE_SIZE_LIMIT = 48
+    #: maximum number of inlined calls per optimized function
+    INLINE_BUDGET = 12
+
+    def __init__(
+        self,
+        shared,
+        context,
+        graph: Optional[Graph] = None,
+        checkpoint_override: Optional[Checkpoint] = None,
+        inline_depth: int = 0,
+    ) -> None:
+        self.shared = shared
+        self.info: FunctionInfo = shared.info
+        self.feedback: FeedbackVector = shared.feedback
+        self.context = context
+        self.heap = context.heap
+        self.graph = graph if graph is not None else Graph(self.info.name)
+        self.checkpoint_override = checkpoint_override
+        self.inline_depth = inline_depth
+        self.inline_budget = self.INLINE_BUDGET
+        self.inline_returns: List[Tuple[Node, Block, Env]] = []
+        self.block: Optional[Block] = self.graph.entry
+        self.env: Optional[Env] = None
+        self.live_in = compute_liveness(self.info)
+        self.current_pc = 0
+        self._checkpoint_cache: Optional[Tuple[int, Checkpoint]] = None
+        #: maps the code depends on being stable (lazy-deopt hooks)
+        self.map_dependencies: Set[Map] = set()
+        #: tagged constant words embedded in code (GC roots)
+        self.embedded_words: Set[int] = set()
+        self._const_cache: Dict[Tuple[str, object], Node] = {}
+        self.this_node: Optional[Node] = None
+
+        self.block_starts = self._find_block_starts()
+        self.loop_headers = self._find_loop_headers()
+        self.monotonic_nonneg = self._monotonic_nonneg_regs()
+        self.blocks_by_start: Dict[int, Block] = {}
+        #: block id -> caller bytecode pc it corresponds to (includes inline
+        #: continuation blocks, which carry the pc of the call bytecode)
+        self.block_bytecode_pc: Dict[int, int] = {}
+        self.edge_envs: Dict[int, List[Tuple[Block, Env, int]]] = {}
+        self.loop_phis: Dict[int, Dict[int, Node]] = {}
+        #: loop header start -> frame state at loop entry (pre-phi values);
+        #: used by LICM so hoisted checks deopt to the loop-entry state.
+        self.header_entry_checkpoints: Dict[int, Checkpoint] = {}
+
+    # ------------------------------------------------------------------
+    # CFG discovery
+    # ------------------------------------------------------------------
+
+    def _find_block_starts(self) -> List[int]:
+        starts = {0}
+        for pc, instr in enumerate(self.info.bytecode):
+            if instr.op in (Op.JUMP, Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE):
+                starts.add(instr.a)
+                starts.add(pc + 1)
+            elif instr.op == Op.RETURN:
+                starts.add(pc + 1)
+        return sorted(s for s in starts if s < len(self.info.bytecode))
+
+    def _find_loop_headers(self) -> Set[int]:
+        headers = set()
+        self._loop_end: Dict[int, int] = {}
+        for pc, instr in enumerate(self.info.bytecode):
+            if instr.op in (Op.JUMP, Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE) and instr.a <= pc:
+                headers.add(instr.a)
+                self._loop_end[instr.a] = max(self._loop_end.get(instr.a, 0), pc)
+        return headers
+
+    def _monotonic_nonneg_regs(self) -> Set[int]:
+        """Registers whose every write is a non-negative constant or a
+        positive-constant increment of themselves — the loop-counter shape.
+
+        Checked increments deopt on overflow, so such a register grows
+        monotonically from >= 0; a dominating ``i < a.length`` guard then
+        proves any ``a[i]`` access in bounds (V8's bounds-check
+        elimination)."""
+        code = self.info.bytecode
+        consts = self.info.constants
+
+        def const_value(pc: int) -> Optional[int]:
+            instr = code[pc]
+            if instr.op != Op.LOAD_CONST:
+                return None
+            kind, value = consts[instr.a]
+            return int(value) if kind == "int" else None
+
+        def defines(reg: int, upto: int) -> Optional[int]:
+            for back in range(upto - 1, max(-1, upto - 4), -1):
+                if code[back].dst == reg:
+                    return back
+            return None
+
+        candidates: Dict[int, bool] = {}
+        for pc, instr in enumerate(code):
+            reg = instr.dst
+            if reg < 0 or reg < self.info.param_count:
+                continue
+            ok = False
+            if instr.op == Op.LOAD_CONST:
+                value = const_value(pc)
+                ok = value is not None and value >= 0
+            elif instr.op == Op.MOVE:
+                source_pc = defines(instr.a, pc)
+                if source_pc is not None:
+                    source = code[source_pc]
+                    if source.op == Op.LOAD_CONST:
+                        value = const_value(source_pc)
+                        ok = value is not None and value >= 0
+                    elif source.op == Op.ADD and source.a == reg:
+                        inc_pc = defines(source.b, source_pc)
+                        if inc_pc is not None:
+                            inc = const_value(inc_pc)
+                            ok = inc is not None and inc > 0
+            if reg in candidates:
+                candidates[reg] = candidates[reg] and ok
+            else:
+                candidates[reg] = ok
+        return {reg for reg, ok in candidates.items() if ok}
+
+    def _regs_written_in_loop(self, header: int) -> Set[int]:
+        """Registers assigned anywhere in the loop's bytecode range.
+
+        Only these need loop phis; untouched registers (typically the
+        parameters) keep their node identity across iterations, which lets
+        the check caches treat them as loop-invariant — the same effect SSA
+        construction gives TurboFan.
+        """
+        written: Set[int] = set()
+        end = self._loop_end.get(header, header)
+        for pc in range(header, end + 1):
+            dst = self.info.bytecode[pc].dst
+            if dst >= 0:
+                written.add(dst)
+        return written
+
+    # ------------------------------------------------------------------
+    # Node emission helpers
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        op: str,
+        inputs: Optional[List[Node]] = None,
+        out_repr: Repr = Repr.NONE,
+        params: Optional[Dict[str, object]] = None,
+        check_kind: Optional[CheckKind] = None,
+        with_checkpoint: bool = False,
+        block: Optional[Block] = None,
+    ) -> Node:
+        if with_checkpoint or op.startswith("load_"):
+            checkpoint = self.current_checkpoint()
+        else:
+            checkpoint = None
+        node = self.graph.new_node(op, inputs, out_repr, params, check_kind, checkpoint)
+        target_block = block if block is not None else self.block
+        assert target_block is not None
+        # Insert before the terminator if the block is already closed (used
+        # by edge conversions).
+        if target_block.terminator is not None:
+            target_block.nodes.insert(len(target_block.nodes) - 1, node)
+            node.block = target_block
+        else:
+            target_block.append(node)
+        return node
+
+    def current_checkpoint(self) -> Checkpoint:
+        if self.checkpoint_override is not None:
+            # Inlined code deopts to the caller's call-site state: the callee
+            # is side-effect free, so re-executing the whole call in the
+            # interpreter is sound.
+            return self.checkpoint_override
+        if self._checkpoint_cache is not None and self._checkpoint_cache[0] == self.current_pc:
+            return self._checkpoint_cache[1]
+        assert self.env is not None
+        live = self.live_in[self.current_pc] if self.current_pc < len(self.live_in) else set()
+        values = [
+            (reg, self.env.regs[reg])
+            for reg in sorted(live)
+            if reg < len(self.env.regs)
+        ]
+        checkpoint = Checkpoint(self.current_pc, values, self.this_node)
+        self._checkpoint_cache = (self.current_pc, checkpoint)
+        return checkpoint
+
+    def _smi_safe(self, node: Node) -> bool:
+        if node.op in _SMI_SAFE_OPS:
+            return True
+        if node.op == "const_int32":
+            return self.heap.config.fits_smi(int(node.param("imm", 0)))
+        if node.op == "phi":
+            return bool(node.param("smi_safe", False))
+        return False
+
+    # -- constants -------------------------------------------------------
+
+    def const_int32(self, value: int) -> Node:
+        key = ("int32", value)
+        cached = self._const_cache.get(key)
+        if cached is not None:
+            return cached
+        node = self.emit(
+            "const_int32", [], Repr.INT32, {"imm": value}, block=self.graph.entry
+        )
+        self._const_cache[key] = node
+        return node
+
+    def const_float(self, value: float) -> Node:
+        key = ("float", value)
+        cached = self._const_cache.get(key)
+        if cached is not None:
+            return cached
+        node = self.emit(
+            "const_float", [], Repr.FLOAT64, {"imm": value}, block=self.graph.entry
+        )
+        self._const_cache[key] = node
+        return node
+
+    def const_tagged(self, word: int, smi_known: bool = False) -> Node:
+        key = ("tagged", word)
+        cached = self._const_cache.get(key)
+        if cached is not None:
+            return cached
+        if word & 1:
+            self.embedded_words.add(word)
+        node = self.emit(
+            "const_tagged",
+            [],
+            Repr.TAGGED_SIGNED if smi_known else Repr.TAGGED,
+            {"imm": word},
+            block=self.graph.entry,
+        )
+        self._const_cache[key] = node
+        return node
+
+    # -- conversions -----------------------------------------------------
+
+    def to_int32(self, node: Node) -> Node:
+        env = self.env
+        assert env is not None
+        repr_ = node.out_repr
+        if repr_ in (Repr.INT32, Repr.BOOL):
+            return node
+        if repr_ == Repr.TAGGED_SIGNED:
+            cached = env.untagged.get(node.id)
+            if cached is not None:
+                return cached
+            untagged = self.emit("untag_signed", [node], Repr.INT32)
+            env.untagged[node.id] = untagged
+            env.tagged_of[untagged.id] = node
+            return untagged
+        if repr_ == Repr.TAGGED:
+            cached = env.untagged.get(node.id)
+            if cached is not None:
+                return cached
+            untagged = self.emit(
+                "checked_untag",
+                [node],
+                Repr.INT32,
+                check_kind=CheckKind.NOT_A_SMI,
+                with_checkpoint=True,
+            )
+            env.untagged[node.id] = untagged
+            env.tagged_of[untagged.id] = node
+            return untagged
+        if repr_ == Repr.FLOAT64:
+            untagged = self.emit(
+                "checked_float64_to_int32",
+                [node],
+                Repr.INT32,
+                check_kind=CheckKind.LOST_PRECISION,
+                with_checkpoint=True,
+            )
+            return untagged
+        raise BailoutCompilation(f"cannot convert {repr_} to int32")
+
+    def to_int32_truncating(self, node: Node) -> Node:
+        """ToInt32 with JS truncation semantics (for bitwise operators)."""
+        if node.out_repr == Repr.FLOAT64:
+            return self.emit("float64_to_int32_trunc", [node], Repr.INT32)
+        return self.to_int32(node)
+
+    def to_float64(self, node: Node) -> Node:
+        env = self.env
+        assert env is not None
+        repr_ = node.out_repr
+        if repr_ == Repr.FLOAT64:
+            return node
+        cached = env.floated.get(node.id)
+        if cached is not None:
+            return cached
+        if repr_ in (Repr.INT32, Repr.BOOL):
+            result = self.emit("int32_to_float64", [node], Repr.FLOAT64)
+        elif repr_ == Repr.TAGGED_SIGNED:
+            result = self.emit(
+                "int32_to_float64", [self.to_int32(node)], Repr.FLOAT64
+            )
+        elif repr_ == Repr.TAGGED:
+            result = self.emit(
+                "checked_to_float64",
+                [node],
+                Repr.FLOAT64,
+                {"number_map": self.heap.number_map},
+                check_kind=CheckKind.NOT_A_NUMBER,
+                with_checkpoint=True,
+            )
+        else:
+            raise BailoutCompilation(f"cannot convert {repr_} to float64")
+        env.floated[node.id] = result
+        return result
+
+    def ensure_tagged(self, node: Node) -> Node:
+        env = self.env
+        assert env is not None
+        repr_ = node.out_repr
+        if repr_ in (Repr.TAGGED, Repr.TAGGED_SIGNED):
+            return node
+        cached = env.tagged_of.get(node.id)
+        if cached is not None:
+            return cached
+        if repr_ == Repr.INT32:
+            if self._smi_safe(node):
+                tagged = self.emit("tag_int32", [node], Repr.TAGGED_SIGNED)
+            else:
+                tagged = self.emit(
+                    "checked_tag_int32",
+                    [node],
+                    Repr.TAGGED_SIGNED,
+                    check_kind=CheckKind.OVERFLOW,
+                    with_checkpoint=True,
+                )
+        elif repr_ == Repr.FLOAT64:
+            # V8's ChangeFloat64ToTagged: integral values in SMI range are
+            # tagged inline; everything else allocates a HeapNumber.
+            tagged = self.emit("float64_to_tagged", [node], Repr.TAGGED)
+        elif repr_ == Repr.BOOL:
+            tagged = self.emit(
+                "bool_to_tagged",
+                [node],
+                Repr.TAGGED,
+                {
+                    "true_word": self.heap.true_value,
+                    "false_word": self.heap.false_value,
+                },
+            )
+        else:
+            raise BailoutCompilation(f"cannot tag {repr_}")
+        env.tagged_of[node.id] = tagged
+        env.untagged.setdefault(tagged.id, node if repr_ == Repr.INT32 else None)  # type: ignore[arg-type]
+        if env.untagged.get(tagged.id) is None:
+            env.untagged.pop(tagged.id, None)
+        return tagged
+
+    def tagged_smi_view(self, node: Node) -> Node:
+        """A TAGGED_SIGNED view of a value (for tagged SMI comparisons)."""
+        if node.out_repr == Repr.TAGGED_SIGNED:
+            return node
+        if node.out_repr == Repr.TAGGED:
+            # checked untag proves SMI-ness; the original node is then a
+            # valid tagged-SMI view.
+            self.to_int32(node)
+            return node
+        if node.out_repr in (Repr.INT32, Repr.BOOL):
+            return self.ensure_tagged(node)
+        raise BailoutCompilation(f"no tagged SMI view for {node.out_repr}")
+
+    # -- checks ----------------------------------------------------------
+
+    def check_map(self, node: Node, expected: Map, depend: bool = False) -> None:
+        env = self.env
+        assert env is not None
+        if env.checked_maps.get(node.id) is expected:
+            return
+        self.heap.ensure_map_registered(expected)
+        needs_smi_check = node.out_repr == Repr.TAGGED
+        if needs_smi_check:
+            self.emit(
+                "check_heap_object",
+                [node],
+                Repr.NONE,
+                check_kind=CheckKind.SMI,
+                with_checkpoint=True,
+            )
+        self.emit(
+            "check_map",
+            [node],
+            Repr.NONE,
+            {"map": expected},
+            check_kind=CheckKind.WRONG_MAP,
+            with_checkpoint=True,
+        )
+        env.checked_maps[node.id] = expected
+        if depend:
+            self.map_dependencies.add(expected)
+
+    def check_bounds(self, index: Node, array: Node) -> Node:
+        tagged_index = self.tagged_smi_view(index)
+        self.emit(
+            "check_bounds",
+            [tagged_index, array],
+            Repr.NONE,
+            {"length_offset": JS_ARRAY_LENGTH_OFFSET},
+            check_kind=CheckKind.OUT_OF_BOUNDS,
+            with_checkpoint=True,
+        )
+        return tagged_index
+
+    def soft_deopt(self, kind: CheckKind = CheckKind.INSUFFICIENT_FEEDBACK) -> None:
+        self.emit(
+            "deopt",
+            [],
+            Repr.NONE,
+            check_kind=kind,
+            with_checkpoint=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Main driver
+    # ------------------------------------------------------------------
+
+    def build(self) -> Graph:
+        info = self.info
+        heap = self.heap
+        if info.param_count > 7:
+            raise BailoutCompilation(
+                f"{info.param_count} parameters exceed the calling convention"
+            )
+        entry_env = Env(info.register_count, None)  # type: ignore[arg-type]
+        undefined = self.const_tagged(heap.undefined)
+        for reg in range(info.register_count):
+            entry_env.regs[reg] = undefined
+        for index in range(info.param_count):
+            parameter = self.emit(
+                "parameter", [], Repr.TAGGED, {"index": index}, block=self.graph.entry
+            )
+            entry_env.regs[index] = parameter
+        if info.uses_this:
+            self.this_node = self.emit(
+                "this", [], Repr.TAGGED, {}, block=self.graph.entry
+            )
+
+        code = info.bytecode
+        first_start = self.block_starts[0]
+        # The entry block holds parameters/constants only and jumps to the
+        # first bytecode block, so loop headers never share a block with it.
+        for start in self.block_starts:
+            self._block_for(start)  # pre-create in bytecode order
+        self.block = self.graph.entry
+        self.env = entry_env
+        self.current_pc = 0
+        self._register_edge(first_start, entry_env, 0)
+        self.emit("goto", [], Repr.NONE, {"target_block": self._block_for(first_start)})
+        for start_index, start in enumerate(self.block_starts):
+            end = (
+                self.block_starts[start_index + 1]
+                if start_index + 1 < len(self.block_starts)
+                else len(code)
+            )
+            block = self._block_for(start)
+            env = self._entry_env_for(start, block)
+            if env is None:
+                continue  # unreachable block
+            self.block = block
+            self.env = env
+            self._build_range(start, end)
+        return self.graph
+
+    def build_inlined(self, caller_block: Block, arg_values: List[Node]) -> List[Tuple[Node, Block, Env]]:
+        """Build this function's body inline, entered from ``caller_block``.
+
+        Returns the (value, block, env) triples of the reachable returns;
+        the caller wires them into a continuation block.
+        """
+        info = self.info
+        heap = self.heap
+        entry_env = Env(info.register_count, None)  # type: ignore[arg-type]
+        undefined = self.const_tagged(heap.undefined)
+        for reg in range(info.register_count):
+            entry_env.regs[reg] = undefined
+        for index in range(info.param_count):
+            entry_env.regs[index] = (
+                arg_values[index] if index < len(arg_values) else undefined
+            )
+        code = info.bytecode
+        for start in self.block_starts:
+            self._block_for(start)
+        first_start = self.block_starts[0]
+        self.block = caller_block
+        self.env = entry_env
+        self.current_pc = 0
+        self._register_edge(first_start, entry_env, 0)
+        self.emit("goto", [], Repr.NONE, {"target_block": self._block_for(first_start)})
+        for start_index, start in enumerate(self.block_starts):
+            end = (
+                self.block_starts[start_index + 1]
+                if start_index + 1 < len(self.block_starts)
+                else len(code)
+            )
+            block = self._block_for(start)
+            env = self._entry_env_for(start, block)
+            if env is None:
+                continue
+            self.block = block
+            self.env = env
+            self._build_range(start, end)
+        return self.inline_returns
+
+    def _block_for(self, start: int) -> Block:
+        block = self.blocks_by_start.get(start)
+        if block is None:
+            block = self.graph.new_block()
+            self.blocks_by_start[start] = block
+            self.block_bytecode_pc[block.id] = start
+        return block
+
+    def _entry_env_for(self, start: int, block: Block) -> Optional[Env]:
+        edges = self.edge_envs.get(start)
+        if not edges:
+            return None
+        if start in self.loop_headers:
+            if len(edges) != 1:
+                # Loop headers with multiple forward predecessors would need
+                # nested phi layers; bail out and stay interpreted.
+                raise BailoutCompilation("loop header with multiple forward preds")
+            merged = self._merge_forward_edges(start, block, edges)
+            return self._make_loop_header_env(start, block, merged)
+        return self._merge_forward_edges(start, block, edges)
+
+    def _merge_forward_edges(
+        self, start: int, block: Block, edges: List[Tuple[Block, Env, int]]
+    ) -> Env:
+        for pred, _env, _pc in edges:
+            self.graph.connect(pred, block)
+        if len(edges) == 1:
+            return edges[0][1].copy()
+        live = self.live_in[start]
+        base = edges[0][1].copy()
+        reprs_per_reg: Dict[int, Repr] = {}
+        for reg in range(len(base.regs)):
+            if reg not in live:
+                continue
+            nodes = [env.regs[reg] for _b, env, _pc in edges]
+            if all(node is nodes[0] for node in nodes):
+                continue
+            reprs_per_reg[reg] = self._merge_repr([n.out_repr for n in nodes])
+        for reg, target_repr in reprs_per_reg.items():
+            phi_inputs = []
+            for pred, env, edge_pc in edges:
+                value = env.regs[reg]
+                converted = self._convert_on_edge(value, target_repr, pred, env, edge_pc)
+                phi_inputs.append(converted)
+            phi = self.graph.new_node(
+                "phi",
+                phi_inputs,
+                target_repr,
+                {"smi_safe": all(self._smi_safe_static(n) for n in phi_inputs)},
+            )
+            block.nodes.insert(0, phi)
+            phi.block = block
+            base.regs[reg] = phi
+        # Intersect caches across all incoming envs.
+        for _pred, env, _pc in edges[1:]:
+            _merge_caches(base.untagged, env.untagged)  # type: ignore[arg-type]
+            _merge_caches(base.floated, env.floated)  # type: ignore[arg-type]
+            _merge_caches(base.tagged_of, env.tagged_of)  # type: ignore[arg-type]
+            _merge_caches(base.checked_maps, env.checked_maps)  # type: ignore[arg-type]
+            base.bounded &= env.bounded
+        return base
+
+    def _smi_safe_static(self, node: Node) -> bool:
+        return self._smi_safe(node) or node.out_repr in (
+            Repr.TAGGED_SIGNED,
+            Repr.TAGGED,
+            Repr.FLOAT64,
+        )
+
+    def _merge_repr(self, reprs: List[Repr]) -> Repr:
+        unique = set(reprs)
+        if len(unique) == 1:
+            return reprs[0]
+        if unique <= {Repr.TAGGED, Repr.TAGGED_SIGNED}:
+            return Repr.TAGGED
+        if unique <= {Repr.INT32, Repr.BOOL}:
+            return Repr.INT32
+        if unique <= {Repr.FLOAT64, Repr.INT32, Repr.BOOL, Repr.TAGGED_SIGNED}:
+            return Repr.FLOAT64
+        return Repr.TAGGED
+
+    def _convert_on_edge(
+        self, value: Node, target: Repr, pred: Block, env: Env, edge_pc: int
+    ) -> Node:
+        if value.out_repr == target or (
+            target == Repr.TAGGED and value.out_repr == Repr.TAGGED_SIGNED
+        ):
+            return value
+        saved_block, saved_env, saved_pc = self.block, self.env, self.current_pc
+        saved_cp = self._checkpoint_cache
+        self.block, self.env, self.current_pc = pred, env, edge_pc
+        self._checkpoint_cache = None
+        try:
+            if target == Repr.INT32:
+                return self.to_int32(value)
+            if target == Repr.FLOAT64:
+                return self.to_float64(value)
+            return self.ensure_tagged(value)
+        finally:
+            self.block, self.env, self.current_pc = saved_block, saved_env, saved_pc
+            self._checkpoint_cache = saved_cp
+
+    def _make_loop_header_env(self, start: int, block: Block, base: Env) -> Env:
+        block.loop_header = True
+        env = base.copy()
+        live_at_header = self.live_in[start]
+        self.header_entry_checkpoints[start] = Checkpoint(
+            start,
+            [
+                (reg, base.regs[reg])
+                for reg in sorted(live_at_header)
+                if reg < len(base.regs)
+            ],
+            self.this_node,
+        )
+        live = live_at_header & self._regs_written_in_loop(start)
+        phis: Dict[int, Node] = {}
+        for reg in sorted(live):
+            if reg >= len(env.regs):
+                continue
+            value = env.regs[reg]
+            phi = self.graph.new_node(
+                "phi",
+                [value],
+                value.out_repr if value.out_repr != Repr.BOOL else Repr.INT32,
+                {"smi_safe": self._smi_safe_static(value), "loop": True},
+            )
+            block.nodes.insert(len(phis), phi)
+            phi.block = block
+            env.regs[reg] = phi
+            phis[reg] = phi
+        self.loop_phis[start] = phis
+        # Value-based caches (smi-checked, float versions) hold immutable
+        # facts and stay valid inside the loop — the forward predecessor
+        # dominates the header, and phi'd registers get fresh node ids so no
+        # stale entry can be consulted.  Map checks are *not* immutable: a
+        # call in a previous iteration may have transitioned the map, so the
+        # map cache is flushed here (the LICM pass re-hoists invariant map
+        # checks out of call-free loops).
+        env.checked_maps.clear()
+        return env
+
+    def _register_edge(self, target_start: int, env: Env, edge_pc: int) -> None:
+        assert self.block is not None
+        self.edge_envs.setdefault(target_start, []).append(
+            (self.block, env, edge_pc)
+        )
+
+    def _take_back_edge(self, header_start: int, env: Env, edge_pc: int) -> None:
+        assert self.block is not None
+        header = self.blocks_by_start[header_start]
+        self.graph.connect(self.block, header)
+        phis = self.loop_phis.get(header_start, {})
+        for reg, phi in phis.items():
+            value = env.regs[reg]
+            converted = self._convert_on_edge(
+                value, phi.out_repr, self.block, env, edge_pc
+            )
+            phi.inputs.append(converted)
+            if not self._smi_safe_static(converted):
+                phi.params["smi_safe"] = False
+
+    # ------------------------------------------------------------------
+    # Per-bytecode translation
+    # ------------------------------------------------------------------
+
+    def _build_range(self, start: int, end: int) -> None:
+        code = self.info.bytecode
+        pc = start
+        env = self.env
+        assert env is not None
+        while pc < end:
+            self.current_pc = pc
+            self._checkpoint_cache = None
+            instr = code[pc]
+            op = instr.op
+            if op == Op.JUMP:
+                if instr.a <= pc:
+                    self._take_back_edge(instr.a, env, pc)
+                else:
+                    self._register_edge(instr.a, env.copy(), pc)
+                self.emit("goto", [], Repr.NONE, {"target_block": self._block_for(instr.a)})
+                return
+            if op in (Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE):
+                self._build_conditional_jump(instr, pc, env)
+                return
+            if op == Op.RETURN:
+                if self.inline_depth > 0:
+                    # Inlined return: record the raw-repr value; the caller
+                    # wires this block to the continuation.
+                    self.inline_returns.append(
+                        (env.regs[instr.a], self.block, env.copy())
+                    )
+                    return
+                value = self.ensure_tagged(env.regs[instr.a])
+                self.emit("return", [value], Repr.NONE)
+                return
+            terminated = self._build_straightline(instr, pc, env)
+            if terminated:
+                return
+            pc += 1
+        # Fall through into the next block.
+        if pc < len(code):
+            self._register_edge(pc, env.copy(), pc - 1 if pc > 0 else 0)
+            self.emit("goto", [], Repr.NONE, {"target_block": self._block_for(pc)})
+
+    def _build_conditional_jump(self, instr: Instr, pc: int, env: Env) -> None:
+        condition = self._to_bool(env.regs[instr.b])
+        target = instr.a
+        fallthrough = pc + 1
+        if instr.op == Op.JUMP_IF_FALSE:
+            true_start, false_start = fallthrough, target
+        else:
+            true_start, false_start = target, fallthrough
+        self.emit(
+            "branch",
+            [condition],
+            Repr.NONE,
+            {
+                "true_block": self._block_for(true_start),
+                "false_block": self._block_for(false_start),
+            },
+        )
+        bounded_pair = self._guard_bounded_pair(condition, env)
+        for branch_start in (true_start, false_start):
+            if branch_start <= pc:
+                self._take_back_edge(branch_start, env, pc)
+            else:
+                edge_env = env.copy()
+                if bounded_pair is not None and branch_start == true_start:
+                    edge_env.bounded.add(bounded_pair)
+                self._register_edge(branch_start, edge_env, pc)
+
+    def _guard_bounded_pair(self, condition: Node, env: Env) -> Optional[Tuple[int, int]]:
+        """(index node id, array node id) when the condition is an
+        ``i < a.length`` guard over a monotonic non-negative ``i``."""
+        if condition.op != "int32_cmp" or condition.param("cond") != "lt":
+            return None
+        lhs, rhs = condition.inputs
+        if rhs.op != "load_array_length":
+            return None
+        array = rhs.inputs[0]
+        for reg in self.monotonic_nonneg:
+            if reg < len(env.regs) and env.regs[reg] is lhs:
+                return (lhs.id, array.id)
+        return None
+
+    def _to_bool(self, node: Node) -> Node:
+        if node.out_repr == Repr.BOOL:
+            return node
+        if node.out_repr in (Repr.INT32,):
+            return self.emit(
+                "int32_cmp", [node, self.const_int32(0)], Repr.BOOL, {"cond": "ne"}
+            )
+        if node.out_repr == Repr.TAGGED_SIGNED:
+            return self.emit(
+                "int32_cmp",
+                [self.to_int32(node), self.const_int32(0)],
+                Repr.BOOL,
+                {"cond": "ne"},
+            )
+        if node.out_repr == Repr.FLOAT64:
+            return self.emit("float64_truthy", [node], Repr.BOOL)
+        # Generic tagged truthiness: ToBoolean builtin (not a deopt check).
+        return self.emit("call_rt", [node], Repr.BOOL, {"name": "to_boolean"})
+
+    # -- straight-line ops -------------------------------------------------
+
+    def _build_straightline(self, instr: Instr, pc: int, env: Env) -> bool:
+        """Translate one non-control bytecode; True if the block ended
+        (soft deopt)."""
+        op = instr.op
+        heap = self.heap
+
+        if op == Op.LOAD_CONST:
+            kind, value = self.info.constants[instr.a]
+            if kind == "int":
+                if heap.config.fits_smi(value):  # type: ignore[arg-type]
+                    env.regs[instr.dst] = self.const_int32(value)  # type: ignore[arg-type]
+                else:
+                    env.regs[instr.dst] = self.const_float(float(value))  # type: ignore[arg-type]
+            elif kind == "float":
+                env.regs[instr.dst] = self.const_float(value)  # type: ignore[arg-type]
+            elif kind == "string":
+                env.regs[instr.dst] = self.const_tagged(
+                    heap.alloc_string(value, intern=True)  # type: ignore[arg-type]
+                )
+            else:
+                word = {
+                    "undefined": heap.undefined,
+                    "null": heap.null,
+                    "true": heap.true_value,
+                    "false": heap.false_value,
+                }[value]
+                env.regs[instr.dst] = self.const_tagged(word)
+            return False
+
+        if op == Op.MOVE:
+            env.regs[instr.dst] = env.regs[instr.a]
+            return False
+
+        if op == Op.LOAD_THIS:
+            assert self.this_node is not None
+            env.regs[instr.dst] = self.this_node
+            return False
+
+        if op == Op.LOAD_GLOBAL:
+            slot: GlobalSlot = self.feedback.global_slot(instr.d)
+            cell = slot.cell_index
+            if cell < 0:
+                cell = self.context.global_cell_index(self.info.names[instr.a])
+            array = self.const_tagged(self.context.global_array_word())
+            env.regs[instr.dst] = self.emit(
+                "load_field",
+                [array],
+                Repr.TAGGED,
+                {"offset": FIXED_ARRAY_ELEMENTS_OFFSET + cell, "global": True},
+            )
+            return False
+
+        if op == Op.STORE_GLOBAL:
+            cell = self.context.global_cell_index(self.info.names[instr.a])
+            array = self.const_tagged(self.context.global_array_word())
+            value = self.ensure_tagged(env.regs[instr.b])
+            self.emit(
+                "store_field",
+                [array, value],
+                Repr.NONE,
+                {"offset": FIXED_ARRAY_ELEMENTS_OFFSET + cell, "global": True},
+            )
+            return False
+
+        if op in _ARITH_BYTECODES:
+            return self._build_arith(instr, _ARITH_BYTECODES[op], env)
+
+        if op in _BITWISE_BYTECODES:
+            return self._build_bitwise(instr, _BITWISE_BYTECODES[op], env)
+
+        if op in _COMPARE_BYTECODES:
+            return self._build_compare(instr, op, env)
+
+        if op == Op.NEG:
+            slot = self.feedback.binary(instr.d) if instr.d >= 0 else None
+            state = slot.state if slot else OperandFeedback.NONE
+            if state == OperandFeedback.NONE:
+                self.soft_deopt()
+                return True
+            value = env.regs[instr.a]
+            if state == OperandFeedback.SIGNED_SMALL and value.out_repr in (
+                Repr.INT32,
+                Repr.TAGGED_SIGNED,
+                Repr.TAGGED,
+            ):
+                env.regs[instr.dst] = self.emit(
+                    "checked_int32_neg",
+                    [self.to_int32(value)],
+                    Repr.INT32,
+                    check_kind=CheckKind.MINUS_ZERO,
+                    with_checkpoint=True,
+                )
+            else:
+                env.regs[instr.dst] = self.emit(
+                    "float64_neg", [self.to_float64(value)], Repr.FLOAT64
+                )
+            return False
+
+        if op == Op.TO_NUMBER:
+            slot = self.feedback.binary(instr.d) if instr.d >= 0 else None
+            state = slot.state if slot else OperandFeedback.NONE
+            value = env.regs[instr.a]
+            if state == OperandFeedback.SIGNED_SMALL:
+                env.regs[instr.dst] = self.to_int32(value)
+            elif state in (OperandFeedback.NUMBER, OperandFeedback.NONE):
+                env.regs[instr.dst] = self.to_float64(value)
+            else:
+                env.regs[instr.dst] = self.emit(
+                    "call_rt",
+                    [self.ensure_tagged(value)],
+                    Repr.TAGGED,
+                    {"name": "to_number"},
+                )
+            return False
+
+        if op == Op.NOT:
+            env.regs[instr.dst] = self.emit(
+                "bool_not", [self._to_bool(env.regs[instr.a])], Repr.BOOL
+            )
+            return False
+
+        if op == Op.BIT_NOT:
+            value = self.to_int32_truncating(env.regs[instr.a])
+            env.regs[instr.dst] = self.emit(
+                "int32_xor", [value, self.const_int32(-1)], Repr.INT32
+            )
+            return False
+
+        if op == Op.TYPEOF:
+            env.regs[instr.dst] = self.emit(
+                "call_rt",
+                [self.ensure_tagged(env.regs[instr.a])],
+                Repr.TAGGED,
+                {"name": "typeof"},
+            )
+            return False
+
+        if op == Op.GET_PROPERTY:
+            return self._build_get_property(instr, env)
+        if op == Op.SET_PROPERTY:
+            return self._build_set_property(instr, env)
+        if op == Op.GET_ELEMENT:
+            return self._build_get_element(instr, env)
+        if op == Op.SET_ELEMENT:
+            return self._build_set_element(instr, env)
+        if op == Op.CALL:
+            return self._build_call(instr, env)
+        if op == Op.CALL_METHOD:
+            return self._build_call_method(instr, env)
+        if op == Op.NEW:
+            return self._build_new(instr, env)
+
+        if op == Op.CREATE_ARRAY:
+            elements = [self.ensure_tagged(env.regs[r]) for r in instr.c]
+            env.regs[instr.dst] = self.emit(
+                "call_rt", elements, Repr.TAGGED, {"name": "create_array"}
+            )
+            env.flush_effects()
+            return False
+
+        if op == Op.CREATE_OBJECT:
+            values = [self.ensure_tagged(env.regs[r]) for r in instr.e]
+            names = [self.info.names[k] for k in instr.c]
+            env.regs[instr.dst] = self.emit(
+                "call_rt", values, Repr.TAGGED, {"name": "create_object", "keys": names}
+            )
+            env.flush_effects()
+            return False
+
+        if op == Op.CREATE_CLOSURE:
+            word = self.context.closure_word_for(instr.a)
+            env.regs[instr.dst] = self.const_tagged(word)
+            return False
+
+        raise BailoutCompilation(f"unsupported bytecode {op.name}")
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _build_arith(self, instr: Instr, kind: str, env: Env) -> bool:
+        slot: BinaryOpSlot = self.feedback.binary(instr.d)
+        state = slot.state
+        if state == OperandFeedback.NONE:
+            self.soft_deopt()
+            return True
+        lhs, rhs = env.regs[instr.a], env.regs[instr.b]
+        if state == OperandFeedback.SIGNED_SMALL:
+            left = self.to_int32(lhs)
+            right = self.to_int32(rhs)
+            if kind in ("div", "mod"):
+                self.emit(
+                    "check_nonzero",
+                    [right],
+                    Repr.NONE,
+                    check_kind=CheckKind.DIVISION_BY_ZERO,
+                    with_checkpoint=True,
+                )
+                env.regs[instr.dst] = self.emit(
+                    f"checked_int32_{kind}",
+                    [left, right],
+                    Repr.INT32,
+                    check_kind=CheckKind.LOST_PRECISION,
+                    with_checkpoint=True,
+                )
+            else:
+                check = (
+                    CheckKind.OVERFLOW if kind != "mul" else CheckKind.OVERFLOW
+                )
+                env.regs[instr.dst] = self.emit(
+                    f"checked_int32_{kind}",
+                    [left, right],
+                    Repr.INT32,
+                    check_kind=check,
+                    with_checkpoint=True,
+                )
+            return False
+        if state == OperandFeedback.NUMBER:
+            left = self.to_float64(lhs)
+            right = self.to_float64(rhs)
+            if kind == "mod":
+                env.regs[instr.dst] = self.emit(
+                    "call_rt", [left, right], Repr.FLOAT64, {"name": "float64_mod"}
+                )
+            else:
+                env.regs[instr.dst] = self.emit(
+                    f"float64_{kind}", [left, right], Repr.FLOAT64
+                )
+            return False
+        # STRING / ANY: generic builtin (string concatenation etc.).
+        env.regs[instr.dst] = self.emit(
+            "call_rt",
+            [self.ensure_tagged(lhs), self.ensure_tagged(rhs)],
+            Repr.TAGGED,
+            {"name": f"generic_{kind}"},
+        )
+        env.flush_effects()
+        return False
+
+    def _build_bitwise(self, instr: Instr, kind: str, env: Env) -> bool:
+        slot: BinaryOpSlot = self.feedback.binary(instr.d)
+        state = slot.state
+        if state == OperandFeedback.NONE:
+            self.soft_deopt()
+            return True
+        lhs, rhs = env.regs[instr.a], env.regs[instr.b]
+        if state in (OperandFeedback.SIGNED_SMALL, OperandFeedback.NUMBER):
+            left = self.to_int32_truncating(lhs)
+            right = self.to_int32_truncating(rhs)
+            env.regs[instr.dst] = self.emit(
+                f"int32_{kind}", [left, right], Repr.INT32
+            )
+            return False
+        env.regs[instr.dst] = self.emit(
+            "call_rt",
+            [self.ensure_tagged(lhs), self.ensure_tagged(rhs)],
+            Repr.TAGGED,
+            {"name": f"generic_{kind}"},
+        )
+        env.flush_effects()
+        return False
+
+    def _build_compare(self, instr: Instr, op: Op, env: Env) -> bool:
+        cond = _COMPARE_BYTECODES[op]
+        strict = op in (Op.TEST_EQ_STRICT, Op.TEST_NE_STRICT)
+        negate = op in (Op.TEST_NE, Op.TEST_NE_STRICT)
+        slot: BinaryOpSlot = self.feedback.binary(instr.d) if instr.d >= 0 else None  # type: ignore[assignment]
+        state = slot.state if slot is not None else OperandFeedback.ANY
+        lhs, rhs = env.regs[instr.a], env.regs[instr.b]
+        if state == OperandFeedback.NONE and not strict:
+            self.soft_deopt()
+            return True
+        if state == OperandFeedback.SIGNED_SMALL or (
+            strict
+            and lhs.out_repr in (Repr.INT32, Repr.TAGGED_SIGNED)
+            and rhs.out_repr in (Repr.INT32, Repr.TAGGED_SIGNED)
+        ):
+            result = self.emit(
+                "int32_cmp",
+                [self.to_int32(lhs), self.to_int32(rhs)],
+                Repr.BOOL,
+                {"cond": cond},
+            )
+        elif state == OperandFeedback.NUMBER:
+            result = self.emit(
+                "float64_cmp",
+                [self.to_float64(lhs), self.to_float64(rhs)],
+                Repr.BOOL,
+                {"cond": cond},
+            )
+        elif strict and cond in ("eq", "ne"):
+            result = self.emit(
+                "call_rt",
+                [self.ensure_tagged(lhs), self.ensure_tagged(rhs)],
+                Repr.BOOL,
+                {"name": "strict_equals"},
+            )
+        else:
+            name = "loose_equals" if cond in ("eq", "ne") else f"generic_cmp_{cond}"
+            result = self.emit(
+                "call_rt",
+                [self.ensure_tagged(lhs), self.ensure_tagged(rhs)],
+                Repr.BOOL,
+                {"name": name},
+            )
+        if negate:
+            result = self.emit("bool_not", [result], Repr.BOOL)
+        env.regs[instr.dst] = result
+        return False
+
+    # -- properties / elements ----------------------------------------------
+
+    def _build_get_property(self, instr: Instr, env: Env) -> bool:
+        slot: PropertySlot = self.feedback.property(instr.d)
+        receiver = env.regs[instr.a]
+        name = self.info.names[instr.b]
+        if slot.state == ICState.UNINITIALIZED:
+            self.soft_deopt()
+            return True
+        mono = slot.monomorphic_map
+        if mono is not None:
+            offset = slot.offsets[0]
+            self.check_map(receiver, mono)
+            if offset == -2:  # JSArray length
+                length = self.emit(
+                    "load_array_length",
+                    [receiver],
+                    Repr.INT32,
+                    {"offset": JS_ARRAY_LENGTH_OFFSET},
+                )
+                env.regs[instr.dst] = length
+            elif offset == -3:  # String length
+                env.regs[instr.dst] = self.emit(
+                    "load_string_length",
+                    [receiver],
+                    Repr.INT32,
+                    {"offset": STRING_LENGTH_OFFSET},
+                )
+            elif offset == -1:  # known-absent property
+                env.regs[instr.dst] = self.const_tagged(self.heap.undefined)
+            else:
+                env.regs[instr.dst] = self.emit(
+                    "load_field", [receiver], Repr.TAGGED, {"offset": offset, "name": name}
+                )
+            return False
+        env.regs[instr.dst] = self.emit(
+            "call_rt",
+            [self.ensure_tagged(receiver)],
+            Repr.TAGGED,
+            {"name": "get_property_generic", "key": name},
+        )
+        env.flush_effects()
+        return False
+
+    def _build_set_property(self, instr: Instr, env: Env) -> bool:
+        slot: PropertySlot = self.feedback.property(instr.d)
+        receiver = env.regs[instr.a]
+        name = self.info.names[instr.b]
+        value = self.ensure_tagged(env.regs[instr.c])
+        mono = slot.monomorphic_map
+        if slot.state == ICState.UNINITIALIZED:
+            self.soft_deopt()
+            return True
+        if mono is not None and not slot.saw_transition and slot.offsets[0] >= 1:
+            self.check_map(receiver, mono)
+            self.emit(
+                "store_field",
+                [receiver, value],
+                Repr.NONE,
+                {"offset": slot.offsets[0], "name": name},
+            )
+            return False
+        self.emit(
+            "call_rt",
+            [self.ensure_tagged(receiver), value],
+            Repr.NONE,
+            {"name": "set_property_generic", "key": name},
+        )
+        env.flush_effects()
+        return False
+
+    def _build_get_element(self, instr: Instr, env: Env) -> bool:
+        slot: ElementSlot = self.feedback.element(instr.d)
+        receiver = env.regs[instr.a]
+        key = env.regs[instr.b]
+        if slot.state == ICState.UNINITIALIZED:
+            self.soft_deopt()
+            return True
+        mono = slot.monomorphic_map
+        if (
+            mono is not None
+            and mono.instance_type == InstanceType.JS_ARRAY
+            and not slot.saw_out_of_bounds
+            and not slot.saw_non_smi_index
+        ):
+            self.check_map(receiver, mono, depend=True)
+            if (key.id, receiver.id) in env.bounded:
+                index = self.to_int32(key)  # bounds proven by the loop guard
+            else:
+                index_tagged = self.check_bounds(key, receiver)
+                index = self.to_int32(index_tagged if key.out_repr not in (Repr.INT32, Repr.BOOL) else key)
+            elements = self.emit(
+                "load_field",
+                [receiver],
+                Repr.TAGGED,
+                {"offset": JS_ARRAY_ELEMENTS_OFFSET, "name": "<elements>"},
+            )
+            kind = mono.elements_kind
+            if kind == ElementsKind.PACKED_SMI:
+                load = self.emit(
+                    "load_element_signed",
+                    [elements, index],
+                    Repr.TAGGED_SIGNED,
+                    {"base_offset": FIXED_ARRAY_ELEMENTS_OFFSET},
+                )
+                # Eagerly untag right next to the load: representation
+                # selection keeps SMI element values as machine ints (and
+                # the adjacency is what lets the arm64+smi backend fuse the
+                # pair into a single jsldrsmi).  DCE removes the untag when
+                # the value is only ever used tagged.
+                untagged = self.emit("untag_signed", [load], Repr.INT32)
+                env.untagged[load.id] = untagged
+                env.tagged_of[untagged.id] = load
+                env.regs[instr.dst] = load
+            elif kind == ElementsKind.PACKED_DOUBLE:
+                env.regs[instr.dst] = self.emit(
+                    "load_element_float",
+                    [elements, index],
+                    Repr.FLOAT64,
+                    {"base_offset": FIXED_ARRAY_ELEMENTS_OFFSET},
+                )
+            else:
+                env.regs[instr.dst] = self.emit(
+                    "load_element",
+                    [elements, index],
+                    Repr.TAGGED,
+                    {"base_offset": FIXED_ARRAY_ELEMENTS_OFFSET},
+                )
+            return False
+        env.regs[instr.dst] = self.emit(
+            "call_rt",
+            [self.ensure_tagged(receiver), self.ensure_tagged(key)],
+            Repr.TAGGED,
+            {"name": "get_element_generic"},
+        )
+        env.flush_effects()
+        return False
+
+    def _build_set_element(self, instr: Instr, env: Env) -> bool:
+        slot: ElementSlot = self.feedback.element(instr.d)
+        receiver = env.regs[instr.a]
+        key = env.regs[instr.b]
+        value = env.regs[instr.c]
+        if slot.state == ICState.UNINITIALIZED:
+            self.soft_deopt()
+            return True
+        mono = slot.monomorphic_map
+        if (
+            mono is not None
+            and mono.instance_type == InstanceType.JS_ARRAY
+            and not slot.saw_out_of_bounds
+            and not slot.saw_non_smi_index
+        ):
+            self.check_map(receiver, mono, depend=True)
+            if (key.id, receiver.id) in env.bounded:
+                index = self.to_int32(key)  # bounds proven by the loop guard
+            else:
+                index_tagged = self.check_bounds(key, receiver)
+                index = self.to_int32(index_tagged if key.out_repr not in (Repr.INT32, Repr.BOOL) else key)
+            elements = self.emit(
+                "load_field",
+                [receiver],
+                Repr.TAGGED,
+                {"offset": JS_ARRAY_ELEMENTS_OFFSET, "name": "<elements>"},
+            )
+            kind = mono.elements_kind
+            if kind == ElementsKind.PACKED_SMI:
+                # Stored value must be an SMI (Not-a-SMI check on stores).
+                stored = self.tagged_smi_view(value)
+                self.emit(
+                    "store_element",
+                    [elements, index, stored],
+                    Repr.NONE,
+                    {"base_offset": FIXED_ARRAY_ELEMENTS_OFFSET},
+                )
+            elif kind == ElementsKind.PACKED_DOUBLE:
+                self.emit(
+                    "store_element_float",
+                    [elements, index, self.to_float64(value)],
+                    Repr.NONE,
+                    {"base_offset": FIXED_ARRAY_ELEMENTS_OFFSET},
+                )
+            else:
+                self.emit(
+                    "store_element",
+                    [elements, index, self.ensure_tagged(value)],
+                    Repr.NONE,
+                    {"base_offset": FIXED_ARRAY_ELEMENTS_OFFSET},
+                )
+            return False
+        self.emit(
+            "call_rt",
+            [
+                self.ensure_tagged(receiver),
+                self.ensure_tagged(key),
+                self.ensure_tagged(value),
+            ],
+            Repr.NONE,
+            {"name": "set_element_generic"},
+        )
+        env.flush_effects()
+        return False
+
+    # -- calls --------------------------------------------------------------
+
+    def _build_call(self, instr: Instr, env: Env) -> bool:
+        slot: CallSlot = self.feedback.call(instr.d)
+        callee = env.regs[instr.b]
+        args = [self.ensure_tagged(env.regs[r]) for r in instr.c]
+        if slot.state == ICState.UNINITIALIZED:
+            self.soft_deopt()
+            return True
+        if slot.state == ICState.MONOMORPHIC and slot.target_shared_index >= 0:
+            expected = self.context.closure_word_for(slot.target_shared_index)
+            self.embedded_words.add(expected)
+            self.emit(
+                "check_call_target",
+                [self.ensure_tagged(callee)],
+                Repr.NONE,
+                {"expected_word": expected},
+                check_kind=CheckKind.WRONG_CALL_TARGET,
+                with_checkpoint=True,
+            )
+            raw_args = [env.regs[r] for r in instr.c]
+            inlined = self._try_inline(
+                instr, env, slot.target_shared_index, raw_args
+            )
+            if inlined:
+                return False
+            env.regs[instr.dst] = self.emit(
+                "call_js",
+                args,
+                Repr.TAGGED,
+                {"shared_index": slot.target_shared_index},
+            )
+        else:
+            env.regs[instr.dst] = self.emit(
+                "call_dyn", [self.ensure_tagged(callee)] + args, Repr.TAGGED, {}
+            )
+        env.flush_effects()
+        return False
+
+    def _try_inline(
+        self, instr: Instr, env: Env, target_index: int, raw_args: List[Node]
+    ) -> bool:
+        """Inline a monomorphic call to a small pure callee; True on success.
+
+        Every deopt inside the inlined body (including soft deopts on cold
+        callee paths) resumes the interpreter at the *call* bytecode, which
+        re-executes the callee — sound because the callee is effect-free.
+        """
+        if self.inline_depth > 0 or self.inline_budget <= 0:
+            return False
+        functions = getattr(self.context, "functions", None)
+        if functions is None or target_index >= len(functions):
+            return False
+        target_shared = functions[target_index]
+        if target_shared is self.shared or not callee_is_inlinable(target_shared):
+            return False
+        self.inline_budget -= 1
+        call_site_checkpoint = self.current_checkpoint()
+        nested = GraphBuilder(
+            target_shared,
+            self.context,
+            graph=self.graph,
+            checkpoint_override=call_site_checkpoint,
+            inline_depth=self.inline_depth + 1,
+        )
+        assert self.block is not None
+        returns = nested.build_inlined(self.block, raw_args)
+        self.embedded_words |= nested.embedded_words
+        self.map_dependencies |= nested.map_dependencies
+        if not returns:
+            raise BailoutCompilation(
+                f"inlined {target_shared.name} has no reachable return"
+            )
+        continuation = self.graph.new_block()
+        self.block_bytecode_pc[continuation.id] = self.current_pc
+        if len(returns) == 1:
+            value, block, _ret_env = returns[0]
+            self.emit("goto", [], Repr.NONE, {"target_block": continuation}, block=block)
+            self.graph.connect(block, continuation)
+            result = value
+        else:
+            target_repr = self._merge_repr([v.out_repr for v, _b, _e in returns])
+            phi_inputs: List[Node] = []
+            saved_override = self.checkpoint_override
+            self.checkpoint_override = call_site_checkpoint
+            try:
+                for value, block, ret_env in returns:
+                    self.emit(
+                        "goto", [], Repr.NONE, {"target_block": continuation}, block=block
+                    )
+                    converted = self._convert_on_edge(
+                        value, target_repr, block, ret_env, self.current_pc
+                    )
+                    self.graph.connect(block, continuation)
+                    phi_inputs.append(converted)
+            finally:
+                self.checkpoint_override = saved_override
+            phi = self.graph.new_node(
+                "phi",
+                phi_inputs,
+                target_repr,
+                {"smi_safe": all(self._smi_safe_static(n) for n in phi_inputs)},
+            )
+            continuation.nodes.insert(0, phi)
+            phi.block = continuation
+            result = phi
+        self.block = continuation
+        env.regs[instr.dst] = result
+        # The callee is pure: the caller's check caches stay valid.
+        return True
+
+    def _build_call_method(self, instr: Instr, env: Env) -> bool:
+        slot: CallSlot = self.feedback.call(instr.d)
+        receiver = env.regs[instr.b]
+        name = self.info.names[instr.e]
+        args = [self.ensure_tagged(env.regs[r]) for r in instr.c]
+        if slot.state == ICState.UNINITIALIZED:
+            self.soft_deopt()
+            return True
+        if slot.state == ICState.MONOMORPHIC and slot.method_kind is not None:
+            receiver_kind, method = slot.method_kind
+            if slot.receiver_map is not None:
+                self.check_map(receiver, slot.receiver_map, depend=receiver_kind == "array")
+            env.regs[instr.dst] = self.emit(
+                "call_rt",
+                [self.ensure_tagged(receiver)] + args,
+                Repr.TAGGED,
+                {"name": f"method:{receiver_kind}:{method}"},
+            )
+            env.flush_effects()
+            return False
+        if (
+            slot.state == ICState.MONOMORPHIC
+            and slot.is_method
+            and slot.receiver_map is not None
+        ):
+            self.check_map(receiver, slot.receiver_map)
+            method_node = self.emit(
+                "load_field",
+                [receiver],
+                Repr.TAGGED,
+                {"offset": slot.method_offset, "name": name},
+            )
+            expected = self.context.closure_word_for(slot.target_shared_index)
+            self.embedded_words.add(expected)
+            self.emit(
+                "check_call_target",
+                [method_node],
+                Repr.NONE,
+                {"expected_word": expected},
+                check_kind=CheckKind.WRONG_CALL_TARGET,
+                with_checkpoint=True,
+            )
+            env.regs[instr.dst] = self.emit(
+                "call_js",
+                args,
+                Repr.TAGGED,
+                {
+                    "shared_index": slot.target_shared_index,
+                    "this": True,
+                },
+                # receiver is passed as `this`; appended as final input below
+            )
+            env.regs[instr.dst].inputs.append(self.ensure_tagged(receiver))
+            env.flush_effects()
+            return False
+        env.regs[instr.dst] = self.emit(
+            "call_rt",
+            [self.ensure_tagged(receiver)] + args,
+            Repr.TAGGED,
+            {"name": "call_method_generic", "key": name},
+        )
+        env.flush_effects()
+        return False
+
+    def _build_new(self, instr: Instr, env: Env) -> bool:
+        callee = self.ensure_tagged(env.regs[instr.b])
+        args = [self.ensure_tagged(env.regs[r]) for r in instr.c]
+        env.regs[instr.dst] = self.emit(
+            "call_rt", [callee] + args, Repr.TAGGED, {"name": "construct"}
+        )
+        env.flush_effects()
+        return False
+
+
+_PURE_BYTECODES = frozenset(
+    {
+        Op.LOAD_CONST,
+        Op.MOVE,
+        Op.LOAD_GLOBAL,
+        Op.ADD,
+        Op.SUB,
+        Op.MUL,
+        Op.DIV,
+        Op.MOD,
+        Op.BIT_OR,
+        Op.BIT_AND,
+        Op.BIT_XOR,
+        Op.SHL,
+        Op.SAR,
+        Op.SHR,
+        Op.NEG,
+        Op.NOT,
+        Op.BIT_NOT,
+        Op.TYPEOF,
+        Op.TO_NUMBER,
+        Op.TEST_LT,
+        Op.TEST_LE,
+        Op.TEST_GT,
+        Op.TEST_GE,
+        Op.TEST_EQ,
+        Op.TEST_NE,
+        Op.TEST_EQ_STRICT,
+        Op.TEST_NE_STRICT,
+        Op.JUMP,
+        Op.JUMP_IF_FALSE,
+        Op.JUMP_IF_TRUE,
+        Op.GET_PROPERTY,
+        Op.GET_ELEMENT,
+        Op.RETURN,
+    }
+)
+
+
+def callee_is_inlinable(shared) -> bool:
+    """Small, side-effect-free, non-`this` functions can be inlined with
+    call-site deopt states (re-executing the call is observationally safe)."""
+    info = shared.info
+    if info is None or shared.native_impl is not None:
+        return False
+    if info.uses_this or info.param_count > 7:
+        return False
+    if len(info.bytecode) > GraphBuilder.INLINE_SIZE_LIMIT:
+        return False
+    return all(instr.op in _PURE_BYTECODES for instr in info.bytecode)
+
+
+def build_graph(shared, context) -> GraphBuilder:
+    """Build and return the populated :class:`GraphBuilder` for ``shared``."""
+    builder = GraphBuilder(shared, context)
+    builder.build()
+    return builder

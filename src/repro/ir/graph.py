@@ -1,0 +1,89 @@
+"""The IR graph container and common queries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..jit.checks import CheckKind
+from .nodes import Block, Checkpoint, Node, Repr
+
+
+class Graph:
+    """IR for one function: blocks in reverse-postorder-ish creation order."""
+
+    def __init__(self, name: str = "<graph>") -> None:
+        self.name = name
+        self.blocks: List[Block] = []
+        self.next_node_id = 0
+        self.entry = self.new_block()
+
+    # ------------------------------------------------------------------
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def new_node(
+        self,
+        op: str,
+        inputs: Optional[List[Node]] = None,
+        out_repr: Repr = Repr.NONE,
+        params: Optional[Dict[str, object]] = None,
+        check_kind: Optional[CheckKind] = None,
+        checkpoint: Optional[Checkpoint] = None,
+    ) -> Node:
+        node = Node(
+            self.next_node_id,
+            op,
+            inputs or [],
+            out_repr,
+            params,
+            check_kind,
+            checkpoint,
+        )
+        self.next_node_id += 1
+        return node
+
+    def connect(self, source: Block, destination: Block) -> None:
+        if destination not in source.successors:
+            source.successors.append(destination)
+        destination.predecessors.append(source)
+
+    # ------------------------------------------------------------------
+
+    def all_nodes(self) -> Iterator[Node]:
+        for block in self.blocks:
+            yield from block.nodes
+
+    def check_nodes(self) -> List[Node]:
+        return [node for node in self.all_nodes() if node.is_check and not node.dead]
+
+    def count_checks(self) -> Dict[CheckKind, int]:
+        counts: Dict[CheckKind, int] = {}
+        for node in self.check_nodes():
+            assert node.check_kind is not None
+            counts[node.check_kind] = counts.get(node.check_kind, 0) + 1
+        return counts
+
+    def compute_uses(self) -> Dict[int, int]:
+        """Use counts per node id (checkpoint references do not count as
+        uses for DCE purposes until the node is actually kept — the deopt
+        metadata pins live checkpoint inputs separately)."""
+        uses: Dict[int, int] = {}
+        for node in self.all_nodes():
+            if node.dead:
+                continue
+            for an_input in node.inputs:
+                uses[an_input.id] = uses.get(an_input.id, 0) + 1
+        return uses
+
+    def to_text(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"graph {self.name}"]
+        for block in self.blocks:
+            preds = ",".join(f"B{p.id}" for p in block.predecessors)
+            lines.append(f" B{block.id} (preds: {preds}){' LOOP' if block.loop_header else ''}")
+            for node in block.nodes:
+                if not node.dead:
+                    lines.append(f"   {node!r}")
+        return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Backward liveness analysis over bytecode registers.
+
+Deopt checkpoints must capture the interpreter frame, but capturing every
+register would keep all of them alive through the whole optimized function
+(bloating deopt metadata and register pressure).  V8 solves this with
+bytecode liveness analysis; so do we: a checkpoint only records registers
+live-in at its bytecode offset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..bytecode.opcodes import FunctionInfo, Instr, Op
+
+
+def _uses_defs(instr: Instr) -> Tuple[List[int], List[int]]:
+    """(used registers, defined registers) for one bytecode."""
+    op = instr.op
+    uses: List[int] = []
+    defs: List[int] = []
+    if instr.dst >= 0:
+        defs.append(instr.dst)
+    if op in (Op.LOAD_CONST, Op.CREATE_CLOSURE, Op.LOAD_THIS, Op.JUMP,
+              Op.LOAD_GLOBAL):
+        pass
+    elif op == Op.MOVE:
+        uses.append(instr.a)
+    elif op == Op.STORE_GLOBAL:
+        uses.append(instr.b)
+    elif op in (Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE):
+        uses.append(instr.b)
+    elif op == Op.RETURN:
+        uses.append(instr.a)
+    elif op in (Op.GET_PROPERTY,):
+        uses.append(instr.a)
+    elif op == Op.SET_PROPERTY:
+        uses.extend([instr.a, instr.c])
+    elif op == Op.GET_ELEMENT:
+        uses.extend([instr.a, instr.b])
+    elif op == Op.SET_ELEMENT:
+        uses.extend([instr.a, instr.b, instr.c])
+    elif op == Op.CALL:
+        uses.append(instr.b)
+        uses.extend(instr.c or [])
+    elif op == Op.CALL_METHOD:
+        uses.append(instr.b)
+        uses.extend(instr.c or [])
+    elif op == Op.NEW:
+        uses.append(instr.b)
+        uses.extend(instr.c or [])
+    elif op == Op.CREATE_ARRAY:
+        uses.extend(instr.c or [])
+    elif op == Op.CREATE_OBJECT:
+        uses.extend(instr.e or [])
+    elif op in (Op.NEG, Op.NOT, Op.BIT_NOT, Op.TYPEOF, Op.TO_NUMBER):
+        uses.append(instr.a)
+    else:  # binary / compare ops
+        uses.extend([instr.a, instr.b])
+    return uses, defs
+
+
+def compute_liveness(info: FunctionInfo) -> List[Set[int]]:
+    """live-in register sets, one per bytecode index.
+
+    Parameters are implicitly live at entry (they are, in the interpreter
+    frame, ordinary registers).
+    """
+    code = info.bytecode
+    count = len(code)
+    live_in: List[Set[int]] = [set() for _ in range(count)]
+    live_out: List[Set[int]] = [set() for _ in range(count)]
+    successors: List[List[int]] = []
+    for pc, instr in enumerate(code):
+        if instr.op == Op.JUMP:
+            successors.append([instr.a])
+        elif instr.op in (Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE):
+            successors.append([instr.a, pc + 1])
+        elif instr.op == Op.RETURN:
+            successors.append([])
+        else:
+            successors.append([pc + 1] if pc + 1 < count else [])
+
+    changed = True
+    while changed:
+        changed = False
+        for pc in range(count - 1, -1, -1):
+            out: Set[int] = set()
+            for successor in successors[pc]:
+                out |= live_in[successor]
+            uses, defs = _uses_defs(code[pc])
+            new_in = (out - set(defs)) | set(uses)
+            if new_in != live_in[pc] or out != live_out[pc]:
+                live_in[pc] = new_in
+                live_out[pc] = out
+                changed = True
+    return live_in

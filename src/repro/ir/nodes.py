@@ -1,0 +1,200 @@
+"""IR node and block definitions for the optimizing tier.
+
+The IR is sea-of-nodes-flavoured: value nodes carry explicit input edges
+(so dead-code elimination can delete a check's condition-only ancestors,
+the mechanism of the paper's Fig. 5), while control is kept in ordered
+basic blocks for simplicity of scheduling.
+
+Checks are first-class nodes: every node whose ``check_kind`` is set can
+trigger an eager deoptimization and carries a :class:`Checkpoint`
+describing how to rebuild the interpreter frame.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..jit.checks import CheckKind
+
+
+class Repr(Enum):
+    """Value representation of a node's output."""
+
+    NONE = "none"  # no value (stores, pure checks, control)
+    TAGGED = "tagged"  # any tagged word
+    TAGGED_SIGNED = "tagged_signed"  # tagged word known to be an SMI
+    INT32 = "int32"  # untagged machine integer
+    FLOAT64 = "float64"  # raw double in a float register
+    BOOL = "bool"  # 0/1 machine integer
+
+
+#: Ops producing a value that only exists to feed checks may be deleted by
+#: DCE once the checks are gone.
+PURE_OPS = frozenset(
+    {
+        "const_int32",
+        "const_float",
+        "const_tagged",
+        "parameter",
+        "this",
+        "int32_add",
+        "int32_sub",
+        "int32_mul",
+        "int32_and",
+        "int32_or",
+        "int32_xor",
+        "int32_shl",
+        "int32_sar",
+        "int32_shr",
+        "float64_add",
+        "float64_sub",
+        "float64_mul",
+        "float64_div",
+        "float64_neg",
+        "float64_abs",
+        "int32_cmp",
+        "float64_cmp",
+        "tagged_equal",
+        "bool_not",
+        "untag_signed",
+        "tag_int32",
+        "int32_to_float64",
+        "load_field",
+        "load_element",
+        "load_element_signed",
+        "load_element_float",
+        "load_array_length",
+        "load_string_length",
+        "float64_to_int32_trunc",
+        "float64_truthy",
+        "bool_to_tagged",
+        "float64_to_tagged",
+        "phi",
+    }
+)
+
+#: Ops with side effects or control relevance — never removed by DCE.
+EFFECTFUL_OPS = frozenset(
+    {
+        "store_field",
+        "store_element",
+        "store_element_float",
+        "store_global",
+        "call_js",
+        "call_dyn",
+        "call_rt",
+        "branch",
+        "goto",
+        "return",
+        "deopt",
+        "alloc_heap_number",
+    }
+)
+
+
+class Checkpoint:
+    """Interpreter frame state captured before a potentially-deopting op.
+
+    ``values`` maps interpreter register index -> IR node currently holding
+    that register's value.  On deopt, the deoptimizer re-materializes each
+    from the node's machine location (register / stack slot / constant) and
+    resumes the interpreter at ``bytecode_pc``.
+    """
+
+    __slots__ = ("bytecode_pc", "values", "this_node")
+
+    def __init__(
+        self,
+        bytecode_pc: int,
+        values: List[Tuple[int, "Node"]],
+        this_node: Optional["Node"] = None,
+    ) -> None:
+        self.bytecode_pc = bytecode_pc
+        self.values = values
+        self.this_node = this_node
+
+    def live_nodes(self) -> List["Node"]:
+        nodes = [node for _reg, node in self.values]
+        if self.this_node is not None:
+            nodes.append(self.this_node)
+        return nodes
+
+
+class Node:
+    """One IR node."""
+
+    __slots__ = (
+        "id",
+        "op",
+        "inputs",
+        "out_repr",
+        "params",
+        "check_kind",
+        "checkpoint",
+        "block",
+        "dead",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        op: str,
+        inputs: List["Node"],
+        out_repr: Repr,
+        params: Optional[Dict[str, object]] = None,
+        check_kind: Optional[CheckKind] = None,
+        checkpoint: Optional[Checkpoint] = None,
+    ) -> None:
+        self.id = node_id
+        self.op = op
+        self.inputs = inputs
+        self.out_repr = out_repr
+        self.params = params or {}
+        self.check_kind = check_kind
+        self.checkpoint = checkpoint
+        self.block: Optional["Block"] = None
+        self.dead = False
+
+    @property
+    def is_check(self) -> bool:
+        return self.check_kind is not None
+
+    @property
+    def produces_value(self) -> bool:
+        return self.out_repr != Repr.NONE
+
+    def param(self, key: str, default=None):
+        return self.params.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ins = ",".join(f"n{i.id}" for i in self.inputs)
+        check = f" !{self.check_kind.name}" if self.check_kind else ""
+        return f"n{self.id}:{self.op}({ins}):{self.out_repr.value}{check}"
+
+
+class Block:
+    """A basic block: ordered nodes, the last one being the terminator."""
+
+    __slots__ = ("id", "nodes", "predecessors", "successors", "loop_header")
+
+    def __init__(self, block_id: int) -> None:
+        self.id = block_id
+        self.nodes: List[Node] = []
+        self.predecessors: List["Block"] = []
+        self.successors: List["Block"] = []
+        self.loop_header = False
+
+    def append(self, node: Node) -> Node:
+        node.block = self
+        self.nodes.append(node)
+        return node
+
+    @property
+    def terminator(self) -> Optional[Node]:
+        if self.nodes and self.nodes[-1].op in ("branch", "goto", "return", "deopt"):
+            return self.nodes[-1]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block B{self.id} nodes={len(self.nodes)}>"

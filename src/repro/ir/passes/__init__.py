@@ -1,0 +1,10 @@
+"""IR passes: check elimination, DCE, loop-invariant check hoisting."""
+
+from .check_elim import eliminate_checks
+from .dce import eliminate_dead_code
+from .licm import hoist_invariant_checks
+
+__all__ = ["eliminate_checks", "eliminate_dead_code", "hoist_invariant_checks"]
+from .schedule import schedule_rpo  # noqa: E402
+
+__all__.append("schedule_rpo")

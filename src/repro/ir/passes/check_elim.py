@@ -1,0 +1,89 @@
+"""Check elimination by short-circuiting (paper Fig. 5 / Section III-B).
+
+The paper modifies TurboFan to replace a deoptimization condition with a
+constant ``false`` in the sea-of-nodes graph; the check node and every
+ancestor used *only* by the check then die in dead-code elimination —
+including e.g. the array-length load that fed a bounds check.
+
+We implement the same mechanism at the same level: a check node whose kind
+is in the removal set is either
+
+* rewritten to its unchecked twin when it produces a value (``checked_untag``
+  still has to untag even when it no longer checks), or
+* deleted outright when it is a pure guard (``check_map``, ``check_bounds``,
+  ...), after which :func:`repro.ir.passes.dce.eliminate_dead_code` removes
+  its condition-only ancestors.
+
+Removal is *per check kind*, exactly like the paper's selective-disable
+switch, so benchmarks that genuinely deoptimize can keep the triggering
+kinds (the "leftover checks" of Section III-B.2).
+
+Soft deopts are never removed: the paper's study targets eager checks, and
+removing a soft deopt would leave the block without a terminator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from ...jit.checks import CheckKind, DeoptCategory, category_of
+from ..graph import Graph
+
+#: checked op -> unchecked replacement op.
+UNCHECKED_TWINS = {
+    "checked_untag": "untag_signed",
+    "checked_tag_int32": "tag_int32",
+    "checked_float64_to_int32": "float64_to_int32_trunc",
+    "checked_to_float64": "unchecked_to_float64",
+    "checked_int32_add": "int32_add",
+    "checked_int32_sub": "int32_sub",
+    "checked_int32_mul": "int32_mul",
+    "checked_int32_neg": "int32_neg",
+    "checked_int32_div": "int32_div",
+    "checked_int32_mod": "int32_mod",
+}
+
+#: Pure guards that disappear entirely when disabled.
+PURE_GUARDS = frozenset(
+    {
+        "check_map",
+        "check_heap_object",
+        "check_bounds",
+        "check_nonzero",
+        "check_call_target",
+    }
+)
+
+
+def eliminate_checks(graph: Graph, kinds: Iterable[CheckKind]) -> int:
+    """Short-circuit all checks of the given kinds; returns how many."""
+    removal: Set[CheckKind] = {
+        kind for kind in kinds if category_of(kind) != DeoptCategory.SOFT
+    }
+    if not removal:
+        return 0
+    removed = 0
+    for block in graph.blocks:
+        kept = []
+        for node in block.nodes:
+            if node.dead or not node.is_check or node.check_kind not in removal:
+                kept.append(node)
+                continue
+            removed += 1
+            if node.op in PURE_GUARDS:
+                node.dead = True
+                continue  # physically dropped from the block
+            twin = UNCHECKED_TWINS.get(node.op)
+            if twin is None:
+                # Unknown checked op: keep it but drop the check marker so no
+                # deopt branch is emitted.
+                node.check_kind = None
+                node.checkpoint = None
+                kept.append(node)
+                continue
+            node.op = twin
+            node.check_kind = None
+            node.checkpoint = None
+            kept.append(node)
+        block.nodes = kept
+    return removed

@@ -1,0 +1,86 @@
+"""Dead-code elimination.
+
+Mark-sweep over the value graph: roots are effectful nodes, live checks and
+block terminators; liveness flows through value inputs *and* through the
+frame states (checkpoints) of live checks — a value only needed to rebuild
+the interpreter frame on deopt must stay alive, but dies together with its
+check when the check is eliminated.  This is what deletes the
+condition-only ancestors after :mod:`repro.ir.passes.check_elim` runs
+(paper Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..graph import Graph
+from ..nodes import EFFECTFUL_OPS, Node
+
+
+#: ops that consume an int32 value in a truncating way: a -0 result is
+#: indistinguishable from 0 for them, so V8 drops the minus-zero check.
+_TRUNCATING_USERS = frozenset(
+    {
+        "int32_add", "int32_sub", "int32_mul", "int32_and", "int32_or",
+        "int32_xor", "int32_shl", "int32_sar", "int32_shr", "int32_neg",
+        "int32_div", "int32_mod",
+        "checked_int32_add", "checked_int32_sub", "checked_int32_mul",
+        "checked_int32_div", "checked_int32_mod",
+        "int32_cmp", "int32_to_float64", "check_nonzero",
+    }
+)
+
+
+def elide_truncated_minus_zero_checks(graph: Graph) -> int:
+    """Clear the minus-zero side check of multiplies whose results are only
+    consumed by truncating int32 operations (V8's truncation analysis)."""
+    users = {}
+    for node in graph.all_nodes():
+        if node.dead:
+            continue
+        for an_input in node.inputs:
+            users.setdefault(an_input.id, []).append(node)
+        if node.checkpoint is not None:
+            for _reg, value in node.checkpoint.values:
+                users.setdefault(value.id, []).append(node)
+    elided = 0
+    for node in graph.all_nodes():
+        if node.dead or node.op != "checked_int32_mul":
+            continue
+        node_users = users.get(node.id, [])
+        if node_users and all(u.op in _TRUNCATING_USERS for u in node_users):
+            if node.param("minus_zero_check", True):
+                node.params["minus_zero_check"] = False
+                elided += 1
+    return elided
+
+
+def eliminate_dead_code(graph: Graph) -> int:
+    """Mark and remove dead nodes; returns how many were removed."""
+    live: Set[int] = set()
+    worklist: List[Node] = []
+    for block in graph.blocks:
+        for node in block.nodes:
+            if node.dead:
+                continue
+            if node.op in EFFECTFUL_OPS or node.is_check:
+                worklist.append(node)
+    while worklist:
+        node = worklist.pop()
+        if node.id in live:
+            continue
+        live.add(node.id)
+        worklist.extend(node.inputs)
+        if node.checkpoint is not None:
+            worklist.extend(node.checkpoint.live_nodes())
+    removed = 0
+    for block in graph.blocks:
+        kept = []
+        for node in block.nodes:
+            if node.dead or node.id not in live:
+                node.dead = True
+                removed += 1
+            else:
+                kept.append(node)
+        block.nodes = kept
+    return removed

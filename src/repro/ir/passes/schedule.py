@@ -1,0 +1,37 @@
+"""Block scheduling: reverse postorder.
+
+Inlining appends callee blocks after the caller's, so creation order no
+longer follows control flow; linear-scan register allocation, however,
+needs a linearization where definitions precede uses on forward paths and
+loop bodies follow their headers.  Reverse postorder provides both, and as
+a side effect drops unreachable blocks (e.g. cold callee paths whose only
+entry soft-deopted away).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..graph import Graph
+from ..nodes import Block
+
+
+def schedule_rpo(graph: Graph) -> None:
+    """Reorder ``graph.blocks`` into reverse postorder from the entry."""
+    postorder: List[Block] = []
+    visited: Set[int] = set()
+    stack: List[tuple] = [(graph.entry, iter(graph.entry.successors))]
+    visited.add(graph.entry.id)
+    while stack:
+        block, successors = stack[-1]
+        advanced = False
+        for successor in successors:
+            if successor.id not in visited:
+                visited.add(successor.id)
+                stack.append((successor, iter(successor.successors)))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(block)
+            stack.pop()
+    graph.blocks = list(reversed(postorder))

@@ -1,0 +1,38 @@
+"""Modelled target ISAs (x64-flavoured CISC, arm64-flavoured RISC, +SMI ext)."""
+
+from .asmprint import format_code, format_instr
+from .base import (
+    ARG_REGS,
+    ARM64,
+    ARM64_SMI,
+    CC,
+    FRAME_BASE,
+    MachineInstr,
+    MOp,
+    REG_BA,
+    REG_PC,
+    REG_RE,
+    TARGETS,
+    TargetISA,
+    X64,
+    resolve_target,
+)
+
+__all__ = [
+    "ARG_REGS",
+    "ARM64",
+    "ARM64_SMI",
+    "CC",
+    "FRAME_BASE",
+    "MOp",
+    "MachineInstr",
+    "REG_BA",
+    "REG_PC",
+    "REG_RE",
+    "TARGETS",
+    "TargetISA",
+    "X64",
+    "format_code",
+    "format_instr",
+    "resolve_target",
+]

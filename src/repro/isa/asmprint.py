@@ -1,0 +1,146 @@
+"""Assembly pretty-printer with check annotations.
+
+Produces listings in the style of V8's ``--print-opt-code`` that the paper
+uses in Fig. 3: every instruction that belongs to a deoptimization check is
+annotated with the check's kind, and deopt stubs appear at the end of the
+function body, one per check, each with its own address.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import CC, FRAME_BASE, MachineInstr, MOp
+
+_CC_NAMES = {
+    CC.EQ: "eq",
+    CC.NE: "ne",
+    CC.LT: "lt",
+    CC.GE: "ge",
+    CC.GT: "gt",
+    CC.LE: "le",
+    CC.HS: "hs",
+    CC.LO: "lo",
+    CC.HI: "hi",
+    CC.LS: "ls",
+    CC.VS: "vs",
+    CC.VC: "vc",
+    CC.MI: "mi",
+    CC.PL: "pl",
+}
+
+
+def _mem_str(mem) -> str:
+    base, index, scale, disp = mem
+    if base == FRAME_BASE:
+        return f"[fp, #{disp}]"
+    parts = [f"x{base}"]
+    if index >= 0:
+        parts.append(f"x{index}, lsl #{scale}" if scale else f"x{index}")
+    if disp:
+        parts.append(f"#{disp}")
+    return "[" + ", ".join(parts) + "]"
+
+
+def format_instr(instr: MachineInstr, index: int = -1) -> str:
+    op = instr.op
+    d, s1, s2 = instr.dst, instr.s1, instr.s2
+    text: str
+    if op == MOp.MOVR:
+        text = f"mov x{d}, x{s1}"
+    elif op == MOp.MOVI:
+        text = f"mov x{d}, #{instr.imm}"
+    elif op == MOp.FMOVR:
+        text = f"fmov d{d}, d{s1}"
+    elif op == MOp.FMOVI:
+        text = f"fmov d{d}, #{instr.imm}"
+    elif op in (MOp.ADD, MOp.SUB, MOp.MUL, MOp.SDIV, MOp.AND, MOp.ORR, MOp.EOR,
+                MOp.LSL, MOp.LSR, MOp.ASR):
+        text = f"{op.name.lower()} x{d}, x{s1}, x{s2}"
+    elif op in (MOp.ADDI, MOp.SUBI, MOp.ANDI, MOp.ORRI, MOp.EORI, MOp.LSLI,
+                MOp.LSRI, MOp.ASRI):
+        text = f"{op.name.lower()[:-1]} x{d}, x{s1}, #{instr.imm}"
+    elif op in (MOp.ADDS, MOp.SUBS, MOp.MULS):
+        text = f"{op.name.lower()} x{d}, x{s1}, x{s2}"
+    elif op in (MOp.ADDSI, MOp.SUBSI):
+        text = f"{op.name.lower()[:-1]} x{d}, x{s1}, #{instr.imm}"
+    elif op == MOp.NEGS:
+        text = f"negs x{d}, x{s1}"
+    elif op == MOp.CMP:
+        text = f"cmp x{s1}, x{s2}"
+    elif op == MOp.CMPI:
+        text = f"cmp x{s1}, #{instr.imm}"
+    elif op == MOp.TST:
+        text = f"tst x{s1}, x{s2}"
+    elif op == MOp.TSTI:
+        text = f"tst x{s1}, #{instr.imm}"
+    elif op == MOp.CMP_MEM:
+        text = f"cmp x{s1}, {_mem_str(instr.mem)}"
+    elif op == MOp.CMPI_MEM:
+        text = f"cmp {_mem_str(instr.mem)}, #{instr.imm}"
+    elif op == MOp.TSTI_MEM:
+        text = f"test {_mem_str(instr.mem)}, #{instr.imm}"
+    elif op == MOp.FCMP:
+        text = f"fcmp d{s1}, d{s2}"
+    elif op == MOp.CSET:
+        text = f"cset x{d}, {_CC_NAMES.get(CC(instr.cc), '?')}"
+    elif op == MOp.MZCMP:
+        text = f"mzcmp x{s1}, x{s2}"
+    elif op == MOp.LDR:
+        text = f"ldr x{d}, {_mem_str(instr.mem)}"
+    elif op == MOp.STR:
+        text = f"str x{s1}, {_mem_str(instr.mem)}"
+    elif op == MOp.LDRF:
+        text = f"ldr d{d}, {_mem_str(instr.mem)}"
+    elif op == MOp.STRF:
+        text = f"str d{s1}, {_mem_str(instr.mem)}"
+    elif op == MOp.JSLDRSMI:
+        mnemonic = "jsldursmi" if instr.mem and instr.mem[1] < 0 else "jsldrsmi"
+        text = f"{mnemonic} x{d}, {_mem_str(instr.mem)}"
+    elif op == MOp.MSR:
+        names = {0: "REG_BA", 1: "REG_PC", 2: "REG_RE"}
+        text = f"msr {names.get(int(instr.imm), '?')}, x{s1}"
+    elif op in (MOp.FADD, MOp.FSUB, MOp.FMUL, MOp.FDIV):
+        text = f"{op.name.lower()} d{d}, d{s1}, d{s2}"
+    elif op == MOp.FNEG:
+        text = f"fneg d{d}, d{s1}"
+    elif op == MOp.FABS:
+        text = f"fabs d{d}, d{s1}"
+    elif op == MOp.SCVTF:
+        text = f"scvtf d{d}, x{s1}"
+    elif op == MOp.FCVTZS:
+        text = f"fcvtzs x{d}, d{s1}"
+    elif op == MOp.B:
+        text = f"b {instr.target}"
+    elif op == MOp.BCC:
+        cond = _CC_NAMES.get(CC(instr.cc), "?")
+        label = f"deopt_{instr.target}" if instr.is_deopt_branch else str(instr.target)
+        text = f"b.{cond} {label}"
+    elif op == MOp.RET:
+        text = "ret"
+    elif op == MOp.DEOPT:
+        text = f"deopt #{instr.imm}"
+    elif op == MOp.CALL_JS:
+        text = f"call js:{instr.aux or instr.imm}({', '.join(f'x{a}' for a in instr.args)})"
+    elif op == MOp.CALL_DYN:
+        text = f"call *x{s1}({', '.join(f'x{a}' for a in instr.args)})"
+    elif op == MOp.CALL_RT:
+        text = f"call rt:{instr.aux}({', '.join(f'x{a}' for a in instr.args)})"
+    else:  # pragma: no cover
+        text = op.name.lower()
+    prefix = f"{index:4d}: " if index >= 0 else ""
+    annotation = ""
+    if instr.check_id >= 0:
+        shared = "~" if instr.shared_with_main else ""
+        annotation = f"    ;; {shared}check#{instr.check_id}"
+        if instr.comment:
+            annotation += f" {instr.comment}"
+    elif instr.comment:
+        annotation = f"    ;; {instr.comment}"
+    return f"{prefix}{text:<40}{annotation}"
+
+
+def format_code(instrs: List[MachineInstr], title: Optional[str] = None) -> str:
+    lines = [] if title is None else [f"-- {title} --"]
+    lines.extend(format_instr(instr, i) for i, instr in enumerate(instrs))
+    return "\n".join(lines)

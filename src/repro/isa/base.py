@@ -1,0 +1,282 @@
+"""Target machine-instruction model shared by the x64- and ARM64-flavoured
+backends.
+
+We model the *shape* of the two ISAs the paper contrasts:
+
+* ``x64`` (CISC): arithmetic/compare instructions may take a memory operand,
+  so e.g. a bounds check is ``cmp idx, [arr+len]`` + ``jae`` — one
+  instruction before the deopt branch.
+* ``arm64`` (RISC): load/store architecture; conditions over memory need an
+  explicit load first (``ldr`` + ``cmp`` + ``b.hs``), so checks span more
+  instructions — the reason the paper uses a 2-instruction attribution
+  window on ARM64 and only 1 on x64.
+* ``arm64+smi``: ARM64 plus the paper's Section V extension — the
+  ``jsldrsmi``/``jsldursmi`` family that folds the Not-a-SMI check and the
+  untagging shift into the load, with special registers REG_BA / REG_PC /
+  REG_RE and a commit-time bailout exception.
+
+Memory operands follow V8's compressed-pointer convention: the base
+register holds a *tagged* pointer and the effective word address is
+``(base >> 1) + (index << scale) + disp`` — the tag is absorbed by address
+arithmetic, exactly like V8 folds the untag into the displacement.
+A base of :data:`FRAME_BASE` addresses the machine stack frame instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum, auto
+from typing import List, Optional, Sequence, Tuple, Union
+
+#: Sentinel base register meaning "current stack frame" (disp = slot index).
+FRAME_BASE = -2
+
+#: Special registers introduced by the SMI extension (indices into the
+#: machine's special-register file).
+REG_BA = 0  # bailout-handler address
+REG_PC = 1  # pc of the failed SMI load
+REG_RE = 2  # deopt-reason code (0 = no pending bailout)
+
+
+class MOp(IntEnum):
+    # Moves / constants
+    MOVR = auto()  # dst <- s1
+    MOVI = auto()  # dst <- imm (int)
+    FMOVR = auto()  # fdst <- fs1
+    FMOVI = auto()  # fdst <- imm (float)
+
+    # Integer ALU (register forms)
+    ADD = auto()
+    SUB = auto()
+    MUL = auto()
+    SDIV = auto()
+    AND = auto()
+    ORR = auto()
+    EOR = auto()
+    LSL = auto()
+    LSR = auto()
+    ASR = auto()
+    # Integer ALU (immediate forms)
+    ADDI = auto()
+    SUBI = auto()
+    ANDI = auto()
+    ORRI = auto()
+    EORI = auto()
+    LSLI = auto()
+    LSRI = auto()
+    ASRI = auto()
+    # Flag-setting arithmetic (for overflow checks)
+    ADDS = auto()
+    SUBS = auto()
+    ADDSI = auto()
+    SUBSI = auto()
+    MULS = auto()  # flag-setting multiply (models smull+check sequence)
+    NEGS = auto()  # dst <- -s1, setting flags
+
+    # Compares / tests (set flags)
+    CMP = auto()  # s1 vs s2
+    CMPI = auto()  # s1 vs imm
+    TST = auto()  # flags from s1 & s2
+    TSTI = auto()  # flags from s1 & imm
+    CMP_MEM = auto()  # s1 vs [mem]            (x64 only)
+    CMPI_MEM = auto()  # [mem] vs imm           (x64 only)
+    TSTI_MEM = auto()  # [mem] & imm            (x64 only)
+    FCMP = auto()  # fs1 vs fs2 (NaN -> unordered flags)
+
+    # Memory
+    LDR = auto()  # dst <- word [mem] (tagged or raw int slot)
+    STR = auto()  # [mem] <- s1
+    LDRF = auto()  # fdst <- raw float [mem]
+    STRF = auto()  # [mem] <- fs1
+    JSLDRSMI = auto()  # dst <- untag([mem]); commit-time bailout if not SMI
+
+    # Special registers (SMI extension prologue)
+    MSR = auto()  # special[imm] <- s1
+
+    # Conditional select / pseudo flag ops
+    CSET = auto()  # dst <- 1 if cc else 0
+    MZCMP = auto()  # Z <- (s1 == 0 and s2 < 0); models V8's minus-zero test
+
+    # Floating point
+    FADD = auto()
+    FSUB = auto()
+    FMUL = auto()
+    FDIV = auto()
+    FNEG = auto()
+    FABS = auto()
+    SCVTF = auto()  # fdst <- float(s1)
+    FCVTZS = auto()  # dst <- trunc_to_int(fs1)
+
+    # Control
+    B = auto()
+    BCC = auto()  # conditional branch on cc
+    RET = auto()  # return value in s1 (or fs1 when returns_float)
+    DEOPT = auto()  # deopt stub (imm = check_id)
+
+    # Calls (modelled as single instructions + runtime work)
+    CALL_JS = auto()  # imm = shared function index; args in `args`
+    CALL_DYN = auto()  # callee word in s1; args in `args`
+    CALL_RT = auto()  # aux = builtin name; args in `args`
+
+
+class CC(IntEnum):
+    EQ = auto()
+    NE = auto()
+    LT = auto()
+    GE = auto()
+    GT = auto()
+    LE = auto()
+    HS = auto()  # unsigned >=
+    LO = auto()  # unsigned <
+    HI = auto()  # unsigned >
+    LS = auto()  # unsigned <=
+    VS = auto()  # overflow set
+    VC = auto()  # overflow clear
+    MI = auto()  # negative
+    PL = auto()  # non-negative
+
+
+#: Memory operand: (base_reg, index_reg, scale, disp).  index_reg < 0 means
+#: no index.  base == FRAME_BASE addresses the stack frame.
+Mem = Tuple[int, int, int, int]
+
+
+class MachineInstr:
+    """One target instruction.
+
+    ``check_id`` links the instruction to the static check site it belongs
+    to (-1 for main-line code); ``shared_with_main`` marks instructions that
+    do double duty (e.g. the ``adds`` of a checked add performs the real
+    addition *and* computes the overflow condition) — the ground-truth
+    attribution can treat them either way, mirroring the ambiguity the paper
+    discusses in Section III-A.
+    """
+
+    __slots__ = (
+        "uid",
+        "op",
+        "dst",
+        "s1",
+        "s2",
+        "imm",
+        "mem",
+        "target",
+        "cc",
+        "args",
+        "aux",
+        "check_id",
+        "shared_with_main",
+        "is_deopt_branch",
+        "returns_float",
+        "comment",
+    )
+
+    _next_uid = 0
+
+    def __init__(
+        self,
+        op: MOp,
+        dst: int = -1,
+        s1: int = -1,
+        s2: int = -1,
+        imm: Union[int, float] = 0,
+        mem: Optional[Mem] = None,
+        target: int = -1,
+        cc: int = 0,
+        args: Optional[Sequence[int]] = None,
+        aux: object = None,
+        check_id: int = -1,
+        shared_with_main: bool = False,
+        is_deopt_branch: bool = False,
+        returns_float: bool = False,
+        comment: str = "",
+    ) -> None:
+        # Stable per-instruction id (used e.g. as the branch-predictor index
+        # seed in the pipeline models; `id()` would vary across runs).
+        self.uid = MachineInstr._next_uid
+        MachineInstr._next_uid += 1
+        self.op = op
+        self.dst = dst
+        self.s1 = s1
+        self.s2 = s2
+        self.imm = imm
+        self.mem = mem
+        self.target = target
+        self.cc = cc
+        self.args = tuple(args) if args is not None else ()
+        self.aux = aux
+        self.check_id = check_id
+        self.shared_with_main = shared_with_main
+        self.is_deopt_branch = is_deopt_branch
+        self.returns_float = returns_float
+        self.comment = comment
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .asmprint import format_instr
+
+        return format_instr(self, index=-1)
+
+
+@dataclass(frozen=True)
+class TargetISA:
+    """Static description of a compilation target."""
+
+    name: str
+    is_cisc: bool
+    has_smi_extension: bool
+    gpr_count: int = 24
+    fpr_count: int = 16
+    #: PC-sampling attribution window (instructions before the deopt branch
+    #: counted as part of the check) — 1 on x64, 2 on ARM64 (paper §III-A).
+    check_window: int = 2
+
+    @property
+    def is_risc(self) -> bool:
+        return not self.is_cisc
+
+
+X64 = TargetISA(name="x64", is_cisc=True, has_smi_extension=False, check_window=1)
+ARM64 = TargetISA(name="arm64", is_cisc=False, has_smi_extension=False, check_window=2)
+ARM64_SMI = TargetISA(
+    name="arm64+smi", is_cisc=False, has_smi_extension=True, check_window=2
+)
+
+TARGETS = {t.name: t for t in (X64, ARM64, ARM64_SMI)}
+
+
+def resolve_target(name: str) -> TargetISA:
+    try:
+        return TARGETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown target {name!r}; expected one of {sorted(TARGETS)}"
+        ) from None
+
+
+#: Calling convention: first registers carry arguments / return value.
+RET_REG = 0
+ARG_REGS = (0, 1, 2, 3, 4, 5, 6, 7)
+
+BRANCH_OPS = frozenset({MOp.B, MOp.BCC})
+CALL_OPS = frozenset({MOp.CALL_JS, MOp.CALL_DYN, MOp.CALL_RT})
+LOAD_OPS = frozenset({MOp.LDR, MOp.LDRF, MOp.JSLDRSMI})
+STORE_OPS = frozenset({MOp.STR, MOp.STRF})
+FLAG_SETTING_OPS = frozenset(
+    {
+        MOp.ADDS,
+        MOp.SUBS,
+        MOp.ADDSI,
+        MOp.SUBSI,
+        MOp.MULS,
+        MOp.NEGS,
+        MOp.CMP,
+        MOp.CMPI,
+        MOp.TST,
+        MOp.TSTI,
+        MOp.CMP_MEM,
+        MOp.CMPI_MEM,
+        MOp.TSTI_MEM,
+        MOp.MZCMP,
+        MOp.FCMP,
+    }
+)

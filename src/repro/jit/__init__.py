@@ -1,0 +1,36 @@
+"""JIT tier: checks taxonomy, codegen, register allocation, deopt.
+
+``repro.jit.codegen`` is intentionally not imported here: it depends on
+``repro.ir.builder`` which itself uses the check taxonomy from this
+package, so pulling it in at package-import time would create a cycle.
+Import it as ``from repro.jit.codegen import generate_code``.
+"""
+
+from .checks import CheckGroup, CheckKind, DeoptCategory, category_of, group_of
+from .deopt import (
+    CheckSite,
+    DeoptEvent,
+    DeoptPoint,
+    DeoptSignal,
+    DeoptValue,
+    Location,
+    materialize_frame,
+)
+from .regalloc import Allocation, allocate
+
+__all__ = [
+    "Allocation",
+    "allocate",
+    "CheckGroup",
+    "CheckKind",
+    "CheckSite",
+    "DeoptCategory",
+    "DeoptEvent",
+    "DeoptPoint",
+    "DeoptSignal",
+    "DeoptValue",
+    "Location",
+    "category_of",
+    "group_of",
+    "materialize_frame",
+]

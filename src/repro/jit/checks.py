@@ -1,0 +1,101 @@
+"""Deoptimization-check taxonomy (paper Section II-B).
+
+V8 has 52 deoptimization reasons in three categories (eager / lazy / soft).
+The paper groups the eager reasons into six groups, extending the taxonomy
+of Southern & Renau [3] with *Arithmetic errors* and *Other*:
+
+* **Type**   — wrong instance type / not a number / not a string / wrong
+  call target ...
+* **SMI**    — Not-a-SMI (expected SMI, found heap object) and SMI
+  (expected heap object, found SMI)
+* **Bounds** — array index out of bounds
+* **Map**    — wrong hidden class
+* **Arithmetic** — overflow, lost precision, division by zero, minus zero
+* **Other**  — holes, insufficient feedback, ...
+
+Check *kinds* below are what the optimizing compiler emits; each carries
+its group and its deopt category.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Dict
+
+
+class DeoptCategory(Enum):
+    EAGER = "deopt-eager"
+    LAZY = "deopt-lazy"
+    SOFT = "deopt-soft"
+
+
+class CheckGroup(Enum):
+    TYPE = "Type"
+    SMI = "SMI"
+    BOUNDS = "Bounds"
+    MAP = "Map"
+    ARITHMETIC = "Arithmetic"
+    OTHER = "Other"
+
+
+class CheckKind(Enum):
+    """Eager deoptimization-check kinds emitted by the optimizing tier."""
+
+    NOT_A_SMI = auto()  # expected an SMI, found a heap object
+    SMI = auto()  # expected a heap object, found an SMI
+    NOT_A_NUMBER = auto()  # expected a HeapNumber
+    NOT_A_STRING = auto()
+    WRONG_INSTANCE_TYPE = auto()
+    WRONG_CALL_TARGET = auto()
+    WRONG_MAP = auto()
+    OUT_OF_BOUNDS = auto()
+    OVERFLOW = auto()
+    LOST_PRECISION = auto()
+    DIVISION_BY_ZERO = auto()
+    MINUS_ZERO = auto()
+    HOLE = auto()
+    INSUFFICIENT_FEEDBACK = auto()  # soft
+    NOT_OPTIMIZABLE_CALL = auto()  # soft: megamorphic / unknown call path
+
+
+CHECK_GROUPS: Dict[CheckKind, CheckGroup] = {
+    CheckKind.NOT_A_SMI: CheckGroup.SMI,
+    CheckKind.SMI: CheckGroup.SMI,
+    CheckKind.NOT_A_NUMBER: CheckGroup.TYPE,
+    CheckKind.NOT_A_STRING: CheckGroup.TYPE,
+    CheckKind.WRONG_INSTANCE_TYPE: CheckGroup.TYPE,
+    CheckKind.WRONG_CALL_TARGET: CheckGroup.TYPE,
+    CheckKind.WRONG_MAP: CheckGroup.MAP,
+    CheckKind.OUT_OF_BOUNDS: CheckGroup.BOUNDS,
+    CheckKind.OVERFLOW: CheckGroup.ARITHMETIC,
+    CheckKind.LOST_PRECISION: CheckGroup.ARITHMETIC,
+    CheckKind.DIVISION_BY_ZERO: CheckGroup.ARITHMETIC,
+    CheckKind.MINUS_ZERO: CheckGroup.ARITHMETIC,
+    CheckKind.HOLE: CheckGroup.OTHER,
+    CheckKind.INSUFFICIENT_FEEDBACK: CheckGroup.OTHER,
+    CheckKind.NOT_OPTIMIZABLE_CALL: CheckGroup.OTHER,
+}
+
+CHECK_CATEGORIES: Dict[CheckKind, DeoptCategory] = {
+    kind: DeoptCategory.EAGER for kind in CheckKind
+}
+CHECK_CATEGORIES[CheckKind.INSUFFICIENT_FEEDBACK] = DeoptCategory.SOFT
+CHECK_CATEGORIES[CheckKind.NOT_OPTIMIZABLE_CALL] = DeoptCategory.SOFT
+
+
+def group_of(kind: CheckKind) -> CheckGroup:
+    return CHECK_GROUPS[kind]
+
+
+def category_of(kind: CheckKind) -> DeoptCategory:
+    return CHECK_CATEGORIES[kind]
+
+
+#: Deopt-reason byte codes for the SMI-extension's REG_RE register
+#: (paper Section V-A: an 8-bit code identifying the deoptimization type).
+REASON_CODES: Dict[CheckKind, int] = {
+    kind: index + 1 for index, kind in enumerate(CheckKind)
+}
+REASON_CODES_REVERSE: Dict[int, CheckKind] = {
+    code: kind for kind, code in REASON_CODES.items()
+}

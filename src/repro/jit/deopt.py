@@ -1,0 +1,129 @@
+"""Deoptimization: frame states, bailout, and interpreter resumption.
+
+TurboFan inserts a *checkpoint* before every eager check; if the check
+fails, execution "deoptimizes to the state of the most recent checkpoint
+and resumes in the interpreter" (paper Section II-B).  Here:
+
+* :class:`DeoptPoint` is the compiled form of a checkpoint: for every live
+  interpreter register, where its value lives in the machine state
+  (register / stack slot / constant) and in which representation.
+* :class:`DeoptSignal` is raised by the functional simulator when a deopt
+  branch is taken (or when the SMI-extension's commit-time bailout fires).
+* :func:`materialize_frame` rebuilds the interpreter register file, re-
+  tagging untagged ints and boxing raw doubles, exactly what V8's
+  deoptimizer does when converting machine frames to interpreter frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..values.heap import Heap
+from .checks import CheckGroup, CheckKind, group_of
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a checkpoint value lives at deopt time.
+
+    kind: "reg" | "freg" | "slot" | "const_int" | "const_float" |
+    "const_tagged"; ``value`` is the register/slot index or the constant.
+    """
+
+    kind: str
+    value: object
+
+
+@dataclass(frozen=True)
+class DeoptValue:
+    interp_reg: int
+    location: Location
+    repr_name: str  # Repr.value of the node
+
+
+@dataclass
+class DeoptPoint:
+    check_id: int
+    kind: CheckKind
+    bytecode_pc: int
+    values: Tuple[DeoptValue, ...]
+    this_location: Optional[Tuple[Location, str]] = None
+
+    @property
+    def group(self) -> CheckGroup:
+        return group_of(self.kind)
+
+
+@dataclass
+class CheckSite:
+    """Static metadata about one emitted check (for attribution/reporting)."""
+
+    check_id: int
+    kind: CheckKind
+    bytecode_pc: int
+    branch_pc: int = -1  # machine pc of the deopt branch (-1 if suppressed)
+    stub_pc: int = -1
+
+
+class DeoptSignal(Exception):
+    """Raised by the machine when a deoptimization check fires."""
+
+    def __init__(self, check_id: int) -> None:
+        super().__init__(f"deopt check #{check_id}")
+        self.check_id = check_id
+
+
+@dataclass
+class DeoptEvent:
+    """Logged by the engine for Fig. 6's deopt-event markers."""
+
+    function_name: str
+    kind: CheckKind
+    bytecode_pc: int
+    iteration: int
+    cycle: int
+
+
+def _decode(heap: Heap, location: Location, repr_name: str, regs, fregs, frame) -> int:
+    if location.kind == "reg":
+        raw = regs[location.value]
+    elif location.kind == "freg":
+        raw = fregs[location.value]
+    elif location.kind == "slot":
+        raw = frame[location.value]
+    elif location.kind == "const_int":
+        raw = location.value
+    elif location.kind == "const_float":
+        raw = location.value
+    else:  # const_tagged
+        return int(location.value)  # type: ignore[arg-type]
+    if repr_name in ("tagged", "tagged_signed"):
+        return int(raw)  # already a tagged word
+    if repr_name in ("int32", "bool"):
+        return heap.to_word(int(raw))
+    if repr_name == "float64":
+        return heap.number_from_float(float(raw))
+    raise AssertionError(f"cannot materialize repr {repr_name}")
+
+
+def materialize_frame(
+    heap: Heap,
+    point: DeoptPoint,
+    register_count: int,
+    regs: List[object],
+    fregs: List[float],
+    frame: List[object],
+) -> Tuple[List[int], int]:
+    """Rebuild (interpreter registers, this_word-or-undefined) from machine
+    state."""
+    interp_regs = [heap.undefined] * register_count
+    for value in point.values:
+        interp_regs[value.interp_reg] = _decode(
+            heap, value.location, value.repr_name, regs, fregs, frame
+        )
+    this_word = heap.undefined
+    if point.this_location is not None:
+        location, repr_name = point.this_location
+        this_word = _decode(heap, location, repr_name, regs, fregs, frame)
+    return interp_regs, this_word

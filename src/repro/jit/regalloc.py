@@ -1,0 +1,189 @@
+"""Linear-scan register allocation over IR nodes.
+
+Every live non-constant value node gets either a physical register or a
+stack-frame slot.  Constants are rematerialized at each use (like a RISC
+``movz``), so they never occupy a register.  Integer and floating-point
+values are allocated from separate register files.
+
+Loop handling: a value defined before a loop and used inside it must stay
+live for the whole loop (the back edge re-enters the body), so its interval
+is extended to the loop end — the classic linear-scan fix-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.nodes import Block, Node, Repr
+
+#: ops whose values are rematerialized at use sites instead of allocated.
+REMAT_OPS = frozenset({"const_int32", "const_float", "const_tagged"})
+
+
+@dataclass
+class Assignment:
+    kind: str  # "reg" | "freg" | "slot"
+    index: int
+
+
+class Allocation:
+    """Result of register allocation."""
+
+    def __init__(self) -> None:
+        self.assignments: Dict[int, Assignment] = {}
+        self.slot_count = 0
+
+    def location_of(self, node: Node) -> Optional[Assignment]:
+        return self.assignments.get(node.id)
+
+
+def _is_float(node: Node) -> bool:
+    return node.out_repr == Repr.FLOAT64
+
+
+def _linearize(blocks: List[Block]) -> Tuple[List[Node], Dict[int, int], Dict[int, Tuple[int, int]]]:
+    order: List[Node] = []
+    position: Dict[int, int] = {}
+    block_range: Dict[int, Tuple[int, int]] = {}
+    for block in blocks:
+        start = len(order)
+        for node in block.nodes:
+            if node.dead:
+                continue
+            position[node.id] = len(order)
+            order.append(node)
+        block_range[block.id] = (start, max(start, len(order) - 1))
+    return order, position, block_range
+
+
+def _compute_intervals(
+    blocks: List[Block],
+    order: List[Node],
+    position: Dict[int, int],
+    block_range: Dict[int, Tuple[int, int]],
+) -> Dict[int, Tuple[int, int]]:
+    last_use: Dict[int, int] = {}
+
+    def use(node: Node, at: int) -> None:
+        if node.id in position:
+            last_use[node.id] = max(last_use.get(node.id, position[node.id]), at)
+
+    for node in order:
+        at = position[node.id]
+        if node.op == "phi":
+            # Phi inputs are used at the end of each predecessor block.
+            assert node.block is not None
+            preds = node.block.predecessors
+            for index, an_input in enumerate(node.inputs):
+                if index < len(preds):
+                    pred_end = block_range.get(preds[index].id, (at, at))[1]
+                    use(an_input, pred_end)
+                else:
+                    use(an_input, at)
+            continue
+        for an_input in node.inputs:
+            use(an_input, at)
+        if node.checkpoint is not None:
+            for _reg, value in node.checkpoint.values:
+                use(value, at)
+            if node.checkpoint.this_node is not None:
+                use(node.checkpoint.this_node, at)
+
+    # Loop extension: values defined before a loop header but used inside
+    # the loop stay live until the loop's last block.
+    loops: List[Tuple[int, int]] = []
+    for block in blocks:
+        if not block.loop_header:
+            continue
+        header_start = block_range[block.id][0]
+        loop_end = header_start
+        for pred in block.predecessors:
+            pred_range = block_range.get(pred.id)
+            if pred_range is not None and pred_range[0] >= header_start:
+                loop_end = max(loop_end, pred_range[1])
+        loops.append((header_start, loop_end))
+
+    changed = True
+    while changed:
+        changed = False
+        for header_start, loop_end in loops:
+            for node_id, end in list(last_use.items()):
+                start = position.get(node_id)
+                if start is None:
+                    continue
+                if start < header_start and header_start <= end < loop_end:
+                    last_use[node_id] = loop_end
+                    changed = True
+
+    intervals: Dict[int, Tuple[int, int]] = {}
+    for node in order:
+        if node.op in REMAT_OPS or not node.produces_value:
+            continue
+        start = position[node.id]
+        end = last_use.get(node.id, start)
+        intervals[node.id] = (start, end)
+    return intervals
+
+
+def allocate(
+    blocks: List[Block], int_pool: List[int], float_pool: List[int]
+) -> Allocation:
+    """Allocate registers for all live value nodes across ``blocks``."""
+    order, position, block_range = _linearize(blocks)
+    intervals = _compute_intervals(blocks, order, position, block_range)
+    by_node: Dict[int, Node] = {n.id: n for n in order}
+
+    allocation = Allocation()
+    sorted_ids = sorted(intervals, key=lambda node_id: intervals[node_id][0])
+    active: List[Tuple[int, int]] = []  # (end, node_id), int file
+    active_f: List[Tuple[int, int]] = []
+    free_int = list(int_pool)
+    free_float = list(float_pool)
+
+    def expire(current_start: int) -> None:
+        for active_list, free in ((active, free_int), (active_f, free_float)):
+            index = 0
+            while index < len(active_list):
+                end, node_id = active_list[index]
+                if end < current_start:
+                    assignment = allocation.assignments[node_id]
+                    free.append(assignment.index)
+                    active_list.pop(index)
+                else:
+                    index += 1
+
+    def new_slot() -> int:
+        slot = allocation.slot_count
+        allocation.slot_count += 1
+        return slot
+
+    for node_id in sorted_ids:
+        start, end = intervals[node_id]
+        expire(start)
+        node = by_node[node_id]
+        is_float = _is_float(node)
+        free = free_float if is_float else free_int
+        active_list = active_f if is_float else active
+        if free:
+            register = free.pop()
+            allocation.assignments[node_id] = Assignment(
+                "freg" if is_float else "reg", register
+            )
+            active_list.append((end, node_id))
+            active_list.sort()
+        else:
+            # Spill the interval that ends last (current one included).
+            active_list.sort()
+            if active_list and active_list[-1][0] > end:
+                victim_end, victim_id = active_list.pop()
+                victim_assignment = allocation.assignments[victim_id]
+                allocation.assignments[victim_id] = Assignment("slot", new_slot())
+                allocation.assignments[node_id] = Assignment(
+                    victim_assignment.kind, victim_assignment.index
+                )
+                active_list.append((end, node_id))
+                active_list.sort()
+            else:
+                allocation.assignments[node_id] = Assignment("slot", new_slot())
+    return allocation

@@ -1,0 +1,19 @@
+"""Language front end: lexer, parser, AST."""
+
+from . import ast_nodes
+from .errors import JSRangeError, JSReferenceError, JSSyntaxError, JSTypeError
+from .lexer import Lexer, Token, tokenize
+from .parser import Parser, parse
+
+__all__ = [
+    "JSRangeError",
+    "JSReferenceError",
+    "JSSyntaxError",
+    "JSTypeError",
+    "Lexer",
+    "Parser",
+    "Token",
+    "ast_nodes",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,219 @@
+"""AST node definitions for the JavaScript subset.
+
+Plain dataclasses; every node records its source line so that bytecode and
+ultimately machine instructions can be traced back to source positions (the
+profiler's annotated listings rely on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NumberLiteral(Node):
+    value: float = 0.0
+    is_integer: bool = False
+
+
+@dataclass
+class StringLiteral(Node):
+    value: str = ""
+
+
+@dataclass
+class BooleanLiteral(Node):
+    value: bool = False
+
+
+@dataclass
+class NullLiteral(Node):
+    pass
+
+
+@dataclass
+class UndefinedLiteral(Node):
+    pass
+
+
+@dataclass
+class Identifier(Node):
+    name: str = ""
+
+
+@dataclass
+class ThisExpression(Node):
+    pass
+
+
+@dataclass
+class ArrayLiteral(Node):
+    elements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ObjectLiteral(Node):
+    # (key, value) pairs; keys are plain strings in the subset.
+    properties: List[Tuple[str, Node]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionExpression(Node):
+    name: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class UnaryExpression(Node):
+    operator: str = ""
+    operand: Node = None  # type: ignore[assignment]
+
+
+@dataclass
+class UpdateExpression(Node):
+    """++x / x++ / --x / x-- on identifiers, members, or elements."""
+
+    operator: str = ""
+    target: Node = None  # type: ignore[assignment]
+    prefix: bool = True
+
+
+@dataclass
+class BinaryExpression(Node):
+    operator: str = ""
+    left: Node = None  # type: ignore[assignment]
+    right: Node = None  # type: ignore[assignment]
+
+
+@dataclass
+class LogicalExpression(Node):
+    operator: str = ""  # "&&" or "||"
+    left: Node = None  # type: ignore[assignment]
+    right: Node = None  # type: ignore[assignment]
+
+
+@dataclass
+class ConditionalExpression(Node):
+    test: Node = None  # type: ignore[assignment]
+    consequent: Node = None  # type: ignore[assignment]
+    alternate: Node = None  # type: ignore[assignment]
+
+
+@dataclass
+class AssignmentExpression(Node):
+    operator: str = "="  # "=", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>=", ">>>="
+    target: Node = None  # type: ignore[assignment]
+    value: Node = None  # type: ignore[assignment]
+
+
+@dataclass
+class CallExpression(Node):
+    callee: Node = None  # type: ignore[assignment]
+    arguments: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class NewExpression(Node):
+    callee: Node = None  # type: ignore[assignment]
+    arguments: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class MemberExpression(Node):
+    """obj.name (computed=False) or obj[expr] (computed=True)."""
+
+    object: Node = None  # type: ignore[assignment]
+    property: Node = None  # type: ignore[assignment]
+    computed: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Program(Node):
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class VariableDeclaration(Node):
+    kind: str = "var"  # var / let / const
+    declarations: List[Tuple[str, Optional[Node]]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionDeclaration(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ExpressionStatement(Node):
+    expression: Node = None  # type: ignore[assignment]
+
+
+@dataclass
+class BlockStatement(Node):
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class IfStatement(Node):
+    test: Node = None  # type: ignore[assignment]
+    consequent: Node = None  # type: ignore[assignment]
+    alternate: Optional[Node] = None
+
+
+@dataclass
+class WhileStatement(Node):
+    test: Node = None  # type: ignore[assignment]
+    body: Node = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhileStatement(Node):
+    body: Node = None  # type: ignore[assignment]
+    test: Node = None  # type: ignore[assignment]
+
+
+@dataclass
+class ForStatement(Node):
+    init: Optional[Node] = None
+    test: Optional[Node] = None
+    update: Optional[Node] = None
+    body: Node = None  # type: ignore[assignment]
+
+
+@dataclass
+class ReturnStatement(Node):
+    argument: Optional[Node] = None
+
+
+@dataclass
+class BreakStatement(Node):
+    pass
+
+
+@dataclass
+class ContinueStatement(Node):
+    pass
+
+
+@dataclass
+class EmptyStatement(Node):
+    pass

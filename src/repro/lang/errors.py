@@ -1,0 +1,24 @@
+"""Errors raised by the language front end and the runtime."""
+
+from __future__ import annotations
+
+
+class JSSyntaxError(Exception):
+    """Raised by the lexer/parser on malformed source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class JSTypeError(Exception):
+    """Raised by the runtime on operations the subset does not define."""
+
+
+class JSReferenceError(Exception):
+    """Raised when an undeclared identifier is referenced."""
+
+
+class JSRangeError(Exception):
+    """Raised on out-of-range runtime operations (e.g. bad array length)."""

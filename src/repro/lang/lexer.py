@@ -1,0 +1,259 @@
+"""Hand-written lexer for the JavaScript subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .errors import JSSyntaxError
+
+KEYWORDS = {
+    "var",
+    "let",
+    "const",
+    "function",
+    "return",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "break",
+    "continue",
+    "true",
+    "false",
+    "null",
+    "undefined",
+    "new",
+    "this",
+    "typeof",
+}
+
+# Longest-match-first list of punctuators.
+PUNCTUATORS = [
+    ">>>=",
+    "===",
+    "!==",
+    ">>>",
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "!",
+    "~",
+    "?",
+    ":",
+    "=",
+    ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "string" | "identifier" | "keyword" | "punct" | "eof"
+    value: str
+    line: int
+    column: int
+    number_value: float = 0.0
+    is_integer: bool = False
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    "'": "'",
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+}
+
+
+class Lexer:
+    """Tokenizes a source string in a single forward pass."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind == "eof":
+                return tokens
+
+    # ------------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise JSSyntaxError("unterminated block comment", self.line, self.column)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        if self.pos >= len(self.source):
+            return Token("eof", "", line, column)
+        char = self._peek()
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if char.isalpha() or char in ("_", "$"):
+            return self._lex_identifier(line, column)
+        if char in "'\"":
+            return self._lex_string(line, column)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token("punct", punct, line, column)
+        raise JSSyntaxError(f"unexpected character {char!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_integer = True
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start : self.pos]
+            return Token("number", text, line, column, float(int(text, 16)), True)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == ".":
+            is_integer = False
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() and self._peek() in "eE":
+            is_integer = False
+            self._advance()
+            if self._peek() and self._peek() in "+-":
+                self._advance()
+            if not self._peek().isdigit():
+                raise JSSyntaxError("malformed exponent", self.line, self.column)
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        value = float(text)
+        return Token("number", text, line, column, value, is_integer)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() in ("_", "$")):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = "keyword" if text in KEYWORDS else "identifier"
+        return Token(kind, text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        quote = self._peek()
+        self._advance()
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise JSSyntaxError("unterminated string literal", line, column)
+            char = self._peek()
+            if char == quote:
+                self._advance()
+                return Token("string", "".join(chars), line, column)
+            if char == "\\":
+                self._advance()
+                escape = self._peek()
+                if escape == "u":
+                    self._advance()
+                    hex_digits = self.source[self.pos : self.pos + 4]
+                    if len(hex_digits) != 4:
+                        raise JSSyntaxError("bad unicode escape", self.line, self.column)
+                    chars.append(chr(int(hex_digits, 16)))
+                    self._advance(4)
+                elif escape == "x":
+                    self._advance()
+                    hex_digits = self.source[self.pos : self.pos + 2]
+                    chars.append(chr(int(hex_digits, 16)))
+                    self._advance(2)
+                elif escape in _ESCAPES:
+                    chars.append(_ESCAPES[escape])
+                    self._advance()
+                else:
+                    chars.append(escape)
+                    self._advance()
+            elif char == "\n":
+                raise JSSyntaxError("newline in string literal", self.line, self.column)
+            else:
+                chars.append(char)
+                self._advance()
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` into a token list."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,487 @@
+"""Recursive-descent parser for the JavaScript subset.
+
+Expression parsing uses precedence climbing; the precedence table mirrors
+ECMAScript's operator precedence for the operators in the subset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .errors import JSSyntaxError
+from .lexer import Token, tokenize
+
+# operator -> (precedence, right_associative)
+_BINARY_PRECEDENCE = {
+    "||": (1, False),
+    "&&": (2, False),
+    "|": (3, False),
+    "^": (4, False),
+    "&": (5, False),
+    "==": (6, False),
+    "!=": (6, False),
+    "===": (6, False),
+    "!==": (6, False),
+    "<": (7, False),
+    ">": (7, False),
+    "<=": (7, False),
+    ">=": (7, False),
+    "<<": (8, False),
+    ">>": (8, False),
+    ">>>": (8, False),
+    "+": (9, False),
+    "-": (9, False),
+    "*": (10, False),
+    "/": (10, False),
+    "%": (10, False),
+}
+
+_ASSIGNMENT_OPS = {
+    "=",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<=",
+    ">>=",
+    ">>>=",
+}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _match(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            wanted = value or kind
+            raise JSSyntaxError(
+                f"expected {wanted!r} but found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Program / statements
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        body: List[ast.Node] = []
+        first = self._peek()
+        while not self._check("eof"):
+            body.append(self.parse_statement())
+        return ast.Program(line=first.line, body=body)
+
+    def parse_statement(self) -> ast.Node:
+        token = self._peek()
+        if token.kind == "keyword":
+            handler = {
+                "var": self._parse_variable_declaration,
+                "let": self._parse_variable_declaration,
+                "const": self._parse_variable_declaration,
+                "function": self._parse_function_declaration,
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "do": self._parse_do_while,
+                "for": self._parse_for,
+                "return": self._parse_return,
+                "break": self._parse_break,
+                "continue": self._parse_continue,
+            }.get(token.value)
+            if handler is not None:
+                return handler()
+        if self._check("punct", "{"):
+            return self._parse_block()
+        if self._match("punct", ";"):
+            return ast.EmptyStatement(line=token.line)
+        expression = self.parse_expression()
+        self._match("punct", ";")
+        return ast.ExpressionStatement(line=token.line, expression=expression)
+
+    def _parse_block(self) -> ast.BlockStatement:
+        start = self._expect("punct", "{")
+        body: List[ast.Node] = []
+        while not self._check("punct", "}") and not self._check("eof"):
+            body.append(self.parse_statement())
+        self._expect("punct", "}")
+        return ast.BlockStatement(line=start.line, body=body)
+
+    def _parse_variable_declaration(self, consume_semicolon: bool = True) -> ast.VariableDeclaration:
+        kind_token = self._advance()
+        declarations: List[Tuple[str, Optional[ast.Node]]] = []
+        while True:
+            name = self._expect("identifier").value
+            init: Optional[ast.Node] = None
+            if self._match("punct", "="):
+                init = self.parse_assignment()
+            declarations.append((name, init))
+            if not self._match("punct", ","):
+                break
+        if consume_semicolon:
+            self._match("punct", ";")
+        return ast.VariableDeclaration(
+            line=kind_token.line, kind=kind_token.value, declarations=declarations
+        )
+
+    def _parse_function_declaration(self) -> ast.FunctionDeclaration:
+        start = self._expect("keyword", "function")
+        name = self._expect("identifier").value
+        params = self._parse_params()
+        body = self._parse_block().body
+        return ast.FunctionDeclaration(line=start.line, name=name, params=params, body=body)
+
+    def _parse_params(self) -> List[str]:
+        self._expect("punct", "(")
+        params: List[str] = []
+        if not self._check("punct", ")"):
+            while True:
+                params.append(self._expect("identifier").value)
+                if not self._match("punct", ","):
+                    break
+        self._expect("punct", ")")
+        return params
+
+    def _parse_if(self) -> ast.IfStatement:
+        start = self._expect("keyword", "if")
+        self._expect("punct", "(")
+        test = self.parse_expression()
+        self._expect("punct", ")")
+        consequent = self.parse_statement()
+        alternate: Optional[ast.Node] = None
+        if self._match("keyword", "else"):
+            alternate = self.parse_statement()
+        return ast.IfStatement(
+            line=start.line, test=test, consequent=consequent, alternate=alternate
+        )
+
+    def _parse_while(self) -> ast.WhileStatement:
+        start = self._expect("keyword", "while")
+        self._expect("punct", "(")
+        test = self.parse_expression()
+        self._expect("punct", ")")
+        body = self.parse_statement()
+        return ast.WhileStatement(line=start.line, test=test, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhileStatement:
+        start = self._expect("keyword", "do")
+        body = self.parse_statement()
+        self._expect("keyword", "while")
+        self._expect("punct", "(")
+        test = self.parse_expression()
+        self._expect("punct", ")")
+        self._match("punct", ";")
+        return ast.DoWhileStatement(line=start.line, body=body, test=test)
+
+    def _parse_for(self) -> ast.ForStatement:
+        start = self._expect("keyword", "for")
+        self._expect("punct", "(")
+        init: Optional[ast.Node] = None
+        if not self._check("punct", ";"):
+            if self._peek().kind == "keyword" and self._peek().value in ("var", "let", "const"):
+                init = self._parse_variable_declaration(consume_semicolon=False)
+            else:
+                init = ast.ExpressionStatement(
+                    line=self._peek().line, expression=self.parse_expression()
+                )
+        self._expect("punct", ";")
+        test = None if self._check("punct", ";") else self.parse_expression()
+        self._expect("punct", ";")
+        update = None if self._check("punct", ")") else self.parse_expression()
+        self._expect("punct", ")")
+        body = self.parse_statement()
+        return ast.ForStatement(
+            line=start.line, init=init, test=test, update=update, body=body
+        )
+
+    def _parse_return(self) -> ast.ReturnStatement:
+        start = self._expect("keyword", "return")
+        argument: Optional[ast.Node] = None
+        if not self._check("punct", ";") and not self._check("punct", "}") and not self._check("eof"):
+            argument = self.parse_expression()
+        self._match("punct", ";")
+        return ast.ReturnStatement(line=start.line, argument=argument)
+
+    def _parse_break(self) -> ast.BreakStatement:
+        start = self._expect("keyword", "break")
+        self._match("punct", ";")
+        return ast.BreakStatement(line=start.line)
+
+    def _parse_continue(self) -> ast.ContinueStatement:
+        start = self._expect("keyword", "continue")
+        self._match("punct", ";")
+        return ast.ContinueStatement(line=start.line)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Node:
+        expression = self.parse_assignment()
+        # The comma operator is rare but cheap to support (e.g. for-updates).
+        while self._check("punct", ",") and self._is_comma_expression_context():
+            self._advance()
+            right = self.parse_assignment()
+            expression = ast.BinaryExpression(
+                line=expression.line, operator=",", left=expression, right=right
+            )
+        return expression
+
+    def _is_comma_expression_context(self) -> bool:
+        # Commas inside argument lists / literals are handled by their own
+        # parsers, which call parse_assignment directly; reaching here means
+        # a genuine comma operator.
+        return True
+
+    def parse_assignment(self) -> ast.Node:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.kind == "punct" and token.value in _ASSIGNMENT_OPS:
+            if not isinstance(left, (ast.Identifier, ast.MemberExpression)):
+                raise JSSyntaxError("invalid assignment target", token.line, token.column)
+            self._advance()
+            value = self.parse_assignment()
+            return ast.AssignmentExpression(
+                line=token.line, operator=token.value, target=left, value=value
+            )
+        return left
+
+    def _parse_conditional(self) -> ast.Node:
+        test = self._parse_binary(0)
+        if self._match("punct", "?"):
+            consequent = self.parse_assignment()
+            self._expect("punct", ":")
+            alternate = self.parse_assignment()
+            return ast.ConditionalExpression(
+                line=test.line, test=test, consequent=consequent, alternate=alternate
+            )
+        return test
+
+    def _parse_binary(self, min_precedence: int) -> ast.Node:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind != "punct":
+                return left
+            info = _BINARY_PRECEDENCE.get(token.value)
+            if info is None or info[0] < min_precedence:
+                return left
+            precedence, right_assoc = info
+            self._advance()
+            right = self._parse_binary(precedence if right_assoc else precedence + 1)
+            if token.value in ("&&", "||"):
+                left = ast.LogicalExpression(
+                    line=token.line, operator=token.value, left=left, right=right
+                )
+            else:
+                left = ast.BinaryExpression(
+                    line=token.line, operator=token.value, left=left, right=right
+                )
+
+    def _parse_unary(self) -> ast.Node:
+        token = self._peek()
+        if token.kind == "punct" and token.value in ("-", "+", "!", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryExpression(line=token.line, operator=token.value, operand=operand)
+        if token.kind == "keyword" and token.value == "typeof":
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryExpression(line=token.line, operator="typeof", operand=operand)
+        if token.kind == "punct" and token.value in ("++", "--"):
+            self._advance()
+            target = self._parse_unary()
+            if not isinstance(target, (ast.Identifier, ast.MemberExpression)):
+                raise JSSyntaxError("invalid increment target", token.line, token.column)
+            return ast.UpdateExpression(
+                line=token.line, operator=token.value, target=target, prefix=True
+            )
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Node:
+        expression = self._parse_call_member()
+        token = self._peek()
+        if token.kind == "punct" and token.value in ("++", "--"):
+            if not isinstance(expression, (ast.Identifier, ast.MemberExpression)):
+                raise JSSyntaxError("invalid increment target", token.line, token.column)
+            self._advance()
+            return ast.UpdateExpression(
+                line=token.line, operator=token.value, target=expression, prefix=False
+            )
+        return expression
+
+    def _parse_call_member(self) -> ast.Node:
+        if self._check("keyword", "new"):
+            start = self._advance()
+            callee = self._parse_call_member_tail(self._parse_primary(), allow_call=False)
+            arguments: List[ast.Node] = []
+            if self._check("punct", "("):
+                arguments = self._parse_arguments()
+            expression: ast.Node = ast.NewExpression(
+                line=start.line, callee=callee, arguments=arguments
+            )
+            return self._parse_call_member_tail(expression, allow_call=True)
+        return self._parse_call_member_tail(self._parse_primary(), allow_call=True)
+
+    def _parse_call_member_tail(self, expression: ast.Node, allow_call: bool) -> ast.Node:
+        while True:
+            if self._check("punct", "."):
+                dot = self._advance()
+                name_token = self._peek()
+                if name_token.kind not in ("identifier", "keyword"):
+                    raise JSSyntaxError(
+                        "expected property name", name_token.line, name_token.column
+                    )
+                self._advance()
+                expression = ast.MemberExpression(
+                    line=dot.line,
+                    object=expression,
+                    property=ast.Identifier(line=name_token.line, name=name_token.value),
+                    computed=False,
+                )
+            elif self._check("punct", "["):
+                bracket = self._advance()
+                index = self.parse_expression()
+                self._expect("punct", "]")
+                expression = ast.MemberExpression(
+                    line=bracket.line, object=expression, property=index, computed=True
+                )
+            elif allow_call and self._check("punct", "("):
+                paren = self._peek()
+                arguments = self._parse_arguments()
+                expression = ast.CallExpression(
+                    line=paren.line, callee=expression, arguments=arguments
+                )
+            else:
+                return expression
+
+    def _parse_arguments(self) -> List[ast.Node]:
+        self._expect("punct", "(")
+        arguments: List[ast.Node] = []
+        if not self._check("punct", ")"):
+            while True:
+                arguments.append(self.parse_assignment())
+                if not self._match("punct", ","):
+                    break
+        self._expect("punct", ")")
+        return arguments
+
+    def _parse_primary(self) -> ast.Node:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return ast.NumberLiteral(
+                line=token.line, value=token.number_value, is_integer=token.is_integer
+            )
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLiteral(line=token.line, value=token.value)
+        if token.kind == "identifier":
+            self._advance()
+            return ast.Identifier(line=token.line, name=token.value)
+        if token.kind == "keyword":
+            if token.value in ("true", "false"):
+                self._advance()
+                return ast.BooleanLiteral(line=token.line, value=token.value == "true")
+            if token.value == "null":
+                self._advance()
+                return ast.NullLiteral(line=token.line)
+            if token.value == "undefined":
+                self._advance()
+                return ast.UndefinedLiteral(line=token.line)
+            if token.value == "this":
+                self._advance()
+                return ast.ThisExpression(line=token.line)
+            if token.value == "function":
+                return self._parse_function_expression()
+        if self._check("punct", "("):
+            self._advance()
+            expression = self.parse_expression()
+            self._expect("punct", ")")
+            return expression
+        if self._check("punct", "["):
+            return self._parse_array_literal()
+        if self._check("punct", "{"):
+            return self._parse_object_literal()
+        raise JSSyntaxError(f"unexpected token {token.value!r}", token.line, token.column)
+
+    def _parse_function_expression(self) -> ast.FunctionExpression:
+        start = self._expect("keyword", "function")
+        name: Optional[str] = None
+        if self._peek().kind == "identifier":
+            name = self._advance().value
+        params = self._parse_params()
+        body = self._parse_block().body
+        return ast.FunctionExpression(line=start.line, name=name, params=params, body=body)
+
+    def _parse_array_literal(self) -> ast.ArrayLiteral:
+        start = self._expect("punct", "[")
+        elements: List[ast.Node] = []
+        if not self._check("punct", "]"):
+            while True:
+                elements.append(self.parse_assignment())
+                if not self._match("punct", ","):
+                    break
+        self._expect("punct", "]")
+        return ast.ArrayLiteral(line=start.line, elements=elements)
+
+    def _parse_object_literal(self) -> ast.ObjectLiteral:
+        start = self._expect("punct", "{")
+        properties: List[Tuple[str, ast.Node]] = []
+        if not self._check("punct", "}"):
+            while True:
+                key_token = self._peek()
+                if key_token.kind in ("identifier", "keyword", "string"):
+                    key = key_token.value
+                    self._advance()
+                elif key_token.kind == "number":
+                    key = (
+                        str(int(key_token.number_value))
+                        if key_token.is_integer
+                        else str(key_token.number_value)
+                    )
+                    self._advance()
+                else:
+                    raise JSSyntaxError(
+                        "expected property key", key_token.line, key_token.column
+                    )
+                self._expect("punct", ":")
+                value = self.parse_assignment()
+                properties.append((key, value))
+                if not self._match("punct", ","):
+                    break
+        self._expect("punct", "}")
+        return ast.ObjectLiteral(line=start.line, properties=properties)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse ``source`` into a :class:`repro.lang.ast_nodes.Program`."""
+    return Parser(tokenize(source)).parse_program()

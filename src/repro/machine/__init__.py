@@ -1,0 +1,5 @@
+"""Functional machine simulator for the modelled ISAs."""
+
+from .executor import BranchPredictor, CostModel, ExecStats, Executor, MachineError
+
+__all__ = ["BranchPredictor", "CostModel", "ExecStats", "Executor", "MachineError"]

@@ -1,0 +1,693 @@
+"""Functional simulator for the modelled ISAs.
+
+Executes :class:`~repro.jit.codegen.CodeObject` instructions against the
+simulated heap, with:
+
+* ARM-style flags (N/Z/C/V); flag-setting arithmetic reports *SMI-range*
+  overflow, mirroring V8's tagged-arithmetic overflow behaviour (a 32-bit
+  ``adds`` on tagged words overflows exactly when the 31-bit payload does);
+* a pluggable fast timing model (per-class costs + branch predictor), the
+  "runs on real silicon" proxy for Sections III-IV;
+* optional instruction tracing for the detailed pipeline models (the gem5
+  proxy for Section V);
+* cycle-driven PC sampling for the perf-style profiler;
+* deoptimization: taken deopt branches raise :class:`DeoptSignal`; the
+  SMI-extension's ``jsldrsmi`` instead sets REG_RE/REG_PC and triggers the
+  bailout at commit time, as in the paper's Fig. 12 datapath.
+
+Each activation gets a fresh register file (register-window style), which
+lets the simulator avoid modelling callee-save traffic; call costs are
+charged as a lump sum instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa.base import CC, FRAME_BASE, MachineInstr, MOp, REG_PC, REG_RE
+from ..jit.checks import REASON_CODES
+from ..jit.codegen import THIS_REG, CodeObject
+from ..jit.deopt import DeoptSignal
+from ..values.heap import Heap, HeapError
+
+_UINT32 = 0xFFFFFFFF
+
+
+class CostModel:
+    """Per-instruction-class cycle costs for the fast timing model.
+
+    Calibrated to an out-of-order server core: *amortized* costs, i.e. the
+    marginal cycles an extra instruction of that class adds to a wide O3
+    pipeline.  Independent single-cycle ALU work (the bulk of check
+    conditions) is largely absorbed by spare issue slots, so its amortized
+    cost is well below one cycle; loads, stores, FP and division carry the
+    real latencies; mispredicted branches pay a full redirect.  This is the
+    property the paper's Section IV-B leans on: rarely-taken, correctly
+    predicted deopt branches are nearly free, while condition computations
+    still occupy real resources.
+    """
+
+    __slots__ = (
+        "alu",
+        "mov",
+        "load",
+        "store",
+        "float_alu",
+        "float_div",
+        "int_div",
+        "branch",
+        "taken_extra",
+        "mispredict_penalty",
+        "call_overhead",
+        "cset",
+    )
+
+    def __init__(
+        self,
+        alu: float = 0.18,
+        mov: float = 0.10,
+        load: float = 0.55,
+        store: float = 0.60,
+        float_alu: float = 1.0,
+        float_div: float = 8.0,
+        int_div: float = 6.0,
+        branch: float = 0.12,
+        taken_extra: float = 0.30,
+        mispredict_penalty: float = 14.0,
+        call_overhead: float = 20.0,
+        cset: float = 0.18,
+    ) -> None:
+        self.alu = alu
+        self.mov = mov
+        self.load = load
+        self.store = store
+        self.float_alu = float_alu
+        self.float_div = float_div
+        self.int_div = int_div
+        self.branch = branch
+        self.taken_extra = taken_extra
+        self.mispredict_penalty = mispredict_penalty
+        self.call_overhead = call_overhead
+        self.cset = cset
+
+    def op_costs(self) -> dict:
+        """MOp -> base cost table."""
+        costs = {}
+        for op in MOp:
+            costs[op] = self.alu
+        for op in (MOp.MOVR, MOp.MOVI, MOp.FMOVR, MOp.FMOVI):
+            costs[op] = self.mov
+        for op in (MOp.LDR, MOp.LDRF, MOp.JSLDRSMI):
+            costs[op] = self.load
+        for op in (MOp.STR, MOp.STRF):
+            costs[op] = self.store
+        for op in (MOp.FADD, MOp.FSUB, MOp.FMUL, MOp.FNEG, MOp.FABS, MOp.FCMP,
+                   MOp.SCVTF, MOp.FCVTZS):
+            costs[op] = self.float_alu
+        costs[MOp.FDIV] = self.float_div
+        costs[MOp.SDIV] = self.int_div
+        for op in (MOp.B, MOp.BCC):
+            costs[op] = self.branch
+        costs[MOp.CSET] = self.cset
+        for op in (MOp.CALL_JS, MOp.CALL_DYN, MOp.CALL_RT):
+            costs[op] = self.call_overhead
+        # Memory-operand compares pay ALU + load.
+        for op in (MOp.CMP_MEM, MOp.CMPI_MEM, MOp.TSTI_MEM):
+            costs[op] = self.alu + self.load
+        costs[MOp.RET] = self.branch
+        costs[MOp.DEOPT] = 0.0
+        costs[MOp.MSR] = self.mov
+        return costs
+
+
+class BranchPredictor:
+    """Gshare-flavoured predictor: 2-bit counters indexed by pc ^ history."""
+
+    __slots__ = ("table", "history", "mask", "predictions", "mispredictions")
+
+    def __init__(self, bits: int = 12) -> None:
+        self.table = bytearray([1]) * (1 << bits)  # weakly not-taken
+        self.history = 0
+        self.mask = (1 << bits) - 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Returns True when the branch was mispredicted."""
+        index = (pc ^ self.history) & self.mask
+        counter = self.table[index]
+        predicted_taken = counter >= 2
+        mispredicted = predicted_taken != taken
+        self.predictions += 1
+        if mispredicted:
+            self.mispredictions += 1
+        if taken and counter < 3:
+            self.table[index] = counter + 1
+        elif not taken and counter > 0:
+            self.table[index] = counter - 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self.mask
+        return mispredicted
+
+
+class ExecStats:
+    """Hardware-counter style statistics (Fig. 10's metrics)."""
+
+    __slots__ = (
+        "instructions",
+        "branches",
+        "taken_branches",
+        "mispredictions",
+        "loads",
+        "stores",
+        "deopt_branch_instrs",
+    )
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.branches = 0
+        self.taken_branches = 0
+        self.mispredictions = 0
+        self.loads = 0
+        self.stores = 0
+        self.deopt_branch_instrs = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "instructions": self.instructions,
+            "branches": self.branches,
+            "taken_branches": self.taken_branches,
+            "mispredictions": self.mispredictions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "deopt_branches": self.deopt_branch_instrs,
+        }
+
+
+class MachineError(Exception):
+    """Simulator-level fault (corrupt code or unchecked speculation)."""
+
+
+def _fits(config, value: int) -> bool:
+    return config.smi_min <= value <= config.smi_max
+
+
+class Executor:
+    """Executes compiled code; one instance per engine."""
+
+    def __init__(self, engine, cost_model: Optional[CostModel] = None) -> None:
+        self.engine = engine
+        self.heap: Heap = engine.heap
+        self.cost_model = cost_model or CostModel()
+        self.op_cost = self.cost_model.op_costs()
+        self.predictor = BranchPredictor()
+        self.stats = ExecStats()
+        self.cycles = 0.0
+        #: optional list; when set, every retired instruction appends
+        #: (instr, taken, mem_word_addr) for the pipeline models.
+        self.trace: Optional[list] = None
+        #: PC sampler callback: fn(code, pc) — called on sample ticks.
+        self.sampler = None
+        self.sample_period = 0.0
+        self._next_sample = math.inf
+        #: machine state captured when a DeoptSignal is raised, for the
+        #: deoptimizer's frame materialization.
+        self.deopt_state = None
+
+    def set_sampling(self, sampler, period: float) -> None:
+        self.sampler = sampler
+        self.sample_period = period
+        self._next_sample = self.cycles + period if sampler else math.inf
+
+    # ------------------------------------------------------------------
+
+    def run(self, code: CodeObject, args: Sequence[int], this_word: int) -> int:
+        """Execute ``code`` to completion; returns the tagged result word.
+
+        Raises :class:`DeoptSignal` when a deoptimization check fires.
+        """
+        heap_words = self.heap.words
+        config = self.heap.config
+        smi_min, smi_max = config.smi_min, config.smi_max
+        instrs = code.instrs
+        regs: List[int] = [0] * code.target.gpr_count
+        fregs: List[float] = [0.0] * code.target.fpr_count
+        frame: List[object] = [0] * max(1, code.stack_slots)
+        special = [0, 0, 0]
+        for index, arg in enumerate(args):
+            regs[index] = arg
+        regs[THIS_REG] = this_word
+        n = z = False
+        c = v = False
+        pc = 0
+        cost = self.op_cost
+        stats = self.stats
+        predictor = self.predictor
+        local_cycles = self.cycles
+        tracing = self.trace is not None
+        trace = self.trace
+        engine = self.engine
+
+        def mem_addr(mem) -> int:
+            base, index_reg, scale, disp = mem
+            if base == FRAME_BASE:
+                return -1  # frame access marker
+            address = (regs[base] >> 1) + disp
+            if index_reg >= 0:
+                address += regs[index_reg] << scale
+            return address
+
+        def cond(cc_value: int) -> bool:
+            if cc_value == CC.EQ:
+                return z
+            if cc_value == CC.NE:
+                return not z
+            if cc_value == CC.LT:
+                return n != v
+            if cc_value == CC.GE:
+                return n == v
+            if cc_value == CC.GT:
+                return (not z) and (n == v)
+            if cc_value == CC.LE:
+                return z or (n != v)
+            if cc_value == CC.HS:
+                return c
+            if cc_value == CC.LO:
+                return not c
+            if cc_value == CC.HI:
+                return c and not z
+            if cc_value == CC.LS:
+                return (not c) or z
+            if cc_value == CC.VS:
+                return v
+            if cc_value == CC.VC:
+                return not v
+            if cc_value == CC.MI:
+                return n
+            return not n  # PL
+
+        while True:
+            instr = instrs[pc]
+            op = instr.op
+            stats.instructions += 1
+            local_cycles += cost[op]
+            if local_cycles >= self._next_sample:
+                self._sample(code, pc, local_cycles)
+            if tracing:
+                trace.append((instr, False, -1))  # placeholder; patched below
+
+            if op == MOp.LDR:
+                mem = instr.mem
+                stats.loads += 1
+                if mem[0] == FRAME_BASE:
+                    regs[instr.dst] = frame[mem[3]]  # type: ignore[assignment]
+                else:
+                    address = mem_addr(mem)
+                    value = heap_words[address]
+                    if not isinstance(value, int):
+                        raise MachineError(
+                            f"LDR of non-int slot {address} -> {value!r}"
+                        )
+                    regs[instr.dst] = value
+                    if tracing:
+                        trace[-1] = (instr, False, address)
+                pc += 1
+            elif op == MOp.STR:
+                mem = instr.mem
+                stats.stores += 1
+                if mem[0] == FRAME_BASE:
+                    frame[mem[3]] = regs[instr.s1]
+                else:
+                    address = mem_addr(mem)
+                    heap_words[address] = regs[instr.s1]
+                    if tracing:
+                        trace[-1] = (instr, False, address)
+                pc += 1
+            elif op == MOp.MOVR:
+                regs[instr.dst] = regs[instr.s1]
+                pc += 1
+            elif op == MOp.MOVI:
+                regs[instr.dst] = instr.imm  # type: ignore[assignment]
+                pc += 1
+            elif op == MOp.ADD:
+                regs[instr.dst] = regs[instr.s1] + regs[instr.s2]
+                pc += 1
+            elif op == MOp.SUB:
+                regs[instr.dst] = regs[instr.s1] - regs[instr.s2]
+                pc += 1
+            elif op == MOp.MUL:
+                regs[instr.dst] = regs[instr.s1] * regs[instr.s2]
+                pc += 1
+            elif op == MOp.ADDI:
+                regs[instr.dst] = regs[instr.s1] + instr.imm
+                pc += 1
+            elif op == MOp.SUBI:
+                regs[instr.dst] = regs[instr.s1] - instr.imm
+                pc += 1
+            elif op == MOp.LSLI:
+                regs[instr.dst] = regs[instr.s1] << instr.imm
+                pc += 1
+            elif op == MOp.ASRI:
+                regs[instr.dst] = regs[instr.s1] >> instr.imm
+                pc += 1
+            elif op == MOp.BCC:
+                taken = cond(instr.cc)
+                stats.branches += 1
+                if instr.is_deopt_branch:
+                    stats.deopt_branch_instrs += 1
+                if predictor.predict_and_update(pc, taken):
+                    stats.mispredictions += 1
+                    local_cycles += self.cost_model.mispredict_penalty
+                if tracing:
+                    trace[-1] = (instr, taken, -1)
+                if taken:
+                    stats.taken_branches += 1
+                    local_cycles += self.cost_model.taken_extra
+                    pc = instr.target
+                else:
+                    pc += 1
+            elif op == MOp.B:
+                stats.branches += 1
+                stats.taken_branches += 1
+                local_cycles += self.cost_model.taken_extra
+                if tracing:
+                    trace[-1] = (instr, True, -1)
+                pc = instr.target
+            elif op == MOp.CMP:
+                a, b = regs[instr.s1], regs[instr.s2]
+                diff = a - b
+                z = diff == 0
+                n = diff < 0
+                c = (a & _UINT32) >= (b & _UINT32)
+                v = not (-(1 << 31) <= diff <= (1 << 31) - 1)
+                pc += 1
+            elif op == MOp.CMPI:
+                a, b = regs[instr.s1], instr.imm
+                diff = a - b
+                z = diff == 0
+                n = diff < 0
+                c = (a & _UINT32) >= (int(b) & _UINT32)
+                v = not (-(1 << 31) <= diff <= (1 << 31) - 1)
+                pc += 1
+            elif op == MOp.TSTI:
+                masked = regs[instr.s1] & int(instr.imm)
+                z = masked == 0
+                n = masked < 0
+                c = v = False
+                pc += 1
+            elif op == MOp.TST:
+                masked = regs[instr.s1] & regs[instr.s2]
+                z = masked == 0
+                n = masked < 0
+                c = v = False
+                pc += 1
+            elif op == MOp.ADDS or op == MOp.ADDSI:
+                b = regs[instr.s2] if op == MOp.ADDS else int(instr.imm)
+                result = regs[instr.s1] + b
+                regs[instr.dst] = result
+                z = result == 0
+                n = result < 0
+                v = not (smi_min <= result <= smi_max)
+                c = False
+                pc += 1
+            elif op == MOp.SUBS or op == MOp.SUBSI:
+                b = regs[instr.s2] if op == MOp.SUBS else int(instr.imm)
+                result = regs[instr.s1] - b
+                regs[instr.dst] = result
+                z = result == 0
+                n = result < 0
+                v = not (smi_min <= result <= smi_max)
+                c = False
+                pc += 1
+            elif op == MOp.MULS:
+                result = regs[instr.s1] * regs[instr.s2]
+                regs[instr.dst] = result
+                z = result == 0
+                n = result < 0
+                v = not (smi_min <= result <= smi_max)
+                c = False
+                pc += 1
+            elif op == MOp.NEGS:
+                source = regs[instr.s1]
+                result = -source
+                regs[instr.dst] = result
+                z = source == 0
+                n = result < 0
+                v = not (smi_min <= result <= smi_max)
+                c = False
+                pc += 1
+            elif op == MOp.MZCMP:
+                z = regs[instr.s1] == 0 and regs[instr.s2] < 0
+                n = False
+                c = v = False
+                pc += 1
+            elif op == MOp.CSET:
+                regs[instr.dst] = 1 if cond(instr.cc) else 0
+                pc += 1
+            elif op == MOp.AND:
+                regs[instr.dst] = regs[instr.s1] & regs[instr.s2]
+                pc += 1
+            elif op == MOp.ORR:
+                regs[instr.dst] = regs[instr.s1] | regs[instr.s2]
+                pc += 1
+            elif op == MOp.EOR:
+                regs[instr.dst] = regs[instr.s1] ^ regs[instr.s2]
+                pc += 1
+            elif op == MOp.ANDI:
+                regs[instr.dst] = regs[instr.s1] & int(instr.imm)
+                pc += 1
+            elif op == MOp.ORRI:
+                regs[instr.dst] = regs[instr.s1] | int(instr.imm)
+                pc += 1
+            elif op == MOp.EORI:
+                regs[instr.dst] = regs[instr.s1] ^ int(instr.imm)
+                pc += 1
+            elif op == MOp.LSL:
+                shift = regs[instr.s2] & 31
+                result = (regs[instr.s1] << shift) & _UINT32
+                if result >= 1 << 31:
+                    result -= 1 << 32
+                regs[instr.dst] = result
+                pc += 1
+            elif op == MOp.ASR:
+                regs[instr.dst] = regs[instr.s1] >> (regs[instr.s2] & 31)
+                pc += 1
+            elif op == MOp.LSR:
+                regs[instr.dst] = (regs[instr.s1] & _UINT32) >> (regs[instr.s2] & 31)
+                pc += 1
+            elif op == MOp.LSRI:
+                regs[instr.dst] = (regs[instr.s1] & _UINT32) >> int(instr.imm)
+                pc += 1
+            elif op == MOp.SDIV:
+                divisor = regs[instr.s2]
+                if divisor == 0:
+                    regs[instr.dst] = 0  # ARM semantics: division by zero -> 0
+                else:
+                    quotient = abs(regs[instr.s1]) // abs(divisor)
+                    if (regs[instr.s1] < 0) != (divisor < 0):
+                        quotient = -quotient
+                    regs[instr.dst] = quotient
+                pc += 1
+            elif op == MOp.LDRF:
+                mem = instr.mem
+                stats.loads += 1
+                if mem[0] == FRAME_BASE:
+                    fregs[instr.dst] = frame[mem[3]]  # type: ignore[assignment]
+                else:
+                    address = mem_addr(mem)
+                    value = heap_words[address]
+                    fregs[instr.dst] = float(value)  # type: ignore[arg-type]
+                    if tracing:
+                        trace[-1] = (instr, False, address)
+                pc += 1
+            elif op == MOp.STRF:
+                mem = instr.mem
+                stats.stores += 1
+                if mem[0] == FRAME_BASE:
+                    frame[mem[3]] = fregs[instr.s1]
+                else:
+                    address = mem_addr(mem)
+                    heap_words[address] = fregs[instr.s1]
+                    if tracing:
+                        trace[-1] = (instr, False, address)
+                pc += 1
+            elif op == MOp.FADD:
+                fregs[instr.dst] = fregs[instr.s1] + fregs[instr.s2]
+                pc += 1
+            elif op == MOp.FSUB:
+                fregs[instr.dst] = fregs[instr.s1] - fregs[instr.s2]
+                pc += 1
+            elif op == MOp.FMUL:
+                fregs[instr.dst] = fregs[instr.s1] * fregs[instr.s2]
+                pc += 1
+            elif op == MOp.FDIV:
+                denominator = fregs[instr.s2]
+                numerator = fregs[instr.s1]
+                if denominator == 0.0:
+                    if numerator == 0.0 or math.isnan(numerator):
+                        fregs[instr.dst] = float("nan")
+                    else:
+                        sign = math.copysign(1.0, numerator) * math.copysign(
+                            1.0, denominator
+                        )
+                        fregs[instr.dst] = math.inf * sign
+                else:
+                    fregs[instr.dst] = numerator / denominator
+                pc += 1
+            elif op == MOp.FNEG:
+                fregs[instr.dst] = -fregs[instr.s1]
+                pc += 1
+            elif op == MOp.FABS:
+                fregs[instr.dst] = abs(fregs[instr.s1])
+                pc += 1
+            elif op == MOp.FMOVR:
+                fregs[instr.dst] = fregs[instr.s1]
+                pc += 1
+            elif op == MOp.FMOVI:
+                fregs[instr.dst] = float(instr.imm)
+                pc += 1
+            elif op == MOp.FCMP:
+                a, b = fregs[instr.s1], fregs[instr.s2]
+                if math.isnan(a) or math.isnan(b):
+                    n, z, c, v = False, False, True, True
+                else:
+                    n = a < b
+                    z = a == b
+                    c = a >= b
+                    v = False
+                pc += 1
+            elif op == MOp.SCVTF:
+                fregs[instr.dst] = float(regs[instr.s1])
+                pc += 1
+            elif op == MOp.FCVTZS:
+                # JS ToInt32 truncation semantics (wrap modulo 2^32): this is
+                # what the compiler's float64->int32 lowering implements.
+                value = fregs[instr.s1]
+                if math.isnan(value) or math.isinf(value):
+                    regs[instr.dst] = 0
+                else:
+                    wrapped = int(value) % 4294967296
+                    regs[instr.dst] = (
+                        wrapped - 4294967296 if wrapped >= 2147483648 else wrapped
+                    )
+                pc += 1
+            elif op == MOp.JSLDRSMI:
+                mem = instr.mem
+                stats.loads += 1
+                address = mem_addr(mem)
+                value = heap_words[address]
+                if tracing:
+                    trace[-1] = (instr, False, address)
+                if not isinstance(value, int):
+                    raise MachineError(f"jsldrsmi of non-int slot {address}")
+                if value & 1:
+                    # Commit-time bailout (Fig. 12): update the special
+                    # registers and raise through the bailout handler.
+                    check_id = code.smi_load_checks.get(pc, -1)
+                    special[REG_PC] = pc
+                    special[REG_RE] = REASON_CODES.get(
+                        code.deopt_points[check_id].kind, 1
+                    ) if check_id >= 0 else 1
+                    if check_id < 0:
+                        raise MachineError("jsldrsmi bailout without deopt point")
+                    self.cycles = local_cycles
+                    self.deopt_state = (regs, fregs, frame)
+                    raise DeoptSignal(check_id)
+                regs[instr.dst] = value >> 1
+                pc += 1
+            elif op == MOp.CMP_MEM:
+                address = mem_addr(instr.mem)
+                stats.loads += 1
+                b = heap_words[address]
+                if not isinstance(b, int):
+                    raise MachineError("cmp with non-int memory operand")
+                a = regs[instr.s1]
+                diff = a - b
+                z = diff == 0
+                n = diff < 0
+                c = (a & _UINT32) >= (b & _UINT32)
+                v = not (-(1 << 31) <= diff <= (1 << 31) - 1)
+                if tracing:
+                    trace[-1] = (instr, False, address)
+                pc += 1
+            elif op == MOp.CMPI_MEM:
+                address = mem_addr(instr.mem)
+                stats.loads += 1
+                a = heap_words[address]
+                if not isinstance(a, int):
+                    raise MachineError("cmp with non-int memory operand")
+                b = int(instr.imm)
+                diff = a - b
+                z = diff == 0
+                n = diff < 0
+                c = (a & _UINT32) >= (b & _UINT32)
+                v = not (-(1 << 31) <= diff <= (1 << 31) - 1)
+                if tracing:
+                    trace[-1] = (instr, False, address)
+                pc += 1
+            elif op == MOp.TSTI_MEM:
+                address = mem_addr(instr.mem)
+                stats.loads += 1
+                a = heap_words[address]
+                masked = a & int(instr.imm)  # type: ignore[operator]
+                z = masked == 0
+                n = masked < 0  # type: ignore[operator]
+                c = v = False
+                if tracing:
+                    trace[-1] = (instr, False, address)
+                pc += 1
+            elif op == MOp.CALL_JS:
+                self.cycles = local_cycles
+                call_args = [regs[r] for r in instr.args]
+                regs[0] = engine.call_shared(int(instr.imm), regs[THIS_REG], call_args)
+                local_cycles = self.cycles
+                pc += 1
+            elif op == MOp.CALL_DYN:
+                self.cycles = local_cycles
+                call_args = [regs[r] for r in instr.args]
+                regs[0] = engine.call_value(
+                    regs[instr.s1], self.heap.undefined, call_args, None
+                )
+                local_cycles = self.cycles
+                pc += 1
+            elif op == MOp.CALL_RT:
+                self.cycles = local_cycles
+                name, extra = instr.aux  # type: ignore[misc]
+                result = engine.call_runtime(
+                    name, extra, [regs[r] for r in instr.args], fregs
+                )
+                local_cycles = self.cycles
+                if instr.returns_float:
+                    fregs[0] = result  # type: ignore[assignment]
+                else:
+                    regs[0] = result  # type: ignore[assignment]
+                pc += 1
+            elif op == MOp.RET:
+                self.cycles = local_cycles
+                return regs[instr.s1]
+            elif op == MOp.DEOPT:
+                self.cycles = local_cycles
+                self.deopt_state = (regs, fregs, frame)
+                raise DeoptSignal(int(instr.imm))
+            elif op == MOp.MSR:
+                special[int(instr.imm)] = regs[instr.s1]
+                pc += 1
+            else:  # pragma: no cover - full dispatch above
+                raise MachineError(f"unimplemented machine op {op.name}")
+
+    def _sample(self, code: CodeObject, pc: int, cycles: float) -> None:
+        if self.sampler is not None:
+            self.sampler.record_jit(code, pc)
+            self._next_sample = cycles + self.sample_period
+        else:
+            self._next_sample = math.inf
+
+    def charge_external(self, cycles: float, in_jit: bool = False) -> None:
+        """Advance time for non-JIT work (interpreter, builtins, GC)."""
+        self.cycles += cycles
+        while self.cycles >= self._next_sample:
+            if self.sampler is None:
+                self._next_sample = math.inf
+                return
+            self.sampler.record_other()
+            self._next_sample += self.sample_period

@@ -1,0 +1,22 @@
+"""perf-style profiling: PC sampling and check attribution."""
+
+from .annotate import annotated_listing
+from .attribution import (
+    AttributionResult,
+    attribute_samples,
+    static_check_density,
+    truth_check_pcs,
+    window_check_pcs,
+)
+from .sampler import PCSampler, attach_sampler
+
+__all__ = [
+    "AttributionResult",
+    "PCSampler",
+    "annotated_listing",
+    "attach_sampler",
+    "attribute_samples",
+    "static_check_density",
+    "truth_check_pcs",
+    "window_check_pcs",
+]

@@ -1,0 +1,51 @@
+"""Annotated assembly listings with sample counts (the paper's Fig. 3).
+
+Combines the pretty-printed machine code with per-pc sample counts and the
+window-heuristic check assignment, producing listings like::
+
+     123 |   42: ldr x20, [x19, #2]        <- check (OUT_OF_BOUNDS)
+      87 |   43: cmp x13, x20              <- check (OUT_OF_BOUNDS)
+       5 |   44: b.hs deopt_57             <- deopt branch
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..isa.asmprint import format_instr
+from ..isa.base import MOp
+from ..jit.codegen import CodeObject
+from .attribution import truth_check_pcs, window_check_pcs
+from .sampler import PCSampler
+
+
+def annotated_listing(
+    code: CodeObject,
+    sampler: Optional[PCSampler] = None,
+    method: str = "window",
+) -> str:
+    """Render ``code`` with sample counts and check annotations."""
+    samples: Dict[int, int] = {}
+    if sampler is not None:
+        samples = sampler.samples_by_code().get(code, {})
+    if method == "window":
+        assignment = window_check_pcs(code, code.target.check_window)
+    else:
+        assignment = truth_check_pcs(code, count_shared=True)
+    lines = [
+        f"-- {code.shared.name} [{code.target.name}]"
+        f"  ({sum(samples.values())} samples) --",
+        f"{'samples':>8} | instruction",
+    ]
+    for pc, instr in enumerate(code.instrs):
+        count = samples.get(pc, 0)
+        text = format_instr(instr, pc)
+        marker = ""
+        kind = assignment.get(pc)
+        if kind is not None:
+            if instr.is_deopt_branch or instr.op == MOp.DEOPT:
+                marker = f"   <- deopt branch ({kind.name})"
+            else:
+                marker = f"   <- check ({kind.name})"
+        lines.append(f"{count:8d} | {text}{marker}")
+    return "\n".join(lines)

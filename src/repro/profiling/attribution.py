@@ -1,0 +1,164 @@
+"""Attribution of PC samples to deoptimization checks.
+
+Implements both estimators:
+
+* the paper's **window heuristic** (Section III-A): an instruction belongs
+  to a check if it *is* a deopt branch, or lies within ``window``
+  instructions before one (1 on x64, 2 on ARM64).  "Identifying which
+  instructions are part of the check ... is not straightforward"; the
+  window is a pragmatic approximation that can both overcount (unrelated
+  neighbours) and undercount (RISC checks longer than the window);
+* **ground truth** from compiler provenance: every emitted instruction
+  carries the check id it belongs to.  ``shared`` instructions (e.g. the
+  ``adds`` of a checked add, which performs real work *and* computes the
+  overflow flag) can be counted either way — the same ambiguity the paper
+  discusses.
+
+Both return overheads as a fraction of *total* samples, matching "the
+ratio between the PC samples identified as part of a check and the total
+number of collected PC samples".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import DefaultDict, Dict, List, Optional, Set, Tuple
+
+from ..isa.base import MachineInstr, MOp
+from ..jit.checks import CheckGroup, CheckKind, group_of
+from ..jit.codegen import CodeObject
+from .sampler import PCSampler
+
+
+def window_check_pcs(code: CodeObject, window: int) -> Dict[int, CheckKind]:
+    """pc -> check kind, per the window heuristic.
+
+    Deopt branches are identified the way the paper does: "deoptimization
+    paths always jump to a specific region at the end of a compiled
+    function", i.e. by their branch target, not by compiler metadata.
+    """
+    stub_pcs = {
+        pc for pc, instr in enumerate(code.instrs) if instr.op == MOp.DEOPT
+    }
+    assignment: Dict[int, CheckKind] = {}
+    for pc, instr in enumerate(code.instrs):
+        is_deopt_jump = (
+            instr.op == MOp.BCC and instr.target in stub_pcs
+        ) or instr.op == MOp.DEOPT
+        if not is_deopt_jump:
+            continue
+        stub = instr.target if instr.op == MOp.BCC else pc
+        kind = code.deopt_points[code.instrs[stub].imm].kind  # type: ignore[index]
+        assignment[pc] = kind
+        # The preceding `window` instructions are counted as check work.
+        back = pc - 1
+        taken = 0
+        while back >= 0 and taken < window:
+            previous = code.instrs[back]
+            if previous.op in (MOp.B, MOp.BCC, MOp.RET, MOp.DEOPT):
+                break  # don't cross control flow
+            assignment.setdefault(back, kind)
+            taken += 1
+            back -= 1
+    return assignment
+
+
+def truth_check_pcs(
+    code: CodeObject, count_shared: bool = False
+) -> Dict[int, CheckKind]:
+    """pc -> check kind from compiler provenance (ground truth).
+
+    ``count_shared`` controls whether dual-purpose instructions (condition
+    computation fused with main-line work) count as check overhead.
+    """
+    assignment: Dict[int, CheckKind] = {}
+    for pc, instr in enumerate(code.instrs):
+        if instr.op == MOp.DEOPT:
+            continue
+        if instr.check_id < 0:
+            continue
+        if instr.shared_with_main and not count_shared:
+            continue
+        point = code.deopt_points.get(instr.check_id)
+        if point is not None:
+            assignment[pc] = point.kind
+    return assignment
+
+
+class AttributionResult:
+    """Sample counts attributed to checks, by kind and group."""
+
+    def __init__(self, total_samples: int) -> None:
+        self.total_samples = total_samples
+        self.check_samples = 0
+        self.by_kind: DefaultDict[CheckKind, int] = defaultdict(int)
+        self.jit_samples = 0
+
+    def add(self, kind: Optional[CheckKind], count: int) -> None:
+        self.jit_samples += count
+        if kind is not None:
+            self.check_samples += count
+            self.by_kind[kind] += count
+
+    @property
+    def overhead(self) -> float:
+        """Check overhead as a fraction of all samples (paper's metric)."""
+        if self.total_samples == 0:
+            return 0.0
+        return self.check_samples / self.total_samples
+
+    @property
+    def jit_share(self) -> float:
+        if self.total_samples == 0:
+            return 0.0
+        return self.jit_samples / self.total_samples
+
+    def by_group(self) -> Dict[CheckGroup, float]:
+        if self.total_samples == 0:
+            return {}
+        grouped: DefaultDict[CheckGroup, int] = defaultdict(int)
+        for kind, count in self.by_kind.items():
+            grouped[group_of(kind)] += count
+        return {g: c / self.total_samples for g, c in grouped.items()}
+
+    @property
+    def estimated_speedup(self) -> float:
+        """(1 - overhead)^-1, the paper's conversion for Fig. 8/9."""
+        return 1.0 / (1.0 - min(self.overhead, 0.999))
+
+
+def attribute_samples(
+    sampler: PCSampler,
+    method: str = "window",
+    window: Optional[int] = None,
+    count_shared: bool = False,
+) -> AttributionResult:
+    """Attribute all samples in ``sampler`` to checks.
+
+    method: "window" (the paper's heuristic; window defaults to the
+    target's per-ISA value) or "truth" (compiler provenance).
+    """
+    result = AttributionResult(sampler.total_samples)
+    for code, pcs in sampler.samples_by_code().items():
+        if method == "window":
+            w = window if window is not None else code.target.check_window
+            assignment = window_check_pcs(code, w)
+        elif method == "truth":
+            assignment = truth_check_pcs(code, count_shared=count_shared)
+        else:
+            raise ValueError(f"unknown attribution method {method!r}")
+        for pc, count in pcs.items():
+            result.add(assignment.get(pc), count)
+    return result
+
+
+def static_check_density(code: CodeObject) -> float:
+    """Checks emitted per 100 instructions (Fig. 1's metric).
+
+    Counted over the function body (deopt stubs excluded), one check =
+    one deopt point.
+    """
+    body = code.body_instruction_count()
+    if body == 0:
+        return 0.0
+    return 100.0 * len(code.deopt_points) / body

@@ -1,0 +1,61 @@
+"""perf-style PC sampling over simulated execution.
+
+The paper's first overhead-estimation method (Section III-A) samples the
+program counter and counts the samples that land on instructions belonging
+to deoptimization checks.  Our sampler is driven by the simulated cycle
+clock: every ``period`` cycles it records where execution currently is —
+inside a JIT code object (at which pc), or elsewhere (interpreter,
+builtins, GC), mirroring perf's whole-process sampling.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import DefaultDict, Dict, List, Optional, Tuple
+
+from ..jit.codegen import CodeObject
+
+
+class PCSampler:
+    """Accumulates PC samples, keyed by (code object, pc)."""
+
+    def __init__(self) -> None:
+        #: samples per (id(code), pc); keeps the code object alive
+        self.jit_samples: DefaultDict[Tuple[int, int], int] = defaultdict(int)
+        self._code_by_id: Dict[int, CodeObject] = {}
+        self.other_samples = 0
+        self.total_samples = 0
+
+    # Executor-facing API -------------------------------------------------
+
+    def record_jit(self, code: CodeObject, pc: int) -> None:
+        self.jit_samples[(id(code), pc)] += 1
+        self._code_by_id[id(code)] = code
+        self.total_samples += 1
+
+    def record_other(self) -> None:
+        self.other_samples += 1
+        self.total_samples += 1
+
+    # Queries --------------------------------------------------------------
+
+    def jit_sample_count(self) -> int:
+        return self.total_samples - self.other_samples
+
+    def samples_by_code(self) -> Dict[CodeObject, Dict[int, int]]:
+        per_code: Dict[CodeObject, Dict[int, int]] = {}
+        for (code_id, pc), count in self.jit_samples.items():
+            code = self._code_by_id[code_id]
+            per_code.setdefault(code, {})[pc] = count
+        return per_code
+
+
+def attach_sampler(engine, period: float = 467.0) -> PCSampler:
+    """Install a sampler on an engine; returns it.
+
+    The default period is an odd number of cycles so samples do not phase-
+    lock with loop bodies (the same reason perf uses non-round frequencies).
+    """
+    sampler = PCSampler()
+    engine.executor.set_sampling(sampler, period)
+    return sampler

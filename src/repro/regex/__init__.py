@@ -1,0 +1,5 @@
+"""Irregexp-lite backtracking regular-expression engine."""
+
+from .engine import MatchResult, Regex, RegexSyntaxError, compile_pattern
+
+__all__ = ["MatchResult", "Regex", "RegexSyntaxError", "compile_pattern"]

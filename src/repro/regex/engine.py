@@ -1,0 +1,506 @@
+"""Irregexp-lite: a small backtracking regular-expression engine.
+
+V8 executes regular expressions in Irregexp, *outside* JIT-compiled
+JavaScript code; the paper's Fig. 4 shows that regex-heavy benchmarks
+consequently carry almost no deoptimization-check overhead.  Our engine
+plays the same role: it runs as a builtin, its work is charged as builtin
+cycles, and no checks are emitted for it.
+
+Supported syntax: literals, ``.``, character classes (ranges, negation),
+escapes (``\\d \\D \\w \\W \\s \\S``, ``\\b`` word boundary, escaped
+punctuation), anchors ``^ $``, quantifiers ``* + ? {n} {n,} {n,m}`` with
+lazy variants, alternation ``|``, capturing and ``(?:`` non-capturing
+groups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class RegexSyntaxError(Exception):
+    pass
+
+
+# --- pattern AST -----------------------------------------------------------
+
+
+class _Node:
+    __slots__ = ()
+
+
+class _Literal(_Node):
+    __slots__ = ("char",)
+
+    def __init__(self, char: str) -> None:
+        self.char = char
+
+
+class _AnyChar(_Node):
+    __slots__ = ()
+
+
+class _CharClass(_Node):
+    __slots__ = ("ranges", "negated")
+
+    def __init__(self, ranges: List[Tuple[str, str]], negated: bool) -> None:
+        self.ranges = ranges
+        self.negated = negated
+
+    def matches(self, char: str) -> bool:
+        inside = any(lo <= char <= hi for lo, hi in self.ranges)
+        return inside != self.negated
+
+
+class _Sequence(_Node):
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[_Node]) -> None:
+        self.items = items
+
+
+class _Alternation(_Node):
+    __slots__ = ("options",)
+
+    def __init__(self, options: List[_Node]) -> None:
+        self.options = options
+
+
+class _Repeat(_Node):
+    __slots__ = ("item", "minimum", "maximum", "lazy")
+
+    def __init__(self, item: _Node, minimum: int, maximum: Optional[int], lazy: bool) -> None:
+        self.item = item
+        self.minimum = minimum
+        self.maximum = maximum
+        self.lazy = lazy
+
+
+class _Group(_Node):
+    __slots__ = ("item", "index")
+
+    def __init__(self, item: _Node, index: Optional[int]) -> None:
+        self.item = item
+        self.index = index  # None for non-capturing
+
+
+class _Anchor(_Node):
+    __slots__ = ("kind",)
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind  # "^", "$", "b", "B"
+
+
+_CLASS_SHORTHANDS = {
+    "d": [("0", "9")],
+    "w": [("a", "z"), ("A", "Z"), ("0", "9"), ("_", "_")],
+    "s": [(" ", " "), ("\t", "\t"), ("\n", "\n"), ("\r", "\r"), ("\f", "\f"), ("\v", "\v")],
+}
+
+_ESCAPE_LITERALS = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+}
+
+
+class _PatternParser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+        self.group_count = 0
+
+    def parse(self) -> _Node:
+        node = self._parse_alternation()
+        if self.pos != len(self.pattern):
+            raise RegexSyntaxError(f"unexpected {self.pattern[self.pos]!r} at {self.pos}")
+        return node
+
+    def _peek(self) -> str:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else ""
+
+    def _parse_alternation(self) -> _Node:
+        options = [self._parse_sequence()]
+        while self._peek() == "|":
+            self.pos += 1
+            options.append(self._parse_sequence())
+        return options[0] if len(options) == 1 else _Alternation(options)
+
+    def _parse_sequence(self) -> _Node:
+        items: List[_Node] = []
+        while self._peek() not in ("", "|", ")"):
+            items.append(self._parse_quantified())
+        return _Sequence(items)
+
+    def _parse_quantified(self) -> _Node:
+        atom = self._parse_atom()
+        char = self._peek()
+        minimum: int
+        maximum: Optional[int]
+        if char == "*":
+            minimum, maximum = 0, None
+        elif char == "+":
+            minimum, maximum = 1, None
+        elif char == "?":
+            minimum, maximum = 0, 1
+        elif char == "{":
+            saved = self.pos
+            parsed = self._try_parse_braces()
+            if parsed is None:
+                self.pos = saved
+                return atom
+            minimum, maximum = parsed
+            lazy = self._peek() == "?"
+            if lazy:
+                self.pos += 1
+            return _Repeat(atom, minimum, maximum, lazy)
+        else:
+            return atom
+        self.pos += 1
+        lazy = self._peek() == "?"
+        if lazy:
+            self.pos += 1
+        return _Repeat(atom, minimum, maximum, lazy)
+
+    def _try_parse_braces(self) -> Optional[Tuple[int, Optional[int]]]:
+        self.pos += 1  # consume "{"
+        start = self.pos
+        while self._peek().isdigit():
+            self.pos += 1
+        if self.pos == start:
+            return None
+        minimum = int(self.pattern[start : self.pos])
+        if self._peek() == "}":
+            self.pos += 1
+            return minimum, minimum
+        if self._peek() != ",":
+            return None
+        self.pos += 1
+        if self._peek() == "}":
+            self.pos += 1
+            return minimum, None
+        start = self.pos
+        while self._peek().isdigit():
+            self.pos += 1
+        if self.pos == start or self._peek() != "}":
+            return None
+        maximum = int(self.pattern[start : self.pos])
+        self.pos += 1
+        return minimum, maximum
+
+    def _parse_atom(self) -> _Node:
+        char = self._peek()
+        if char == "(":
+            self.pos += 1
+            capturing = True
+            if self.pattern.startswith("?:", self.pos):
+                self.pos += 2
+                capturing = False
+            index: Optional[int] = None
+            if capturing:
+                self.group_count += 1
+                index = self.group_count
+            inner = self._parse_alternation()
+            if self._peek() != ")":
+                raise RegexSyntaxError("unbalanced parenthesis")
+            self.pos += 1
+            return _Group(inner, index)
+        if char == "[":
+            return self._parse_class()
+        if char == ".":
+            self.pos += 1
+            return _AnyChar()
+        if char == "^":
+            self.pos += 1
+            return _Anchor("^")
+        if char == "$":
+            self.pos += 1
+            return _Anchor("$")
+        if char == "\\":
+            return self._parse_escape()
+        if char in ")|*+?":
+            raise RegexSyntaxError(f"unexpected {char!r} at {self.pos}")
+        self.pos += 1
+        return _Literal(char)
+
+    def _parse_escape(self) -> _Node:
+        self.pos += 1
+        char = self._peek()
+        if not char:
+            raise RegexSyntaxError("trailing backslash")
+        self.pos += 1
+        lower = char.lower()
+        if lower in _CLASS_SHORTHANDS and char.isalpha():
+            ranges = _CLASS_SHORTHANDS[lower]
+            return _CharClass(list(ranges), negated=char.isupper())
+        if char == "b":
+            return _Anchor("b")
+        if char == "B":
+            return _Anchor("B")
+        if char in _ESCAPE_LITERALS:
+            return _Literal(_ESCAPE_LITERALS[char])
+        if char == "x":
+            digits = self.pattern[self.pos : self.pos + 2]
+            self.pos += 2
+            return _Literal(chr(int(digits, 16)))
+        if char == "u":
+            digits = self.pattern[self.pos : self.pos + 4]
+            self.pos += 4
+            return _Literal(chr(int(digits, 16)))
+        return _Literal(char)
+
+    def _parse_class(self) -> _CharClass:
+        self.pos += 1  # consume "["
+        negated = self._peek() == "^"
+        if negated:
+            self.pos += 1
+        ranges: List[Tuple[str, str]] = []
+        while self._peek() != "]":
+            if not self._peek():
+                raise RegexSyntaxError("unterminated character class")
+            char = self._peek()
+            if char == "\\":
+                self.pos += 1
+                escape = self._peek()
+                self.pos += 1
+                lower = escape.lower()
+                if lower in _CLASS_SHORTHANDS and escape.isalpha():
+                    if escape.isupper():
+                        raise RegexSyntaxError("negated shorthand inside class unsupported")
+                    ranges.extend(_CLASS_SHORTHANDS[lower])
+                    continue
+                char = _ESCAPE_LITERALS.get(escape, escape)
+            else:
+                self.pos += 1
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self.pos += 1
+                end = self._peek()
+                if end == "\\":
+                    self.pos += 1
+                    end = _ESCAPE_LITERALS.get(self._peek(), self._peek())
+                self.pos += 1
+                ranges.append((char, end))
+            else:
+                ranges.append((char, char))
+        self.pos += 1  # consume "]"
+        return _CharClass(ranges, negated)
+
+
+def _is_word(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+class MatchResult:
+    """Result of a successful match: full span plus capture groups."""
+
+    def __init__(self, text: str, start: int, end: int, groups: List[Optional[Tuple[int, int]]]):
+        self.text = text
+        self.start = start
+        self.end = end
+        self._groups = groups
+
+    @property
+    def matched(self) -> str:
+        return self.text[self.start : self.end]
+
+    def group(self, index: int) -> Optional[str]:
+        if index == 0:
+            return self.matched
+        span = self._groups[index - 1] if index - 1 < len(self._groups) else None
+        return None if span is None else self.text[span[0] : span[1]]
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+
+class Regex:
+    """A compiled pattern.  Flags: ``i`` (ignore case), ``g`` (global),
+    ``m`` (multiline anchors)."""
+
+    def __init__(self, pattern: str, flags: str = "") -> None:
+        self.pattern = pattern
+        self.flags = flags
+        self.ignore_case = "i" in flags
+        self.is_global = "g" in flags
+        self.multiline = "m" in flags
+        parser = _PatternParser(pattern)
+        self.root = parser.parse()
+        self.group_count = parser.group_count
+        self.last_index = 0
+        #: Characters examined during matching (drives builtin cycle cost).
+        self.steps = 0
+
+    # -- matching ----------------------------------------------------------
+
+    def search(self, text: str, start: int = 0) -> Optional[MatchResult]:
+        if self.ignore_case:
+            haystack = text.lower()
+        else:
+            haystack = text
+        for begin in range(start, len(text) + 1):
+            groups: List[Optional[Tuple[int, int]]] = [None] * self.group_count
+            end = self._match_node(self.root, haystack, begin, groups, lambda pos, g: pos)
+            if end is not None:
+                return MatchResult(text, begin, end, groups)
+        return None
+
+    def test(self, text: str) -> bool:
+        return self.search(text) is not None
+
+    def exec(self, text: str) -> Optional[MatchResult]:
+        start = self.last_index if self.is_global else 0
+        if start > len(text):
+            self.last_index = 0
+            return None
+        result = self.search(text, start)
+        if result is None:
+            self.last_index = 0
+            return None
+        if self.is_global:
+            self.last_index = result.end if result.end > result.start else result.end + 1
+        return result
+
+    def find_all(self, text: str) -> List[MatchResult]:
+        results: List[MatchResult] = []
+        position = 0
+        while position <= len(text):
+            result = self.search(text, position)
+            if result is None:
+                break
+            results.append(result)
+            position = result.end if result.end > result.start else result.end + 1
+        return results
+
+    def replace(self, text: str, replacement: str, replace_all: Optional[bool] = None) -> str:
+        if replace_all is None:
+            replace_all = self.is_global
+        pieces: List[str] = []
+        position = 0
+        while position <= len(text):
+            result = self.search(text, position)
+            if result is None:
+                break
+            pieces.append(text[position : result.start])
+            pieces.append(self._expand(replacement, result))
+            position = result.end if result.end > result.start else result.end + 1
+            if result.end == result.start and result.start < len(text):
+                pieces.append(text[result.start])
+            if not replace_all:
+                break
+        pieces.append(text[position:])
+        return "".join(pieces)
+
+    def _expand(self, replacement: str, result: MatchResult) -> str:
+        out: List[str] = []
+        i = 0
+        while i < len(replacement):
+            char = replacement[i]
+            if char == "$" and i + 1 < len(replacement):
+                nxt = replacement[i + 1]
+                if nxt.isdigit():
+                    out.append(result.group(int(nxt)) or "")
+                    i += 2
+                    continue
+                if nxt == "&":
+                    out.append(result.matched)
+                    i += 2
+                    continue
+            out.append(char)
+            i += 1
+        return "".join(out)
+
+    # -- recursive backtracking matcher -------------------------------------
+
+    def _match_node(self, node: _Node, text: str, pos: int, groups, cont):
+        self.steps += 1
+        if isinstance(node, _Sequence):
+            return self._match_sequence(node.items, 0, text, pos, groups, cont)
+        if isinstance(node, _Literal):
+            char = node.char.lower() if self.ignore_case else node.char
+            if pos < len(text) and text[pos] == char:
+                return cont(pos + 1, groups)
+            return None
+        if isinstance(node, _AnyChar):
+            if pos < len(text) and text[pos] != "\n":
+                return cont(pos + 1, groups)
+            return None
+        if isinstance(node, _CharClass):
+            if pos < len(text) and node.matches(text[pos]):
+                return cont(pos + 1, groups)
+            return None
+        if isinstance(node, _Anchor):
+            if node.kind == "^":
+                ok = pos == 0 or (self.multiline and text[pos - 1] == "\n")
+            elif node.kind == "$":
+                ok = pos == len(text) or (self.multiline and text[pos] == "\n")
+            else:
+                before = _is_word(text[pos - 1]) if pos > 0 else False
+                after = _is_word(text[pos]) if pos < len(text) else False
+                at_boundary = before != after
+                ok = at_boundary if node.kind == "b" else not at_boundary
+            return cont(pos, groups) if ok else None
+        if isinstance(node, _Group):
+            if node.index is None:
+                return self._match_node(node.item, text, pos, groups, cont)
+            start = pos
+            index = node.index - 1
+
+            def close(end_pos: int, inner_groups):
+                saved = inner_groups[index]
+                inner_groups[index] = (start, end_pos)
+                result = cont(end_pos, inner_groups)
+                if result is None:
+                    inner_groups[index] = saved
+                return result
+
+            return self._match_node(node.item, text, pos, groups, close)
+        if isinstance(node, _Alternation):
+            for option in node.options:
+                result = self._match_node(option, text, pos, groups, cont)
+                if result is not None:
+                    return result
+            return None
+        if isinstance(node, _Repeat):
+            return self._match_repeat(node, text, pos, groups, cont, 0)
+        raise AssertionError(f"unknown node {node!r}")
+
+    def _match_sequence(self, items, index, text, pos, groups, cont):
+        if index == len(items):
+            return cont(pos, groups)
+
+        def step(next_pos, next_groups):
+            return self._match_sequence(items, index + 1, text, next_pos, next_groups, cont)
+
+        return self._match_node(items[index], text, pos, groups, step)
+
+    def _match_repeat(self, node: _Repeat, text, pos, groups, cont, count):
+        maximum = node.maximum if node.maximum is not None else len(text) - pos + count + 1
+
+        def try_more():
+            if count >= maximum:
+                return None
+
+            def step(next_pos, next_groups):
+                if next_pos == pos and count >= node.minimum:
+                    return None  # zero-width progress guard
+                return self._match_repeat(node, text, next_pos, next_groups, cont, count + 1)
+
+            return self._match_node(node.item, text, pos, groups, step)
+
+        def try_finish():
+            if count >= node.minimum:
+                return cont(pos, groups)
+            return None
+
+        if node.lazy:
+            return try_finish() or try_more()
+        return try_more() or try_finish()
+
+
+def compile_pattern(pattern: str, flags: str = "") -> Regex:
+    """Compile a pattern string into a :class:`Regex`."""
+    return Regex(pattern, flags)

@@ -1,0 +1,31 @@
+"""Statistical analysis toolkit (Section IV of the paper)."""
+
+from .analysis import (
+    ALPHA,
+    PRACTICAL_THRESHOLD,
+    CorrelationResult,
+    RegressionResult,
+    SignificanceResult,
+    bonferroni_alpha,
+    bootstrap_interval,
+    compare_populations,
+    geometric_mean,
+    linear_regression,
+    pearson_correlation,
+    summarize,
+)
+
+__all__ = [
+    "ALPHA",
+    "CorrelationResult",
+    "PRACTICAL_THRESHOLD",
+    "RegressionResult",
+    "SignificanceResult",
+    "bonferroni_alpha",
+    "bootstrap_interval",
+    "compare_populations",
+    "geometric_mean",
+    "linear_regression",
+    "pearson_correlation",
+    "summarize",
+]

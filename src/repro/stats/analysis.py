@@ -1,0 +1,189 @@
+"""Statistical toolkit for the paper's Section IV analyses.
+
+* OLS linear regression with 95 % confidence intervals and R² (Fig. 9),
+* Pearson correlation with the zero-correlation hypothesis test (Fig. 9),
+* Wilcoxon signed-rank / rank-sum tests with Bonferroni correction for the
+  per-benchmark significance decisions (Fig. 7),
+* bootstrap percentile intervals for the error bars,
+* the paper's *practical significance* rule: statistically significant
+  **and** an effect larger than 2 %.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+#: paper Section IV-A: significance level, Bonferroni-adjusted per test count
+ALPHA = 0.05
+#: paper: "statistically significant performance difference > 2%"
+PRACTICAL_THRESHOLD = 0.02
+
+
+@dataclass
+class RegressionResult:
+    slope: float
+    intercept: float
+    r_squared: float
+    slope_ci: Tuple[float, float]
+    intercept_ci: Tuple[float, float]
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_regression(xs: Sequence[float], ys: Sequence[float]) -> RegressionResult:
+    """OLS with 95 % CIs on both coefficients."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    n = len(x)
+    if n < 3:
+        raise ValueError("need at least 3 points for a regression")
+    x_mean = x.mean()
+    y_mean = y.mean()
+    sxx = float(((x - x_mean) ** 2).sum())
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    slope = float(((x - x_mean) * (y - y_mean)).sum() / sxx)
+    intercept = y_mean - slope * x_mean
+    residuals = y - (slope * x + intercept)
+    ss_res = float((residuals**2).sum())
+    ss_tot = float(((y - y_mean) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    dof = n - 2
+    sigma2 = ss_res / dof if dof > 0 else 0.0
+    slope_se = math.sqrt(sigma2 / sxx)
+    intercept_se = math.sqrt(sigma2 * (1.0 / n + x_mean**2 / sxx))
+    t_crit = float(scipy_stats.t.ppf(0.975, dof)) if dof > 0 else 0.0
+    return RegressionResult(
+        slope=slope,
+        intercept=intercept,
+        r_squared=r_squared,
+        slope_ci=(slope - t_crit * slope_se, slope + t_crit * slope_se),
+        intercept_ci=(
+            intercept - t_crit * intercept_se,
+            intercept + t_crit * intercept_se,
+        ),
+    )
+
+
+@dataclass
+class CorrelationResult:
+    r: float
+    r_squared: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < ALPHA
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> CorrelationResult:
+    """Pearson r with the p-value of the zero-correlation null hypothesis."""
+    r, p = scipy_stats.pearsonr(np.asarray(xs, float), np.asarray(ys, float))
+    return CorrelationResult(r=float(r), r_squared=float(r) ** 2, p_value=float(p))
+
+
+def bonferroni_alpha(test_count: int, alpha: float = ALPHA) -> float:
+    """Adjusted per-test significance level (paper Section IV-A)."""
+    return alpha / max(1, test_count)
+
+
+@dataclass
+class SignificanceResult:
+    p_value: float
+    effect: float  # relative difference (mean_a / mean_b - 1)
+    statistically_significant: bool
+    practically_significant: bool
+
+
+def compare_populations(
+    slower: Sequence[float],
+    faster: Sequence[float],
+    test_count: int = 1,
+    paired: Optional[bool] = None,
+) -> SignificanceResult:
+    """Paper's per-benchmark test: are the two timing populations different,
+    and is the effect > 2 %?
+
+    Uses Wilcoxon signed-rank when paired (equal lengths), rank-sum
+    otherwise — the nonparametric choices appropriate for skewed timing
+    distributions ([17] in the paper's bibliography).
+    """
+    a = np.asarray(slower, float)
+    b = np.asarray(faster, float)
+    if paired is None:
+        paired = len(a) == len(b)
+    if paired and len(a) == len(b):
+        diffs = a - b
+        if np.allclose(diffs, 0):
+            p_value = 1.0
+        else:
+            try:
+                _stat, p_value = scipy_stats.wilcoxon(a, b)
+            except ValueError:
+                p_value = 1.0
+    else:
+        _stat, p_value = scipy_stats.ranksums(a, b)
+    mean_b = float(b.mean())
+    effect = float(a.mean()) / mean_b - 1.0 if mean_b else 0.0
+    adjusted = bonferroni_alpha(test_count)
+    statistically = bool(p_value < adjusted)
+    return SignificanceResult(
+        p_value=float(p_value),
+        effect=effect,
+        statistically_significant=statistically,
+        practically_significant=statistically and abs(effect) > PRACTICAL_THRESHOLD,
+    )
+
+
+def bootstrap_interval(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 12345,
+    statistic=None,
+) -> Tuple[float, float]:
+    """Percentile bootstrap interval for a statistic (default: the mean)."""
+    data = list(values)
+    if not data:
+        return (0.0, 0.0)
+    stat = statistic or (lambda xs: sum(xs) / len(xs))
+    rng = random.Random(seed)
+    estimates = []
+    n = len(data)
+    for _ in range(resamples):
+        sample = [data[rng.randrange(n)] for _ in range(n)]
+        estimates.append(stat(sample))
+    estimates.sort()
+    lo_index = int((1 - confidence) / 2 * resamples)
+    hi_index = min(resamples - 1, int((1 + confidence) / 2 * resamples))
+    return estimates[lo_index], estimates[hi_index]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Five-number-ish summary used by the distribution figures (Fig. 14)."""
+    arr = np.asarray(list(values), float)
+    if arr.size == 0:
+        return {k: 0.0 for k in ("mean", "std", "min", "p25", "median", "p75", "max")}
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "p25": float(np.percentile(arr, 25)),
+        "median": float(np.percentile(arr, 50)),
+        "p75": float(np.percentile(arr, 75)),
+        "max": float(arr.max()),
+    }

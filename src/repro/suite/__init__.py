@@ -1,0 +1,31 @@
+"""The extended JetStream2-like benchmark suite and its runner."""
+
+from .runner import (
+    BenchmarkRunner,
+    NoiseModel,
+    RunResult,
+    determine_removable_kinds,
+    run_benchmark,
+)
+from .spec import (
+    CATEGORIES,
+    BenchmarkSpec,
+    all_benchmarks,
+    benchmarks_by_category,
+    get_benchmark,
+    smi_kernels,
+)
+
+__all__ = [
+    "BenchmarkRunner",
+    "BenchmarkSpec",
+    "CATEGORIES",
+    "NoiseModel",
+    "RunResult",
+    "all_benchmarks",
+    "benchmarks_by_category",
+    "determine_removable_kinds",
+    "get_benchmark",
+    "run_benchmark",
+    "smi_kernels",
+]

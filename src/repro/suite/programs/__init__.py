@@ -1,0 +1,5 @@
+"""Benchmark program sources, one module per category.
+
+Importing a module registers its benchmarks; `repro.suite.spec` imports all
+of them lazily on first registry access.
+"""

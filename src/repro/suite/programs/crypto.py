@@ -1,0 +1,198 @@
+"""Cryptography benchmarks: table-driven AES-like rounds, hashing, CRC32,
+and modular exponentiation — high boundary/SMI/overflow check pressure per
+the paper's Fig. 4 discussion.
+"""
+
+from ..spec import BenchmarkSpec, register
+
+register(
+    BenchmarkSpec(
+        name="AES2",
+        category="Crypto",
+        smi_kernel=True,
+        description="AES-like substitution/permutation rounds on SMI state",
+        expected=None,
+        source="""
+var sbox = new Array(256);
+var state = new Array(16);
+var roundKeys = new Array(16 * 11);
+
+function setup() {
+  var s = 7;
+  for (var i = 0; i < 256; i++) {
+    s = (s * 13 + 91) % 256;
+    sbox[i] = s;
+  }
+  for (var j = 0; j < 16; j++) { state[j] = (j * 17 + 3) % 256; }
+  for (var k = 0; k < 16 * 11; k++) { roundKeys[k] = (k * 7 + 1) % 256; }
+}
+
+function subBytes() {
+  for (var i = 0; i < 16; i++) { state[i] = sbox[state[i]]; }
+}
+
+function shiftRows() {
+  for (var r = 1; r < 4; r++) {
+    for (var s = 0; s < r; s++) {
+      var t = state[r];
+      state[r] = state[r + 4];
+      state[r + 4] = state[r + 8];
+      state[r + 8] = state[r + 12];
+      state[r + 12] = t;
+    }
+  }
+}
+
+function mixColumns() {
+  for (var c = 0; c < 4; c++) {
+    var a0 = state[c * 4];
+    var a1 = state[c * 4 + 1];
+    var a2 = state[c * 4 + 2];
+    var a3 = state[c * 4 + 3];
+    state[c * 4] = (a0 ^ a1 ^ ((a2 << 1) & 255) ^ a3) & 255;
+    state[c * 4 + 1] = (a1 ^ a2 ^ ((a3 << 1) & 255) ^ a0) & 255;
+    state[c * 4 + 2] = (a2 ^ a3 ^ ((a0 << 1) & 255) ^ a1) & 255;
+    state[c * 4 + 3] = (a3 ^ a0 ^ ((a1 << 1) & 255) ^ a2) & 255;
+  }
+}
+
+function addRoundKey(round) {
+  for (var i = 0; i < 16; i++) {
+    state[i] = state[i] ^ roundKeys[round * 16 + i];
+  }
+}
+
+function encryptBlock() {
+  addRoundKey(0);
+  for (var round = 1; round <= 10; round++) {
+    subBytes();
+    shiftRows();
+    if (round < 10) { mixColumns(); }
+    addRoundKey(round);
+  }
+}
+
+function run() {
+  for (var j = 0; j < 16; j++) { state[j] = (j * 17 + 3) % 256; }
+  for (var blocks = 0; blocks < 4; blocks++) { encryptBlock(); }
+  var check = 0;
+  for (var i = 0; i < 16; i++) { check = (check * 31 + state[i]) % 1000003; }
+  return check;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="HASH",
+        category="Crypto",
+        smi_kernel=True,
+        description="multiplicative string-hash over an SMI byte array",
+        expected=None,
+        source="""
+var data = new Array(512);
+
+function setup() {
+  var s = 3;
+  for (var i = 0; i < 512; i++) {
+    s = (s * 37 + 11) % 251;
+    data[i] = s;
+  }
+}
+
+function hashRange(from, to) {
+  var h = 5381;
+  for (var i = from; i < to; i++) {
+    h = ((h * 33) ^ data[i]) & 0xffffff;
+  }
+  return h;
+}
+
+function run() {
+  var acc = 0;
+  acc = acc + hashRange(0, 512);
+  acc = acc + hashRange(128, 384);
+  acc = acc + hashRange(256, 512);
+  return acc & 0xffffff;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="CRC32",
+        category="Crypto",
+        description="table-driven CRC32 over a byte array (int32 domain)",
+        expected=None,
+        source="""
+var crcTable = new Array(256);
+var message = new Array(256);
+
+function setup() {
+  for (var n = 0; n < 256; n++) {
+    var c = n;
+    for (var k = 0; k < 8; k++) {
+      if ((c & 1) == 1) { c = (c >>> 1) ^ 0xedb88320; }
+      else { c = c >>> 1; }
+    }
+    crcTable[n] = c | 0;
+  }
+  var s = 5;
+  for (var i = 0; i < 256; i++) {
+    s = (s * 29 + 17) % 253;
+    message[i] = s;
+  }
+}
+
+function crc32(from, to) {
+  var crc = -1;
+  for (var i = from; i < to; i++) {
+    crc = (crc >>> 8) ^ crcTable[(crc ^ message[i]) & 255];
+  }
+  return (crc ^ -1) | 0;
+}
+
+function run() {
+  return (crc32(0, 256) ^ crc32(64, 192)) & 0xfffffff;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="CRYP",
+        category="Crypto",
+        description="modular exponentiation (square-and-multiply on SMIs)",
+        expected=None,
+        source="""
+var MOD = 30011;
+
+function modmul(a, b) { return (a * b) % MOD; }
+
+function modpow(base, exponent) {
+  var result = 1;
+  var b = base % MOD;
+  var e = exponent;
+  while (e > 0) {
+    if ((e & 1) == 1) { result = modmul(result, b); }
+    b = modmul(b, b);
+    e = e >> 1;
+  }
+  return result;
+}
+
+function setup() { }
+
+function run() {
+  var acc = 0;
+  for (var i = 1; i < 40; i++) {
+    acc = (acc + modpow(2 + i, 65537 + i)) % MOD;
+  }
+  return acc;
+}
+""",
+    )
+)

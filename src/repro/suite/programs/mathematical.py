@@ -1,0 +1,292 @@
+"""Mathematical benchmarks (n-body, spectral norm, fluid solve, mandelbrot,
+bit kernels, recursion, sieve) — the category the paper finds to carry the
+highest check overheads (boundary, SMI and overflow checks, Section III-A).
+"""
+
+from ..spec import BenchmarkSpec, register
+
+register(
+    BenchmarkSpec(
+        name="NBODY",
+        category="Mathematical",
+        description="planetary n-body simulation over double-typed objects",
+        expected=None,
+        tolerance=1e-9,
+        source="""
+var bodies = new Array(5);
+
+function Body(x, y, z, vx, vy, vz, mass) {
+  this.x = x; this.y = y; this.z = z;
+  this.vx = vx; this.vy = vy; this.vz = vz;
+  this.mass = mass;
+}
+
+function setup() {
+  bodies[0] = new Body(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 39.47841760435743);
+  bodies[1] = new Body(4.841, -1.160, -0.103, 0.606, 2.811, -0.025, 0.0376);
+  bodies[2] = new Body(8.343, 4.125, -0.403, -1.010, 1.825, 0.008, 0.0112);
+  bodies[3] = new Body(12.894, -15.111, -0.223, 1.082, 0.868, -0.010, 0.0017);
+  bodies[4] = new Body(15.379, -25.919, 0.179, 0.979, 0.594, -0.034, 0.0020);
+}
+
+function advance(dt) {
+  var n = bodies.length;
+  for (var i = 0; i < n; i++) {
+    var bi = bodies[i];
+    for (var j = i + 1; j < n; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x;
+      var dy = bi.y - bj.y;
+      var dz = bi.z - bj.z;
+      var d2 = dx * dx + dy * dy + dz * dz;
+      var mag = dt / (d2 * Math.sqrt(d2));
+      bi.vx = bi.vx - dx * bj.mass * mag;
+      bi.vy = bi.vy - dy * bj.mass * mag;
+      bi.vz = bi.vz - dz * bj.mass * mag;
+      bj.vx = bj.vx + dx * bi.mass * mag;
+      bj.vy = bj.vy + dy * bi.mass * mag;
+      bj.vz = bj.vz + dz * bi.mass * mag;
+    }
+  }
+  for (var k = 0; k < n; k++) {
+    var b = bodies[k];
+    b.x = b.x + dt * b.vx;
+    b.y = b.y + dt * b.vy;
+    b.z = b.z + dt * b.vz;
+  }
+}
+
+function energy() {
+  var e = 0.0;
+  var n = bodies.length;
+  for (var i = 0; i < n; i++) {
+    var bi = bodies[i];
+    e = e + 0.5 * bi.mass * (bi.vx * bi.vx + bi.vy * bi.vy + bi.vz * bi.vz);
+    for (var j = i + 1; j < n; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x;
+      var dy = bi.y - bj.y;
+      var dz = bi.z - bj.z;
+      e = e - bi.mass * bj.mass / Math.sqrt(dx * dx + dy * dy + dz * dz);
+    }
+  }
+  return e;
+}
+
+function run() {
+  setup();
+  for (var s = 0; s < 12; s++) { advance(0.01); }
+  return energy();
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="SPECTRAL",
+        category="Mathematical",
+        description="spectral-norm power iteration over doubles",
+        expected=None,
+        tolerance=1e-9,
+        source="""
+var SN = 16;
+var su = new Array(SN);
+var sv = new Array(SN);
+var stmp = new Array(SN);
+
+function aEntry(i, j) {
+  return 1.0 / ((i + j) * (i + j + 1) * 0.5 + i + 1.0);
+}
+
+function multiplyAv(vin, vout) {
+  for (var i = 0; i < SN; i++) {
+    var acc = 0.0;
+    for (var j = 0; j < SN; j++) { acc = acc + aEntry(i, j) * vin[j]; }
+    vout[i] = acc;
+  }
+}
+
+function multiplyAtv(vin, vout) {
+  for (var i = 0; i < SN; i++) {
+    var acc = 0.0;
+    for (var j = 0; j < SN; j++) { acc = acc + aEntry(j, i) * vin[j]; }
+    vout[i] = acc;
+  }
+}
+
+function setup() {
+  for (var i = 0; i < SN; i++) { su[i] = 1.0; sv[i] = 0.0; stmp[i] = 0.0; }
+}
+
+function run() {
+  setup();
+  for (var s = 0; s < 2; s++) {
+    multiplyAv(su, stmp);
+    multiplyAtv(stmp, sv);
+    multiplyAv(sv, stmp);
+    multiplyAtv(stmp, su);
+  }
+  var vbv = 0.0;
+  var vv = 0.0;
+  for (var i = 0; i < SN; i++) {
+    vbv = vbv + su[i] * sv[i];
+    vv = vv + sv[i] * sv[i];
+  }
+  return Math.sqrt(vbv / vv);
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="NS",
+        category="Mathematical",
+        description="navier-stokes-lite: Jacobi linear solve on a small grid",
+        expected=None,
+        tolerance=1e-9,
+        source="""
+var GN = 12;
+var grid = new Array(GN * GN);
+var grid0 = new Array(GN * GN);
+
+function setup() {
+  for (var i = 0; i < GN * GN; i++) { grid[i] = 0.0; grid0[i] = 0.0; }
+  grid0[GN * 5 + 5] = 100.0;
+  grid0[GN * 7 + 3] = -40.0;
+}
+
+function linSolve(a, c, iters) {
+  var inv = 1.0 / c;
+  for (var t = 0; t < iters; t++) {
+    for (var y = 1; y < GN - 1; y++) {
+      for (var x = 1; x < GN - 1; x++) {
+        var p = y * GN + x;
+        grid[p] = (grid0[p] + a * (grid[p - 1] + grid[p + 1] +
+                   grid[p - GN] + grid[p + GN])) * inv;
+      }
+    }
+  }
+}
+
+function run() {
+  setup();
+  linSolve(1.0, 5.0, 6);
+  var check = 0.0;
+  for (var i = 0; i < GN * GN; i++) { check = check + grid[i] * grid[i]; }
+  return check;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="MANDEL",
+        category="Mathematical",
+        description="mandelbrot escape counting (doubles + SMI counters)",
+        expected=None,
+        source="""
+function setup() { }
+
+function run() {
+  var count = 0;
+  for (var py = 0; py < 20; py++) {
+    for (var px = 0; px < 20; px++) {
+      var cr = -2.0 + px * 0.125;
+      var ci = -1.25 + py * 0.125;
+      var zr = 0.0;
+      var zi = 0.0;
+      var it = 0;
+      while (it < 25 && zr * zr + zi * zi < 4.0) {
+        var nzr = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = nzr;
+        it = it + 1;
+      }
+      count = count + it;
+    }
+  }
+  return count;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="BITS",
+        category="Mathematical",
+        description="bit-twiddling kernel (shifts, masks, popcount)",
+        expected=None,
+        source="""
+function setup() { }
+
+function popcount(v) {
+  v = v - ((v >> 1) & 0x55555555);
+  v = (v & 0x33333333) + ((v >> 2) & 0x33333333);
+  return (((v + (v >> 4)) & 0xf0f0f0f) * 0x1010101) >> 24;
+}
+
+function run() {
+  var acc = 0;
+  var x = 0x12345;
+  for (var i = 0; i < 300; i++) {
+    x = (x ^ (x << 3)) & 0xffffff;
+    x = (x ^ (x >> 5)) & 0xffffff;
+    acc = (acc + popcount(x)) & 0xffff;
+  }
+  return acc;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="FIB",
+        category="Mathematical",
+        description="naive recursion (call-heavy SMI arithmetic)",
+        expected=987,
+        source="""
+function setup() { }
+
+function fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+
+function run() { return fib(16); }
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="PRIMES",
+        category="Mathematical",
+        description="sieve of Eratosthenes (SMI array stores + bounds)",
+        expected=78,
+        source="""
+var LIMIT = 400;
+var sieve = new Array(LIMIT);
+
+function setup() { }
+
+function run() {
+  for (var i = 0; i < LIMIT; i++) { sieve[i] = 1; }
+  sieve[0] = 0;
+  sieve[1] = 0;
+  for (var p = 2; p * p < LIMIT; p++) {
+    if (sieve[p] == 1) {
+      for (var m = p * p; m < LIMIT; m = m + p) { sieve[m] = 0; }
+    }
+  }
+  var count = 0;
+  for (var k = 0; k < LIMIT; k++) { count = count + sieve[k]; }
+  return count;
+}
+""",
+    )
+)

@@ -1,0 +1,223 @@
+"""Object-oriented benchmarks (richards-like scheduler, splay-like tree,
+raytracer) — property-access heavy, dominated by wrong-map checks, with the
+paper noting notably higher ARM64 overheads for this class (RICH)."""
+
+from ..spec import BenchmarkSpec, register
+
+register(
+    BenchmarkSpec(
+        name="RICH",
+        category="Objects",
+        description="richards-like task scheduler over uniform-shape objects",
+        expected=None,
+        source="""
+var queueHead = null;
+var workDone = 0;
+var holdCount = 0;
+
+function Task(id, priority, kind) {
+  this.id = id;
+  this.priority = priority;
+  this.kind = kind;
+  this.state = 0;
+  this.budget = 3 + (id % 4);
+  this.link = null;
+}
+
+function enqueue(task) {
+  task.link = queueHead;
+  queueHead = task;
+}
+
+function dequeueHighest() {
+  var best = null;
+  var node = queueHead;
+  while (node != null) {
+    if (node.state == 0 && (best == null || node.priority > best.priority)) {
+      best = node;
+    }
+    node = node.link;
+  }
+  return best;
+}
+
+function runTask(task) {
+  if (task.kind == 0) {
+    workDone = workDone + task.priority;
+  } else if (task.kind == 1) {
+    workDone = workDone + 2 * task.priority;
+    holdCount = holdCount + 1;
+  } else {
+    workDone = workDone + (task.priority >> 1);
+  }
+  task.budget = task.budget - 1;
+  if (task.budget <= 0) { task.state = 1; }
+}
+
+function setup() { }
+
+function run() {
+  queueHead = null;
+  workDone = 0;
+  holdCount = 0;
+  for (var i = 0; i < 24; i++) {
+    enqueue(new Task(i, (i * 7) % 13, i % 3));
+  }
+  var steps = 0;
+  while (steps < 200) {
+    var task = dequeueHighest();
+    if (task == null) { break; }
+    runTask(task);
+    steps = steps + 1;
+  }
+  return workDone * 1000 + holdCount * 10 + (steps % 10);
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="SPLAY",
+        category="Objects",
+        description="splay-like binary tree: inserts, rotations, lookups",
+        expected=None,
+        source="""
+var root = null;
+var sseed = 1;
+
+function srnd(m) {
+  sseed = (sseed * 16807) % 2147483647;
+  return sseed % m;
+}
+
+function TreeNode(key, value) {
+  this.key = key;
+  this.value = value;
+  this.left = null;
+  this.right = null;
+}
+
+function insert(key, value) {
+  if (root == null) {
+    root = new TreeNode(key, value);
+    return;
+  }
+  var node = root;
+  while (true) {
+    if (key < node.key) {
+      if (node.left == null) { node.left = new TreeNode(key, value); return; }
+      node = node.left;
+    } else if (key > node.key) {
+      if (node.right == null) { node.right = new TreeNode(key, value); return; }
+      node = node.right;
+    } else {
+      node.value = value;
+      return;
+    }
+  }
+}
+
+function rotateRootRight() {
+  if (root == null || root.left == null) { return; }
+  var pivot = root.left;
+  root.left = pivot.right;
+  pivot.right = root;
+  root = pivot;
+}
+
+function find(key) {
+  var node = root;
+  var depth = 0;
+  while (node != null) {
+    depth = depth + 1;
+    if (key < node.key) { node = node.left; }
+    else if (key > node.key) { node = node.right; }
+    else { return depth * 1000 + node.value; }
+  }
+  return -depth;
+}
+
+function setup() { }
+
+function run() {
+  root = null;
+  sseed = 77;
+  for (var i = 0; i < 60; i++) {
+    insert(srnd(500), i);
+    if (i % 8 == 0) { rotateRootRight(); }
+  }
+  var check = 0;
+  sseed = 77;
+  for (var j = 0; j < 60; j++) {
+    check = (check + find(srnd(500))) & 0xffffff;
+  }
+  return check;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="RAY",
+        category="Objects",
+        description="tiny raytracer: vector objects with double fields",
+        expected=None,
+        tolerance=1e-6,
+        source="""
+var spheres = new Array(3);
+
+function Vec(x, y, z) { this.x = x; this.y = y; this.z = z; }
+
+function Sphere(cx, cy, cz, r) {
+  this.center = new Vec(cx, cy, cz);
+  this.radius = r;
+}
+
+function dot3(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+function sub3(a, b) { return new Vec(a.x - b.x, a.y - b.y, a.z - b.z); }
+
+function intersect(origin, dir, sphere) {
+  var oc = sub3(origin, sphere.center);
+  var b = 2.0 * dot3(oc, dir);
+  var c = dot3(oc, oc) - sphere.radius * sphere.radius;
+  var disc = b * b - 4.0 * c;
+  if (disc < 0.0) { return -1.0; }
+  var t = (-b - Math.sqrt(disc)) * 0.5;
+  return t;
+}
+
+function setup() {
+  spheres[0] = new Sphere(0.0, 0.0, -5.0, 1.0);
+  spheres[1] = new Sphere(1.5, 0.5, -4.0, 0.5);
+  spheres[2] = new Sphere(-1.2, -0.4, -6.0, 1.2);
+}
+
+function run() {
+  var origin = new Vec(0.0, 0.0, 0.0);
+  var hits = 0;
+  var depthSum = 0.0;
+  for (var py = 0; py < 12; py++) {
+    for (var px = 0; px < 12; px++) {
+      var dx = (px - 6) * 0.15;
+      var dy = (py - 6) * 0.15;
+      var inv = 1.0 / Math.sqrt(dx * dx + dy * dy + 1.0);
+      var dir = new Vec(dx * inv, dy * inv, -inv);
+      var nearest = 1000000.0;
+      for (var s = 0; s < 3; s++) {
+        var t = intersect(origin, dir, spheres[s]);
+        if (t > 0.0 && t < nearest) { nearest = t; }
+      }
+      if (nearest < 1000000.0) {
+        hits = hits + 1;
+        depthSum = depthSum + nearest;
+      }
+    }
+  }
+  return hits * 1000 + Math.floor(depthSum * 100) / 100;
+}
+""",
+    )
+)

@@ -1,0 +1,146 @@
+"""Parsing / language benchmarks (JSON-like scanning, tokenizing, CSV) —
+character-code heavy work standing in for JetStream2's code-load and parser
+benchmarks (MICL et al.)."""
+
+from ..spec import BenchmarkSpec, register
+
+register(
+    BenchmarkSpec(
+        name="JSONLIKE",
+        category="Parsing",
+        description="hand-written scanner over a JSON-like document",
+        expected=None,
+        source="""
+var doc = "";
+
+function setup() {
+  doc = "{";
+  for (var i = 0; i < 25; i++) {
+    if (i > 0) { doc = doc + ","; }
+    doc = doc + '"key' + i + '": {"value": ' + (i * 37 % 1000) +
+          ', "tags": ["a", "b"], "ok": ' + (i % 2 == 0 ? "true" : "false") + "}";
+  }
+  doc = doc + "}";
+}
+
+function run() {
+  var depth = 0;
+  var maxDepth = 0;
+  var numbers = 0;
+  var strings = 0;
+  var digitsum = 0;
+  var n = doc.length;
+  var i = 0;
+  while (i < n) {
+    var c = doc.charCodeAt(i);
+    if (c == 123 || c == 91) {
+      depth = depth + 1;
+      if (depth > maxDepth) { maxDepth = depth; }
+    } else if (c == 125 || c == 93) {
+      depth = depth - 1;
+    } else if (c == 34) {
+      strings = strings + 1;
+      i = i + 1;
+      while (i < n && doc.charCodeAt(i) != 34) { i = i + 1; }
+    } else if (c >= 48 && c <= 57) {
+      numbers = numbers + 1;
+      while (i + 1 < n) {
+        var d = doc.charCodeAt(i + 1);
+        if (d < 48 || d > 57) { break; }
+        digitsum = digitsum + (d - 48);
+        i = i + 1;
+      }
+    }
+    i = i + 1;
+  }
+  return maxDepth * 1000000 + strings * 10000 + numbers * 100 + (digitsum % 100);
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="LEXER",
+        category="Parsing",
+        description="tokenizer over synthetic source text (MICL stand-in)",
+        expected=None,
+        source="""
+var program = "";
+
+function setup() {
+  program = "";
+  for (var i = 0; i < 20; i++) {
+    program = program + "var x" + i + " = foo" + i + "(a + " + i +
+              " * 2); if (x" + i + " >= 10) { y = y - 1; } ";
+  }
+}
+
+function isAlpha(c) {
+  return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || c == 95;
+}
+
+function isDigit(c) { return c >= 48 && c <= 57; }
+
+function run() {
+  var idents = 0;
+  var numbers = 0;
+  var puncts = 0;
+  var identChars = 0;
+  var n = program.length;
+  var i = 0;
+  while (i < n) {
+    var c = program.charCodeAt(i);
+    if (c == 32) {
+      i = i + 1;
+    } else if (isAlpha(c)) {
+      idents = idents + 1;
+      while (i < n && (isAlpha(program.charCodeAt(i)) || isDigit(program.charCodeAt(i)))) {
+        identChars = identChars + 1;
+        i = i + 1;
+      }
+    } else if (isDigit(c)) {
+      numbers = numbers + 1;
+      while (i < n && isDigit(program.charCodeAt(i))) { i = i + 1; }
+    } else {
+      puncts = puncts + 1;
+      i = i + 1;
+    }
+  }
+  return idents * 1000000 + numbers * 10000 + (puncts % 100) * 100 + (identChars % 100);
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="CSV",
+        category="Parsing",
+        description="CSV parsing with split + numeric conversion",
+        expected=None,
+        source="""
+var csv = "";
+
+function setup() {
+  csv = "id,name,value,score";
+  for (var i = 0; i < 30; i++) {
+    csv = csv + "\\n" + i + ",row" + i + "," + (i * 13 % 97) + "," + (i * 7 % 31) + "." + (i % 10);
+  }
+}
+
+function run() {
+  var rows = csv.split("\\n");
+  var total = 0;
+  var scoreSum = 0.0;
+  var n = rows.length;
+  for (var i = 1; i < n; i++) {
+    var cells = rows[i].split(",");
+    total = total + parseInt(cells[2], 10);
+    scoreSum = scoreSum + parseFloat(cells[3]);
+  }
+  return total * 1000 + Math.floor(scoreSum);
+}
+""",
+    )
+)

@@ -1,0 +1,73 @@
+"""Regular-expression benchmarks.
+
+Per the paper (Section III-A): "Regular Expression benchmarks ... do not
+have any significant check overhead ... because most of their computation
+is performed by Irregexp, V8's regex engine, and not in JIT-compiled code."
+Our Irregexp-lite plays the same role.
+"""
+
+from ..spec import BenchmarkSpec, register
+
+register(
+    BenchmarkSpec(
+        name="REGEX-MATCH",
+        category="Regex",
+        description="log-line matching with capture groups",
+        expected=None,
+        source="""
+var lines = new Array(40);
+var levelRe = null;
+var numRe = null;
+
+function setup() {
+  var levels = ["INFO", "WARN", "ERROR", "DEBUG"];
+  for (var i = 0; i < 40; i++) {
+    lines[i] = "2021-06-" + (10 + (i % 19)) + " " + levels[i % 4] +
+               " module" + (i % 6) + ": request took " + (i * 13 % 900) + "ms";
+  }
+  levelRe = new RegExp("(WARN|ERROR) (module\\\\d+)");
+  numRe = new RegExp("(\\\\d+)ms");
+}
+
+function run() {
+  var errors = 0;
+  var total = 0;
+  for (var i = 0; i < 40; i++) {
+    if (levelRe.test(lines[i])) { errors = errors + 1; }
+    var m = numRe.exec(lines[i]);
+    if (m != null) { total = total + parseInt(m[1], 10); }
+  }
+  return errors * 100000 + total;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="REGEX-REPLACE",
+        category="Regex",
+        description="group-referencing replacement over templated text",
+        expected=None,
+        source="""
+var template = "";
+var varRe = null;
+
+function setup() {
+  template = "";
+  for (var i = 0; i < 25; i++) {
+    template = template + "Hello {name" + (i % 5) + "}, id={id" + (i % 3) + "}. ";
+  }
+  varRe = new RegExp("\\\\{(name|id)(\\\\d)\\\\}", "g");
+}
+
+function run() {
+  var result = template.replace(varRe, "[$1:$2]");
+  var check = result.length;
+  check = check * 31 + result.indexOf("[id:2]");
+  check = check * 31 + (varRe.test(result) ? 1 : 0);
+  return check;
+}
+""",
+    )
+)

@@ -1,0 +1,390 @@
+"""Sparse linear-algebra kernels (the paper's six custom benchmarks).
+
+Section II-C: "We add six custom sparse linear algebra kernels used to test
+JavaScript performance in memory-intensive computations with many indirect
+memory accesses.  One is CSR Sparse matrix-vector multiplication (SpMV),
+which we test for different data types (floating-point, large integers and
+SMI), to capture the performance difference of type-dependent checks."
+
+These double as the Section V gem5 subset (SPMV, MMUL, IM2COL, SPMM, BLUR,
+DP) — computations operating mainly on SMIs.
+"""
+
+from ..spec import BenchmarkSpec, register
+
+# Deterministic LCG shared by the generators: Park-Miller with exact
+# double-precision arithmetic (16807 * 2^31 < 2^53, so no rounding).
+_LCG = """
+var seed = 1;
+function rnd(m) {
+  seed = (seed * 16807) % 2147483647;
+  return seed % m;
+}
+function resetSeed(s) { seed = s; }
+"""
+
+register(
+    BenchmarkSpec(
+        name="SPMV-CSR-SMI",
+        category="Sparse",
+        smi_kernel=True,
+        description="CSR sparse matrix-vector multiply over small integers",
+        expected=None,
+        source=_LCG
+        + """
+var N = 48;
+var PER_ROW = 4;
+var vals = new Array(N * PER_ROW);
+var cols = new Array(N * PER_ROW);
+var rowp = new Array(N + 1);
+var xvec = new Array(N);
+var yvec = new Array(N);
+
+function setup() {
+  resetSeed(42);
+  for (var i = 0; i < N; i++) {
+    rowp[i] = i * PER_ROW;
+    xvec[i] = rnd(50) + 1;
+    yvec[i] = 0;
+  }
+  rowp[N] = N * PER_ROW;
+  for (var k = 0; k < N * PER_ROW; k++) {
+    vals[k] = rnd(100) + 1;
+    cols[k] = rnd(N);
+  }
+}
+
+function spmv() {
+  var check = 0;
+  for (var i = 0; i < N; i++) {
+    var acc = 0;
+    var end = rowp[i + 1];
+    for (var k = rowp[i]; k < end; k++) {
+      acc = acc + vals[k] * xvec[cols[k]];
+    }
+    yvec[i] = acc;
+    check = check + acc;
+  }
+  return check;
+}
+
+function run() { return spmv(); }
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="SPMV-CSR-FLOAT",
+        category="Sparse",
+        description="CSR sparse matrix-vector multiply over doubles",
+        expected=None,
+        tolerance=1e-6,
+        source=_LCG
+        + """
+var N = 48;
+var PER_ROW = 4;
+var vals = new Array(N * PER_ROW);
+var cols = new Array(N * PER_ROW);
+var rowp = new Array(N + 1);
+var xvec = new Array(N);
+var yvec = new Array(N);
+
+function setup() {
+  resetSeed(42);
+  for (var i = 0; i < N; i++) {
+    rowp[i] = i * PER_ROW;
+    xvec[i] = (rnd(50) + 1) * 0.5;
+    yvec[i] = 0.0;
+  }
+  rowp[N] = N * PER_ROW;
+  for (var k = 0; k < N * PER_ROW; k++) {
+    vals[k] = (rnd(100) + 1) * 0.25;
+    cols[k] = rnd(N);
+  }
+}
+
+function spmv() {
+  var check = 0.0;
+  for (var i = 0; i < N; i++) {
+    var acc = 0.0;
+    var end = rowp[i + 1];
+    for (var k = rowp[i]; k < end; k++) {
+      acc = acc + vals[k] * xvec[cols[k]];
+    }
+    yvec[i] = acc;
+    check = check + acc;
+  }
+  return check;
+}
+
+function run() { return spmv(); }
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="SPMV-CSR-INT",
+        category="Sparse",
+        description="CSR sparse matrix-vector multiply over large (non-SMI) integers",
+        expected=None,
+        tolerance=1e-6,
+        source=_LCG
+        + """
+var N = 48;
+var PER_ROW = 4;
+var BIG = 1200000000;
+var vals = new Array(N * PER_ROW);
+var cols = new Array(N * PER_ROW);
+var rowp = new Array(N + 1);
+var xvec = new Array(N);
+
+function setup() {
+  resetSeed(42);
+  for (var i = 0; i < N; i++) {
+    rowp[i] = i * PER_ROW;
+    xvec[i] = rnd(50) + 1;
+  }
+  rowp[N] = N * PER_ROW;
+  for (var k = 0; k < N * PER_ROW; k++) {
+    vals[k] = BIG + rnd(100);
+    cols[k] = rnd(N);
+  }
+}
+
+function spmv() {
+  var check = 0.0;
+  for (var i = 0; i < N; i++) {
+    var acc = 0.0;
+    var end = rowp[i + 1];
+    for (var k = rowp[i]; k < end; k++) {
+      acc = acc + vals[k] * xvec[cols[k]];
+    }
+    check = check + acc * 0.000001;
+  }
+  return check;
+}
+
+function run() { return spmv(); }
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="DP",
+        category="Sparse",
+        smi_kernel=True,
+        description="dense dot product over SMIs",
+        expected=None,
+        source=_LCG
+        + """
+var N = 256;
+var va = new Array(N);
+var vb = new Array(N);
+
+function setup() {
+  resetSeed(7);
+  for (var i = 0; i < N; i++) {
+    va[i] = rnd(100) + 1;
+    vb[i] = rnd(100) + 1;
+  }
+}
+
+function dot(a, b) {
+  var acc = 1;
+  for (var i = 0; i < a.length; i++) {
+    acc = acc + a[i] * b[i];
+  }
+  return acc;
+}
+
+function run() { return dot(va, vb); }
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="MMUL",
+        category="Sparse",
+        smi_kernel=True,
+        description="dense matrix multiply (flat arrays) over SMIs",
+        expected=None,
+        source=_LCG
+        + """
+var N = 10;
+var ma = new Array(N * N);
+var mb = new Array(N * N);
+var mc = new Array(N * N);
+
+function setup() {
+  resetSeed(9);
+  for (var i = 0; i < N * N; i++) {
+    ma[i] = rnd(20) + 1;
+    mb[i] = rnd(20) + 1;
+    mc[i] = 0;
+  }
+}
+
+function mmul() {
+  for (var i = 0; i < N; i++) {
+    for (var j = 0; j < N; j++) {
+      var acc = 0;
+      for (var k = 0; k < N; k++) {
+        acc = acc + ma[i * N + k] * mb[k * N + j];
+      }
+      mc[i * N + j] = acc;
+    }
+  }
+  var check = 0;
+  for (var t = 0; t < N * N; t++) { check = check + mc[t]; }
+  return check;
+}
+
+function run() { return mmul(); }
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="SPMM",
+        category="Sparse",
+        smi_kernel=True,
+        description="sparse (CSR) x dense matrix multiply over SMIs",
+        expected=None,
+        source=_LCG
+        + """
+var R = 16;
+var C = 16;
+var K = 8;
+var PER_ROW = 4;
+var svals = new Array(R * PER_ROW);
+var scols = new Array(R * PER_ROW);
+var srowp = new Array(R + 1);
+var dense = new Array(C * K);
+var out = new Array(R * K);
+
+function setup() {
+  resetSeed(11);
+  for (var i = 0; i < R; i++) { srowp[i] = i * PER_ROW; }
+  srowp[R] = R * PER_ROW;
+  for (var t = 0; t < R * PER_ROW; t++) {
+    svals[t] = rnd(9) + 1;
+    scols[t] = rnd(C);
+  }
+  for (var d = 0; d < C * K; d++) { dense[d] = rnd(7) + 1; }
+  for (var o = 0; o < R * K; o++) { out[o] = 0; }
+}
+
+function spmm() {
+  for (var i = 0; i < R; i++) {
+    var start = srowp[i];
+    var end = srowp[i + 1];
+    for (var j = 0; j < K; j++) {
+      var acc = 0;
+      for (var k = start; k < end; k++) {
+        acc = acc + svals[k] * dense[scols[k] * K + j];
+      }
+      out[i * K + j] = acc;
+    }
+  }
+  var check = 0;
+  for (var t = 0; t < R * K; t++) { check = check + out[t]; }
+  return check;
+}
+
+function run() { return spmm(); }
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="IM2COL",
+        category="Sparse",
+        smi_kernel=True,
+        description="im2col patch extraction over an SMI image",
+        expected=None,
+        source=_LCG
+        + """
+var W = 14;
+var H = 14;
+var KS = 3;
+var OW = W - KS + 1;
+var OH = H - KS + 1;
+var image = new Array(W * H);
+var colsOut = new Array(OW * OH * KS * KS);
+
+function setup() {
+  resetSeed(13);
+  for (var i = 0; i < W * H; i++) { image[i] = rnd(256); }
+  for (var t = 0; t < OW * OH * KS * KS; t++) { colsOut[t] = 0; }
+}
+
+function im2col() {
+  var idx = 0;
+  for (var oy = 0; oy < OH; oy++) {
+    for (var ox = 0; ox < OW; ox++) {
+      for (var ky = 0; ky < KS; ky++) {
+        for (var kx = 0; kx < KS; kx++) {
+          colsOut[idx] = image[(oy + ky) * W + (ox + kx)];
+          idx = idx + 1;
+        }
+      }
+    }
+  }
+  var check = 0;
+  for (var t = 0; t < idx; t++) { check = check + colsOut[t]; }
+  return check;
+}
+
+function run() { return im2col(); }
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="BLUR",
+        category="Sparse",
+        smi_kernel=True,
+        description="3x3 integer gaussian blur over an SMI image",
+        expected=None,
+        source=_LCG
+        + """
+var BW = 16;
+var BH = 16;
+var src = new Array(BW * BH);
+var dst = new Array(BW * BH);
+
+function setup() {
+  resetSeed(17);
+  for (var i = 0; i < BW * BH; i++) {
+    src[i] = rnd(256);
+    dst[i] = 0;
+  }
+}
+
+function blur() {
+  for (var y = 1; y < BH - 1; y++) {
+    for (var x = 1; x < BW - 1; x++) {
+      var p = y * BW + x;
+      var acc =
+        src[p - BW - 1] + 2 * src[p - BW] + src[p - BW + 1] +
+        2 * src[p - 1] + 4 * src[p] + 2 * src[p + 1] +
+        src[p + BW - 1] + 2 * src[p + BW] + src[p + BW + 1];
+      dst[p] = acc >> 4;
+    }
+  }
+  var check = 0;
+  for (var t = 0; t < BW * BH; t++) { check = check + dst[t]; }
+  return check;
+}
+
+function run() { return blur(); }
+""",
+    )
+)

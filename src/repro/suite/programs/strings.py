@@ -1,0 +1,134 @@
+"""String-manipulation benchmarks.
+
+The paper observes these carry *low* check overheads because most of their
+work happens inside builtins (string concatenation, split, case mapping),
+which contain no deoptimization checks — and Section VII measures builtins
+at up to 8 % of execution time here.
+"""
+
+from ..spec import BenchmarkSpec, register
+
+register(
+    BenchmarkSpec(
+        name="STR-SPLIT",
+        category="String",
+        description="split/join/indexOf over a synthetic word list",
+        expected=None,
+        source="""
+var text = "";
+
+function setup() {
+  var words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"];
+  text = "";
+  for (var i = 0; i < 60; i++) {
+    if (i > 0) { text = text + ","; }
+    text = text + words[i % 7] + "-" + i;
+  }
+}
+
+function run() {
+  var parts = text.split(",");
+  var count = 0;
+  var n = parts.length;
+  for (var i = 0; i < n; i++) {
+    if (parts[i].indexOf("a") >= 0) { count = count + 1; }
+  }
+  var joined = parts.join(";");
+  return count * 1000 + joined.length;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="BASE64",
+        category="String",
+        description="base64 encoding via charAt/fromCharCode",
+        expected=None,
+        source="""
+var alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+var payload = new Array(120);
+
+function setup() {
+  var s = 9;
+  for (var i = 0; i < 120; i++) {
+    s = (s * 41 + 7) % 256;
+    payload[i] = s;
+  }
+}
+
+function encode() {
+  var out = "";
+  for (var i = 0; i + 2 < 120; i = i + 3) {
+    var n = (payload[i] << 16) | (payload[i + 1] << 8) | payload[i + 2];
+    out = out + alphabet.charAt((n >> 18) & 63) + alphabet.charAt((n >> 12) & 63) +
+          alphabet.charAt((n >> 6) & 63) + alphabet.charAt(n & 63);
+  }
+  return out;
+}
+
+function run() {
+  var encoded = encode();
+  var check = 0;
+  var n = encoded.length;
+  for (var i = 0; i < n; i = i + 7) {
+    check = (check * 31 + encoded.charCodeAt(i)) % 1000003;
+  }
+  return check;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="STR-BUILD",
+        category="String",
+        description="string building by repeated concatenation",
+        expected=None,
+        source="""
+function setup() { }
+
+function run() {
+  var out = "";
+  for (var i = 0; i < 80; i++) {
+    out = out + "item" + i + ";";
+  }
+  var check = out.length;
+  check = check * 7 + out.indexOf("item79");
+  return check;
+}
+""",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="UPPER",
+        category="String",
+        description="case mapping + character scanning",
+        expected=None,
+        source="""
+var sentence = "";
+
+function setup() {
+  sentence = "";
+  for (var i = 0; i < 30; i++) {
+    sentence = sentence + "the Quick brown Fox jumps over the lazy Dog ";
+  }
+}
+
+function run() {
+  var upper = sentence.toUpperCase();
+  var lower = sentence.toLowerCase();
+  var check = 0;
+  var n = upper.length;
+  for (var i = 0; i < n; i = i + 11) {
+    check = (check + upper.charCodeAt(i) - lower.charCodeAt(i)) & 0xffff;
+  }
+  return check + upper.length;
+}
+""",
+    )
+)

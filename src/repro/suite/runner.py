@@ -1,0 +1,221 @@
+"""Benchmark runner: iterations, repetitions, noise, leftover checks.
+
+Reproduces the paper's measurement protocol (Section II-D): each benchmark
+runs for many iterations (1,000 in the paper; scaled down by default) and
+the whole process repeats several times (30 in the paper).
+
+Two experimental realities of the paper are modelled explicitly:
+
+* **Noise** — "there is some non-determinism in V8 in how JIT-compilation
+  and garbage collection are triggered" (Section IV-A), and the authors
+  argue *against* artificially quieting it.  Our simulator is deterministic,
+  so per-repetition jitter is injected where V8's nondeterminism lives: the
+  tier-up thresholds and the GC cadence vary per repetition, and a small
+  multiplicative measurement noise models OS/timer jitter on real hardware.
+* **Leftover checks** — removing a check type that actually fires breaks a
+  benchmark (16/51 in the paper).  :func:`determine_removable_kinds` runs
+  the benchmark once with all checks enabled and withholds every eager
+  check kind that fired, exactly the paper's Section III-B.2 procedure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..engine import Engine, EngineConfig
+from ..jit.checks import CheckKind, DeoptCategory, category_of
+from .spec import BenchmarkSpec
+
+#: All eager check kinds (candidates for removal).
+EAGER_KINDS: FrozenSet[CheckKind] = frozenset(
+    kind for kind in CheckKind if category_of(kind) == DeoptCategory.EAGER
+)
+
+
+@dataclass
+class NoiseModel:
+    """Per-repetition nondeterminism injection."""
+
+    enabled: bool = True
+    measurement_sigma: float = 0.006  # ~0.6 % multiplicative timer noise
+    tierup_jitter: float = 0.35  # +-35 % threshold jitter
+    gc_period_choices: Tuple[int, ...] = (13, 17, 23, 29)
+
+    def perturb_config(self, config: EngineConfig, rng: random.Random) -> EngineConfig:
+        if not self.enabled:
+            return config
+        scale = 1.0 + rng.uniform(-self.tierup_jitter, self.tierup_jitter)
+        return dataclasses.replace(
+            config,
+            tierup_invocations=max(2, int(config.tierup_invocations * scale)),
+            tierup_backedges=max(100, int(config.tierup_backedges * scale)),
+            random_seed=rng.getrandbits(62) | 1,
+        )
+
+    def gc_period(self, rng: random.Random) -> int:
+        if not self.enabled:
+            return 16
+        return rng.choice(self.gc_period_choices)
+
+    def iteration_noise(self, rng: random.Random) -> float:
+        if not self.enabled:
+            return 1.0
+        return max(0.5, rng.gauss(1.0, self.measurement_sigma))
+
+
+@dataclass
+class RunResult:
+    """Outcome of one repetition of one benchmark configuration."""
+
+    name: str
+    target: str
+    iterations: int
+    #: simulated cycles per iteration (noise applied)
+    cycles: List[float]
+    result: object
+    valid: bool
+    #: (iteration, check kind name) per eager deopt event
+    deopts: List[Tuple[int, str]]
+    #: static stats summed over this benchmark's optimized code objects
+    code_stats: Dict[str, int]
+    #: hardware-counter deltas over the measured iterations
+    hw_stats: Dict[str, int]
+    #: cycle buckets at the end of the run
+    buckets: Dict[str, float]
+    total_cycles: float = 0.0
+
+    @property
+    def steady_state_cycles(self) -> float:
+        """Mean of the last 30 % of iterations."""
+        tail = self.cycles[-max(1, len(self.cycles) * 3 // 10):]
+        return sum(tail) / len(tail)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.cycles)
+
+
+class BenchmarkRunner:
+    """Runs one benchmark under one engine configuration."""
+
+    def __init__(
+        self,
+        spec: BenchmarkSpec,
+        config: Optional[EngineConfig] = None,
+        noise: Optional[NoiseModel] = None,
+    ) -> None:
+        self.spec = spec
+        self.config = config or EngineConfig()
+        self.noise = noise or NoiseModel(enabled=False)
+
+    def run(
+        self,
+        iterations: int = 100,
+        rep: int = 0,
+        reference: object = None,
+    ) -> RunResult:
+        rng = random.Random((hash(self.spec.name) & 0xFFFFFFF) * 1000003 + rep)
+        config = self.noise.perturb_config(self.config, rng)
+        engine = Engine(config)
+        engine.load(self.spec.source)
+        engine.call_global("setup")
+        gc_period = self.noise.gc_period(rng)
+
+        cycles: List[float] = []
+        result: object = None
+        valid = True
+        hw_before = engine.executor.stats.snapshot()
+        for iteration in range(iterations):
+            engine.current_iteration = iteration
+            before = engine.total_cycles
+            value = engine.call_global("run")
+            elapsed = (engine.total_cycles - before) * self.noise.iteration_noise(rng)
+            if config.gc_between_iterations and iteration % gc_period == gc_period - 1:
+                gc_before = engine.total_cycles
+                engine.run_gc()
+                elapsed += engine.total_cycles - gc_before
+            cycles.append(elapsed)
+            if iteration == 0:
+                result = value
+            elif not _consistent(self.spec, value, result):
+                valid = False
+        if reference is not None and not _consistent(self.spec, result, reference):
+            valid = False
+        if self.spec.expected is not None and not self.spec.validate(result):
+            valid = False
+        hw_after = engine.executor.stats.snapshot()
+
+        code_stats = {"body_instructions": 0, "check_instructions": 0, "deopt_branches": 0}
+        for shared in engine.functions:
+            if shared.code is not None:
+                stats = shared.code.check_instruction_stats()
+                for key in code_stats:
+                    code_stats[key] += stats[key]
+        deopts = [
+            (event.iteration, event.kind.name)
+            for event in engine.deopt_events
+            if category_of(event.kind) == DeoptCategory.EAGER
+        ]
+        return RunResult(
+            name=self.spec.name,
+            target=config.target,
+            iterations=iterations,
+            cycles=cycles,
+            result=result,
+            valid=valid,
+            deopts=deopts,
+            code_stats=code_stats,
+            hw_stats={k: hw_after[k] - hw_before[k] for k in hw_after},
+            buckets=dict(engine.buckets),
+            total_cycles=engine.total_cycles,
+        )
+
+
+def _consistent(spec: BenchmarkSpec, a: object, b: object) -> bool:
+    if spec.tolerance:
+        try:
+            return abs(float(a) - float(b)) <= spec.tolerance * max(1.0, abs(float(b)))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return a == b
+    return a == b
+
+
+def determine_removable_kinds(
+    spec: BenchmarkSpec,
+    base_config: Optional[EngineConfig] = None,
+    iterations: int = 60,
+) -> Tuple[FrozenSet[CheckKind], FrozenSet[CheckKind]]:
+    """(removable kinds, leftover kinds) for a benchmark.
+
+    A kind is *leftover* (must stay) when a deopt of that kind fires during
+    a fully-checked run — removing it would alter the program's semantics
+    (paper Section III-B.2).
+    """
+    config = base_config or EngineConfig()
+    runner = BenchmarkRunner(spec, config, NoiseModel(enabled=False))
+    result = runner.run(iterations=iterations)
+    fired = frozenset(CheckKind[name] for _it, name in result.deopts)
+    leftovers = frozenset(fired & EAGER_KINDS)
+    return frozenset(EAGER_KINDS - leftovers), leftovers
+
+
+def run_benchmark(
+    spec: BenchmarkSpec,
+    config: Optional[EngineConfig] = None,
+    iterations: int = 100,
+    reps: int = 1,
+    noise: Optional[NoiseModel] = None,
+) -> List[RunResult]:
+    """Run ``reps`` repetitions; validates cross-repetition consistency."""
+    runner = BenchmarkRunner(spec, config, noise)
+    results: List[RunResult] = []
+    reference: object = None
+    for rep in range(reps):
+        result = runner.run(iterations=iterations, rep=rep, reference=reference)
+        if reference is None:
+            reference = result.result
+        results.append(result)
+    return results

@@ -1,0 +1,107 @@
+"""Benchmark specifications and registry.
+
+The suite mirrors the paper's *extended JetStream2*: benchmarks are grouped
+"by the language feature they stress (e.g., string manipulation) or by
+their application domain (e.g., cryptography)" (Section II-C), plus the six
+custom sparse linear-algebra kernels.  WebAssembly benchmarks are excluded
+by the paper and have no counterpart here.
+
+Each benchmark is a JS-subset program exposing:
+
+* ``setup()``   — builds the workload data (run once, not timed as an
+  iteration),
+* ``run()``     — one benchmark iteration, returning a checksum.
+
+``expected`` validates correctness after every configuration run — the
+paper validates results too, and this is what detects broken semantics when
+checks are removed (the "leftover checks" mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    name: str  # short code used in figures, e.g. "SPMV-CSR-SMI"
+    category: str  # Mathematical / Crypto / Sparse / String / Regex / Parsing / Objects
+    source: str  # JS-subset program text
+    expected: Union[int, float, str, None]
+    tolerance: float = 0.0  # for float checksums
+    #: part of the Section V gem5 subset (SMI-heavy kernels)?
+    smi_kernel: bool = False
+    description: str = ""
+
+    def validate(self, result: object) -> bool:
+        if self.expected is None:
+            return True
+        if isinstance(self.expected, float) or self.tolerance:
+            try:
+                return abs(float(result) - float(self.expected)) <= self.tolerance  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return False
+        return result == self.expected
+
+
+CATEGORIES = (
+    "Mathematical",
+    "Crypto",
+    "Sparse",
+    "String",
+    "Regex",
+    "Parsing",
+    "Objects",
+)
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {}
+
+
+def register(spec: BenchmarkSpec) -> BenchmarkSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark {spec.name}")
+    if spec.category not in CATEGORIES:
+        raise ValueError(f"unknown category {spec.category}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def all_benchmarks() -> List[BenchmarkSpec]:
+    _ensure_loaded()
+    return sorted(_REGISTRY.values(), key=lambda s: (s.category, s.name))
+
+
+def benchmarks_by_category(category: str) -> List[BenchmarkSpec]:
+    _ensure_loaded()
+    return [s for s in all_benchmarks() if s.category == category]
+
+
+def smi_kernels() -> List[BenchmarkSpec]:
+    """The Section V gem5 subset (SMI-heavy kernels)."""
+    _ensure_loaded()
+    return [s for s in all_benchmarks() if s.smi_kernel]
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from .programs import (  # noqa: F401  (registration side effects)
+        crypto,
+        mathematical,
+        objects,
+        parsing,
+        regex,
+        sparse,
+        strings,
+    )

@@ -1,0 +1,27 @@
+"""Microarchitectural timing models: fast cost model + detailed pipelines."""
+
+from ..machine.executor import BranchPredictor, CostModel
+from .cache import Cache, CacheHierarchy
+from .pipeline.common import PipelineStats, decode
+from .pipeline.configs import CPU_BY_NAME, EXYNOS_BIG, GEM5_CPUS, HPD, INORDER_LITTLE, O3_KPG, CPUConfig
+from .pipeline.inorder import simulate, simulate_inorder
+from .pipeline.o3 import simulate_o3
+
+__all__ = [
+    "BranchPredictor",
+    "CPUConfig",
+    "CPU_BY_NAME",
+    "Cache",
+    "CacheHierarchy",
+    "CostModel",
+    "EXYNOS_BIG",
+    "GEM5_CPUS",
+    "HPD",
+    "INORDER_LITTLE",
+    "O3_KPG",
+    "PipelineStats",
+    "decode",
+    "simulate",
+    "simulate_inorder",
+    "simulate_o3",
+]

@@ -1,0 +1,69 @@
+"""Set-associative cache hierarchy for the detailed pipeline models."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class Cache:
+    """One level: set-associative, LRU, write-allocate."""
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = max(1, size_bytes // (ways * line_bytes))
+        self._lines: List[List[int]] = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, byte_addr: int) -> bool:
+        """True on hit; installs the line on miss (LRU)."""
+        line = byte_addr // self.line_bytes
+        index = line % self.sets
+        entries = self._lines[index]
+        if line in entries:
+            entries.remove(line)
+            entries.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        entries.append(line)
+        if len(entries) > self.ways:
+            entries.pop(0)
+        return False
+
+
+class CacheHierarchy:
+    """L1D + shared L2 with per-level latencies."""
+
+    def __init__(
+        self,
+        l1_size: int = 32 * 1024,
+        l1_ways: int = 4,
+        l2_size: int = 512 * 1024,
+        l2_ways: int = 8,
+        l1_latency: int = 4,
+        l2_latency: int = 14,
+        memory_latency: int = 90,
+    ) -> None:
+        self.l1 = Cache(l1_size, l1_ways)
+        self.l2 = Cache(l2_size, l2_ways)
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.memory_latency = memory_latency
+
+    def load_latency(self, word_addr: int) -> int:
+        byte_addr = word_addr * 8
+        if self.l1.access(byte_addr):
+            return self.l1_latency
+        if self.l2.access(byte_addr):
+            return self.l2_latency
+        return self.memory_latency
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "l1_hits": self.l1.hits,
+            "l1_misses": self.l1.misses,
+            "l2_hits": self.l2.hits,
+            "l2_misses": self.l2.misses,
+        }

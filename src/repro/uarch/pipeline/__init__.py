@@ -1,0 +1,18 @@
+"""Detailed pipeline models (in-order + out-of-order) and CPU configs."""
+
+from .common import DecodedInstr, PipelineStats, decode
+from .configs import CPU_BY_NAME, GEM5_CPUS, CPUConfig
+from .inorder import simulate, simulate_inorder
+from .o3 import simulate_o3
+
+__all__ = [
+    "CPUConfig",
+    "CPU_BY_NAME",
+    "DecodedInstr",
+    "GEM5_CPUS",
+    "PipelineStats",
+    "decode",
+    "simulate",
+    "simulate_inorder",
+    "simulate_o3",
+]

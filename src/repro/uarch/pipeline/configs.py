@@ -1,0 +1,110 @@
+"""CPU configurations for the gem5-lite pipeline models.
+
+The paper prototypes the ISA extension in gem5 on in-order and out-of-order
+ARM cores and reports results for an Exynos-big-like core, a Kunpeng-920
+("O3-KPG") core, and a high-performance desktop core ("HPD"), plus simple
+in-order cores.  These configs capture the corresponding design points;
+latency/width values follow public microarchitecture descriptions at the
+granularity our models support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    name: str
+    kind: str  # "inorder" | "o3"
+    width: int  # dispatch/issue width
+    rob_size: int = 0  # O3 only
+    mispredict_penalty: int = 12
+    taken_branch_bubble: int = 1
+    #: functional-unit latencies by class
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    fp_latency: int = 3
+    fp_div_latency: int = 15
+    store_latency: int = 1
+    #: L1/L2/mem parameters
+    l1_latency: int = 4
+    l2_latency: int = 14
+    memory_latency: int = 90
+    #: extra cycles jsldrsmi adds to the load pipe (0 = the paper's parallel
+    #: untag datapath of Fig. 12; the ablation bench sets 1 for a serial one)
+    smi_load_extra: int = 0
+
+    @property
+    def is_o3(self) -> bool:
+        return self.kind == "o3"
+
+
+#: Little in-order core (Cortex-A55 flavour): dual-issue in-order.
+INORDER_LITTLE = CPUConfig(
+    name="inorder-little",
+    kind="inorder",
+    width=2,
+    mispredict_penalty=8,
+    alu_latency=1,
+    mul_latency=3,
+    div_latency=14,
+    fp_latency=4,
+    l1_latency=3,
+    l2_latency=16,
+    memory_latency=110,
+)
+
+#: Exynos-big flavour: wide mobile O3 core.
+EXYNOS_BIG = CPUConfig(
+    name="exynos-big",
+    kind="o3",
+    width=6,
+    rob_size=228,
+    mispredict_penalty=14,
+    alu_latency=1,
+    mul_latency=4,
+    div_latency=12,
+    fp_latency=4,
+    l1_latency=4,
+    l2_latency=12,
+    memory_latency=100,
+)
+
+#: Kunpeng-920 flavour (the paper's ARM64 server CPU): 4-wide O3.
+O3_KPG = CPUConfig(
+    name="o3-kpg",
+    kind="o3",
+    width=4,
+    rob_size=128,
+    mispredict_penalty=12,
+    alu_latency=1,
+    mul_latency=4,
+    div_latency=13,
+    fp_latency=4,
+    l1_latency=4,
+    l2_latency=14,
+    memory_latency=95,
+)
+
+#: High-performance desktop flavour: very wide O3 core.
+HPD = CPUConfig(
+    name="hpd",
+    kind="o3",
+    width=8,
+    rob_size=320,
+    mispredict_penalty=13,
+    alu_latency=1,
+    mul_latency=3,
+    div_latency=10,
+    fp_latency=3,
+    l1_latency=4,
+    l2_latency=12,
+    memory_latency=85,
+)
+
+GEM5_CPUS: Tuple[CPUConfig, ...] = (INORDER_LITTLE, EXYNOS_BIG, O3_KPG, HPD)
+
+CPU_BY_NAME: Dict[str, CPUConfig] = {c.name: c for c in GEM5_CPUS}

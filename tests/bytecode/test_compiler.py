@@ -1,0 +1,131 @@
+"""Bytecode compiler tests."""
+
+import pytest
+
+from repro.bytecode.compiler import UnsupportedFeatureError, compile_source
+from repro.bytecode.disasm import disassemble
+from repro.bytecode.opcodes import Op
+
+
+def ops_of(source, function_index=1):
+    program = compile_source(source)
+    return [i.op for i in program.functions[function_index].bytecode]
+
+
+class TestStructure:
+    def test_main_is_function_zero(self):
+        program = compile_source("var x = 1;")
+        assert program.functions[0] is program.main
+        assert program.main.name == "<main>"
+
+    def test_toplevel_vars_become_globals(self):
+        program = compile_source("var x = 1; x = x + 1;")
+        ops = [i.op for i in program.main.bytecode]
+        assert Op.STORE_GLOBAL in ops
+        assert Op.LOAD_GLOBAL in ops
+
+    def test_function_locals_use_registers(self):
+        ops = ops_of("function f() { var a = 1; return a; }")
+        assert Op.STORE_GLOBAL not in ops
+
+    def test_params_map_to_first_registers(self):
+        program = compile_source("function f(a, b) { return b; }")
+        fn = program.functions[1]
+        ret = next(i for i in fn.bytecode if i.op == Op.RETURN)
+        assert ret.a == 1  # second parameter register
+
+    def test_every_function_ends_with_return(self):
+        program = compile_source("function f() { var x = 1; }")
+        assert program.functions[1].bytecode[-1].op == Op.RETURN
+
+    def test_feedback_slots_allocated(self):
+        program = compile_source("function f(a, b) { return a + b * a; }")
+        fn = program.functions[1]
+        slots = {i.d for i in fn.bytecode if i.d >= 0}
+        assert len(slots) == fn.feedback_slot_count == 2
+
+
+class TestControlFlow:
+    def test_loop_has_backward_jump(self):
+        ops_and_targets = [
+            (i.op, i.a)
+            for i in compile_source(
+                "function f(n) { for (var i = 0; i < n; i++) { } }"
+            ).functions[1].bytecode
+        ]
+        backward = [
+            (op, target)
+            for index, (op, target) in enumerate(ops_and_targets)
+            if op == Op.JUMP and target <= index
+        ]
+        assert backward
+
+    def test_loop_headers_detected(self):
+        program = compile_source("function f(n) { while (n > 0) { n = n - 1; } }")
+        assert program.functions[1].loop_headers
+
+    def test_break_jumps_past_loop_end(self):
+        program = compile_source(
+            "function f() { while (true) { break; } return 9; }"
+        )
+        code = program.functions[1].bytecode
+        break_jump = next(
+            i for index, i in enumerate(code) if i.op == Op.JUMP and i.a > index
+        )
+        assert code[break_jump.a].op != Op.JUMP or break_jump.a > 0
+
+    def test_logical_and_short_circuits(self):
+        ops = ops_of("function f(a, b) { return a && b; }")
+        assert Op.JUMP_IF_FALSE in ops
+
+    def test_ternary_compiles_to_branches(self):
+        ops = ops_of("function f(a) { return a ? 1 : 2; }")
+        assert Op.JUMP_IF_FALSE in ops and Op.JUMP in ops
+
+
+class TestOperations:
+    def test_compound_assignment_expands(self):
+        ops = ops_of("function f(a) { a += 2; return a; }")
+        assert Op.ADD in ops
+
+    def test_method_call_opcode(self):
+        ops = ops_of("function f(s) { return s.charCodeAt(0); }")
+        assert Op.CALL_METHOD in ops
+
+    def test_new_opcode(self):
+        ops = ops_of("function f() { return new Foo(); }")
+        assert Op.NEW in ops
+
+    def test_element_vs_property(self):
+        ops = ops_of("function f(o, i) { return o[i] + o.x; }")
+        assert Op.GET_ELEMENT in ops and Op.GET_PROPERTY in ops
+
+    def test_constant_pool_deduplicates(self):
+        program = compile_source("function f() { return 7 + 7 + 7; }")
+        constants = program.functions[1].constants
+        assert len([c for c in constants.entries if c == ("int", 7)]) == 1
+
+
+class TestErrors:
+    def test_closure_capture_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            compile_source(
+                "function outer() { var x = 1; function inner() { return x; } }"
+            )
+
+    def test_break_outside_loop_rejected(self):
+        from repro.lang.errors import JSSyntaxError
+
+        with pytest.raises(JSSyntaxError):
+            compile_source("function f() { break; }")
+
+
+class TestDisassembler:
+    def test_listing_mentions_key_ops(self):
+        program = compile_source(
+            "function f(a) { for (var i = 0; i < a.length; i++) { } return i; }"
+        )
+        listing = disassemble(program.functions[1])
+        assert "JUMP_IF_FALSE" in listing
+        assert "GET_PROPERTY" in listing
+        assert "registers=" in listing

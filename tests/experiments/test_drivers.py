@@ -1,0 +1,131 @@
+"""Experiment-driver smoke tests: every figure regenerates at smoke scale
+and exhibits the paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    builtin_time,
+    fig01_check_density,
+    fig03_annotated_asm,
+    fig04_breakdown,
+    fig06_iteration_profile,
+    fig07_speedups,
+    fig08_categories,
+    fig09_correlation,
+    fig10_branch_cost,
+    fig13_isa_speedup,
+    fig14_distributions,
+    leftover,
+)
+from repro.experiments.common import SCALES, ExperimentResult
+
+pytestmark = pytest.mark.slow
+
+SCALE = "smoke"
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        for key in (
+            "fig01", "fig03", "fig04", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig13", "fig14", "leftover", "builtins",
+        ):
+            assert key in EXPERIMENTS
+
+    def test_scales_defined(self):
+        assert {"smoke", "default", "full"} <= set(SCALES)
+
+
+class TestFig01:
+    def test_density_in_plausible_band(self):
+        result = fig01_check_density.run(scale=SCALE)
+        assert result.rows
+        for row in result.rows:
+            for key, value in row.items():
+                if key.endswith("checks/100") and value:
+                    assert 0 < value < 40
+
+
+class TestFig03:
+    def test_listing_has_samples_and_checks(self):
+        result = fig03_annotated_asm.run(scale=SCALE)
+        text = result.to_text()
+        assert "check" in text
+
+
+class TestFig04:
+    def test_tables_and_group_shares(self):
+        tables = fig04_breakdown.run(scale=SCALE)
+        frequency, overhead = tables["frequency"], tables["overhead"]
+        assert frequency.rows and overhead.rows
+        for row in overhead.rows:
+            assert 0 <= row["total %"] < 100
+
+
+class TestFig06:
+    def test_removal_speeds_up_on_average(self):
+        result = fig06_iteration_profile.run(scale=SCALE)
+        diffs = [row["time diff %"] for row in result.rows]
+        assert sum(diffs) / len(diffs) > 0
+
+    def test_warmup_speedup_visible(self):
+        result = fig06_iteration_profile.run(scale=SCALE)
+        speedups = [row["steady speedup vs iter0"] for row in result.rows]
+        assert max(speedups) > 1.5
+
+
+class TestFig07Fig08Fig09:
+    def test_speedups_and_aggregates(self):
+        fig07 = fig07_speedups.run(scale=SCALE)
+        assert fig07.rows
+        for row in fig07.rows:
+            assert row["removal speedup"] > 0.8
+        fig08 = fig08_categories.run(scale=SCALE)
+        assert fig08.rows
+        fig09 = fig09_correlation.run(scale=SCALE)
+        for row in fig09.rows:
+            assert row["r"] > 0  # positive correlation of the two estimators
+
+
+class TestFig10:
+    def test_branch_suppression_reduces_branches_most(self):
+        result = fig10_branch_cost.run(scale=SCALE)
+        branch_deltas = [row["d branches %"] for row in result.rows]
+        cycle_deltas = [row["d cycles %"] for row in result.rows]
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean(branch_deltas) < -5  # branches drop substantially
+        # ... but cycles drop far less (paper: -20 % branches, -1-2 % cycles)
+        assert abs(mean(cycle_deltas)) < abs(mean(branch_deltas))
+
+
+class TestFig13Fig14:
+    def test_extension_helps_on_average(self):
+        result = fig13_isa_speedup.run(scale=SCALE)
+        reductions = [row["time reduction %"] for row in result.rows]
+        assert sum(reductions) / len(reductions) > 0
+        instr = [row["instr reduction %"] for row in result.rows]
+        assert sum(instr) / len(instr) > 0
+
+    def test_distributions_table_renders(self):
+        result = fig14_distributions.run(scale=SCALE)
+        assert result.rows
+        isas = {row["isa"] for row in result.rows}
+        assert isas == {"default", "smi-ext"}
+
+
+class TestTextReports:
+    def test_leftover_report(self):
+        result = leftover.run(scale=SCALE)
+        assert isinstance(result, ExperimentResult)
+        assert result.notes
+
+    def test_builtin_share_report(self):
+        result = builtin_time.run(scale=SCALE)
+        shares = [row["builtin %"] for row in result.rows]
+        assert all(0 <= s <= 100 for s in shares)
+
+    def test_to_text_renders_all(self):
+        result = fig01_check_density.run(scale=SCALE)
+        text = result.to_text()
+        assert "Fig. 1" in text and "-" * 10 in text

@@ -1,0 +1,233 @@
+"""JS operator semantics tests (the deopt-safe slow paths)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interpreter import runtime
+from repro.interpreter.feedback import OperandFeedback
+from repro.values.heap import Heap
+from repro.values.tagged import SMI_MAX, SMI_MIN, is_heap_pointer, is_smi
+
+
+@pytest.fixture
+def heap():
+    return Heap()
+
+
+def w(heap, value):
+    return heap.to_word(value)
+
+
+class TestAdd:
+    def test_smi_add(self, heap):
+        result, feedback = runtime.js_add(heap, w(heap, 2), w(heap, 3))
+        assert heap.to_python(result) == 5
+        assert feedback == OperandFeedback.SIGNED_SMALL
+
+    def test_smi_overflow_records_number(self, heap):
+        result, feedback = runtime.js_add(heap, w(heap, SMI_MAX), w(heap, 1))
+        assert feedback == OperandFeedback.NUMBER
+        assert heap.to_python(result) == SMI_MAX + 1
+
+    def test_double_add(self, heap):
+        result, feedback = runtime.js_add(heap, w(heap, 1.5), w(heap, 2))
+        assert heap.to_python(result) == 3.5
+        assert feedback == OperandFeedback.NUMBER
+
+    def test_string_concat(self, heap):
+        result, feedback = runtime.js_add(heap, w(heap, "a"), w(heap, "b"))
+        assert heap.to_python(result) == "ab"
+        assert feedback == OperandFeedback.STRING
+
+    def test_number_plus_string(self, heap):
+        result, _ = runtime.js_add(heap, w(heap, 1), w(heap, "2"))
+        assert heap.to_python(result) == "12"
+
+    def test_array_plus_number_coerces_to_string(self, heap):
+        # The paper's intro example: [1,2,3] + 7 === "1,2,37"
+        result, _ = runtime.js_add(heap, w(heap, [1, 2, 3]), w(heap, 7))
+        assert heap.to_python(result) == "1,2,37"
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    @settings(max_examples=50)
+    def test_matches_python(self, a, b):
+        heap = Heap()
+        result, _ = runtime.js_add(heap, heap.to_word(a), heap.to_word(b))
+        assert heap.to_python(result) == a + b
+
+
+class TestMultiply:
+    def test_smi_mul(self, heap):
+        result, feedback = runtime.js_multiply(heap, w(heap, 6), w(heap, 7))
+        assert heap.to_python(result) == 42
+        assert feedback == OperandFeedback.SIGNED_SMALL
+
+    def test_minus_zero_forces_number(self, heap):
+        result, feedback = runtime.js_multiply(heap, w(heap, -1), w(heap, 0))
+        assert feedback == OperandFeedback.NUMBER
+        assert math.copysign(1.0, heap.number_to_float(result)) == -1.0
+
+    def test_positive_zero_stays_smi(self, heap):
+        result, feedback = runtime.js_multiply(heap, w(heap, 1), w(heap, 0))
+        assert feedback == OperandFeedback.SIGNED_SMALL
+        assert is_smi(result)
+
+
+class TestDivideModulo:
+    def test_exact_division_is_smi(self, heap):
+        result, feedback = runtime.js_divide(heap, w(heap, 10), w(heap, 2))
+        assert heap.to_python(result) == 5
+        assert feedback == OperandFeedback.SIGNED_SMALL
+
+    def test_inexact_division_is_number(self, heap):
+        result, feedback = runtime.js_divide(heap, w(heap, 7), w(heap, 2))
+        assert heap.to_python(result) == 3.5
+        assert feedback == OperandFeedback.NUMBER
+
+    def test_division_by_zero(self, heap):
+        result, _ = runtime.js_divide(heap, w(heap, 1), w(heap, 0))
+        assert heap.to_python(result) == math.inf
+        result, _ = runtime.js_divide(heap, w(heap, -1), w(heap, 0))
+        assert heap.to_python(result) == -math.inf
+        result, _ = runtime.js_divide(heap, w(heap, 0), w(heap, 0))
+        assert math.isnan(heap.to_python(result))
+
+    def test_modulo_sign_follows_dividend(self, heap):
+        result, _ = runtime.js_modulo(heap, w(heap, -5), w(heap, 3))
+        assert heap.to_python(result) == -2.0  # JS: -5 % 3 === -2
+
+    def test_modulo_by_zero_is_nan(self, heap):
+        result, _ = runtime.js_modulo(heap, w(heap, 5), w(heap, 0))
+        assert math.isnan(heap.to_python(result))
+
+    def test_negative_dividend_mod_is_number_feedback(self, heap):
+        _result, feedback = runtime.js_modulo(heap, w(heap, -6), w(heap, 3))
+        assert feedback == OperandFeedback.NUMBER  # result -0 territory
+
+
+class TestBitwise:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("or", 0b1010, 0b0110, 0b1110),
+            ("and", 0b1010, 0b0110, 0b0010),
+            ("xor", 0b1010, 0b0110, 0b1100),
+            ("shl", 1, 4, 16),
+            ("sar", -8, 1, -4),
+            ("shr", -1, 28, 15),
+        ],
+    )
+    def test_basic(self, heap, op, a, b, expected):
+        result, _ = runtime.js_bitwise(heap, op, w(heap, a), w(heap, b))
+        assert heap.to_python(result) == expected
+
+    def test_shift_count_masked_to_5_bits(self, heap):
+        result, _ = runtime.js_bitwise(heap, "shl", w(heap, 1), w(heap, 33))
+        assert heap.to_python(result) == 2
+
+    def test_to_int32_wraps(self, heap):
+        result, _ = runtime.js_bitwise(heap, "or", w(heap, 2**31 + 5), w(heap, 0))
+        assert heap.to_python(result) == -(2**31) + 5
+
+    def test_shr_produces_uint32(self, heap):
+        result, _ = runtime.js_bitwise(heap, "shr", w(heap, -1), w(heap, 0))
+        assert heap.to_python(result) == 2**32 - 1
+
+    def test_bit_not(self, heap):
+        result, _ = runtime.js_bit_not(heap, w(heap, 5))
+        assert heap.to_python(result) == -6
+
+
+class TestCompare:
+    def test_smi_compare(self, heap):
+        outcome, feedback = runtime.js_compare(heap, "lt", w(heap, 1), w(heap, 2))
+        assert outcome and feedback == OperandFeedback.SIGNED_SMALL
+
+    def test_nan_compares_false(self, heap):
+        for op in ("lt", "le", "gt", "ge"):
+            outcome, _ = runtime.js_compare(heap, op, w(heap, float("nan")), w(heap, 1))
+            assert not outcome
+
+    def test_string_compare_is_lexicographic(self, heap):
+        outcome, feedback = runtime.js_compare(heap, "lt", w(heap, "abc"), w(heap, "abd"))
+        assert outcome and feedback == OperandFeedback.STRING
+
+    def test_mixed_coerces_to_number(self, heap):
+        outcome, _ = runtime.js_compare(heap, "lt", w(heap, "2"), w(heap, 10))
+        assert outcome
+
+
+class TestEquality:
+    def test_strict_nan_not_equal_itself(self, heap):
+        nan = w(heap, float("nan"))
+        outcome, _ = runtime.js_strict_equals(heap, nan, nan)
+        assert not outcome
+
+    def test_strict_mixed_types_false(self, heap):
+        outcome, _ = runtime.js_strict_equals(heap, w(heap, 1), w(heap, "1"))
+        assert not outcome
+
+    def test_loose_number_string(self, heap):
+        outcome, _ = runtime.js_loose_equals(heap, w(heap, 1), w(heap, "1"))
+        assert outcome
+
+    def test_loose_null_undefined(self, heap):
+        outcome, _ = runtime.js_loose_equals(heap, heap.null, heap.undefined)
+        assert outcome
+
+    def test_loose_null_not_zero(self, heap):
+        outcome, _ = runtime.js_loose_equals(heap, heap.null, w(heap, 0))
+        assert not outcome
+
+    def test_object_identity(self, heap):
+        a, b = heap.alloc_object(), heap.alloc_object()
+        assert runtime.js_loose_equals(heap, a, a)[0]
+        assert not runtime.js_loose_equals(heap, a, b)[0]
+
+
+class TestConversions:
+    def test_truthiness(self, heap):
+        assert runtime.js_truthy(heap, w(heap, 1))
+        assert not runtime.js_truthy(heap, w(heap, 0))
+        assert not runtime.js_truthy(heap, w(heap, ""))
+        assert runtime.js_truthy(heap, w(heap, "x"))
+        assert not runtime.js_truthy(heap, heap.undefined)
+        assert not runtime.js_truthy(heap, heap.null)
+        assert not runtime.js_truthy(heap, w(heap, float("nan")))
+        assert runtime.js_truthy(heap, heap.alloc_object())
+
+    def test_to_number_of_strings(self, heap):
+        assert runtime.js_to_number(heap, w(heap, "42")) == 42
+        assert runtime.js_to_number(heap, w(heap, "0x10")) == 16
+        assert runtime.js_to_number(heap, w(heap, "")) == 0
+        assert math.isnan(runtime.js_to_number(heap, w(heap, "zzz")))
+
+    def test_to_number_of_oddballs(self, heap):
+        assert runtime.js_to_number(heap, heap.true_value) == 1
+        assert runtime.js_to_number(heap, heap.null) == 0
+        assert math.isnan(runtime.js_to_number(heap, heap.undefined))
+
+    def test_number_to_string_integral(self, heap):
+        assert runtime.js_number_to_string(3.0) == "3"
+        assert runtime.js_number_to_string(3.5) == "3.5"
+        assert runtime.js_number_to_string(float("nan")) == "NaN"
+        assert runtime.js_number_to_string(float("inf")) == "Infinity"
+
+    def test_typeof(self, heap):
+        assert runtime.js_typeof(heap, w(heap, 1)) == "number"
+        assert runtime.js_typeof(heap, w(heap, 1.5)) == "number"
+        assert runtime.js_typeof(heap, w(heap, "s")) == "string"
+        assert runtime.js_typeof(heap, heap.true_value) == "boolean"
+        assert runtime.js_typeof(heap, heap.undefined) == "undefined"
+        assert runtime.js_typeof(heap, heap.null) == "object"
+        assert runtime.js_typeof(heap, heap.alloc_object()) == "object"
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    @settings(max_examples=50)
+    def test_to_int32_matches_spec(self, value):
+        wrapped = runtime.js_to_int32(float(value))
+        assert -(2**31) <= wrapped < 2**31
+        assert (wrapped - int(math.trunc(value))) % 2**32 == 0

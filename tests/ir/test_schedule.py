@@ -1,0 +1,61 @@
+"""RPO scheduling pass tests."""
+
+from repro.ir.graph import Graph
+from repro.ir.nodes import Repr
+from repro.ir.passes.schedule import schedule_rpo
+
+
+def diamond():
+    graph = Graph("diamond")
+    entry = graph.entry
+    left, right, join = graph.new_block(), graph.new_block(), graph.new_block()
+    for block in (entry, left, right, join):
+        block.append(graph.new_node("goto", [], Repr.NONE))
+    graph.connect(entry, left)
+    graph.connect(entry, right)
+    graph.connect(left, join)
+    graph.connect(right, join)
+    return graph, entry, left, right, join
+
+
+class TestRPO:
+    def test_entry_first_join_last(self):
+        graph, entry, left, right, join = diamond()
+        schedule_rpo(graph)
+        order = [b.id for b in graph.blocks]
+        assert order[0] == entry.id
+        assert order[-1] == join.id
+        assert set(order) == {entry.id, left.id, right.id, join.id}
+
+    def test_unreachable_blocks_dropped(self):
+        graph, entry, *_rest = diamond()
+        orphan = graph.new_block()
+        orphan.append(graph.new_node("goto", [], Repr.NONE))
+        before = len(graph.blocks)
+        schedule_rpo(graph)
+        assert len(graph.blocks) == before - 1
+        assert orphan not in graph.blocks
+
+    def test_loop_header_precedes_body(self):
+        graph = Graph("loop")
+        entry = graph.entry
+        header, body, exit_block = (
+            graph.new_block(), graph.new_block(), graph.new_block(),
+        )
+        header.loop_header = True
+        for block in (entry, header, body, exit_block):
+            block.append(graph.new_node("goto", [], Repr.NONE))
+        graph.connect(entry, header)
+        graph.connect(header, body)
+        graph.connect(header, exit_block)
+        graph.connect(body, header)  # back edge
+        schedule_rpo(graph)
+        position = {b.id: i for i, b in enumerate(graph.blocks)}
+        assert position[header.id] < position[body.id]
+
+    def test_idempotent(self):
+        graph, *_ = diamond()
+        schedule_rpo(graph)
+        first = [b.id for b in graph.blocks]
+        schedule_rpo(graph)
+        assert [b.id for b in graph.blocks] == first

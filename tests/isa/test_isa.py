@@ -1,0 +1,77 @@
+"""ISA model and assembly-printer tests."""
+
+import pytest
+
+from repro.isa.asmprint import format_code, format_instr
+from repro.isa.base import (
+    ARM64,
+    ARM64_SMI,
+    CC,
+    FRAME_BASE,
+    MachineInstr,
+    MOp,
+    TARGETS,
+    X64,
+    resolve_target,
+)
+
+
+class TestTargets:
+    def test_registry(self):
+        assert set(TARGETS) == {"x64", "arm64", "arm64+smi"}
+        assert resolve_target("x64") is X64
+        with pytest.raises(ValueError):
+            resolve_target("riscv")
+
+    def test_paper_windows(self):
+        # Section III-A: 1 instruction before the branch on x64, 2 on ARM64.
+        assert X64.check_window == 1
+        assert ARM64.check_window == 2
+
+    def test_cisc_risc_flags(self):
+        assert X64.is_cisc and not X64.has_smi_extension
+        assert ARM64.is_risc and not ARM64.has_smi_extension
+        assert ARM64_SMI.is_risc and ARM64_SMI.has_smi_extension
+
+
+class TestPrinter:
+    def test_core_mnemonics(self):
+        cases = [
+            (MachineInstr(MOp.MOVI, dst=3, imm=7), "mov x3, #7"),
+            (MachineInstr(MOp.ADDS, dst=1, s1=2, s2=3), "adds x1, x2, x3"),
+            (MachineInstr(MOp.TSTI, s1=0, imm=1), "tst x0, #1"),
+            (MachineInstr(MOp.ASRI, dst=0, s1=0, imm=1), "asr x0, x0, #1"),
+            (MachineInstr(MOp.LDR, dst=1, mem=(0, -1, 0, 2)), "ldr x1, [x0, #2]"),
+            (MachineInstr(MOp.LDRF, dst=1, mem=(0, 2, 0, 3)), "ldr d1, [x0, x2, #3]"),
+            (MachineInstr(MOp.STR, s1=4, mem=(FRAME_BASE, -1, 0, 5)), "str x4, [fp, #5]"),
+            (MachineInstr(MOp.FADD, dst=0, s1=1, s2=2), "fadd d0, d1, d2"),
+        ]
+        for instr, expected in cases:
+            assert format_instr(instr).strip().startswith(expected)
+
+    def test_deopt_branch_label(self):
+        instr = MachineInstr(MOp.BCC, cc=CC.NE, target=42, is_deopt_branch=True)
+        assert "b.ne deopt_42" in format_instr(instr)
+
+    def test_check_annotation(self):
+        instr = MachineInstr(MOp.CMP, s1=1, s2=2, check_id=5)
+        assert ";; check#5" in format_instr(instr)
+
+    def test_shared_annotation_marker(self):
+        instr = MachineInstr(MOp.ADDS, dst=0, s1=1, s2=2, check_id=3, shared_with_main=True)
+        assert "~check#3" in format_instr(instr)
+
+    def test_jsldrsmi_mnemonics(self):
+        scaled = MachineInstr(MOp.JSLDRSMI, dst=0, mem=(1, 2, 0, 2))
+        unscaled = MachineInstr(MOp.JSLDRSMI, dst=0, mem=(1, -1, 0, 2))
+        assert "jsldrsmi" in format_instr(scaled)
+        assert "jsldursmi" in format_instr(unscaled)
+
+    def test_cisc_memory_compare(self):
+        instr = MachineInstr(MOp.CMPI_MEM, mem=(3, -1, 0, 0), imm=19)
+        assert format_instr(instr).strip().startswith("cmp [x3], #19")
+
+    def test_format_code_with_title(self):
+        listing = format_code([MachineInstr(MOp.RET, s1=0)], title="fn [x64]")
+        assert listing.splitlines()[0] == "-- fn [x64] --"
+        assert "   0: ret" in listing

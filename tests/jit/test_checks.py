@@ -1,0 +1,48 @@
+"""Check-taxonomy tests (paper Section II-B)."""
+
+from repro.jit.checks import (
+    CHECK_GROUPS,
+    REASON_CODES,
+    REASON_CODES_REVERSE,
+    CheckGroup,
+    CheckKind,
+    DeoptCategory,
+    category_of,
+    group_of,
+)
+
+
+class TestTaxonomy:
+    def test_every_kind_has_group_and_category(self):
+        for kind in CheckKind:
+            assert group_of(kind) in CheckGroup
+            assert category_of(kind) in DeoptCategory
+
+    def test_paper_groups_present(self):
+        names = {g.value for g in CheckGroup}
+        assert names == {"Type", "SMI", "Bounds", "Map", "Arithmetic", "Other"}
+
+    def test_smi_group_members(self):
+        assert group_of(CheckKind.NOT_A_SMI) == CheckGroup.SMI
+        assert group_of(CheckKind.SMI) == CheckGroup.SMI
+
+    def test_arithmetic_group_members(self):
+        for kind in (
+            CheckKind.OVERFLOW,
+            CheckKind.LOST_PRECISION,
+            CheckKind.DIVISION_BY_ZERO,
+            CheckKind.MINUS_ZERO,
+        ):
+            assert group_of(kind) == CheckGroup.ARITHMETIC
+
+    def test_soft_kinds(self):
+        assert category_of(CheckKind.INSUFFICIENT_FEEDBACK) == DeoptCategory.SOFT
+        assert category_of(CheckKind.NOT_OPTIMIZABLE_CALL) == DeoptCategory.SOFT
+        assert category_of(CheckKind.NOT_A_SMI) == DeoptCategory.EAGER
+
+    def test_reason_codes_are_nonzero_bytes_and_bijective(self):
+        # REG_RE uses 0 for "no pending bailout" (paper Section V-A).
+        for kind, code in REASON_CODES.items():
+            assert 1 <= code <= 255
+            assert REASON_CODES_REVERSE[code] is kind
+        assert len(set(REASON_CODES.values())) == len(CheckKind)

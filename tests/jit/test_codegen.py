@@ -1,0 +1,163 @@
+"""Code-generation tests: ISA shapes, deopt stubs, suppression, fusion."""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.isa.base import MOp
+from repro.jit.checks import CheckKind
+
+
+def compiled(source, name, target="arm64", calls=30, args=(), branches=True):
+    engine = Engine(
+        EngineConfig(target=target, emit_check_branches=branches)
+    )
+    engine.load(source)
+    for _ in range(calls):
+        engine.call_global(name, *args)
+    shared = next(f for f in engine.functions if f.name == name)
+    assert shared.code is not None, f"{name} did not tier up"
+    return shared.code, engine
+
+
+ELEMENT_SOURCE = """
+var arr = [1, 2, 3, 4];
+function f(i) { return arr[i] + 1; }
+"""
+
+
+class TestISAShapes:
+    def test_x64_map_check_uses_memory_operand(self):
+        code, _ = compiled(ELEMENT_SOURCE, "f", target="x64", args=(1,))
+        ops = [i.op for i in code.instrs]
+        assert MOp.CMPI_MEM in ops  # cmp [obj], #map
+        assert MOp.CMP_MEM in ops  # cmp idx, [arr+len]
+
+    def test_arm64_map_check_uses_explicit_load(self):
+        code, _ = compiled(ELEMENT_SOURCE, "f", target="arm64", args=(1,))
+        ops = [i.op for i in code.instrs]
+        assert MOp.CMPI_MEM not in ops
+        assert MOp.CMP_MEM not in ops
+
+    def test_arm64_check_spans_more_instructions(self):
+        x64_code, _ = compiled(ELEMENT_SOURCE, "f", target="x64", args=(1,))
+        arm_code, _ = compiled(ELEMENT_SOURCE, "f", target="arm64", args=(1,))
+        x64_stats = x64_code.check_instruction_stats()
+        arm_stats = arm_code.check_instruction_stats()
+        assert arm_stats["check_instructions"] > x64_stats["check_instructions"]
+        # Same number of *checks* on both (paper Section III-A).
+        assert len(arm_code.deopt_points) == len(x64_code.deopt_points)
+
+    def test_smi_check_shape(self):
+        code, _ = compiled("function f(a) { return a + 1; }", "f", args=(1,))
+        # tst reg,#1 followed by a deopt b.ne somewhere in the body.
+        pcs = [
+            pc for pc, i in enumerate(code.instrs)
+            if i.op == MOp.TSTI and i.imm == 1 and i.check_id >= 0
+        ]
+        assert pcs
+        follow = code.instrs[pcs[0] + 1]
+        assert follow.op == MOp.BCC and follow.is_deopt_branch
+
+
+class TestDeoptStubs:
+    def test_unique_stub_per_check(self):
+        code, _ = compiled(ELEMENT_SOURCE, "f", args=(1,))
+        stub_pcs = [pc for pc, i in enumerate(code.instrs) if i.op == MOp.DEOPT]
+        assert len(stub_pcs) == len(code.deopt_points)
+        targets = [
+            i.target for i in code.instrs if i.is_deopt_branch and i.op == MOp.BCC
+        ]
+        assert len(targets) == len(set(targets))  # every check has its own target
+
+    def test_stubs_live_at_end_of_function(self):
+        code, _ = compiled(ELEMENT_SOURCE, "f", args=(1,))
+        first_stub = min(
+            pc for pc, i in enumerate(code.instrs) if i.op == MOp.DEOPT
+        )
+        assert all(i.op == MOp.DEOPT for i in code.instrs[first_stub:])
+
+    def test_deopt_metadata_has_frame_state(self):
+        code, _ = compiled(ELEMENT_SOURCE, "f", args=(1,))
+        for point in code.deopt_points.values():
+            assert point.bytecode_pc >= 0
+
+
+class TestBranchSuppression:
+    def test_no_deopt_branches_but_conditions_remain(self):
+        base, _ = compiled(ELEMENT_SOURCE, "f", args=(1,), branches=True)
+        suppressed, _ = compiled(ELEMENT_SOURCE, "f", args=(1,), branches=False)
+        base_stats = base.check_instruction_stats()
+        supp_stats = suppressed.check_instruction_stats()
+        assert supp_stats["deopt_branches"] == 0
+        assert base_stats["deopt_branches"] > 0
+        # Condition computations are still there.
+        assert supp_stats["check_instructions"] > 0
+        delta = base_stats["body_instructions"] - supp_stats["body_instructions"]
+        assert delta == base_stats["deopt_branches"]
+
+
+class TestSmiExtension:
+    LOOP_SOURCE = """
+    var data = [1,2,3,4,5,6,7,8];
+    function f() {
+      var s = 0;
+      for (var i = 0; i < 8; i++) { s = s + data[i]; }
+      return s;
+    }
+    """
+
+    def test_jsldrsmi_emitted_on_extension_target(self):
+        code, _ = compiled(self.LOOP_SOURCE, "f", target="arm64+smi")
+        assert any(i.op == MOp.JSLDRSMI for i in code.instrs)
+
+    def test_plain_arm64_has_no_jsldrsmi(self):
+        code, _ = compiled(self.LOOP_SOURCE, "f", target="arm64")
+        assert not any(i.op == MOp.JSLDRSMI for i in code.instrs)
+
+    def test_extension_installs_bailout_handler(self):
+        code, _ = compiled(self.LOOP_SOURCE, "f", target="arm64+smi")
+        assert any(i.op == MOp.MSR for i in code.instrs)
+
+    def test_extension_reduces_instruction_count(self):
+        base, _ = compiled(self.LOOP_SOURCE, "f", target="arm64")
+        ext, _ = compiled(self.LOOP_SOURCE, "f", target="arm64+smi")
+        # ldr+asr pairs fused; prologue adds 3, so compare without it.
+        assert ext.body_instruction_count() <= base.body_instruction_count() + 3
+        assert any(i.op == MOp.JSLDRSMI for i in ext.instrs)
+
+    def test_results_identical_across_targets(self):
+        results = set()
+        for target in ("x64", "arm64", "arm64+smi"):
+            engine = Engine(EngineConfig(target=target))
+            engine.load(self.LOOP_SOURCE)
+            for _ in range(30):
+                results.add(engine.call_global("f"))
+        assert results == {36}
+
+
+class TestBoilerplate:
+    def test_frame_save_restore_present(self):
+        code, _ = compiled("function f(a) { return a + 1; }", "f", args=(1,))
+        comments = [i.comment for i in code.instrs]
+        assert "push fp" in comments and "pop fp" in comments
+
+    def test_stack_and_loop_interrupt_checks(self):
+        code, _ = compiled(
+            "function f(n) { var s = 0; for (var i = 0; i < n; i++) { s = s + 1; } return s; }",
+            "f",
+            args=(5,),
+        )
+        comments = [i.comment for i in code.instrs]
+        assert "stack check" in comments
+        assert "loop interrupt check" in comments
+
+    def test_write_barrier_on_tagged_store(self):
+        source = """
+        function Box(v) { this.value = v; }
+        var keep = null;
+        function f(o) { keep = new Box(o); keep.value = o; return 1; }
+        function go() { var x = {a: 1}; return f(x); }
+        """
+        code, _ = compiled(source, "f", calls=40, args=({"a": 1},))
+        comments = [i.comment for i in code.instrs]
+        assert "barrier: smi skip" in comments

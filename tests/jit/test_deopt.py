@@ -1,0 +1,208 @@
+"""Deoptimization tests: every eager kind, lazy, soft, state reconstruction."""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.jit.checks import CheckKind, DeoptCategory, category_of
+
+
+def warmed(source, name, warm_args, calls=40, target="arm64"):
+    engine = Engine(EngineConfig(target=target))
+    engine.load(source)
+    for _ in range(calls):
+        engine.call_global(name, *warm_args)
+    shared = next(f for f in engine.functions if f.name == name)
+    assert shared.code is not None
+    return engine, shared
+
+
+def deopt_kinds(engine):
+    return [e.kind for e in engine.deopt_events]
+
+
+class TestEagerDeopts:
+    def test_not_a_smi(self):
+        engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
+        assert engine.call_global("f", 2.5) == 3.5
+        assert CheckKind.NOT_A_SMI in deopt_kinds(engine)
+        assert shared.code is None  # discarded
+
+    def test_overflow(self):
+        engine, _ = warmed("function f(x) { return x + 1; }", "f", (1,))
+        big = 2**30 - 1
+        assert engine.call_global("f", big) == big + 1
+        assert CheckKind.OVERFLOW in deopt_kinds(engine)
+
+    def test_out_of_bounds(self):
+        source = """
+        var a = [1, 2, 3, 4];
+        function f(i) { return a[i]; }
+        """
+        engine, _ = warmed(source, "f", (1,))
+        assert engine.call_global("f", 99) is None  # undefined
+        assert CheckKind.OUT_OF_BOUNDS in deopt_kinds(engine)
+
+    def test_wrong_map_on_shape_change(self):
+        source = """
+        function get(o) { return o.x; }
+        var a = {x: 1};
+        var b = {y: 9, x: 2};
+        function warm() { return get(a); }
+        """
+        engine, _ = warmed(source, "warm", ())
+        shared = next(f for f in engine.functions if f.name == "get")
+        assert engine.call_global("get", {"y": 9, "x": 2}) == 2
+        assert CheckKind.WRONG_MAP in deopt_kinds(engine)
+
+    def test_wrong_call_target(self):
+        source = """
+        function one() { return 1; }
+        function two() { return 2; }
+        var fn = one;
+        function f() { return fn(); }
+        function swap() { fn = two; }
+        """
+        engine, _ = warmed(source, "f", ())
+        engine.call_global("swap")
+        assert engine.call_global("f") == 2
+        assert CheckKind.WRONG_CALL_TARGET in deopt_kinds(engine)
+
+    def test_division_by_zero(self):
+        import math
+
+        engine, _ = warmed("function f(a, b) { return a / b; }", "f", (10, 2))
+        assert engine.call_global("f", 1, 0) == math.inf
+        assert CheckKind.DIVISION_BY_ZERO in deopt_kinds(engine)
+
+    def test_lost_precision(self):
+        engine, _ = warmed("function f(a, b) { return a / b; }", "f", (10, 2))
+        assert engine.call_global("f", 7, 2) == 3.5
+        assert CheckKind.LOST_PRECISION in deopt_kinds(engine)
+
+    def test_minus_zero(self):
+        import math
+
+        # Result is returned (observable), so the -0 check stays.
+        engine, _ = warmed("function f(a, b) { return a * b; }", "f", (3, 4))
+        result = engine.call_global("f", -1, 0)
+        assert result == 0 and math.copysign(1.0, result) == -1.0
+        assert CheckKind.MINUS_ZERO in deopt_kinds(engine)
+
+    def test_not_a_number(self):
+        engine, _ = warmed("function f(x) { return x + 0.5; }", "f", (1.5,))
+        assert engine.call_global("f", "s") == "s0.5"
+        assert CheckKind.NOT_A_NUMBER in deopt_kinds(engine)
+
+
+class TestStateReconstruction:
+    def test_deopt_mid_loop_preserves_accumulator(self):
+        """Deopt in iteration k must resume with the partial sum intact."""
+        source = """
+        var a = [1, 2, 3, 4, 5, 6, 7, 8];
+        function f(n) {
+          var s = 0;
+          for (var i = 0; i < n; i++) { s = s + a[i]; }
+          return s;
+        }
+        """
+        engine, shared = warmed(source, "f", (8,))
+        # Store a double mid-array: the PACKED_SMI load deopts on WRONG_MAP
+        # at some iteration > 0; the sum so far must carry over.
+        engine.load("function poison() { a[5] = 0.5; }")
+        engine.call_global("poison")
+        assert engine.call_global("f", 8) == 1 + 2 + 3 + 4 + 5 + 0.5 + 7 + 8
+        assert engine.deopt_events
+
+    def test_recursive_deopt_unwinds_all_frames(self):
+        source = """
+        function f(n) {
+          if (n < 2) { return n; }
+          return f(n - 1) + f(n - 2);
+        }
+        """
+        engine, _ = warmed(source, "f", (12,))
+        assert engine.call_global("f", 12.0) == 144.0
+
+
+class TestReoptimization:
+    def test_recompiles_with_generalized_feedback(self):
+        engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
+        engine.call_global("f", 1.5)  # deopt -> NUMBER feedback
+        assert shared.code is None
+        for _ in range(80):
+            engine.call_global("f", 1.5)
+        assert shared.code is not None  # reoptimized
+        assert shared.reopt_count == 1
+        # The new code handles doubles without deopting.
+        before = len(engine.deopt_events)
+        engine.call_global("f", 2.5)
+        assert len(engine.deopt_events) == before
+
+    def test_feedback_generalization_prevents_deopt_loops(self):
+        """Feeding ever-new shapes drives the IC megamorphic, after which
+        the recompiled code uses the generic path and stops deopting —
+        the mechanism that prevents deopt storms in V8."""
+        engine, shared = warmed(
+            "function f(o) { return o.x; }",
+            "f",
+            ({"x": 1},),
+        )
+        for round_number in range(6):
+            shape = {f"k{round_number}": 0, "x": round_number}
+            for _ in range(120):
+                assert engine.call_global("f", shape) == round_number
+        shared = next(f for f in engine.functions if f.name == "f")
+        assert shared.code is not None  # stable generic code
+        deopts_before = len(engine.deopt_events)
+        engine.call_global("f", {"z": 1, "q": 2, "x": 42})
+        assert len(engine.deopt_events) == deopts_before  # no further deopts
+
+    def test_reopt_raises_tierup_threshold(self):
+        engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
+        engine.call_global("f", 1.5)  # deopt; counters reset
+        assert shared.reopt_count == 1
+        threshold = engine.config.tierup_invocations
+        for _ in range(threshold + 1):  # old threshold no longer suffices
+            engine.call_global("f", 1.5)
+        assert shared.code is None
+        for _ in range(threshold + 2):  # doubled threshold reached
+            engine.call_global("f", 1.5)
+        assert shared.code is not None
+
+    def test_soft_deopt_then_stable(self):
+        source = """
+        function f(x) {
+          if (x > 0) { return x + 1; }
+          return x - 1;
+        }
+        """
+        engine, shared = warmed(source, "f", (5,))
+        # Cold path triggers the soft deopt; result must still be right.
+        assert engine.call_global("f", -5) == -6
+        soft = [
+            e for e in engine.deopt_events
+            if category_of(e.kind) == DeoptCategory.SOFT
+        ]
+        assert soft
+        for _ in range(100):
+            engine.call_global("f", -5)
+            engine.call_global("f", 5)
+        shared = next(f for f in engine.functions if f.name == "f")
+        assert shared.code is not None
+
+
+class TestLazyDeopt:
+    def test_elements_transition_invalidates_dependent_code(self):
+        source = """
+        var data = [1, 2, 3, 4];
+        function f() { return data[2]; }
+        function poison() { data[0] = 0.5; }
+        """
+        engine, shared = warmed(source, "f", ())
+        assert not shared.code.invalidated
+        engine.call_global("poison")
+        assert shared.code.invalidated
+        lazy_before = engine.lazy_deopts
+        assert engine.call_global("f") == 3
+        assert engine.lazy_deopts == lazy_before + 1
+        assert shared.code is None  # discarded at next invocation

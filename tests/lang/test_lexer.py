@@ -1,0 +1,113 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.lang.errors import JSSyntaxError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind == "number"
+        assert token.number_value == 42
+        assert token.is_integer
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.number_value == 3.25
+        assert not token.is_integer
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].number_value == 0.5
+
+    def test_exponent(self):
+        assert tokenize("1e3")[0].number_value == 1000.0
+        assert tokenize("2.5e-2")[0].number_value == 0.025
+
+    def test_hex(self):
+        token = tokenize("0xff")[0]
+        assert token.number_value == 255
+        assert token.is_integer
+
+    def test_malformed_exponent(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("1e+")
+
+
+class TestStrings:
+    def test_double_and_single_quotes(self):
+        assert tokenize('"hi"')[0].value == "hi"
+        assert tokenize("'hi'")[0].value == "hi"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\tc\\d"')[0].value == "a\nb\tc\\d"
+
+    def test_unicode_escape(self):
+        assert tokenize(r'"A"')[0].value == "A"
+
+    def test_hex_escape(self):
+        assert tokenize(r'"\x41"')[0].value == "A"
+
+    def test_unterminated(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize('"a\nb"')
+
+
+class TestIdentifiersAndKeywords:
+    def test_identifier(self):
+        assert kinds("foo _bar $x x9") == [
+            ("identifier", "foo"),
+            ("identifier", "_bar"),
+            ("identifier", "$x"),
+            ("identifier", "x9"),
+        ]
+
+    def test_keywords(self):
+        for word in ("var", "function", "return", "if", "while", "new", "typeof"):
+            assert tokenize(word)[0].kind == "keyword"
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("variable")[0].kind == "identifier"
+
+
+class TestPunctuators:
+    def test_longest_match(self):
+        values = [t.value for t in tokenize(">>> >> > >= === == =")[:-1]]
+        assert values == [">>>", ">>", ">", ">=", "===", "==", "="]
+
+    def test_compound_assignment(self):
+        values = [t.value for t in tokenize("+= -= <<= >>>=")[:-1]]
+        assert values == ["+=", "-=", "<<=", ">>>="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("a # b")
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [("identifier", "a"), ("identifier", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("identifier", "a"), ("identifier", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("/* never ends")
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"

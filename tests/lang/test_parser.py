@@ -1,0 +1,187 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import JSSyntaxError
+from repro.lang.parser import parse
+
+
+def expr(source):
+    program = parse(source + ";")
+    assert isinstance(program.body[0], ast.ExpressionStatement)
+    return program.body[0].expression
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter(self):
+        node = expr("1 + 2 * 3")
+        assert node.operator == "+"
+        assert node.right.operator == "*"
+
+    def test_parentheses_override(self):
+        node = expr("(1 + 2) * 3")
+        assert node.operator == "*"
+        assert node.left.operator == "+"
+
+    def test_comparison_below_additive(self):
+        node = expr("a + 1 < b - 2")
+        assert node.operator == "<"
+
+    def test_logical_layers(self):
+        node = expr("a || b && c")
+        assert isinstance(node, ast.LogicalExpression)
+        assert node.operator == "||"
+        assert node.right.operator == "&&"
+
+    def test_shift_and_bitwise(self):
+        node = expr("a | b ^ c & d << 2")
+        assert node.operator == "|"
+        assert node.right.operator == "^"
+        assert node.right.right.operator == "&"
+        assert node.right.right.right.operator == "<<"
+
+    def test_left_associativity(self):
+        node = expr("a - b - c")
+        assert node.left.operator == "-"
+
+    def test_ternary(self):
+        node = expr("a ? b : c ? d : e")
+        assert isinstance(node, ast.ConditionalExpression)
+        assert isinstance(node.alternate, ast.ConditionalExpression)
+
+
+class TestExpressions:
+    def test_call_with_arguments(self):
+        node = expr("f(1, x, g())")
+        assert isinstance(node, ast.CallExpression)
+        assert len(node.arguments) == 3
+
+    def test_member_chain(self):
+        node = expr("a.b.c")
+        assert isinstance(node, ast.MemberExpression)
+        assert node.property.name == "c"
+        assert node.object.property.name == "b"
+
+    def test_computed_member(self):
+        node = expr("a[i + 1]")
+        assert node.computed
+        assert isinstance(node.property, ast.BinaryExpression)
+
+    def test_method_call(self):
+        node = expr("s.charCodeAt(0)")
+        assert isinstance(node, ast.CallExpression)
+        assert isinstance(node.callee, ast.MemberExpression)
+
+    def test_new_expression(self):
+        node = expr("new Foo(1, 2)")
+        assert isinstance(node, ast.NewExpression)
+        assert len(node.arguments) == 2
+
+    def test_new_then_method(self):
+        node = expr("new Foo().bar()")
+        assert isinstance(node, ast.CallExpression)
+        assert isinstance(node.callee.object, ast.NewExpression)
+
+    def test_unary_chain(self):
+        node = expr("-!x")
+        assert node.operator == "-"
+        assert node.operand.operator == "!"
+
+    def test_typeof(self):
+        node = expr("typeof x")
+        assert node.operator == "typeof"
+
+    def test_update_prefix_postfix(self):
+        pre, post = expr("++i"), expr("i++")
+        assert pre.prefix and not post.prefix
+
+    def test_assignment_right_associative(self):
+        node = expr("a = b = 1")
+        assert isinstance(node.value, ast.AssignmentExpression)
+
+    def test_compound_assignment(self):
+        node = expr("a += 2")
+        assert node.operator == "+="
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(JSSyntaxError):
+            parse("1 = 2;")
+
+    def test_array_literal(self):
+        node = expr("[1, 2.5, 'x']")
+        assert isinstance(node, ast.ArrayLiteral)
+        assert len(node.elements) == 3
+
+    def test_object_literal(self):
+        node = expr("({a: 1, 'b': 2, 3: 4})")
+        assert isinstance(node, ast.ObjectLiteral)
+        assert [k for k, _v in node.properties] == ["a", "b", "3"]
+
+    def test_function_expression(self):
+        node = expr("(function add(a, b) { return a + b; })")
+        assert isinstance(node, ast.FunctionExpression)
+        assert node.params == ["a", "b"]
+
+    def test_this(self):
+        node = expr("this.x")
+        assert isinstance(node.object, ast.ThisExpression)
+
+
+class TestStatements:
+    def test_var_declaration_multi(self):
+        program = parse("var a = 1, b, c = 3;")
+        declaration = program.body[0]
+        assert [name for name, _init in declaration.declarations] == ["a", "b", "c"]
+        assert declaration.declarations[1][1] is None
+
+    def test_function_declaration(self):
+        program = parse("function f(x) { return x; }")
+        fn = program.body[0]
+        assert isinstance(fn, ast.FunctionDeclaration)
+        assert fn.name == "f"
+
+    def test_if_else_chain(self):
+        program = parse("if (a) x = 1; else if (b) x = 2; else x = 3;")
+        node = program.body[0]
+        assert isinstance(node.alternate, ast.IfStatement)
+
+    def test_for_loop_parts(self):
+        program = parse("for (var i = 0; i < n; i++) { }")
+        node = program.body[0]
+        assert isinstance(node.init, ast.VariableDeclaration)
+        assert node.test.operator == "<"
+        assert isinstance(node.update, ast.UpdateExpression)
+
+    def test_for_with_empty_parts(self):
+        program = parse("for (;;) { break; }")
+        node = program.body[0]
+        assert node.init is None and node.test is None and node.update is None
+
+    def test_while_and_do_while(self):
+        program = parse("while (a) { } do { } while (b);")
+        assert isinstance(program.body[0], ast.WhileStatement)
+        assert isinstance(program.body[1], ast.DoWhileStatement)
+
+    def test_return_without_value(self):
+        program = parse("function f() { return; }")
+        assert program.body[0].body[0].argument is None
+
+    def test_break_continue(self):
+        program = parse("while (1) { if (a) break; continue; }")
+        body = program.body[0].body.body
+        assert isinstance(body[0].consequent, ast.BreakStatement)
+        assert isinstance(body[1], ast.ContinueStatement)
+
+    def test_missing_paren_raises(self):
+        with pytest.raises(JSSyntaxError):
+            parse("if (a { }")
+
+    def test_unbalanced_brace_raises(self):
+        with pytest.raises(JSSyntaxError):
+            parse("function f() {")
+
+    def test_error_carries_position(self):
+        with pytest.raises(JSSyntaxError) as info:
+            parse("var\n  = 3;")
+        assert "line 2" in str(info.value)

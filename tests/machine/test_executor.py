@@ -1,0 +1,314 @@
+"""Functional-simulator instruction semantics tests."""
+
+import math
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.isa.base import CC, FRAME_BASE, MachineInstr, MOp
+from repro.jit.codegen import CodeObject
+from repro.jit.deopt import DeoptPoint, DeoptSignal
+from repro.jit.checks import CheckKind
+from repro.machine.executor import BranchPredictor, CostModel, MachineError
+
+
+def make_code(engine, instrs, stack_slots=4, target_name=None):
+    from repro.isa.base import resolve_target
+
+    class FakeShared:
+        class info:  # noqa: N801 - structural stub
+            name = "<test>"
+            params = []
+
+        name = "<test>"
+
+    code = CodeObject(FakeShared, resolve_target(target_name or "arm64"))
+    code.instrs = instrs
+    code.stack_slots = stack_slots
+    return code
+
+
+def run_instrs(instrs, args=(), engine=None):
+    engine = engine or Engine(EngineConfig())
+    code = make_code(engine, instrs)
+    return engine.executor.run(code, list(args), engine.heap.undefined), engine
+
+
+def I(op, **kw):  # noqa: E743 - terse instruction builder
+    return MachineInstr(op, **kw)
+
+
+class TestAluAndFlags:
+    def test_add_sub_mul(self):
+        result, _ = run_instrs(
+            [
+                I(MOp.MOVI, dst=1, imm=6),
+                I(MOp.MOVI, dst=2, imm=7),
+                I(MOp.MUL, dst=3, s1=1, s2=2),
+                I(MOp.SUBI, dst=3, s1=3, imm=2),
+                I(MOp.MOVR, dst=0, s1=3),
+                I(MOp.RET, s1=0),
+            ]
+        )
+        assert result == 40
+
+    def test_adds_sets_smi_overflow_flag(self):
+        smi_max = 2**30 - 1
+        result, _ = run_instrs(
+            [
+                I(MOp.MOVI, dst=1, imm=smi_max),
+                I(MOp.MOVI, dst=2, imm=1),
+                I(MOp.ADDS, dst=3, s1=1, s2=2),
+                I(MOp.CSET, dst=0, cc=CC.VS),
+                I(MOp.RET, s1=0),
+            ]
+        )
+        assert result == 1
+
+    def test_cmp_signed_conditions(self):
+        for a, b, cc, expected in [
+            (1, 2, CC.LT, 1),
+            (2, 1, CC.LT, 0),
+            (-1, 1, CC.LT, 1),
+            (5, 5, CC.EQ, 1),
+            (5, 5, CC.GE, 1),
+        ]:
+            result, _ = run_instrs(
+                [
+                    I(MOp.MOVI, dst=1, imm=a),
+                    I(MOp.MOVI, dst=2, imm=b),
+                    I(MOp.CMP, s1=1, s2=2),
+                    I(MOp.CSET, dst=0, cc=cc),
+                    I(MOp.RET, s1=0),
+                ]
+            )
+            assert result == expected, (a, b, cc)
+
+    def test_cmp_unsigned_hs_catches_negative_index(self):
+        # The bounds-check trick: a negative tagged index is huge unsigned.
+        result, _ = run_instrs(
+            [
+                I(MOp.MOVI, dst=1, imm=-2),  # tagged -1
+                I(MOp.MOVI, dst=2, imm=8),  # tagged 4 (length)
+                I(MOp.CMP, s1=1, s2=2),
+                I(MOp.CSET, dst=0, cc=CC.HS),
+                I(MOp.RET, s1=0),
+            ]
+        )
+        assert result == 1
+
+    def test_tsti_tag_bit(self):
+        for word, expected in [(6, 0), (7, 1)]:
+            result, _ = run_instrs(
+                [
+                    I(MOp.MOVI, dst=1, imm=word),
+                    I(MOp.TSTI, s1=1, imm=1),
+                    I(MOp.CSET, dst=0, cc=CC.NE),
+                    I(MOp.RET, s1=0),
+                ]
+            )
+            assert result == expected
+
+    def test_shifts(self):
+        result, _ = run_instrs(
+            [
+                I(MOp.MOVI, dst=1, imm=-8),
+                I(MOp.ASRI, dst=2, s1=1, imm=1),  # arithmetic: -4
+                I(MOp.MOVI, dst=3, imm=1),
+                I(MOp.LSL, dst=4, s1=3, s2=1),  # 1 << (-8 & 31) = 1 << 24
+                I(MOp.ADD, dst=0, s1=2, s2=4),
+                I(MOp.RET, s1=0),
+            ]
+        )
+        assert result == -4 + (1 << 24)
+
+    def test_sdiv_truncates_toward_zero(self):
+        result, _ = run_instrs(
+            [
+                I(MOp.MOVI, dst=1, imm=-7),
+                I(MOp.MOVI, dst=2, imm=2),
+                I(MOp.SDIV, dst=0, s1=1, s2=2),
+                I(MOp.RET, s1=0),
+            ]
+        )
+        assert result == -3  # C-style, like ARM sdiv
+
+    def test_mzcmp(self):
+        for value, sign, expected in [(0, -1, 1), (0, 1, 0), (5, -1, 0)]:
+            result, _ = run_instrs(
+                [
+                    I(MOp.MOVI, dst=1, imm=value),
+                    I(MOp.MOVI, dst=2, imm=sign),
+                    I(MOp.MZCMP, s1=1, s2=2),
+                    I(MOp.CSET, dst=0, cc=CC.EQ),
+                    I(MOp.RET, s1=0),
+                ]
+            )
+            assert result == expected
+
+
+class TestFloat:
+    def test_fcmp_nan_is_unordered(self):
+        engine = Engine(EngineConfig())
+        code = make_code(
+            engine,
+            [
+                I(MOp.FMOVI, dst=1, imm=float("nan")),
+                I(MOp.FMOVI, dst=2, imm=1.0),
+                I(MOp.FCMP, s1=1, s2=2),
+                I(MOp.CSET, dst=0, cc=CC.MI),  # "<" for floats: false on NaN
+                I(MOp.RET, s1=0),
+            ],
+        )
+        assert engine.executor.run(code, [], engine.heap.undefined) == 0
+
+    def test_fcvtzs_wraps_to_int32(self):
+        result, _ = run_instrs(
+            [
+                I(MOp.FMOVI, dst=1, imm=float(2**32 + 5)),
+                I(MOp.FCVTZS, dst=0, s1=1),
+                I(MOp.RET, s1=0),
+            ]
+        )
+        assert result == 5  # JS ToInt32 semantics
+
+    def test_fdiv_by_zero_gives_infinity(self):
+        engine = Engine(EngineConfig())
+        code = make_code(
+            engine,
+            [
+                I(MOp.FMOVI, dst=1, imm=1.0),
+                I(MOp.FMOVI, dst=2, imm=0.0),
+                I(MOp.FDIV, dst=3, s1=1, s2=2),
+                I(MOp.FCVTZS, dst=0, s1=3),
+                I(MOp.RET, s1=0),
+            ],
+        )
+        assert engine.executor.run(code, [], engine.heap.undefined) == 0  # inf -> 0
+
+
+class TestMemory:
+    def test_heap_load_through_tagged_base(self):
+        engine = Engine(EngineConfig())
+        arr = engine.heap.to_word([10, 20, 30])
+        from repro.values.heap import JS_ARRAY_LENGTH_OFFSET
+
+        code = make_code(
+            engine,
+            [
+                I(MOp.LDR, dst=3, mem=(0, -1, 0, JS_ARRAY_LENGTH_OFFSET)),
+                I(MOp.MOVR, dst=0, s1=3),
+                I(MOp.RET, s1=0),
+            ],
+        )
+        result = engine.executor.run(code, [arr], engine.heap.undefined)
+        assert result == 3 << 1  # the SMI-tagged length
+
+    def test_frame_slot_roundtrip(self):
+        result, _ = run_instrs(
+            [
+                I(MOp.MOVI, dst=1, imm=99),
+                I(MOp.STR, s1=1, mem=(FRAME_BASE, -1, 0, 2)),
+                I(MOp.LDR, dst=0, mem=(FRAME_BASE, -1, 0, 2)),
+                I(MOp.RET, s1=0),
+            ]
+        )
+        assert result == 99
+
+    def test_ldr_of_float_slot_is_machine_error(self):
+        engine = Engine(EngineConfig())
+        number = engine.heap.alloc_number(1.5)
+        code = make_code(
+            engine,
+            [I(MOp.LDR, dst=3, mem=(0, -1, 0, 1)), I(MOp.RET, s1=3)],
+        )
+        with pytest.raises(MachineError):
+            engine.executor.run(code, [number], engine.heap.undefined)
+
+
+class TestDeoptPlumbing:
+    def test_deopt_instruction_raises_signal_with_state(self):
+        engine = Engine(EngineConfig())
+        code = make_code(
+            engine,
+            [I(MOp.MOVI, dst=5, imm=123), I(MOp.DEOPT, imm=7)],
+        )
+        with pytest.raises(DeoptSignal) as info:
+            engine.executor.run(code, [], engine.heap.undefined)
+        assert info.value.check_id == 7
+        regs, _fregs, _frame = engine.executor.deopt_state
+        assert regs[5] == 123
+
+    def test_jsldrsmi_loads_and_untags(self):
+        engine = Engine(EngineConfig(target="arm64+smi"))
+        arr = engine.heap.to_word([42])
+        from repro.values.heap import FIXED_ARRAY_ELEMENTS_OFFSET, JS_ARRAY_ELEMENTS_OFFSET
+
+        code = make_code(
+            engine,
+            [
+                I(MOp.LDR, dst=2, mem=(0, -1, 0, JS_ARRAY_ELEMENTS_OFFSET)),
+                I(MOp.JSLDRSMI, dst=3, mem=(2, -1, 0, FIXED_ARRAY_ELEMENTS_OFFSET)),
+                I(MOp.RET, s1=3),
+            ],
+            target_name="arm64+smi",
+        )
+        assert engine.executor.run(code, [arr], engine.heap.undefined) == 42
+
+    def test_jsldrsmi_bailout_on_pointer(self):
+        engine = Engine(EngineConfig(target="arm64+smi"))
+        arr = engine.heap.to_word(["not-a-smi"])
+        from repro.values.heap import FIXED_ARRAY_ELEMENTS_OFFSET, JS_ARRAY_ELEMENTS_OFFSET
+
+        code = make_code(
+            engine,
+            [
+                I(MOp.LDR, dst=2, mem=(0, -1, 0, JS_ARRAY_ELEMENTS_OFFSET)),
+                I(MOp.JSLDRSMI, dst=3, mem=(2, -1, 0, FIXED_ARRAY_ELEMENTS_OFFSET)),
+                I(MOp.RET, s1=3),
+            ],
+            target_name="arm64+smi",
+        )
+        code.smi_load_checks[1] = 3
+        code.deopt_points[3] = DeoptPoint(3, CheckKind.NOT_A_SMI, 0, ())
+        with pytest.raises(DeoptSignal) as info:
+            engine.executor.run(code, [arr], engine.heap.undefined)
+        assert info.value.check_id == 3
+
+
+class TestBranchPredictor:
+    def test_learns_biased_branch(self):
+        predictor = BranchPredictor()
+        for _ in range(8):
+            predictor.predict_and_update(100, False)
+        assert not predictor.predict_and_update(100, False)
+
+    def test_mispredicts_on_flip_after_saturation(self):
+        predictor = BranchPredictor()
+        for _ in range(50):  # enough for the gshare history to stabilize
+            predictor.predict_and_update(100, True)
+        assert predictor.predict_and_update(100, False)
+
+    def test_steady_loop_branch_rarely_mispredicted(self):
+        """The property the paper's Fig. 10 relies on: biased (deopt-style)
+        branches are almost always predicted correctly."""
+        predictor = BranchPredictor()
+        for _ in range(400):
+            predictor.predict_and_update(7, False)   # a never-taken check
+            predictor.predict_and_update(9, True)    # a loop back edge
+        assert predictor.mispredictions / predictor.predictions < 0.10
+
+
+class TestCostAccounting:
+    def test_cycles_accumulate(self):
+        engine = Engine(EngineConfig())
+        before = engine.executor.cycles
+        run_instrs(
+            [I(MOp.MOVI, dst=0, imm=1), I(MOp.RET, s1=0)], engine=engine
+        )
+        assert engine.executor.cycles > before
+
+    def test_cost_model_op_table_complete(self):
+        table = CostModel().op_costs()
+        for op in MOp:
+            assert op in table

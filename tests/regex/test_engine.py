@@ -1,0 +1,140 @@
+"""Irregexp-lite tests, cross-checked against Python's `re` where the
+semantics coincide."""
+
+import re as python_re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.engine import Regex, RegexSyntaxError, compile_pattern
+
+
+class TestBasics:
+    def test_literal(self):
+        assert compile_pattern("abc").test("xxabcxx")
+        assert not compile_pattern("abc").test("abd")
+
+    def test_dot_excludes_newline(self):
+        assert compile_pattern("a.c").test("abc")
+        assert not compile_pattern("a.c").test("a\nc")
+
+    def test_anchors(self):
+        assert compile_pattern("^ab$").test("ab")
+        assert not compile_pattern("^ab$").test("xab")
+
+    def test_word_boundary(self):
+        assert compile_pattern(r"\bcat\b").test("a cat sat")
+        assert not compile_pattern(r"\bcat\b").test("concatenate")
+
+    def test_classes_and_ranges(self):
+        assert compile_pattern("[a-c]+").search("zzabz").matched == "ab"
+        assert compile_pattern("[^0-9]+").search("12ab3").matched == "ab"
+
+    def test_shorthands(self):
+        assert compile_pattern(r"\d+").search("a123b").matched == "123"
+        assert compile_pattern(r"\w+").search("!!ab_9!").matched == "ab_9"
+        assert compile_pattern(r"\s").test("a b")
+        assert compile_pattern(r"\D+").search("12ab").matched == "ab"
+
+
+class TestQuantifiers:
+    def test_star_plus_question(self):
+        assert compile_pattern("ab*c").test("ac")
+        assert compile_pattern("ab+c").test("abbc")
+        assert not compile_pattern("ab+c").test("ac")
+        assert compile_pattern("ab?c").test("ac")
+
+    def test_greedy_vs_lazy(self):
+        assert compile_pattern("<.*>").search("<a><b>").matched == "<a><b>"
+        assert compile_pattern("<.*?>").search("<a><b>").matched == "<a>"
+
+    def test_counted(self):
+        assert compile_pattern("a{3}").test("aaa")
+        assert not compile_pattern("^a{3}$").test("aa")
+        assert compile_pattern("^a{2,}$").test("aaaa")
+        assert compile_pattern("^a{1,2}$").test("aa")
+        assert not compile_pattern("^a{1,2}$").test("aaa")
+
+    def test_brace_literal_when_not_quantifier(self):
+        assert compile_pattern(r"a\{x").test("a{x")
+
+
+class TestGroupsAlternation:
+    def test_capture_groups(self):
+        match = compile_pattern(r"(\w+)@(\w+)").search("mail bob@host end")
+        assert match.group(0) == "bob@host"
+        assert match.group(1) == "bob"
+        assert match.group(2) == "host"
+
+    def test_non_capturing(self):
+        match = compile_pattern(r"(?:ab)+(c)").search("ababc")
+        assert match.group_count == 1
+        assert match.group(1) == "c"
+
+    def test_alternation_order(self):
+        assert compile_pattern("cat|category").search("category").matched == "cat"
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_pattern("(ab")
+
+
+class TestApi:
+    def test_global_exec_advances(self):
+        regex = Regex(r"\d+", "g")
+        text = "a1 b22 c333"
+        results = []
+        while True:
+            match = regex.exec(text)
+            if match is None:
+                break
+            results.append(match.matched)
+        assert results == ["1", "22", "333"]
+        assert regex.last_index == 0  # reset after exhaustion
+
+    def test_non_global_exec_restarts(self):
+        regex = Regex(r"\d+")
+        assert regex.exec("a1 b2").matched == "1"
+        assert regex.exec("a1 b2").matched == "1"
+
+    def test_ignore_case(self):
+        assert Regex("hello", "i").test("HeLLo world")
+
+    def test_replace_with_groups(self):
+        regex = Regex(r"(\w+)=(\d+)", "g")
+        assert regex.replace("a=1 b=2", "$2:$1") == "1:a 2:b"
+
+    def test_replace_first_only_without_global(self):
+        regex = Regex(r"\d")
+        assert regex.replace("1 2 3", "x") == "x 2 3"
+
+    def test_find_all_empty_match_progress(self):
+        regex = Regex("a*")
+        results = regex.find_all("bab")
+        assert len(results) >= 2  # no infinite loop on empty matches
+
+    def test_steps_counter_advances(self):
+        regex = Regex("a+b")
+        regex.steps = 0
+        regex.test("aaaaab")
+        assert regex.steps > 0
+
+
+SAFE_PATTERNS = [
+    r"\d+", r"[a-z]+\d", r"(ab|cd)+", r"a.?b", r"^\w+", r"x{2,4}y",
+    r"(a)(b)?c", r"[^abc]+", r"a+?b+",
+]
+
+
+@pytest.mark.parametrize("pattern", SAFE_PATTERNS)
+@given(text=st.text(alphabet="abcdxy019 \n", max_size=25))
+@settings(max_examples=30, deadline=None)
+def test_agrees_with_python_re(pattern, text):
+    ours = compile_pattern(pattern).search(text)
+    theirs = python_re.search(pattern, text)
+    if theirs is None:
+        assert ours is None
+    else:
+        assert ours is not None
+        assert ours.matched == theirs.group(0)

@@ -1,0 +1,131 @@
+"""Statistics toolkit tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.stats.analysis import (
+    bonferroni_alpha,
+    bootstrap_interval,
+    compare_populations,
+    geometric_mean,
+    linear_regression,
+    pearson_correlation,
+    summarize,
+)
+
+
+class TestRegression:
+    def test_exact_line(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [2 * x + 1 for x in xs]
+        result = linear_regression(xs, ys)
+        assert result.slope == pytest.approx(2.0)
+        assert result.intercept == pytest.approx(1.0)
+        assert result.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_ci_contains_truth(self):
+        rng = random.Random(1)
+        xs = [i / 10 for i in range(50)]
+        ys = [3 * x + rng.gauss(0, 0.2) for x in xs]
+        result = linear_regression(xs, ys)
+        low, high = result.slope_ci
+        assert low < 3.0 < high
+        assert 0.9 < result.r_squared <= 1.0
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            linear_regression([1, 1, 1], [1, 2, 3])
+        with pytest.raises(ValueError):
+            linear_regression([1, 2], [1, 2])
+
+    def test_predict(self):
+        result = linear_regression([0, 1, 2], [0, 2, 4])
+        assert result.predict(10) == pytest.approx(20.0)
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        result = pearson_correlation([1, 2, 3, 4], [2, 4, 6, 8])
+        assert result.r == pytest.approx(1.0)
+        assert result.significant
+
+    def test_independent_data_weak_correlation(self):
+        rng = random.Random(11)
+        xs = [rng.random() for _ in range(200)]
+        ys = [rng.random() for _ in range(200)]
+        result = pearson_correlation(xs, ys)
+        assert abs(result.r) < 0.2
+        assert not result.significant
+
+    def test_r_squared_consistency(self):
+        result = pearson_correlation([1, 2, 3, 9], [1, 3, 2, 8])
+        assert result.r_squared == pytest.approx(result.r**2)
+
+
+class TestSignificance:
+    def test_bonferroni(self):
+        assert bonferroni_alpha(10) == pytest.approx(0.005)
+        assert bonferroni_alpha(1) == pytest.approx(0.05)
+        assert bonferroni_alpha(0) == pytest.approx(0.05)
+
+    def test_clear_difference_is_practically_significant(self):
+        rng = random.Random(3)
+        slower = [100 + rng.gauss(0, 1) for _ in range(30)]
+        faster = [90 + rng.gauss(0, 1) for _ in range(30)]
+        result = compare_populations(slower, faster, test_count=5)
+        assert result.statistically_significant
+        assert result.practically_significant
+        assert result.effect == pytest.approx(100 / 90 - 1, rel=0.05)
+
+    def test_tiny_effect_not_practical(self):
+        """Statistically significant but below the paper's 2 % threshold."""
+        rng = random.Random(4)
+        slower = [100.5 + rng.gauss(0, 0.05) for _ in range(40)]
+        faster = [100.0 + rng.gauss(0, 0.05) for _ in range(40)]
+        result = compare_populations(slower, faster)
+        assert result.statistically_significant
+        assert not result.practically_significant
+
+    def test_identical_populations_not_significant(self):
+        values = [100.0] * 10
+        result = compare_populations(values, list(values))
+        assert not result.statistically_significant
+
+    def test_unpaired_lengths_use_ranksums(self):
+        result = compare_populations([10] * 12, [9] * 9)
+        assert 0 <= result.p_value <= 1
+
+
+class TestBootstrap:
+    def test_interval_contains_mean(self):
+        rng = random.Random(5)
+        values = [rng.gauss(50, 5) for _ in range(60)]
+        low, high = bootstrap_interval(values, seed=9)
+        mean = sum(values) / len(values)
+        assert low <= mean <= high
+        assert high - low < 5
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_interval(values, seed=1) == bootstrap_interval(values, seed=1)
+
+    def test_empty_input(self):
+        assert bootstrap_interval([]) == (0.0, 0.0)
+
+
+class TestSummaries:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([2, 0, 8]) == pytest.approx(4.0)  # ignores <= 0
+
+    def test_summarize_quartiles(self):
+        stats = summarize(range(1, 101))
+        assert stats["median"] == pytest.approx(50.5)
+        assert stats["p25"] == pytest.approx(25.75)
+        assert stats["min"] == 1 and stats["max"] == 100
+
+    def test_summarize_empty(self):
+        assert summarize([])["mean"] == 0.0

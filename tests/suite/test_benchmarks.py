@@ -1,0 +1,110 @@
+"""Benchmark-suite validation: every benchmark, every target."""
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.jit.checks import CheckKind
+from repro.suite import (
+    BenchmarkRunner,
+    CATEGORIES,
+    NoiseModel,
+    all_benchmarks,
+    benchmarks_by_category,
+    determine_removable_kinds,
+    get_benchmark,
+    run_benchmark,
+    smi_kernels,
+)
+
+ALL = all_benchmarks()
+
+
+class TestRegistry:
+    def test_suite_size(self):
+        assert len(ALL) >= 28  # JetStream2-like breadth
+
+    def test_every_category_populated(self):
+        for category in CATEGORIES:
+            assert benchmarks_by_category(category), category
+
+    def test_gem5_subset_matches_paper(self):
+        names = {s.name for s in smi_kernels()}
+        # Section V's kernels: SPMV, MMUL, IM2COL, SPMM, BLUR, AES2, HASH, DP
+        assert {
+            "SPMV-CSR-SMI", "MMUL", "IM2COL", "SPMM", "BLUR", "AES2", "HASH", "DP"
+        } <= names
+
+    def test_lookup(self):
+        assert get_benchmark("DP").category == "Sparse"
+
+
+@pytest.mark.parametrize("spec", ALL, ids=lambda s: s.name)
+def test_benchmark_valid_on_arm64(spec):
+    result = BenchmarkRunner(spec, EngineConfig(target="arm64")).run(iterations=10)
+    assert result.valid, result.result
+    assert result.code_stats["body_instructions"] > 0 or spec.category == "Regex"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("target", ["x64", "arm64+smi"])
+@pytest.mark.parametrize("spec", ALL, ids=lambda s: s.name)
+def test_benchmark_valid_on_other_targets(spec, target):
+    result = BenchmarkRunner(spec, EngineConfig(target=target)).run(iterations=10)
+    assert result.valid, result.result
+
+
+class TestRunnerMechanics:
+    def test_reps_are_consistent(self):
+        spec = get_benchmark("PRIMES")
+        results = run_benchmark(
+            spec, EngineConfig(), iterations=10, reps=3, noise=NoiseModel(enabled=True)
+        )
+        assert len(results) == 3
+        assert all(r.valid for r in results)
+        assert len({r.result for r in results}) == 1
+
+    def test_noise_changes_timings_not_results(self):
+        spec = get_benchmark("PRIMES")
+        results = run_benchmark(
+            spec, EngineConfig(), iterations=10, reps=2, noise=NoiseModel(enabled=True)
+        )
+        assert results[0].cycles != results[1].cycles
+        assert results[0].result == results[1].result
+
+    def test_noiseless_runs_are_deterministic(self):
+        spec = get_benchmark("DP")
+        runner_a = BenchmarkRunner(spec, EngineConfig(), NoiseModel(enabled=False))
+        runner_b = BenchmarkRunner(spec, EngineConfig(), NoiseModel(enabled=False))
+        assert runner_a.run(iterations=8).cycles == runner_b.run(iterations=8).cycles
+
+    def test_steady_state_faster_than_first_iteration(self):
+        spec = get_benchmark("MANDEL")
+        result = BenchmarkRunner(spec, EngineConfig(), NoiseModel(enabled=False)).run(
+            iterations=25
+        )
+        assert result.steady_state_cycles < result.cycles[0]
+
+
+class TestCheckRemoval:
+    def test_removable_kinds_exclude_fired(self):
+        spec = get_benchmark("SPMV-CSR-SMI")
+        removable, leftovers = determine_removable_kinds(
+            spec, EngineConfig(), iterations=20
+        )
+        assert removable | leftovers  # non-empty union of eager kinds
+        assert not (removable & leftovers)
+
+    def test_removal_is_faster_and_valid(self):
+        spec = get_benchmark("DP")
+        removable, _ = determine_removable_kinds(spec, EngineConfig(), iterations=20)
+        base = BenchmarkRunner(spec, EngineConfig(), NoiseModel(enabled=False)).run(
+            iterations=25
+        )
+        removed = BenchmarkRunner(
+            spec,
+            EngineConfig(removed_checks=removable),
+            NoiseModel(enabled=False),
+        ).run(iterations=25)
+        assert removed.valid
+        assert removed.result == base.result
+        assert removed.steady_state_cycles < base.steady_state_cycles

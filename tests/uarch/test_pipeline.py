@@ -1,0 +1,180 @@
+"""Cache and pipeline-model tests."""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.isa.base import CC, MachineInstr, MOp
+from repro.uarch.cache import Cache, CacheHierarchy
+from repro.uarch.pipeline.common import decode
+from repro.uarch.pipeline.configs import EXYNOS_BIG, GEM5_CPUS, INORDER_LITTLE, O3_KPG
+from repro.uarch.pipeline.inorder import simulate, simulate_inorder
+from repro.uarch.pipeline.o3 import simulate_o3
+
+
+def I(op, **kw):  # noqa: E743
+    return MachineInstr(op, **kw)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(size_bytes=1024, ways=2)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)  # same line
+        assert not cache.access(64)  # next line
+
+    def test_lru_eviction(self):
+        cache = Cache(size_bytes=2 * 64, ways=2)  # one set, two ways
+        cache.access(0)
+        cache.access(64 * 1)
+        cache.access(0)  # refresh line 0
+        cache.access(64 * 2)  # evicts line 1
+        assert cache.access(0)
+        assert not cache.access(64 * 1)
+
+    def test_hierarchy_latencies_ordered(self):
+        hierarchy = CacheHierarchy()
+        cold = hierarchy.load_latency(0)
+        warm = hierarchy.load_latency(0)
+        assert cold == hierarchy.memory_latency
+        assert warm == hierarchy.l1_latency
+        assert hierarchy.stats()["l1_misses"] == 1
+
+
+class TestDecode:
+    def test_flags_dependency(self):
+        cmp = decode(I(MOp.CMP, s1=1, s2=2))
+        bcc = decode(I(MOp.BCC, cc=CC.EQ))
+        assert set(cmp.writes) & set(bcc.reads)
+
+    def test_float_registers_separate_space(self):
+        fadd = decode(I(MOp.FADD, dst=1, s1=1, s2=2))
+        add = decode(I(MOp.ADD, dst=1, s1=1, s2=2))
+        assert set(fadd.writes).isdisjoint(set(add.writes))
+
+    def test_load_classification(self):
+        load = decode(I(MOp.LDR, dst=1, mem=(2, -1, 0, 0)))
+        assert load.is_load and 2 in load.reads
+
+    def test_store_has_no_register_writes(self):
+        store = decode(I(MOp.STR, s1=1, mem=(2, -1, 0, 0)))
+        assert store.is_store
+        assert not any(w < 64 for w in store.writes)
+
+
+def straightline_trace(n=2000):
+    instrs = [
+        I(MOp.MOVI, dst=1, imm=1),
+        I(MOp.ADD, dst=2, s1=1, s2=1),
+        I(MOp.ADD, dst=3, s1=1, s2=1),
+        I(MOp.ADD, dst=4, s1=1, s2=1),
+    ]
+    return [(instrs[i % 4], False, -1) for i in range(n)]
+
+
+def dependent_trace(n=2000):
+    instr = I(MOp.ADD, dst=1, s1=1, s2=1)
+    return [(instr, False, -1) for _ in range(n)]
+
+
+class TestO3Model:
+    def test_ilp_raises_ipc(self):
+        independent = simulate_o3(straightline_trace(), O3_KPG)
+        dependent = simulate_o3(dependent_trace(), O3_KPG)
+        assert independent.ipc > dependent.ipc * 1.5
+
+    def test_dependent_chain_is_one_per_cycle(self):
+        stats = simulate_o3(dependent_trace(), O3_KPG)
+        assert stats.ipc == pytest.approx(1.0, rel=0.1)
+
+    def test_width_caps_ipc(self):
+        stats = simulate_o3(straightline_trace(), O3_KPG)
+        assert stats.ipc <= O3_KPG.width + 0.01
+
+    def test_wider_core_is_faster(self):
+        narrow = simulate_o3(straightline_trace(), O3_KPG)
+        wide = simulate_o3(straightline_trace(), EXYNOS_BIG)
+        assert wide.cycles < narrow.cycles
+
+    def test_mispredicted_branches_cost_cycles(self):
+        import random
+
+        rng = random.Random(0)
+        branch = I(MOp.BCC, cc=CC.EQ)
+        predictable = [(branch, False, -1) for _ in range(2000)]
+        noisy = [(branch, rng.random() < 0.5, -1) for _ in range(2000)]
+        fast = simulate_o3(predictable, O3_KPG)
+        slow = simulate_o3(noisy, O3_KPG)
+        assert slow.cycles > fast.cycles * 2
+        assert slow.mispredictions > fast.mispredictions
+
+    def test_cold_loads_stall(self):
+        load = I(MOp.LDR, dst=1, mem=(2, -1, 0, 0))
+        use = I(MOp.ADD, dst=3, s1=1, s2=1)
+        cold = [(load, False, i * 64) for i in range(500)]
+        trace = []
+        for entry in cold:
+            trace.append(entry)
+            trace.append((use, False, -1))
+        cold_stats = simulate_o3(trace, O3_KPG)
+        warm_trace = [(load, False, 0), (use, False, -1)] * 500
+        warm_stats = simulate_o3(warm_trace, O3_KPG)
+        assert cold_stats.cycles > warm_stats.cycles
+
+
+class TestInorderModel:
+    def test_slower_than_o3_on_ilp_code(self):
+        inorder = simulate_inorder(straightline_trace(), INORDER_LITTLE)
+        o3 = simulate_o3(straightline_trace(), O3_KPG)
+        assert inorder.cycles > o3.cycles
+
+    def test_dispatch_width_respected(self):
+        stats = simulate_inorder(straightline_trace(), INORDER_LITTLE)
+        assert stats.ipc <= INORDER_LITTLE.width + 0.01
+
+    def test_simulate_dispatches_by_kind(self):
+        trace = straightline_trace(100)
+        assert simulate(trace, INORDER_LITTLE).instructions == 100
+        assert simulate(trace, O3_KPG).instructions == 100
+
+
+class TestEndToEndTraces:
+    SOURCE = """
+    var data = [1,2,3,4,5,6,7,8];
+    function f() {
+      var s = 0;
+      for (var i = 0; i < 8; i++) { s = s + data[i]; }
+      return s;
+    }
+    """
+
+    def trace_for(self, target):
+        engine = Engine(EngineConfig(target=target))
+        engine.load(self.SOURCE)
+        for _ in range(25):
+            engine.call_global("f")
+        engine.executor.trace = []
+        for _ in range(3):
+            engine.call_global("f")
+        trace = engine.executor.trace
+        engine.executor.trace = None
+        return trace
+
+    def test_smi_extension_reduces_instructions_and_cycles(self):
+        base = self.trace_for("arm64")
+        extended = self.trace_for("arm64+smi")
+        assert len(extended) < len(base)
+        for cpu in GEM5_CPUS:
+            base_stats = simulate(base, cpu)
+            ext_stats = simulate(extended, cpu)
+            assert ext_stats.cycles <= base_stats.cycles * 1.02, cpu.name
+
+    def test_serial_untag_ablation_costs_cycles(self):
+        import dataclasses
+
+        extended = self.trace_for("arm64+smi")
+        parallel = simulate(extended, O3_KPG)
+        serial = simulate(
+            extended, dataclasses.replace(O3_KPG, smi_load_extra=1)
+        )
+        assert serial.cycles >= parallel.cycles

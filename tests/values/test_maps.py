@@ -1,0 +1,101 @@
+"""Hidden-class (map) tests."""
+
+import pytest
+
+from repro.values.maps import ElementsKind, InstanceType, Map, MapRegistry
+
+
+@pytest.fixture
+def registry():
+    return MapRegistry()
+
+
+class TestTransitions:
+    def test_add_property_assigns_sequential_offsets(self, registry):
+        root = registry.create(InstanceType.JS_OBJECT)
+        with_x = registry.transition_add_property(root, "x")
+        with_xy = registry.transition_add_property(with_x, "y")
+        assert with_x.lookup("x") == 1
+        assert with_xy.lookup("x") == 1
+        assert with_xy.lookup("y") == 2
+        assert root.lookup("x") is None
+
+    def test_transitions_are_shared(self, registry):
+        """Objects built the same way share hidden classes — the property
+        that makes monomorphic map checks effective."""
+        root = registry.create(InstanceType.JS_OBJECT)
+        a = registry.transition_add_property(root, "x")
+        b = registry.transition_add_property(root, "x")
+        assert a is b
+
+    def test_different_orders_different_maps(self, registry):
+        root = registry.create(InstanceType.JS_OBJECT)
+        xy = registry.transition_add_property(
+            registry.transition_add_property(root, "x"), "y"
+        )
+        yx = registry.transition_add_property(
+            registry.transition_add_property(root, "y"), "x"
+        )
+        assert xy is not yx
+        assert xy.lookup("x") == 1 and yx.lookup("x") == 2
+
+    def test_parent_link(self, registry):
+        root = registry.create(InstanceType.JS_OBJECT)
+        child = registry.transition_add_property(root, "p")
+        assert child.parent is root
+
+
+class TestElementsKinds:
+    def test_lattice_is_one_way(self):
+        assert ElementsKind.PACKED_SMI.generalizes_to(ElementsKind.PACKED_DOUBLE)
+        assert ElementsKind.PACKED_DOUBLE.generalizes_to(ElementsKind.PACKED)
+        assert not ElementsKind.PACKED.generalizes_to(ElementsKind.PACKED_SMI)
+
+    def test_illegal_transition_rejected(self, registry):
+        packed = registry.create(InstanceType.JS_ARRAY, ElementsKind.PACKED)
+        with pytest.raises(ValueError):
+            registry.transition_elements_kind(packed, ElementsKind.PACKED_SMI)
+
+    def test_same_kind_is_identity(self, registry):
+        smi = registry.create(InstanceType.JS_ARRAY, ElementsKind.PACKED_SMI)
+        assert registry.transition_elements_kind(smi, ElementsKind.PACKED_SMI) is smi
+
+    def test_kind_transition_shared(self, registry):
+        smi = registry.create(InstanceType.JS_ARRAY, ElementsKind.PACKED_SMI)
+        a = registry.transition_elements_kind(smi, ElementsKind.PACKED_DOUBLE)
+        b = registry.transition_elements_kind(smi, ElementsKind.PACKED_DOUBLE)
+        assert a is b
+        assert a.elements_kind == ElementsKind.PACKED_DOUBLE
+
+
+class TestStability:
+    def test_destabilize_notifies_dependents_once(self, registry):
+        root = registry.create(InstanceType.JS_OBJECT)
+        fired = []
+        root.add_dependent(fired.append)
+        root.destabilize()
+        root.destabilize()
+        assert len(fired) == 1
+        assert not root.is_stable
+
+    def test_dependents_cleared_after_firing(self, registry):
+        root = registry.create(InstanceType.JS_OBJECT)
+        fired = []
+        root.add_dependent(fired.append)
+        root.destabilize()
+        root.add_dependent(fired.append)  # registered after; never fires again
+        root.destabilize()
+        assert len(fired) == 1
+
+
+class TestRegistry:
+    def test_address_lookup(self, registry):
+        a_map = registry.create(InstanceType.HEAP_NUMBER)
+        registry.register_address(a_map, 88)
+        assert registry.by_address(88) is a_map
+        assert a_map.address == 88
+
+    def test_len_counts_maps(self, registry):
+        registry.create(InstanceType.JS_OBJECT)
+        registry.create(InstanceType.JS_ARRAY)
+        assert len(registry) == 2

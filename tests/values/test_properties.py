@@ -1,0 +1,110 @@
+"""Property-based invariants on the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.values.heap import Heap
+from repro.values.maps import ElementsKind
+from repro.values.tagged import is_heap_pointer, is_smi, pointer_untag
+
+
+@st.composite
+def js_value(draw, depth=0):
+    base = st.one_of(
+        st.integers(min_value=-(2**30), max_value=2**30 - 1),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=8),
+        st.booleans(),
+        st.none(),
+    )
+    if depth >= 2:
+        return draw(base)
+    return draw(
+        st.one_of(
+            base,
+            st.lists(js_value(depth=depth + 1), max_size=4),
+            st.dictionaries(
+                st.text(alphabet="abcxyz", min_size=1, max_size=4),
+                js_value(depth=depth + 1),
+                max_size=4,
+            ),
+        )
+    )
+
+
+def normalize(value):
+    """What JS storage does to a Python value (ints/floats unify)."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, list):
+        return [normalize(v) for v in value]
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    return value
+
+
+class TestBoxingInvariants:
+    @given(js_value())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, value):
+        heap = Heap()
+        assert normalize(heap.to_python(heap.to_word(value))) == normalize(value)
+
+    @given(js_value())
+    @settings(max_examples=60, deadline=None)
+    def test_every_word_is_tagged(self, value):
+        heap = Heap()
+        word = heap.to_word(value)
+        assert is_smi(word) != is_heap_pointer(word)
+
+    @given(st.lists(js_value(), max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_gc_preserves_rooted_values(self, values):
+        heap = Heap()
+        words = [heap.to_word(v) for v in values]
+        junk = [heap.alloc_number(float(i)) for i in range(20)]
+        del junk
+        heap.collect(words)
+        for word, value in zip(words, values):
+            assert normalize(heap.to_python(word)) == normalize(value)
+
+
+class TestArrayInvariants:
+    @given(
+        st.lists(st.integers(-(2**29), 2**29), min_size=1, max_size=12),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_element_kind_is_an_upper_bound(self, values, data):
+        """After arbitrary stores, the array's elements kind is always
+        general enough for every element it holds."""
+        heap = Heap()
+        word = heap.to_word(values)
+        for _ in range(4):
+            index = data.draw(st.integers(0, len(values) - 1))
+            store = data.draw(
+                st.one_of(
+                    st.integers(-(2**29), 2**29),
+                    st.floats(allow_nan=False, allow_infinity=False, width=16),
+                    st.text(max_size=3),
+                )
+            )
+            heap.array_set(word, index, heap.to_word(store))
+            kind = heap.map_of(pointer_untag(word)).elements_kind
+            contents = heap.to_python(word)
+            if kind == ElementsKind.PACKED_SMI:
+                assert all(isinstance(v, int) for v in contents)
+            elif kind == ElementsKind.PACKED_DOUBLE:
+                assert all(isinstance(v, (int, float)) for v in contents)
+
+    @given(st.lists(st.integers(-100, 100), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_push_preserves_prefix(self, values):
+        heap = Heap()
+        word = heap.to_word([])
+        for i, value in enumerate(values):
+            heap.array_push(word, heap.to_word(value))
+            assert heap.array_length(word) == i + 1
+        assert heap.to_python(word) == values

@@ -1,0 +1,101 @@
+"""Tagged-word encoding tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.values.tagged import (
+    DEFAULT_TAG_CONFIG,
+    SMI_MAX,
+    SMI_MIN,
+    TagConfig,
+    is_heap_pointer,
+    is_smi,
+    pointer_tag,
+    pointer_untag,
+    smi_tag,
+    smi_untag,
+)
+
+
+class TestTagConfig:
+    def test_default_is_31_bit(self):
+        assert DEFAULT_TAG_CONFIG.smi_bits == 31
+        assert SMI_MAX == 2**30 - 1
+        assert SMI_MIN == -(2**30)
+
+    def test_32_bit_config(self):
+        config = TagConfig(smi_bits=32)
+        assert config.smi_max == 2**31 - 1
+        assert config.smi_min == -(2**31)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            TagConfig(smi_bits=16)
+
+    def test_fits_smi_boundaries(self):
+        config = TagConfig(31)
+        assert config.fits_smi(config.smi_max)
+        assert config.fits_smi(config.smi_min)
+        assert not config.fits_smi(config.smi_max + 1)
+        assert not config.fits_smi(config.smi_min - 1)
+
+
+class TestSmiEncoding:
+    def test_roundtrip_simple(self):
+        assert smi_untag(smi_tag(42)) == 42
+        assert smi_untag(smi_tag(-42)) == -42
+        assert smi_untag(smi_tag(0)) == 0
+
+    def test_lsb_is_clear(self):
+        assert smi_tag(7) & 1 == 0
+        assert is_smi(smi_tag(7))
+        assert not is_heap_pointer(smi_tag(7))
+
+    def test_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            smi_tag(SMI_MAX + 1)
+        with pytest.raises(OverflowError):
+            smi_tag(SMI_MIN - 1)
+
+    def test_untag_of_pointer_raises(self):
+        with pytest.raises(ValueError):
+            smi_untag(pointer_tag(10))
+
+    @given(st.integers(min_value=SMI_MIN, max_value=SMI_MAX))
+    def test_roundtrip_property(self, value):
+        word = smi_tag(value)
+        assert is_smi(word)
+        assert smi_untag(word) == value
+
+    @given(st.integers(min_value=SMI_MIN, max_value=SMI_MAX))
+    def test_untag_is_arithmetic_shift(self, value):
+        # The untagging right-shift is exactly the operation the paper's
+        # jsldrsmi folds into the load.
+        assert smi_tag(value) >> 1 == value
+
+
+class TestPointerEncoding:
+    def test_roundtrip(self):
+        assert pointer_untag(pointer_tag(1234)) == 1234
+
+    def test_lsb_is_set(self):
+        assert pointer_tag(10) & 1 == 1
+        assert is_heap_pointer(pointer_tag(10))
+        assert not is_smi(pointer_tag(10))
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            pointer_tag(-1)
+
+    def test_untag_of_smi_raises(self):
+        with pytest.raises(ValueError):
+            pointer_untag(smi_tag(8))
+
+    @given(st.integers(min_value=0, max_value=2**28))
+    def test_pointer_roundtrip_property(self, address):
+        assert pointer_untag(pointer_tag(address)) == address
+
+    @given(st.integers(min_value=0, max_value=2**28))
+    def test_smi_and_pointer_spaces_disjoint(self, address):
+        assert not is_smi(pointer_tag(address))
