@@ -1,0 +1,53 @@
+"""Static analysis layer: IR graph verifier, machine-code linter, and
+check-density analyzer for the speculative compilation pipeline.
+
+The engine consults :func:`default_verify` whenever an
+:class:`~repro.engine.EngineConfig` leaves ``verify=None``; tests flip
+the default on via ``set_default_verify(True)`` in conftest, and the
+``REPRO_VERIFY`` environment variable (``1``/``true``/``on``) does the
+same for ad-hoc runs such as the benchmark drivers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .density import DensityReport, analyze_density
+from .diagnostics import Diagnostic, Severity, errors, render_table, warnings
+from .dominators import DominatorTree, reachable_blocks
+from .mclint import assert_lint_clean, lint_code
+from .verifier import VerificationError, assert_valid, verify_graph
+
+__all__ = [
+    "DensityReport",
+    "Diagnostic",
+    "DominatorTree",
+    "Severity",
+    "VerificationError",
+    "analyze_density",
+    "assert_lint_clean",
+    "assert_valid",
+    "default_verify",
+    "errors",
+    "lint_code",
+    "reachable_blocks",
+    "render_table",
+    "set_default_verify",
+    "verify_graph",
+    "warnings",
+]
+
+_default_verify = os.environ.get("REPRO_VERIFY", "").strip().lower() in (
+    "1", "true", "yes", "on",
+)
+
+
+def default_verify() -> bool:
+    """Whether engines verify when their config leaves ``verify=None``."""
+    return _default_verify
+
+
+def set_default_verify(enabled: bool) -> None:
+    """Set the process-wide verification default (used by test conftest)."""
+    global _default_verify
+    _default_verify = enabled

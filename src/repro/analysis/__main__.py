@@ -1,0 +1,102 @@
+"""``python -m repro.analysis`` — lint compiled benchmark code.
+
+Compiles one or more suite benchmarks with per-pass IR verification
+enabled, lints every emitted code object, runs the static check-density
+analyzer, and prints a diagnostics table.  Exit status is non-zero when
+any ERROR diagnostic is found.
+
+Examples::
+
+    python -m repro.analysis --benchmark FIB
+    python -m repro.analysis --all --target x64
+    python -m repro.analysis --benchmark NBODY --verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..engine import EngineConfig
+from ..suite import all_benchmarks, compile_benchmark, compiled_code_objects, get_benchmark
+from .density import analyze_density
+from .diagnostics import Diagnostic, Severity, render_table
+from .mclint import lint_code
+from .verifier import VerificationError
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Verify and lint the compiled code of suite benchmarks.",
+    )
+    parser.add_argument(
+        "--benchmark", "-b", action="append", default=[],
+        help="benchmark name (repeatable); see repro.suite",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="analyze every registered benchmark"
+    )
+    parser.add_argument(
+        "--target", default="arm64", choices=("x64", "arm64", "arm64+smi"),
+        help="compilation target (default: arm64)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=40,
+        help="warmup iterations before analyzing (default: 40)",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also show INFO diagnostics (attribution-window shape)",
+    )
+    options = parser.parse_args(argv)
+
+    if options.all:
+        specs = all_benchmarks()
+    elif options.benchmark:
+        try:
+            specs = [get_benchmark(name) for name in options.benchmark]
+        except KeyError as missing:
+            known = ", ".join(spec.name for spec in all_benchmarks())
+            parser.error(f"unknown benchmark {missing}; known: {known}")
+    else:
+        parser.error("pass --benchmark NAME (repeatable) or --all")
+
+    exit_code = 0
+    for spec in specs:
+        diagnostics: List[Diagnostic] = []
+        config = EngineConfig(target=options.target, verify=True)
+        try:
+            engine = compile_benchmark(spec, config, iterations=options.iterations)
+        except VerificationError as failure:
+            print(render_table(failure.diagnostics,
+                               title=f"== {spec.name} [{options.target}] =="))
+            exit_code = 1
+            continue
+        codes = compiled_code_objects(engine)
+        density_lines: List[str] = []
+        for code in codes:
+            diagnostics.extend(lint_code(code))
+            report = analyze_density(code)
+            diagnostics.extend(report.diagnostics)
+            density_lines.extend(report.rows())
+        if not options.verbose:
+            diagnostics = [
+                d for d in diagnostics if d.severity != Severity.INFO
+            ]
+        if any(d.severity == Severity.ERROR for d in diagnostics):
+            exit_code = 1
+        print(render_table(
+            diagnostics,
+            title=(f"== {spec.name} [{options.target}] — "
+                   f"{len(codes)} code object(s) =="),
+        ))
+        for line in density_lines:
+            print(line)
+        print()
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

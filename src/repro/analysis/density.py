@@ -1,0 +1,104 @@
+"""Static check-density analysis over compiled code.
+
+Counts guards per 100 body instructions *without executing anything*,
+straight from the emitted :class:`~repro.jit.codegen.CodeObject` — one
+check = one registered deopt point, body = every instruction that is not
+a ``DEOPT`` stub.  The result is cross-validated against the dynamic
+pipeline's :func:`repro.profiling.attribution.static_check_density` (the
+Fig. 1 metric); any disagreement is an ERROR diagnostic because it means
+the two layers no longer count the same thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..isa.base import MOp
+from ..jit.checks import CheckKind
+from ..jit.codegen import CodeObject
+from ..profiling.attribution import static_check_density
+from .diagnostics import Diagnostic, Severity
+
+
+@dataclass
+class DensityReport:
+    """Static guard counts for one code object."""
+
+    function: str
+    target: str
+    body_instructions: int
+    check_count: int
+    #: checks per 100 body instructions (Fig. 1's metric)
+    density: float
+    by_kind: Dict[CheckKind, int] = field(default_factory=dict)
+    #: deopt-branch instructions actually present (differs from
+    #: ``check_count`` when branches are suppressed or checks are soft)
+    deopt_branches: int = 0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def rows(self) -> List[str]:
+        lines = [
+            f"{self.function} [{self.target}]: {self.check_count} checks / "
+            f"{self.body_instructions} instructions = {self.density:.2f} per 100 "
+            f"({self.deopt_branches} deopt branches)"
+        ]
+        for kind, count in sorted(self.by_kind.items(), key=lambda e: (-e[1], e[0].name)):
+            lines.append(f"  {kind.name.lower():28s} {count}")
+        return lines
+
+
+def analyze_density(code: CodeObject) -> DensityReport:
+    """Count checks statically and cross-validate against the profiler."""
+    body = 0
+    deopt_branches = 0
+    distinct_stub_ids = set()
+    for instr in code.instrs:
+        if instr.op == MOp.DEOPT:
+            # Soft deopts appear twice (inline + stub); a check is one
+            # deopt *point*, so count distinct ids, not instructions.
+            distinct_stub_ids.add(int(instr.imm))
+            continue
+        body += 1
+        if instr.is_deopt_branch:
+            deopt_branches += 1
+
+    check_count = len(code.deopt_points)
+    density = 100.0 * check_count / body if body else 0.0
+    by_kind: Dict[CheckKind, int] = {}
+    for point in code.deopt_points.values():
+        by_kind[point.kind] = by_kind.get(point.kind, 0) + 1
+
+    report = DensityReport(
+        function=code.shared.info.name,
+        target=code.target.name,
+        body_instructions=body,
+        check_count=check_count,
+        density=density,
+        by_kind=by_kind,
+        deopt_branches=deopt_branches,
+    )
+
+    reference = static_check_density(code)
+    if abs(density - reference) > 1e-9:
+        report.diagnostics.append(
+            Diagnostic(
+                Severity.ERROR,
+                "density",
+                "density-cross-validation",
+                f"static analyzer computes {density:.4f} checks/100 but "
+                f"profiling.attribution reports {reference:.4f} — the two "
+                "layers disagree on what a check is",
+            )
+        )
+    unregistered = distinct_stub_ids - set(code.deopt_points)
+    if unregistered:
+        report.diagnostics.append(
+            Diagnostic(
+                Severity.ERROR,
+                "density",
+                "density-cross-validation",
+                f"DEOPT stubs for unregistered check ids {sorted(unregistered)}",
+            )
+        )
+    return report

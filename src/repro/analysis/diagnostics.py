@@ -1,0 +1,85 @@
+"""Diagnostic records shared by the graph verifier and the machine linter.
+
+Every invariant violation, attribution-bias observation or density mismatch
+is reported as a :class:`Diagnostic`: a severity, the invariant's name, a
+human-readable message and an anchor (IR node / block, or machine pc) so a
+failing pass can name exactly what broke.  ``errors`` vs ``warnings`` is
+the contract with the engine: verification raises only on errors; warnings
+and infos describe measurement bias (e.g. attribution-window mismatches)
+that is interesting but not wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a verification or lint pass."""
+
+    severity: Severity
+    source: str  # "verifier" | "mclint" | "density"
+    invariant: str  # short invariant name, e.g. "def-dominates-use"
+    message: str
+    #: IR anchors (graph verifier)
+    node_id: Optional[int] = None
+    block_id: Optional[int] = None
+    #: machine anchor (linter)
+    pc: Optional[int] = None
+
+    def anchor(self) -> str:
+        parts = []
+        if self.block_id is not None:
+            parts.append(f"B{self.block_id}")
+        if self.node_id is not None:
+            parts.append(f"n{self.node_id}")
+        if self.pc is not None:
+            parts.append(f"pc {self.pc}")
+        return ":".join(parts) if parts else "-"
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.severity.value}] {self.source}/{self.invariant}"
+            f" @ {self.anchor()}: {self.message}"
+        )
+
+
+def errors(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.severity == Severity.ERROR]
+
+
+def warnings(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.severity == Severity.WARNING]
+
+
+def render_table(diagnostics: Sequence[Diagnostic], title: str = "") -> str:
+    """Fixed-width diagnostics table for the ``python -m repro.analysis``
+    CLI (and for error messages raised out of the pipeline)."""
+    header = ("severity", "source", "invariant", "anchor", "message")
+    rows = [
+        (d.severity.value, d.source, d.invariant, d.anchor(), d.message)
+        for d in diagnostics
+    ]
+    widths = [
+        max(len(header[col]), *(len(r[col]) for r in rows)) if rows else len(header[col])
+        for col in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if not rows:
+        lines.append("(no diagnostics)")
+    return "\n".join(lines)

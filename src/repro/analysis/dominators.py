@@ -1,0 +1,110 @@
+"""Dominator computation over the IR block CFG.
+
+Iterative dataflow in reverse postorder (Cooper/Harvey/Kennedy "A Simple,
+Fast Dominance Algorithm"): small graphs, no Lengauer-Tarjan machinery
+needed.  Unreachable blocks are excluded — after :func:`schedule_rpo` drops
+them from ``graph.blocks``, stale entries can survive in reachable blocks'
+``predecessors`` lists, so every predecessor is filtered against the
+reachable set before use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.graph import Graph
+from ..ir.nodes import Block
+
+
+def reachable_blocks(graph: Graph) -> List[Block]:
+    """Blocks reachable from the entry via successor edges, in RPO."""
+    postorder: List[Block] = []
+    visited: Set[int] = {graph.entry.id}
+    stack = [(graph.entry, iter(graph.entry.successors))]
+    while stack:
+        block, successors = stack[-1]
+        advanced = False
+        for successor in successors:
+            if successor.id not in visited:
+                visited.add(successor.id)
+                stack.append((successor, iter(successor.successors)))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(block)
+            stack.pop()
+    return list(reversed(postorder))
+
+
+class DominatorTree:
+    """Immediate dominators + O(tree depth) dominance queries."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.rpo = reachable_blocks(graph)
+        self._rpo_index: Dict[int, int] = {b.id: i for i, b in enumerate(self.rpo)}
+        self.idom: Dict[int, Optional[Block]] = {}
+        self._depth: Dict[int, int] = {}
+        self._compute(graph.entry)
+
+    def is_reachable(self, block: Block) -> bool:
+        return block.id in self._rpo_index
+
+    def _compute(self, entry: Block) -> None:
+        index = self._rpo_index
+        idom: Dict[int, Optional[Block]] = {entry.id: entry}
+
+        def intersect(a: Block, b: Block) -> Block:
+            while a.id != b.id:
+                while index[a.id] > index[b.id]:
+                    parent = idom[a.id]
+                    assert parent is not None
+                    a = parent
+                while index[b.id] > index[a.id]:
+                    parent = idom[b.id]
+                    assert parent is not None
+                    b = parent
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                new_idom: Optional[Block] = None
+                for pred in block.predecessors:
+                    if pred.id not in index or pred.id not in idom:
+                        continue  # unreachable or not yet processed
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = intersect(pred, new_idom)
+                if new_idom is not None and idom.get(block.id) is not new_idom:
+                    idom[block.id] = new_idom
+                    changed = True
+
+        self.idom = {}
+        for block in self.rpo:
+            if block is entry:
+                self.idom[block.id] = None
+            else:
+                self.idom[block.id] = idom.get(block.id)
+        depth: Dict[int, int] = {entry.id: 0}
+        for block in self.rpo:
+            if block is entry:
+                continue
+            parent = self.idom.get(block.id)
+            # RPO guarantees the idom was processed first.
+            depth[block.id] = depth[parent.id] + 1 if parent is not None else 0
+        self._depth = depth
+
+    def dominates(self, a: Block, b: Block) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexive)."""
+        if a.id not in self._depth or b.id not in self._depth:
+            return False
+        walk: Optional[Block] = b
+        while walk is not None and self._depth[walk.id] >= self._depth[a.id]:
+            if walk.id == a.id:
+                return True
+            walk = self.idom.get(walk.id)
+        return False

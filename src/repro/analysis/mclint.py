@@ -1,0 +1,412 @@
+"""Static linter for compiled :class:`~repro.jit.codegen.CodeObject`s.
+
+Four families of checks over the emitted machine code, for both ISA
+shapes:
+
+* **control** — every branch target lands inside the code object (an
+  unpatched ``-1`` target means a forgotten fixup);
+* **deopt wiring** — every deopt branch jumps to a registered bailout
+  stub whose ``DEOPT`` immediate matches the branch's check id; every
+  stub's check id has a :class:`DeoptPoint`; frame-state locations name
+  allocatable registers/slots only (a scratch register in a frame state
+  is a value the check-condition emission may clobber before the deopt
+  reads it);
+* **dataflow** — a forward defined-before-use analysis over the machine
+  CFG (meet = intersection): no integer/float register, frame slot or
+  condition flag is consumed before something defines it, including the
+  implicit reads of ``RET``, ``DEOPT`` frame states and call arguments;
+* **attribution shape** — the run of condition instructions feeding each
+  deopt branch is compared against the target's ``check_window`` (1 on
+  x64, 2 on ARM64).  Mismatches are exactly the window-heuristic
+  attribution bias of paper §III-A, so they are reported as INFO, never
+  raised on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.base import MachineInstr, MOp
+from ..isa.semantics import BLOCK_END_OPS, InstrEffect, effect_of, leaders_of, successors_of
+from ..jit.codegen import CodeObject
+from ..jit.deopt import Location
+from .diagnostics import Diagnostic, Severity, errors
+from .verifier import VerificationError
+
+
+def lint_code(code: CodeObject) -> List[Diagnostic]:
+    """Lint one compiled code object; returns diagnostics (never raises)."""
+    return _Linter(code).run()
+
+
+def assert_lint_clean(code: CodeObject) -> List[Diagnostic]:
+    """Lint and raise :class:`VerificationError` on any error."""
+    diagnostics = lint_code(code)
+    bad = errors(diagnostics)
+    if bad:
+        name = code.shared.info.name
+        raise VerificationError(
+            f"machine-code lint failed for {name!r} [{code.target.name}]", bad
+        )
+    return diagnostics
+
+
+#: Dataflow state: (int-reg mask, float-reg mask, frame-slot mask, flags ok).
+_State = Tuple[int, int, int, bool]
+
+
+class _Linter:
+    def __init__(self, code: CodeObject) -> None:
+        self.code = code
+        self.instrs = code.instrs
+        self.diagnostics: List[Diagnostic] = []
+        self.stub_pcs: Dict[int, int] = {
+            pc: int(instr.imm)
+            for pc, instr in enumerate(self.instrs)
+            if instr.op == MOp.DEOPT
+        }
+
+    def report(self, severity: Severity, invariant: str, message: str,
+               pc: Optional[int] = None) -> None:
+        self.diagnostics.append(
+            Diagnostic(severity, "mclint", invariant, message, pc=pc)
+        )
+
+    def error(self, invariant: str, message: str, pc: Optional[int] = None) -> None:
+        self.report(Severity.ERROR, invariant, message, pc)
+
+    def run(self) -> List[Diagnostic]:
+        self._check_branch_targets()
+        self._check_deopt_wiring()
+        self._check_frame_state_locations()
+        self._check_dataflow()
+        self._check_window_shape()
+        return self.diagnostics
+
+    # -- control ---------------------------------------------------------
+
+    def _check_branch_targets(self) -> None:
+        count = len(self.instrs)
+        for pc, instr in enumerate(self.instrs):
+            if instr.op not in (MOp.B, MOp.BCC):
+                continue
+            if not 0 <= instr.target < count:
+                self.error(
+                    "branch-target",
+                    f"{instr.op.name} target {instr.target} outside "
+                    f"[0, {count}) (unpatched fixup?)",
+                    pc,
+                )
+
+    # -- deopt wiring ----------------------------------------------------
+
+    def _check_deopt_wiring(self) -> None:
+        points = self.code.deopt_points
+        sites = self.code.check_sites
+        for pc, check_id in self.stub_pcs.items():
+            if check_id not in points:
+                self.error(
+                    "deopt-registered",
+                    f"DEOPT stub names check id {check_id}, which has no "
+                    "registered DeoptPoint",
+                    pc,
+                )
+            if check_id not in sites:
+                self.error(
+                    "deopt-registered",
+                    f"DEOPT stub names check id {check_id}, which has no "
+                    "registered CheckSite",
+                    pc,
+                )
+        for pc, instr in enumerate(self.instrs):
+            if instr.op == MOp.BCC and instr.is_deopt_branch:
+                stub_id = self.stub_pcs.get(instr.target)
+                if stub_id is None:
+                    self.error(
+                        "deopt-target",
+                        f"deopt branch (check id {instr.check_id}) targets "
+                        f"pc {instr.target}, which is not a DEOPT stub",
+                        pc,
+                    )
+                elif instr.check_id >= 0 and stub_id != instr.check_id:
+                    self.error(
+                        "deopt-target",
+                        f"deopt branch for check id {instr.check_id} lands "
+                        f"on the stub of check id {stub_id}",
+                        pc,
+                    )
+            elif instr.op == MOp.BCC and instr.target in self.stub_pcs:
+                self.report(
+                    Severity.WARNING,
+                    "deopt-target",
+                    "non-deopt conditional branch targets a DEOPT stub; the "
+                    "window heuristic will misattribute its samples",
+                    pc,
+                )
+            if instr.op == MOp.JSLDRSMI and instr.check_id >= 0:
+                if self.code.smi_load_checks.get(pc) != instr.check_id:
+                    self.error(
+                        "deopt-registered",
+                        f"JSLDRSMI with check id {instr.check_id} missing "
+                        "from smi_load_checks (commit-time bailout would "
+                        "not resolve)",
+                        pc,
+                    )
+        for check_id, site in sites.items():
+            if site.branch_pc >= 0:
+                branch = (
+                    self.instrs[site.branch_pc]
+                    if site.branch_pc < len(self.instrs) else None
+                )
+                if branch is None or branch.op != MOp.BCC or not branch.is_deopt_branch:
+                    self.error(
+                        "deopt-registered",
+                        f"check site {check_id} records branch_pc "
+                        f"{site.branch_pc}, which is not a deopt branch",
+                        site.branch_pc,
+                    )
+            if site.stub_pc >= 0 and self.stub_pcs.get(site.stub_pc) != check_id:
+                self.error(
+                    "deopt-registered",
+                    f"check site {check_id} records stub_pc {site.stub_pc}, "
+                    "which is not its DEOPT stub",
+                    site.stub_pc,
+                )
+
+    # -- frame-state locations -------------------------------------------
+
+    def _location_ok(self, location: Location, check_id: int, what: str) -> None:
+        if location.kind not in ("reg", "freg", "slot"):
+            return  # constants have no machine home to clobber
+        if not isinstance(location.value, int):
+            self.error(
+                "frame-state-location",
+                f"deopt point {check_id}: {what} has non-integer "
+                f"{location.kind} index {location.value!r}",
+            )
+            return
+        int_lo, int_hi = self.code.allocatable_int_regs
+        float_lo, float_hi = self.code.allocatable_float_regs
+        if location.kind == "reg" and not int_lo <= location.value < int_hi:
+            self.error(
+                "frame-state-location",
+                f"deopt point {check_id}: {what} lives in r{location.value}, "
+                f"outside the allocatable pool [{int_lo}, {int_hi}) — a "
+                "scratch register the check condition may clobber",
+            )
+        elif location.kind == "freg" and not float_lo <= location.value < float_hi:
+            self.error(
+                "frame-state-location",
+                f"deopt point {check_id}: {what} lives in f{location.value}, "
+                f"outside the allocatable pool [{float_lo}, {float_hi})",
+            )
+        elif location.kind == "slot" and not 0 <= location.value < self.code.allocatable_slots:
+            self.error(
+                "frame-state-location",
+                f"deopt point {check_id}: {what} lives in frame slot "
+                f"{location.value}, outside [0, {self.code.allocatable_slots})",
+            )
+
+    def _check_frame_state_locations(self) -> None:
+        for check_id, point in self.code.deopt_points.items():
+            for value in point.values:
+                self._location_ok(value.location, check_id, f"r{value.interp_reg}")
+            if point.this_location is not None:
+                self._location_ok(point.this_location[0], check_id, "this")
+
+    # -- defined-before-use dataflow -------------------------------------
+
+    def _deopt_effect(self, instr: MachineInstr) -> InstrEffect:
+        """The frame-state reads of a DEOPT stub (or inline soft deopt)."""
+        effect = InstrEffect()
+        point = self.code.deopt_points.get(int(instr.imm))
+        if point is None:
+            return effect  # already reported by _check_deopt_wiring
+        locations: List[Location] = [v.location for v in point.values]
+        if point.this_location is not None:
+            locations.append(point.this_location[0])
+        for location in locations:
+            if not isinstance(location.value, int):
+                continue  # malformed; reported by _check_frame_state_locations
+            if location.kind == "reg":
+                effect.int_uses.add(location.value)
+            elif location.kind == "freg":
+                effect.float_uses.add(location.value)
+            elif location.kind == "slot":
+                effect.slot_uses.add(location.value)
+        return effect
+
+    def _effect(self, instr: MachineInstr) -> InstrEffect:
+        if instr.op == MOp.DEOPT:
+            return self._deopt_effect(instr)
+        return effect_of(instr)
+
+    def _check_dataflow(self) -> None:
+        instrs = self.instrs
+        if not instrs:
+            return
+        count = len(instrs)
+        gpr = self.code.target.gpr_count
+        fpr = self.code.target.fpr_count
+        slots = self.code.stack_slots
+        leaders = sorted(leaders_of(tuple(instrs)))
+        block_of: Dict[int, int] = {}  # leader pc -> index in `leaders`
+        for index, leader in enumerate(leaders):
+            block_of[leader] = index
+        block_end = {
+            leader: (leaders[index + 1] if index + 1 < len(leaders) else count)
+            for index, leader in enumerate(leaders)
+        }
+
+        # Entry state: JS arguments + `this` arrive in r0..r7; nothing else.
+        entry: _State = ((1 << 8) - 1, 0, 0, False)
+        in_state: Dict[int, _State] = {0: entry}
+
+        def transfer(state: _State, pc: int, report: bool) -> _State:
+            int_mask, float_mask, slot_mask, flags = state
+            instr = instrs[pc]
+            effect = self._effect(instr)
+            if report:
+                self._report_uses(pc, instr, effect, state, gpr, fpr, slots)
+            for reg in effect.int_defs:
+                if 0 <= reg < gpr:
+                    int_mask |= 1 << reg
+            for reg in effect.float_defs:
+                if 0 <= reg < fpr:
+                    float_mask |= 1 << reg
+            for slot in effect.slot_defs:
+                if 0 <= slot < slots:
+                    slot_mask |= 1 << slot
+            if effect.kills_flags:
+                flags = False
+            if effect.sets_flags:
+                flags = True
+            return (int_mask, float_mask, slot_mask, flags)
+
+        # Fixpoint (silent), then one reporting pass with the final states.
+        worklist = [0]
+        while worklist:
+            leader = worklist.pop()
+            state = in_state[leader]
+            last_pc = leader
+            for pc in range(leader, block_end[leader]):
+                last_pc = pc
+                state = transfer(state, pc, report=False)
+                if instrs[pc].op in BLOCK_END_OPS:
+                    break
+            for successor in successors_of(last_pc, instrs[last_pc], count):
+                if successor not in block_of:
+                    continue  # bad target, reported elsewhere
+                merged = (
+                    state if successor not in in_state
+                    else _meet(in_state[successor], state)
+                )
+                if in_state.get(successor) != merged:
+                    in_state[successor] = merged
+                    worklist.append(successor)
+
+        for leader in leaders:
+            if leader not in in_state:
+                continue  # unreachable code: nothing to lint
+            state = in_state[leader]
+            for pc in range(leader, block_end[leader]):
+                state = transfer(state, pc, report=True)
+                if instrs[pc].op in BLOCK_END_OPS:
+                    break
+
+    def _report_uses(self, pc: int, instr: MachineInstr, effect: InstrEffect,
+                     state: _State, gpr: int, fpr: int, slots: int) -> None:
+        int_mask, float_mask, slot_mask, flags = state
+        for reg in sorted(effect.int_uses):
+            if not 0 <= reg < gpr:
+                self.error(
+                    "register-range",
+                    f"{instr.op.name} reads integer register r{reg}, "
+                    f"outside [0, {gpr})",
+                    pc,
+                )
+            elif not int_mask >> reg & 1:
+                self.error(
+                    "read-before-def",
+                    f"{instr.op.name} reads r{reg} before any definition",
+                    pc,
+                )
+        for reg in sorted(effect.float_uses):
+            if not 0 <= reg < fpr:
+                self.error(
+                    "register-range",
+                    f"{instr.op.name} reads float register f{reg}, "
+                    f"outside [0, {fpr})",
+                    pc,
+                )
+            elif not float_mask >> reg & 1:
+                self.error(
+                    "read-before-def",
+                    f"{instr.op.name} reads f{reg} before any definition",
+                    pc,
+                )
+        for slot in sorted(effect.slot_uses):
+            if not 0 <= slot < slots:
+                self.error(
+                    "register-range",
+                    f"{instr.op.name} reads frame slot {slot}, outside "
+                    f"[0, {slots})",
+                    pc,
+                )
+            elif not slot_mask >> slot & 1:
+                self.error(
+                    "read-before-def",
+                    f"{instr.op.name} reads frame slot {slot} before any "
+                    "store",
+                    pc,
+                )
+        if effect.reads_flags and not flags:
+            self.error(
+                "flags-before-use",
+                f"{instr.op.name} consumes condition flags with no live "
+                "flag-setting instruction on some path",
+                pc,
+            )
+
+    # -- attribution-window shape ----------------------------------------
+
+    def _check_window_shape(self) -> None:
+        window = self.code.target.check_window
+        for pc, instr in enumerate(self.instrs):
+            if not (instr.op == MOp.BCC and instr.is_deopt_branch):
+                continue
+            if instr.target not in self.stub_pcs:
+                continue  # broken wiring, reported elsewhere
+            run = 0
+            back = pc - 1
+            while back >= 0:
+                previous = self.instrs[back]
+                if previous.op in BLOCK_END_OPS or previous.check_id != instr.check_id:
+                    break
+                run += 1
+                back -= 1
+            if run < window:
+                self.report(
+                    Severity.INFO,
+                    "window-shape",
+                    f"check id {instr.check_id}: {run} condition "
+                    f"instruction(s) precede the deopt branch but the "
+                    f"{self.code.target.name} window is {window} — the "
+                    f"heuristic overcounts {window - run} unrelated "
+                    "instruction(s)",
+                    pc,
+                )
+            elif run > window:
+                self.report(
+                    Severity.INFO,
+                    "window-shape",
+                    f"check id {instr.check_id}: {run} condition "
+                    f"instruction(s) precede the deopt branch, exceeding "
+                    f"the {self.code.target.name} window of {window} — the "
+                    f"heuristic undercounts {run - window} instruction(s)",
+                    pc,
+                )
+
+
+def _meet(a: _State, b: _State) -> _State:
+    return (a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] and b[3])

@@ -1,0 +1,463 @@
+"""Structural verifier for the speculative IR.
+
+Checks the invariants the rest of the pipeline silently relies on (the
+frame-state soundness conditions of Flueckiger et al., plus the structural
+SSA discipline of the block-ordered sea of nodes):
+
+* **structure** — node ids unique, ``node.block`` backpointers consistent,
+  no dead node left scheduled, every input a live scheduled value node;
+* **cfg** — predecessor/successor lists bidirectional, every non-empty
+  reachable block terminated, control ops only in terminator position,
+  branch/goto targets matching the successor lists;
+* **phi** — phis grouped at the block start, input arity equal to the
+  predecessor count, each input dominating its predecessor's exit;
+* **def-dominates-use** — via :class:`DominatorTree`, with intra-block
+  ordering for same-block uses;
+* **frame states** — every check / deopt node owns a checkpoint, each
+  checkpoint value is a live scheduled node dominating the check, the
+  interpreter register indices are unique and in range.
+
+The verifier never mutates the graph; it returns diagnostics.  Use
+:func:`assert_valid` for the raise-on-error form (the per-pass hook in
+:mod:`repro.ir.passes.pipeline` wraps it so the failing pass is named).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bytecode.opcodes import FunctionInfo
+from ..ir.graph import Graph
+from ..ir.nodes import Block, Node
+from ..jit.checks import CheckKind
+from .diagnostics import Diagnostic, Severity, errors, render_table
+from .dominators import DominatorTree
+
+_TERMINATOR_OPS = ("branch", "goto", "return", "deopt")
+
+
+class VerificationError(Exception):
+    """Raised when a graph (or code object) violates an invariant."""
+
+    def __init__(self, title: str, diagnostics: List[Diagnostic]) -> None:
+        self.title = title
+        self.diagnostics = diagnostics
+        super().__init__(render_table(diagnostics, title=title))
+
+
+def verify_graph(
+    graph: Graph,
+    phase: str = "",
+    info: Optional[FunctionInfo] = None,
+    removed_kinds: Optional[Set[CheckKind]] = None,
+) -> List[Diagnostic]:
+    """Verify all structural invariants; returns diagnostics (never raises).
+
+    ``info`` (the function's bytecode metadata) enables the frame-state
+    range checks; ``removed_kinds`` asserts the check-elimination
+    postcondition that no check of a removed kind survived.
+    """
+    return _Verifier(graph, phase, info, removed_kinds).run()
+
+
+def assert_valid(
+    graph: Graph,
+    phase: str = "",
+    info: Optional[FunctionInfo] = None,
+    removed_kinds: Optional[Set[CheckKind]] = None,
+) -> List[Diagnostic]:
+    """Verify and raise :class:`VerificationError` on any error."""
+    diagnostics = verify_graph(graph, phase, info, removed_kinds)
+    bad = errors(diagnostics)
+    if bad:
+        title = f"IR verification failed for {graph.name!r}"
+        if phase:
+            title += f" after pass {phase!r}"
+        raise VerificationError(title, bad)
+    return diagnostics
+
+
+class _Verifier:
+    def __init__(
+        self,
+        graph: Graph,
+        phase: str,
+        info: Optional[FunctionInfo],
+        removed_kinds: Optional[Set[CheckKind]],
+    ) -> None:
+        self.graph = graph
+        self.phase = phase
+        self.info = info
+        self.removed_kinds = removed_kinds
+        self.diagnostics: List[Diagnostic] = []
+        #: node id -> (block, position) for every scheduled node
+        self.schedule: Dict[int, Tuple[Block, int]] = {}
+        self.dom: Optional[DominatorTree] = None
+
+    # -- reporting -------------------------------------------------------
+
+    def error(self, invariant: str, message: str, node: Optional[Node] = None,
+              block: Optional[Block] = None) -> None:
+        self._report(Severity.ERROR, invariant, message, node, block)
+
+    def warning(self, invariant: str, message: str, node: Optional[Node] = None,
+                block: Optional[Block] = None) -> None:
+        self._report(Severity.WARNING, invariant, message, node, block)
+
+    def _report(self, severity: Severity, invariant: str, message: str,
+                node: Optional[Node], block: Optional[Block]) -> None:
+        if self.phase:
+            message = f"{message} [after {self.phase}]"
+        self.diagnostics.append(
+            Diagnostic(
+                severity,
+                "verifier",
+                invariant,
+                message,
+                node_id=node.id if node is not None else None,
+                block_id=(
+                    block.id if block is not None
+                    else (node.block.id if node is not None and node.block is not None else None)
+                ),
+            )
+        )
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> List[Diagnostic]:
+        self._check_structure()
+        self._check_cfg()
+        self.dom = DominatorTree(self.graph)
+        reachable = {b.id for b in self.dom.rpo}
+        for block in self.graph.blocks:
+            if block.id not in reachable:
+                continue
+            self._check_block_nodes(block)
+        if self.removed_kinds:
+            self._check_removal_postcondition()
+        return self.diagnostics
+
+    # -- structure -------------------------------------------------------
+
+    def _check_structure(self) -> None:
+        seen_ids: Set[int] = set()
+        for block in self.graph.blocks:
+            for position, node in enumerate(block.nodes):
+                if node.id in seen_ids:
+                    self.error(
+                        "unique-ids",
+                        f"node n{node.id} ({node.op}) scheduled more than once",
+                        node, block,
+                    )
+                seen_ids.add(node.id)
+                self.schedule[node.id] = (block, position)
+                if node.block is not block:
+                    owner = f"B{node.block.id}" if node.block is not None else "None"
+                    self.error(
+                        "block-backpointer",
+                        f"n{node.id} ({node.op}) scheduled in B{block.id} but "
+                        f"node.block is {owner}",
+                        node, block,
+                    )
+                if node.dead:
+                    self.error(
+                        "no-dead-scheduled",
+                        f"dead node n{node.id} ({node.op}) still scheduled",
+                        node, block,
+                    )
+
+    def _check_cfg(self) -> None:
+        in_graph = {b.id for b in self.graph.blocks}
+        if self.graph.entry.id not in in_graph:
+            self.error("cfg-entry", "entry block missing from graph.blocks")
+        for block in self.graph.blocks:
+            for successor in block.successors:
+                if block not in successor.predecessors:
+                    self.error(
+                        "cfg-bidirectional",
+                        f"B{block.id} lists successor B{successor.id}, which "
+                        f"does not list B{block.id} as predecessor",
+                        block=block,
+                    )
+            for pred in block.predecessors:
+                if block not in pred.successors:
+                    self.error(
+                        "cfg-bidirectional",
+                        f"B{block.id} lists predecessor B{pred.id}, which "
+                        f"does not list B{block.id} as successor",
+                        block=block,
+                    )
+
+    # -- per-block node checks (reachable blocks only) -------------------
+
+    def _check_block_nodes(self, block: Block) -> None:
+        nodes = block.nodes
+        if nodes:
+            self._check_terminator(block)
+        phi_region = True
+        for position, node in enumerate(nodes):
+            if node.op in _TERMINATOR_OPS and position != len(nodes) - 1:
+                self.error(
+                    "terminator-position",
+                    f"control node n{node.id} ({node.op}) at position "
+                    f"{position}, not at the block end",
+                    node, block,
+                )
+            if node.op == "phi":
+                if not phi_region:
+                    self.error(
+                        "phi-grouping",
+                        f"phi n{node.id} appears after non-phi nodes",
+                        node, block,
+                    )
+                self._check_phi(node, block)
+            else:
+                phi_region = False
+                self._check_inputs(node, block, position)
+            if node.is_check or node.op == "deopt":
+                self._check_frame_state(node, block, position)
+
+    def _check_terminator(self, block: Block) -> None:
+        terminator = block.nodes[-1]
+        if terminator.op not in _TERMINATOR_OPS:
+            self.error(
+                "block-terminated",
+                f"reachable block B{block.id} ends in n{terminator.id} "
+                f"({terminator.op}), not a terminator",
+                terminator, block,
+            )
+            return
+        successor_ids = {s.id for s in block.successors}
+        if terminator.op == "goto":
+            target = terminator.param("target_block")
+            expected = {target.id} if target is not None else set()
+            if target is None:
+                self.error("goto-target", f"goto n{terminator.id} has no target",
+                           terminator, block)
+            elif target not in self.graph.blocks:
+                self.error(
+                    "goto-target",
+                    f"goto n{terminator.id} targets B{target.id}, which is "
+                    "not in the graph",
+                    terminator, block,
+                )
+            if expected and successor_ids != expected:
+                self.error(
+                    "successor-consistency",
+                    f"goto targets B{target.id} but successors are "
+                    f"{sorted(successor_ids)}",
+                    terminator, block,
+                )
+        elif terminator.op == "branch":
+            true_block = terminator.param("true_block")
+            false_block = terminator.param("false_block")
+            if true_block is None or false_block is None:
+                self.error(
+                    "branch-targets",
+                    f"branch n{terminator.id} missing true/false targets",
+                    terminator, block,
+                )
+                return
+            expected = {true_block.id, false_block.id}
+            if successor_ids != expected:
+                self.error(
+                    "successor-consistency",
+                    f"branch targets {sorted(expected)} but successors are "
+                    f"{sorted(successor_ids)}",
+                    terminator, block,
+                )
+            for target in (true_block, false_block):
+                if target not in self.graph.blocks:
+                    self.error(
+                        "branch-targets",
+                        f"branch n{terminator.id} targets B{target.id}, "
+                        "which is not in the graph",
+                        terminator, block,
+                    )
+        else:  # return / deopt end the function
+            if successor_ids:
+                self.error(
+                    "successor-consistency",
+                    f"{terminator.op} block B{block.id} has successors "
+                    f"{sorted(successor_ids)}",
+                    terminator, block,
+                )
+
+    # -- values ----------------------------------------------------------
+
+    def _value_ok(self, node: Node, value: Node, role: str, invariant: str) -> bool:
+        """Shared liveness checks for inputs and checkpoint values."""
+        if value.dead:
+            self.error(
+                invariant,
+                f"n{node.id} ({node.op}) {role} n{value.id} ({value.op}) is dead",
+                node,
+            )
+            return False
+        if value.id not in self.schedule:
+            self.error(
+                invariant,
+                f"n{node.id} ({node.op}) {role} n{value.id} ({value.op}) is "
+                "not scheduled in any block",
+                node,
+            )
+            return False
+        if not value.produces_value:
+            self.error(
+                invariant,
+                f"n{node.id} ({node.op}) {role} n{value.id} ({value.op}) "
+                "produces no value",
+                node,
+            )
+            return False
+        return True
+
+    def _dominates_use(self, value: Node, use_block: Block, use_position: int) -> bool:
+        assert self.dom is not None
+        value_block, value_position = self.schedule[value.id]
+        if value_block is use_block:
+            return value_position < use_position
+        return self.dom.dominates(value_block, use_block)
+
+    def _check_inputs(self, node: Node, block: Block, position: int) -> None:
+        for an_input in node.inputs:
+            if not self._value_ok(node, an_input, "input", "no-dangling-inputs"):
+                continue
+            input_block, _ = self.schedule[an_input.id]
+            assert self.dom is not None
+            if not self.dom.is_reachable(input_block):
+                self.error(
+                    "def-dominates-use",
+                    f"n{node.id} ({node.op}) input n{an_input.id} is defined "
+                    f"in unreachable block B{input_block.id}",
+                    node, block,
+                )
+                continue
+            if not self._dominates_use(an_input, block, position):
+                self.error(
+                    "def-dominates-use",
+                    f"definition n{an_input.id} ({an_input.op}) in "
+                    f"B{input_block.id} does not dominate its use "
+                    f"n{node.id} ({node.op}) in B{block.id}",
+                    node, block,
+                )
+
+    def _check_phi(self, node: Node, block: Block) -> None:
+        preds = block.predecessors
+        if not preds:
+            self.error(
+                "phi-arity",
+                f"phi n{node.id} in block B{block.id} with no predecessors",
+                node, block,
+            )
+            return
+        if len(node.inputs) != len(preds):
+            self.error(
+                "phi-arity",
+                f"phi n{node.id} has {len(node.inputs)} inputs but "
+                f"B{block.id} has {len(preds)} predecessors",
+                node, block,
+            )
+        assert self.dom is not None
+        for index, an_input in enumerate(node.inputs[: len(preds)]):
+            pred = preds[index]
+            if not self.dom.is_reachable(pred):
+                continue  # stale predecessor left by schedule_rpo
+            if not self._value_ok(node, an_input, f"input[{index}]", "no-dangling-inputs"):
+                continue
+            input_block, _ = self.schedule[an_input.id]
+            if input_block is not pred and not self.dom.dominates(input_block, pred):
+                self.error(
+                    "def-dominates-use",
+                    f"phi n{node.id} input[{index}] n{an_input.id} "
+                    f"(B{input_block.id}) does not dominate incoming edge "
+                    f"from B{pred.id}",
+                    node, block,
+                )
+
+    # -- frame states ----------------------------------------------------
+
+    def _check_frame_state(self, node: Node, block: Block, position: int) -> None:
+        checkpoint = node.checkpoint
+        if checkpoint is None:
+            what = "check" if node.is_check else "deopt"
+            kind = f" ({node.check_kind.name})" if node.check_kind is not None else ""
+            self.error(
+                "frame-state-present",
+                f"{what} node n{node.id} ({node.op}){kind} has no checkpoint",
+                node, block,
+            )
+            return
+        if self.info is not None:
+            if not 0 <= checkpoint.bytecode_pc < max(1, len(self.info.bytecode)):
+                self.error(
+                    "frame-state-pc",
+                    f"checkpoint of n{node.id} resumes at bytecode pc "
+                    f"{checkpoint.bytecode_pc}, outside [0, "
+                    f"{len(self.info.bytecode)})",
+                    node, block,
+                )
+        seen_regs: Set[int] = set()
+        for reg, value in checkpoint.values:
+            if reg in seen_regs:
+                self.error(
+                    "frame-state-regs",
+                    f"checkpoint of n{node.id} assigns interpreter register "
+                    f"r{reg} twice",
+                    node, block,
+                )
+            seen_regs.add(reg)
+            if self.info is not None and not 0 <= reg < self.info.register_count:
+                self.error(
+                    "frame-state-regs",
+                    f"checkpoint of n{node.id} references interpreter "
+                    f"register r{reg}, outside [0, {self.info.register_count})",
+                    node, block,
+                )
+            self._check_frame_value(node, block, position, value, f"r{reg}")
+        if checkpoint.this_node is not None:
+            self._check_frame_value(node, block, position, checkpoint.this_node, "this")
+
+    def _check_frame_value(self, node: Node, block: Block, position: int,
+                           value: Node, slot: str) -> None:
+        if not self._value_ok(node, value, f"frame-state value {slot}",
+                              "frame-state-live"):
+            return
+        value_block, _ = self.schedule[value.id]
+        assert self.dom is not None
+        if not self.dom.is_reachable(value_block):
+            self.error(
+                "frame-state-live",
+                f"frame-state value {slot} of n{node.id} lives in "
+                f"unreachable block B{value_block.id}",
+                node, block,
+            )
+            return
+        if not self._dominates_use(value, block, position):
+            self.error(
+                "frame-state-live",
+                f"frame-state value {slot} (n{value.id} in B{value_block.id}) "
+                f"does not dominate its checkpoint n{node.id} in B{block.id}",
+                node, block,
+            )
+
+    # -- pass postconditions ---------------------------------------------
+
+    def _check_removal_postcondition(self) -> None:
+        assert self.removed_kinds is not None
+        from ..jit.checks import DeoptCategory, category_of
+
+        hard_removed = {
+            kind for kind in self.removed_kinds
+            if category_of(kind) != DeoptCategory.SOFT
+        }
+        for node in self.graph.all_nodes():
+            if node.dead or not node.is_check:
+                continue
+            if node.check_kind in hard_removed:
+                self.error(
+                    "check-elim-postcondition",
+                    f"check n{node.id} ({node.op}) of removed kind "
+                    f"{node.check_kind.name} survived elimination",
+                    node,
+                )

@@ -14,7 +14,7 @@ such functions in our subset.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..lang import ast_nodes as ast
 from ..lang.errors import JSSyntaxError

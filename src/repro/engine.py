@@ -16,26 +16,23 @@ emerge from the tiering dynamics rather than being modelled directly.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from .bytecode.compiler import compile_source
-from .bytecode.opcodes import FunctionInfo, Instr, Op
+from .bytecode.opcodes import FunctionInfo, Op
 from .interpreter import builtins as builtin_impls
 from .interpreter.feedback import CallSlot, FeedbackVector
 from .interpreter.interpreter import Interpreter
 from .interpreter import runtime
 from .ir.builder import BailoutCompilation, build_graph
-from .ir.passes.check_elim import eliminate_checks
-from .ir.passes.dce import elide_truncated_minus_zero_checks, eliminate_dead_code
-from .ir.passes.licm import hoist_invariant_checks
-from .ir.passes.schedule import schedule_rpo
+from .ir.passes.pipeline import run_optimization_pipeline
 from .jit.checks import CheckKind, DeoptCategory, category_of
 from .jit.codegen import CodeObject, generate_code
 from .jit.deopt import DeoptEvent, DeoptSignal, materialize_frame
 from .lang.errors import JSTypeError
 from .machine.executor import CostModel, Executor
-from .regex.engine import Regex, RegexSyntaxError
+from .regex.engine import Regex
 from .isa.base import TargetISA, resolve_target
 from .values.heap import (
     FIXED_ARRAY_ELEMENTS_OFFSET,
@@ -66,6 +63,10 @@ class EngineConfig:
     cost_model: Optional[CostModel] = None
     collect_trace: bool = False
     random_seed: int = 0x9E3779B97F4A7C15
+    #: Run the IR verifier after every pass and lint the emitted machine
+    #: code (repro.analysis).  None defers to the process-wide default
+    #: (on in the test suite, or via REPRO_VERIFY=1).
+    verify: Optional[bool] = None
 
 
 class SharedFunction:
@@ -388,20 +389,26 @@ class Engine:
         self._optimize(shared)
 
     def _optimize(self, shared: SharedFunction) -> None:
+        verify = self.config.verify
+        if verify is None:
+            from . import analysis
+
+            verify = analysis.default_verify()
         try:
             builder = build_graph(shared, self)
-            hoist_invariant_checks(builder)
-            if self.config.removed_checks:
-                eliminate_checks(builder.graph, self.config.removed_checks)
-            eliminate_dead_code(builder.graph)
-            elide_truncated_minus_zero_checks(builder.graph)
-            schedule_rpo(builder.graph)
+            run_optimization_pipeline(
+                builder, self.config.removed_checks, verify=verify
+            )
             code = generate_code(
                 builder, self.target, self.config.emit_check_branches
             )
         except BailoutCompilation:
             shared.optimization_disabled = True
             return
+        if verify:
+            from .analysis.mclint import assert_lint_clean
+
+            assert_lint_clean(code)
         shared.code = code
         self.compilations += 1
         self._code_objects.append(code)

@@ -8,7 +8,6 @@ preceding condition-computation instructions as part of each check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from ..engine import Engine, EngineConfig

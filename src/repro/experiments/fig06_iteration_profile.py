@@ -16,8 +16,8 @@ vertical bars mark deoptimization events.  Findings reproduced here:
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List
 
 from ..stats.analysis import bootstrap_interval, compare_populations
 from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale

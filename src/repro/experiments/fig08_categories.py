@@ -8,13 +8,12 @@ benchmarks gain the most, regex and parsing benchmarks essentially nothing
 
 from __future__ import annotations
 
-import statistics
 from collections import defaultdict
 from typing import Dict, List
 
 from ..stats.analysis import geometric_mean
 from ..suite.spec import CATEGORIES
-from .common import ExperimentResult, resolve_scale
+from .common import ExperimentResult
 from .fig07_speedups import collect_speedups
 
 

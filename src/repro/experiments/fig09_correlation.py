@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..stats.analysis import linear_regression, pearson_correlation
-from .common import ExperimentResult, resolve_scale
+from .common import ExperimentResult
 from .fig07_speedups import collect_speedups
 
 

@@ -20,7 +20,7 @@ kernel subset (hardware-counter granularity the fast model lacks).
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from ..engine import Engine, EngineConfig
 from ..suite.spec import smi_kernels

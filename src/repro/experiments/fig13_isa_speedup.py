@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..engine import Engine, EngineConfig
 from ..suite.runner import NoiseModel

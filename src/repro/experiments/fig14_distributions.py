@@ -8,11 +8,11 @@ looks unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 from ..stats.analysis import summarize
 from ..uarch.pipeline.configs import CPUConfig, GEM5_CPUS
-from .common import ExperimentResult, resolve_scale
+from .common import ExperimentResult
 from .fig13_isa_speedup import collect_measurements
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 import statistics
 from typing import List
 
-from ..jit.checks import group_of
 from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
 
 

@@ -18,10 +18,9 @@ import math
 from typing import Callable, Dict, List, Tuple
 
 from ..lang.errors import JSTypeError
-from ..regex.engine import Regex
 from ..values.heap import Heap
 from ..values.maps import ElementsKind, InstanceType
-from ..values.tagged import is_smi, pointer_untag, smi_untag
+from ..values.tagged import is_smi, pointer_untag
 from . import runtime
 
 #: A native implementation: (engine, this_word, args) -> (result_word, cycles)

@@ -8,15 +8,15 @@ fails a check resumes here, mid-function, via :meth:`Interpreter.run_from`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..bytecode.opcodes import FunctionInfo, Instr, Op
-from ..lang.errors import JSReferenceError, JSTypeError
+from ..lang.errors import JSTypeError
 from ..values.heap import Heap
 from ..values.maps import ElementsKind, InstanceType
 from ..values.tagged import is_smi, pointer_untag, smi_untag
 from . import runtime
-from .feedback import FeedbackVector, ICState, OperandFeedback
+from .feedback import FeedbackVector, OperandFeedback
 
 #: Simulated cycles charged per interpreted bytecode (handler dispatch +
 #: work).  Roughly calibrated so that optimized code runs ~2.5x faster in

@@ -21,7 +21,7 @@ effect TurboFan gets from its CheckElimination phase.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..bytecode.opcodes import FunctionInfo, Instr, Op
 from ..interpreter.feedback import (
@@ -39,7 +39,6 @@ from ..values.heap import (
     FIXED_ARRAY_ELEMENTS_OFFSET,
     JS_ARRAY_ELEMENTS_OFFSET,
     JS_ARRAY_LENGTH_OFFSET,
-    NUMBER_VALUE_OFFSET,
     STRING_LENGTH_OFFSET,
 )
 from ..values.maps import ElementsKind, InstanceType, Map

@@ -9,7 +9,7 @@ live-in at its bytecode offset.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from ..bytecode.opcodes import FunctionInfo, Instr, Op
 

@@ -1,10 +1,17 @@
-"""IR passes: check elimination, DCE, loop-invariant check hoisting."""
+"""IR passes: check elimination, DCE, loop-invariant check hoisting, and
+the verified pass pipeline."""
 
 from .check_elim import eliminate_checks
-from .dce import eliminate_dead_code
+from .dce import elide_truncated_minus_zero_checks, eliminate_dead_code
 from .licm import hoist_invariant_checks
+from .pipeline import run_optimization_pipeline
+from .schedule import schedule_rpo
 
-__all__ = ["eliminate_checks", "eliminate_dead_code", "hoist_invariant_checks"]
-from .schedule import schedule_rpo  # noqa: E402
-
-__all__.append("schedule_rpo")
+__all__ = [
+    "eliminate_checks",
+    "eliminate_dead_code",
+    "elide_truncated_minus_zero_checks",
+    "hoist_invariant_checks",
+    "run_optimization_pipeline",
+    "schedule_rpo",
+]

@@ -1,0 +1,70 @@
+"""The optimization pass pipeline, with optional per-pass verification.
+
+Runs the same pass sequence :class:`repro.engine.Engine` always ran —
+build → LICM check hoisting → check elimination → DCE → minus-zero
+elision → RPO scheduling — but as one named pipeline.  With
+``verify=True`` the structural verifier runs after every pass, so a pass
+that corrupts the graph fails immediately with a
+:class:`~repro.analysis.verifier.VerificationError` naming the pass, the
+node and the violated invariant, instead of surfacing later as a wrong
+benchmark number.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from ...jit.checks import CheckKind
+from ..builder import GraphBuilder
+from .check_elim import eliminate_checks
+from .dce import eliminate_dead_code, elide_truncated_minus_zero_checks
+from .licm import hoist_invariant_checks
+from .schedule import schedule_rpo
+
+#: (pass name, callable) applied in order after graph construction.
+
+
+def run_optimization_pipeline(
+    builder: GraphBuilder,
+    removed_checks: FrozenSet[CheckKind] = frozenset(),
+    verify: bool = False,
+) -> None:
+    """Optimize ``builder.graph`` in place.
+
+    Raises :class:`~repro.analysis.verifier.VerificationError` (which is
+    *not* a :class:`~repro.ir.builder.BailoutCompilation` — the engine
+    must not swallow it as an ordinary optimization bailout) if
+    ``verify`` is set and any pass breaks an invariant.
+    """
+    graph = builder.graph
+    info = builder.shared.info
+
+    def checked(phase: str, removed: bool = False) -> None:
+        if not verify:
+            return
+        # Imported lazily so `repro.ir` does not depend on the analysis
+        # package unless verification is actually requested.
+        from ...analysis.verifier import assert_valid
+
+        assert_valid(
+            graph,
+            phase=phase,
+            info=info,
+            removed_kinds=set(removed_checks) if removed else None,
+        )
+
+    checked("build_graph")
+    hoist_invariant_checks(builder)
+    checked("hoist_invariant_checks")
+    if removed_checks:
+        eliminate_checks(graph, removed_checks)
+        checked("eliminate_checks", removed=True)
+    eliminate_dead_code(graph)
+    checked("eliminate_dead_code", removed=bool(removed_checks))
+    elide_truncated_minus_zero_checks(graph)
+    checked("elide_truncated_minus_zero_checks", removed=bool(removed_checks))
+    schedule_rpo(graph)
+    checked("schedule_rpo", removed=bool(removed_checks))
+
+
+__all__: List[str] = ["run_optimization_pipeline"]

@@ -24,9 +24,9 @@ A base of :data:`FRAME_BASE` addresses the machine stack frame instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum, auto
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 #: Sentinel base register meaning "current stack frame" (disp = slot index).
 FRAME_BASE = -2

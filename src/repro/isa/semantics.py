@@ -1,0 +1,204 @@
+"""Static def/use semantics of :class:`MachineInstr`s.
+
+The executor in :mod:`repro.machine.executor` is the operational truth;
+this module is the *static* mirror of it: for each opcode, which integer
+registers, float registers and frame slots an instruction reads and
+writes, whether it sets or consumes condition flags, and where control
+may flow next.  The machine-code linter builds its defined-before-use
+dataflow on top of these tables, so any divergence from the executor is
+itself a bug — keep the two in sync.
+
+Notes mirroring executor behaviour:
+
+* ``CALL_*`` instructions preserve all registers except the return
+  register (the executor runs callees on fresh register files).
+* ``CALL_RT`` builtins receive the whole float file out of band, so no
+  float uses are recorded for them (linting those would false-positive).
+* ``DEOPT`` reads whatever its :class:`~repro.jit.deopt.DeoptPoint`
+  frame state names; that is resolved by the linter, not here.
+* A memory operand with base :data:`FRAME_BASE` addresses frame slot
+  ``disp``; otherwise base/index are ordinary integer register reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from .base import FRAME_BASE, RET_REG, MachineInstr, Mem, MOp
+
+#: Incoming ``this`` value register (mirrors ``repro.jit.codegen.THIS_REG``;
+#: defined here too because ``isa`` must not import ``jit``).
+THIS_REG = 7
+
+#: Register-form integer ALU ops: dst <- s1 op s2.
+_INT_ALU_RR = frozenset(
+    {MOp.ADD, MOp.SUB, MOp.MUL, MOp.SDIV, MOp.AND, MOp.ORR, MOp.EOR,
+     MOp.LSL, MOp.LSR, MOp.ASR, MOp.ADDS, MOp.SUBS, MOp.MULS}
+)
+#: Immediate-form integer ALU ops: dst <- s1 op imm.
+_INT_ALU_RI = frozenset(
+    {MOp.ADDI, MOp.SUBI, MOp.ANDI, MOp.ORRI, MOp.EORI,
+     MOp.LSLI, MOp.LSRI, MOp.ASRI, MOp.ADDSI, MOp.SUBSI}
+)
+_FLOAT_ALU_RR = frozenset({MOp.FADD, MOp.FSUB, MOp.FMUL, MOp.FDIV})
+
+#: Instructions that terminate a basic block in the machine CFG.
+BLOCK_END_OPS = frozenset({MOp.B, MOp.BCC, MOp.RET, MOp.DEOPT})
+
+
+@dataclass
+class InstrEffect:
+    """Registers/slots/flags an instruction statically reads and writes."""
+
+    int_uses: Set[int] = field(default_factory=set)
+    int_defs: Set[int] = field(default_factory=set)
+    float_uses: Set[int] = field(default_factory=set)
+    float_defs: Set[int] = field(default_factory=set)
+    slot_uses: Set[int] = field(default_factory=set)
+    slot_defs: Set[int] = field(default_factory=set)
+    sets_flags: bool = False
+    reads_flags: bool = False
+    #: Calls invalidate flags (callee arithmetic clobbers them).
+    kills_flags: bool = False
+
+
+def _mem_operand(effect: InstrEffect, mem: Optional[Mem], is_store: bool) -> None:
+    if mem is None:
+        return
+    base, index, _scale, disp = mem
+    if base == FRAME_BASE:
+        (effect.slot_defs if is_store else effect.slot_uses).add(disp)
+    elif base >= 0:
+        effect.int_uses.add(base)
+    if index >= 0:
+        effect.int_uses.add(index)
+
+
+def effect_of(instr: MachineInstr) -> InstrEffect:
+    """The static effect of one instruction.  Pure; safe to call per-pc."""
+    e = InstrEffect()
+    op = instr.op
+
+    if op == MOp.MOVR:
+        e.int_uses.add(instr.s1)
+        e.int_defs.add(instr.dst)
+    elif op == MOp.MOVI:
+        e.int_defs.add(instr.dst)
+    elif op == MOp.FMOVR:
+        e.float_uses.add(instr.s1)
+        e.float_defs.add(instr.dst)
+    elif op == MOp.FMOVI:
+        e.float_defs.add(instr.dst)
+    elif op in _INT_ALU_RR:
+        e.int_uses.update((instr.s1, instr.s2))
+        e.int_defs.add(instr.dst)
+        e.sets_flags = op in (MOp.ADDS, MOp.SUBS, MOp.MULS)
+    elif op in _INT_ALU_RI:
+        e.int_uses.add(instr.s1)
+        e.int_defs.add(instr.dst)
+        e.sets_flags = op in (MOp.ADDSI, MOp.SUBSI)
+    elif op == MOp.NEGS:
+        e.int_uses.add(instr.s1)
+        e.int_defs.add(instr.dst)
+        e.sets_flags = True
+    elif op in (MOp.CMP, MOp.TST, MOp.MZCMP):
+        e.int_uses.update((instr.s1, instr.s2))
+        e.sets_flags = True
+    elif op in (MOp.CMPI, MOp.TSTI):
+        e.int_uses.add(instr.s1)
+        e.sets_flags = True
+    elif op == MOp.CMP_MEM:
+        e.int_uses.add(instr.s1)
+        _mem_operand(e, instr.mem, is_store=False)
+        e.sets_flags = True
+    elif op in (MOp.CMPI_MEM, MOp.TSTI_MEM):
+        _mem_operand(e, instr.mem, is_store=False)
+        e.sets_flags = True
+    elif op == MOp.FCMP:
+        e.float_uses.update((instr.s1, instr.s2))
+        e.sets_flags = True
+    elif op in (MOp.LDR, MOp.JSLDRSMI):
+        _mem_operand(e, instr.mem, is_store=False)
+        e.int_defs.add(instr.dst)
+    elif op == MOp.LDRF:
+        _mem_operand(e, instr.mem, is_store=False)
+        e.float_defs.add(instr.dst)
+    elif op == MOp.STR:
+        e.int_uses.add(instr.s1)
+        _mem_operand(e, instr.mem, is_store=True)
+    elif op == MOp.STRF:
+        e.float_uses.add(instr.s1)
+        _mem_operand(e, instr.mem, is_store=True)
+    elif op == MOp.MSR:
+        e.int_uses.add(instr.s1)
+    elif op == MOp.CSET:
+        e.int_defs.add(instr.dst)
+        e.reads_flags = True
+    elif op in _FLOAT_ALU_RR:
+        e.float_uses.update((instr.s1, instr.s2))
+        e.float_defs.add(instr.dst)
+    elif op in (MOp.FNEG, MOp.FABS):
+        e.float_uses.add(instr.s1)
+        e.float_defs.add(instr.dst)
+    elif op == MOp.SCVTF:
+        e.int_uses.add(instr.s1)
+        e.float_defs.add(instr.dst)
+    elif op == MOp.FCVTZS:
+        e.float_uses.add(instr.s1)
+        e.int_defs.add(instr.dst)
+    elif op == MOp.B:
+        pass
+    elif op == MOp.BCC:
+        e.reads_flags = True
+    elif op == MOp.RET:
+        (e.float_uses if instr.returns_float else e.int_uses).add(instr.s1)
+    elif op == MOp.DEOPT:
+        pass  # frame-state reads resolved by the linter from the DeoptPoint
+    elif op == MOp.CALL_JS:
+        e.int_uses.update(instr.args)
+        e.int_uses.add(THIS_REG)
+        e.int_defs.add(RET_REG)
+        e.kills_flags = True
+    elif op == MOp.CALL_DYN:
+        e.int_uses.update(instr.args)
+        e.int_uses.add(instr.s1)
+        e.int_defs.add(RET_REG)
+        e.kills_flags = True
+    elif op == MOp.CALL_RT:
+        e.int_uses.update(instr.args)
+        if instr.returns_float:
+            e.float_defs.add(RET_REG)
+        else:
+            e.int_defs.add(RET_REG)
+        e.kills_flags = True
+    else:  # pragma: no cover - every MOp is handled above
+        raise ValueError(f"effect_of: unhandled opcode {op!r}")
+    return e
+
+
+def successors_of(pc: int, instr: MachineInstr, count: int) -> List[int]:
+    """Machine-CFG successor pcs of the instruction at ``pc``."""
+    if instr.op == MOp.B:
+        return [instr.target]
+    if instr.op == MOp.BCC:
+        result = []
+        if pc + 1 < count:
+            result.append(pc + 1)
+        result.append(instr.target)
+        return result
+    if instr.op in (MOp.RET, MOp.DEOPT):
+        return []
+    return [pc + 1] if pc + 1 < count else []
+
+
+def leaders_of(instrs: Tuple[MachineInstr, ...]) -> Set[int]:
+    """Basic-block leader pcs: entry, branch targets, fall-throughs after
+    block-ending instructions."""
+    leaders: Set[int] = {0} if instrs else set()
+    for pc, instr in enumerate(instrs):
+        if instr.op in (MOp.B, MOp.BCC) and instr.target >= 0:
+            leaders.add(instr.target)
+        if instr.op in BLOCK_END_OPS and pc + 1 < len(instrs):
+            leaders.add(pc + 1)
+    return leaders

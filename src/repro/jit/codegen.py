@@ -84,6 +84,13 @@ class CodeObject:
         self.invalidated = False
         self.smi_load_checks: Dict[int, int] = {}  # pc -> check_id
         self.compile_cycles = 0
+        #: Allocator pool metadata recorded for the static linter: a deopt
+        #: location naming a register outside these ranges points at a
+        #: scratch register, which check-condition emission may clobber.
+        self.allocatable_int_regs: Tuple[int, int] = (8, target.gpr_count - 4)
+        self.allocatable_float_regs: Tuple[int, int] = (2, target.fpr_count - 2)
+        #: Frame slots available to the allocator (excludes the fp/lr pair).
+        self.allocatable_slots = 0
 
     @property
     def instruction_count(self) -> int:
@@ -178,6 +185,9 @@ class CodeGenerator:
         # Two extra slots model the fp/lr save area of a real frame.
         self._fp_lr_slots = self.allocation.slot_count
         self.code.stack_slots = self.allocation.slot_count + 2
+        self.code.allocatable_slots = self.allocation.slot_count
+        self.code.allocatable_int_regs = (self.int_pool[0], self.int_pool[-1] + 1)
+        self.code.allocatable_float_regs = (self.float_pool[0], self.float_pool[-1] + 1)
         self.code.embedded_words = set(self.builder.embedded_words)
         self.code.map_dependencies = set(self.builder.map_dependencies)
 

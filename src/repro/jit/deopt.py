@@ -17,7 +17,7 @@ and resumes in the interpreter" (paper Section II-B).  Here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..values.heap import Heap
 from .checks import CheckGroup, CheckKind, group_of

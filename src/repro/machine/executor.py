@@ -23,13 +23,13 @@ charged as a lump sum instead.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..isa.base import CC, FRAME_BASE, MachineInstr, MOp, REG_PC, REG_RE
+from ..isa.base import CC, FRAME_BASE, MOp, REG_PC, REG_RE
 from ..jit.checks import REASON_CODES
 from ..jit.codegen import THIS_REG, CodeObject
 from ..jit.deopt import DeoptSignal
-from ..values.heap import Heap, HeapError
+from ..values.heap import Heap
 
 _UINT32 = 0xFFFFFFFF
 

@@ -22,9 +22,9 @@ number of collected PC samples".
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import DefaultDict, Dict, List, Optional, Set, Tuple
+from typing import DefaultDict, Dict, Optional
 
-from ..isa.base import MachineInstr, MOp
+from ..isa.base import MOp
 from ..jit.checks import CheckGroup, CheckKind, group_of
 from ..jit.codegen import CodeObject
 from .sampler import PCSampler

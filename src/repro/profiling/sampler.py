@@ -11,7 +11,7 @@ builtins, GC), mirroring perf's whole-process sampling.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import DefaultDict, Dict, List, Optional, Tuple
+from typing import DefaultDict, Dict, Tuple
 
 from ..jit.codegen import CodeObject
 

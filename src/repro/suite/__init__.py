@@ -4,6 +4,8 @@ from .runner import (
     BenchmarkRunner,
     NoiseModel,
     RunResult,
+    compile_benchmark,
+    compiled_code_objects,
     determine_removable_kinds,
     run_benchmark,
 )
@@ -24,6 +26,8 @@ __all__ = [
     "RunResult",
     "all_benchmarks",
     "benchmarks_by_category",
+    "compile_benchmark",
+    "compiled_code_objects",
     "determine_removable_kinds",
     "get_benchmark",
     "run_benchmark",

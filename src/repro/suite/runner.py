@@ -22,12 +22,15 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..engine import Engine, EngineConfig
 from ..jit.checks import CheckKind, DeoptCategory, category_of
 from .spec import BenchmarkSpec
+
+if TYPE_CHECKING:
+    from ..jit.codegen import CodeObject
 
 #: All eager check kinds (candidates for removal).
 EAGER_KINDS: FrozenSet[CheckKind] = frozenset(
@@ -200,6 +203,34 @@ def determine_removable_kinds(
     fired = frozenset(CheckKind[name] for _it, name in result.deopts)
     leftovers = frozenset(fired & EAGER_KINDS)
     return frozenset(EAGER_KINDS - leftovers), leftovers
+
+
+def compile_benchmark(
+    spec: BenchmarkSpec,
+    config: Optional[EngineConfig] = None,
+    iterations: int = 40,
+) -> Engine:
+    """Warm a benchmark until its hot functions are JIT-compiled.
+
+    Returns the engine; the compiled code objects are on
+    ``engine.functions[i].code``.  Used by the ``python -m repro.analysis``
+    CLI and by analysis tests that need real compiled code without the
+    full measurement protocol.
+    """
+    engine = Engine(config or EngineConfig())
+    engine.load(spec.source)
+    engine.call_global("setup")
+    for iteration in range(iterations):
+        engine.current_iteration = iteration
+        engine.call_global("run")
+    return engine
+
+
+def compiled_code_objects(engine: Engine) -> List["CodeObject"]:
+    """The live optimized code objects of an engine, in function order."""
+    return [
+        shared.code for shared in engine.functions if shared.code is not None
+    ]
 
 
 def run_benchmark(

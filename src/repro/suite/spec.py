@@ -19,8 +19,8 @@ checks are removed (the "leftover checks" mechanism).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Union
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ gem5's O3CPU (no LSQ disambiguation, no rename-port limits).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ...isa.base import MachineInstr, MOp
 from ...machine.executor import BranchPredictor

@@ -1,0 +1,64 @@
+"""Static check-density analyzer, cross-validated against the profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_density
+from repro.engine import EngineConfig
+from repro.profiling.attribution import static_check_density
+from repro.suite import compile_benchmark, compiled_code_objects, get_benchmark
+from repro.suite.runner import determine_removable_kinds
+
+
+def _codes(name, **config_kw):
+    spec = get_benchmark(name)
+    config = EngineConfig(verify=True, **config_kw)
+    engine = compile_benchmark(spec, config, iterations=12)
+    codes = compiled_code_objects(engine)
+    assert codes, f"{name} did not tier up"
+    return codes
+
+
+def test_density_matches_profiler_exactly():
+    for code in _codes("FIB"):
+        report = analyze_density(code)
+        assert report.diagnostics == []
+        assert report.density == pytest.approx(static_check_density(code))
+        assert report.check_count == len(code.deopt_points)
+        assert sum(report.by_kind.values()) == report.check_count
+
+
+def test_density_counts_soft_deopts_once():
+    """Soft deopts emit an inline DEOPT *and* a stub for the same check id;
+    the analyzer must count deopt points, not DEOPT instructions."""
+    for code in _codes("FIB"):
+        stub_ids = {
+            int(i.imm) for i in code.instrs if i.op.name == "DEOPT"
+        }
+        assert stub_ids <= set(code.deopt_points)
+        report = analyze_density(code)
+        assert report.check_count == len(code.deopt_points)
+
+
+def test_density_drops_when_checks_removed():
+    """Section III-B: short-circuiting removable kinds must strictly lower
+    the static density, and the result still passes verify + lint."""
+    spec = get_benchmark("FIB")
+    removable, _leftovers = determine_removable_kinds(spec)
+    baseline = _codes("FIB")
+    reduced = _codes("FIB", removed_checks=removable)
+    base_density = max(analyze_density(c).density for c in baseline)
+    reduced_density = max(analyze_density(c).density for c in reduced)
+    assert reduced_density < base_density
+
+
+def test_density_suppressed_branches_keep_check_count():
+    """With branches suppressed the conditions and stubs remain, so the
+    density (checks per 100 body instructions) is still computed from the
+    same deopt points."""
+    for code in _codes("FIB", emit_check_branches=False):
+        report = analyze_density(code)
+        assert report.diagnostics == []
+        assert report.check_count == len(code.deopt_points)
+        assert report.deopt_branches == 0

@@ -1,0 +1,105 @@
+"""Machine-code linter behaviour on real compiled code, both ISAs."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import lint_code
+from repro.analysis.diagnostics import Severity
+from repro.engine import Engine, EngineConfig
+from repro.isa.base import ARM64, X64, CC, MachineInstr, MOp
+from repro.isa.semantics import effect_of, leaders_of, successors_of
+from repro.jit.checks import CheckKind
+from repro.jit.codegen import CodeObject
+from repro.jit.deopt import DeoptPoint, CheckSite
+
+
+def _lint_errors(code):
+    return [d for d in lint_code(code) if d.severity == Severity.ERROR]
+
+
+def _compile(source, call, args=(), target="arm64", warmup=30, **config_kw):
+    engine = Engine(EngineConfig(target=target, verify=True, **config_kw))
+    engine.load(source)
+    for _ in range(warmup):
+        engine.call_global(call, *args)
+    return [f.code for f in engine.functions if f.code is not None]
+
+
+HOT_LOOP = """
+function kernel(n) {
+    var arr = [1, 2, 3, 4, 5];
+    var total = 0.5;
+    for (var i = 0; i < n; i = i + 1) {
+        total = total + arr[i % 5] * 1.5;
+    }
+    return total;
+}
+"""
+
+
+@pytest.mark.parametrize("target", ["x64", "arm64", "arm64+smi"])
+def test_compiled_kernel_lints_clean(target):
+    codes = _compile(HOT_LOOP, "kernel", (50,), target=target)
+    assert codes
+    for code in codes:
+        assert _lint_errors(code) == []
+
+
+def test_branch_suppression_mode_lints_clean():
+    """emit_check_branches=False keeps conditions and stubs but drops the
+    branches (paper Section IV-B); the wiring lint must accept that shape."""
+    codes = _compile(
+        HOT_LOOP, "kernel", (50,), target="arm64", emit_check_branches=False
+    )
+    assert codes
+    for code in codes:
+        assert not any(i.is_deopt_branch for i in code.instrs)
+        assert _lint_errors(code) == []
+
+
+def test_window_shape_reported_as_info_only():
+    """A 2-instruction condition on x64 (window 1) is the paper's
+    undercount bias: reported, never an error."""
+    shared = SimpleNamespace(info=SimpleNamespace(name="hand"))
+    code = CodeObject(shared, X64)
+    point = DeoptPoint(check_id=0, kind=CheckKind.OVERFLOW, bytecode_pc=0, values=())
+    code.deopt_points = {0: point}
+    code.check_sites = {0: CheckSite(0, CheckKind.OVERFLOW, 0, branch_pc=3, stub_pc=5)}
+    code.instrs = [
+        MachineInstr(MOp.MOVI, dst=8, imm=1),
+        MachineInstr(MOp.CMPI, s1=8, imm=0, check_id=0),
+        MachineInstr(MOp.CMPI, s1=8, imm=1, check_id=0),
+        MachineInstr(
+            MOp.BCC, target=5, cc=CC.EQ, check_id=0, is_deopt_branch=True
+        ),
+        MachineInstr(MOp.RET, s1=0),
+        MachineInstr(MOp.DEOPT, imm=0, check_id=0),
+    ]
+    diagnostics = lint_code(code)
+    assert [d for d in diagnostics if d.severity == Severity.ERROR] == []
+    shapes = [d for d in diagnostics if d.invariant == "window-shape"]
+    assert len(shapes) == 1
+    assert "undercount" in shapes[0].message
+
+
+def test_effect_of_covers_every_opcode():
+    """Every MOp must have a static semantics entry (the executor mirror)."""
+    for op in MOp:
+        instr = MachineInstr(op, dst=8, s1=9, s2=10, mem=(11, -1, 0, 0), args=(0,))
+        effect_of(instr)  # must not raise
+
+
+def test_machine_cfg_helpers():
+    instrs = (
+        MachineInstr(MOp.MOVI, dst=8, imm=0),
+        MachineInstr(MOp.BCC, target=3, cc=CC.EQ),
+        MachineInstr(MOp.B, target=0),
+        MachineInstr(MOp.RET, s1=0),
+    )
+    assert leaders_of(instrs) == {0, 2, 3}
+    assert successors_of(1, instrs[1], 4) == [2, 3]
+    assert successors_of(2, instrs[2], 4) == [0]
+    assert successors_of(3, instrs[3], 4) == []

@@ -1,0 +1,206 @@
+"""Seeded invariant violations the analysis layer must reject.
+
+Each test corrupts a well-formed artifact (IR graph or compiled code) in
+one specific way and asserts the verifier/linter reports that exact
+invariant — proving the checks detect real corruption, not just pass on
+clean inputs.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import VerificationError, assert_valid, lint_code, verify_graph
+from repro.analysis.diagnostics import Severity
+from repro.engine import EngineConfig
+from repro.ir.graph import Graph
+from repro.ir.nodes import Checkpoint, Repr
+from repro.isa.base import ARM64, CC, MachineInstr, MOp
+from repro.jit.checks import CheckKind
+from repro.jit.codegen import CodeObject
+from repro.jit.deopt import DeoptPoint, Location
+from repro.suite import compile_benchmark, compiled_code_objects, get_benchmark
+
+from .test_verifier import diamond_graph, straight_line_graph
+
+
+def invariants(diagnostics):
+    return {d.invariant for d in diagnostics if d.severity == Severity.ERROR}
+
+
+# -- IR-level corruption --------------------------------------------------
+
+
+def test_rejects_broken_dominance_same_block():
+    graph, a, b = straight_line_graph()
+    entry = graph.entry
+    # Swap def and use: the add now precedes the constant it consumes.
+    entry.nodes[0], entry.nodes[1] = entry.nodes[1], entry.nodes[0]
+    assert "def-dominates-use" in invariants(verify_graph(graph))
+
+
+def test_rejects_broken_dominance_cross_block():
+    graph, phi = diamond_graph()
+    left, join = graph.blocks[1], graph.blocks[3]
+    # A join-block node directly uses a value from one arm of the diamond.
+    leak = graph.new_node("int32_add", [left.nodes[0], phi], Repr.INT32)
+    join.nodes.insert(1, leak)
+    leak.block = join
+    assert "def-dominates-use" in invariants(verify_graph(graph))
+
+
+def test_rejects_missing_frame_state():
+    graph, a, _b = straight_line_graph()
+    check = graph.new_node(
+        "check_map", [a], Repr.NONE, check_kind=CheckKind.WRONG_MAP,
+        checkpoint=None,  # the seeded violation
+    )
+    graph.entry.nodes.insert(1, check)
+    check.block = graph.entry
+    assert "frame-state-present" in invariants(verify_graph(graph))
+
+
+def test_rejects_bad_phi_arity():
+    graph, phi = diamond_graph()
+    phi.inputs.pop()  # 2 predecessors, 1 input
+    assert "phi-arity" in invariants(verify_graph(graph))
+
+
+def test_rejects_dangling_input():
+    graph, a, b = straight_line_graph()
+    a.dead = True
+    graph.entry.nodes.remove(a)  # b now consumes a dead, unscheduled node
+    bad = invariants(verify_graph(graph))
+    assert "no-dangling-inputs" in bad
+
+
+def test_rejects_missing_terminator():
+    graph, _a, _b = straight_line_graph()
+    graph.entry.nodes.pop()  # drop the return
+    assert "block-terminated" in invariants(verify_graph(graph))
+
+
+def test_rejects_successor_mismatch():
+    graph, _phi = diamond_graph()
+    entry, left = graph.blocks[0], graph.blocks[1]
+    # The branch still targets left/right but the CFG edge is gone.
+    entry.successors.remove(left)
+    left.predecessors.remove(entry)
+    bad = invariants(verify_graph(graph))
+    assert "successor-consistency" in bad
+
+
+def test_rejects_frame_state_dead_value():
+    graph, a, _b = straight_line_graph()
+    ghost = graph.new_node("const_int32", [], Repr.INT32, {"value": 5})
+    ghost.dead = True  # never scheduled, and dead
+    check = graph.new_node(
+        "check_heap_object", [a], Repr.NONE,
+        check_kind=CheckKind.NOT_A_SMI,
+        checkpoint=Checkpoint(0, [(0, ghost)]),
+    )
+    graph.entry.nodes.insert(1, check)
+    check.block = graph.entry
+    assert "frame-state-live" in invariants(verify_graph(graph))
+
+
+def test_assert_valid_names_node_and_invariant():
+    graph, phi = diamond_graph()
+    phi.inputs.pop()
+    with pytest.raises(VerificationError) as caught:
+        assert_valid(graph, phase="eliminate_checks")
+    message = str(caught.value)
+    assert "phi-arity" in message
+    assert f"n{phi.id}" in message
+    assert "eliminate_checks" in message
+
+
+# -- machine-level corruption ---------------------------------------------
+
+
+def _hand_code(instrs, deopt_points=None, check_sites=None):
+    shared = SimpleNamespace(info=SimpleNamespace(name="hand"))
+    code = CodeObject(shared, ARM64)
+    code.instrs = list(instrs)
+    code.deopt_points = dict(deopt_points or {})
+    code.check_sites = dict(check_sites or {})
+    code.stack_slots = 2
+    return code
+
+
+def test_rejects_read_before_def():
+    code = _hand_code([
+        MachineInstr(MOp.MOVR, dst=8, s1=9),  # r9 never defined
+        MachineInstr(MOp.RET, s1=0),
+    ])
+    assert "read-before-def" in invariants(lint_code(code))
+
+
+def test_rejects_flags_consumed_without_setter():
+    code = _hand_code([
+        MachineInstr(MOp.BCC, target=1, cc=CC.EQ),
+        MachineInstr(MOp.RET, s1=0),
+    ])
+    assert "flags-before-use" in invariants(lint_code(code))
+
+
+def test_rejects_unpatched_branch_target():
+    code = _hand_code([
+        MachineInstr(MOp.B, target=-1),
+        MachineInstr(MOp.RET, s1=0),
+    ])
+    assert "branch-target" in invariants(lint_code(code))
+
+
+_FIB_CODE = None
+
+
+def _compiled_fib():
+    """One real compiled code object, freshly copied so each test can
+    corrupt it independently."""
+    global _FIB_CODE
+    if _FIB_CODE is None:
+        spec = get_benchmark("FIB")
+        engine = compile_benchmark(
+            spec, EngineConfig(target="arm64", verify=True), iterations=12
+        )
+        codes = compiled_code_objects(engine)
+        assert codes
+        _FIB_CODE = codes[0]
+    return copy.deepcopy(_FIB_CODE)
+
+
+def test_rejects_clobbered_register_in_frame_state():
+    code = _compiled_fib()
+    assert invariants(lint_code(code)) == set()
+    check_id, point = next(
+        (cid, p) for cid, p in code.deopt_points.items() if p.values
+    )
+    scratch = code.target.gpr_count - 1  # check emission clobbers these
+    victim = point.values[0]
+    mutated = dataclasses.replace(victim, location=Location("reg", scratch))
+    point.values = (mutated,) + point.values[1:]
+    assert "frame-state-location" in invariants(lint_code(code))
+
+
+def test_rejects_unregistered_deopt_target():
+    code = _compiled_fib()
+    branch_pc = next(
+        pc for pc, instr in enumerate(code.instrs)
+        if instr.op == MOp.BCC and instr.is_deopt_branch
+    )
+    code.instrs[branch_pc].target = branch_pc + 1  # not a DEOPT stub
+    assert "deopt-target" in invariants(lint_code(code))
+
+
+def test_rejects_stub_without_deopt_point():
+    code = _compiled_fib()
+    stub_pc = next(
+        pc for pc, instr in enumerate(code.instrs) if instr.op == MOp.DEOPT
+    )
+    del code.deopt_points[int(code.instrs[stub_pc].imm)]
+    assert "deopt-registered" in invariants(lint_code(code))

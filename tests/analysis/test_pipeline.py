@@ -1,0 +1,108 @@
+"""Per-pass verification in the optimization pipeline (check_elim /
+branch-suppression edge cases under the verifier)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.ir.passes.pipeline as pipeline_module
+from repro.analysis import VerificationError
+from repro.engine import Engine, EngineConfig
+from repro.jit.checks import CheckKind
+from repro.suite.runner import EAGER_KINDS
+
+SOURCE = """
+function kernel(n) {
+    var arr = [1, 2, 3, 4];
+    var total = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        total = total + arr[i % 4];
+    }
+    return total;
+}
+"""
+
+
+def _warm(config, calls=30, n=50):
+    engine = Engine(config)
+    engine.load(SOURCE)
+    value = None
+    for _ in range(calls):
+        value = engine.call_global("kernel", n)
+    return engine, value
+
+
+def test_pipeline_verifies_with_all_removable_checks_removed():
+    """'All checks removed' edge case: every eager kind short-circuited."""
+    engine, value = _warm(
+        EngineConfig(target="arm64", verify=True, removed_checks=EAGER_KINDS)
+    )
+    assert value == 50 // 4 * 10 + [0, 1, 3, 6][50 % 4]
+    compiled = [f for f in engine.functions if f.code is not None]
+    assert compiled
+    for shared in compiled:
+        remaining = {p.kind for p in shared.code.deopt_points.values()}
+        assert remaining & EAGER_KINDS == set()
+
+
+def test_pipeline_verifies_leftover_check_graph():
+    """Section III-B.2: when some eager kinds must stay (leftover checks),
+    the partially-stripped graph — most checks gone, a few surviving with
+    their frame states — must still verify and lint clean."""
+    leftovers = {CheckKind.NOT_A_SMI, CheckKind.OVERFLOW}
+    removed = frozenset(EAGER_KINDS - leftovers)
+    engine, value = _warm(
+        EngineConfig(target="arm64", verify=True, removed_checks=removed)
+    )
+    assert value is not None
+    compiled = [f for f in engine.functions if f.code is not None]
+    assert compiled
+    remaining = {
+        p.kind
+        for f in compiled
+        for p in f.code.deopt_points.values()
+    }
+    assert remaining & removed == set()
+    assert remaining & leftovers, "expected surviving leftover checks"
+
+
+def test_pipeline_verifies_with_branch_suppression():
+    engine, _ = _warm(
+        EngineConfig(target="arm64", verify=True, emit_check_branches=False)
+    )
+    assert any(f.code is not None for f in engine.functions)
+
+
+def test_corrupting_pass_is_named_in_the_failure(monkeypatch):
+    """A pass that breaks an invariant must fail verification immediately,
+    with the failing pass named in the error."""
+
+    def corrupting_dce(graph):
+        for block in graph.blocks:
+            for node in block.nodes:
+                if node.op == "phi" and node.inputs:
+                    node.inputs.pop()  # seed a phi-arity violation
+                    return 1
+        return 0
+
+    monkeypatch.setattr(pipeline_module, "eliminate_dead_code", corrupting_dce)
+    with pytest.raises(VerificationError) as caught:
+        _warm(EngineConfig(target="arm64", verify=True))
+    message = str(caught.value)
+    assert "eliminate_dead_code" in message
+    assert "phi-arity" in message
+
+
+def test_verify_flag_off_skips_verification(monkeypatch):
+    """verify=False must not run the verifier even when the graph is bad
+    (and the corrupted phi then fails at codegen or executes wrongly —
+    here we just assert no VerificationError surfaces from the pipeline)."""
+    calls = []
+
+    def spy(*args, **kwargs):
+        calls.append(args)
+        return []
+
+    monkeypatch.setattr("repro.analysis.verifier.assert_valid", spy)
+    _warm(EngineConfig(target="arm64", verify=False))
+    assert calls == []

@@ -10,7 +10,13 @@ import pytest
 # does not warn about mid-test changes.
 sys.setrecursionlimit(100000)
 
+from repro.analysis import set_default_verify
 from repro.engine import Engine, EngineConfig
+
+# Every engine the tests construct verifies the IR after each pass and
+# lints the emitted machine code (unless a test opts out via
+# EngineConfig(verify=False)).
+set_default_verify(True)
 
 
 @pytest.fixture
