@@ -8,22 +8,69 @@ any ERROR diagnostic is found.
 Examples::
 
     python -m repro.analysis --benchmark FIB
-    python -m repro.analysis --all --target x64
+    python -m repro.analysis --all --target x64 --jobs 4
     python -m repro.analysis --benchmark NBODY --verbose
+
+``--jobs`` analyzes benchmarks on worker processes; reports are cached in
+the persistent result cache (keyed by engine fingerprint, so any source
+change re-analyzes) unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
-from typing import List
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Tuple
 
 from ..engine import EngineConfig
+from ..exec import MISS, DiskCache
 from ..suite import all_benchmarks, compile_benchmark, compiled_code_objects, get_benchmark
 from .density import analyze_density
 from .diagnostics import Diagnostic, Severity, render_table
 from .mclint import lint_code
 from .verifier import VerificationError
+
+
+def analyze_one(name: str, target: str, iterations: int, verbose: bool) -> Tuple[int, str]:
+    """Compile + lint one benchmark; returns (exit_code, report text)."""
+    spec = get_benchmark(name)
+    config = EngineConfig(target=target, verify=True)
+    lines: List[str] = []
+    try:
+        engine = compile_benchmark(spec, config, iterations=iterations)
+    except VerificationError as failure:
+        lines.append(render_table(failure.diagnostics,
+                                  title=f"== {spec.name} [{target}] =="))
+        return 1, "\n".join(lines)
+    diagnostics: List[Diagnostic] = []
+    codes = compiled_code_objects(engine)
+    density_lines: List[str] = []
+    for code in codes:
+        diagnostics.extend(lint_code(code))
+        report = analyze_density(code)
+        diagnostics.extend(report.diagnostics)
+        density_lines.extend(report.rows())
+    if not verbose:
+        diagnostics = [d for d in diagnostics if d.severity != Severity.INFO]
+    exit_code = 1 if any(d.severity == Severity.ERROR for d in diagnostics) else 0
+    lines.append(render_table(
+        diagnostics,
+        title=(f"== {spec.name} [{target}] — "
+               f"{len(codes)} code object(s) =="),
+    ))
+    lines.extend(density_lines)
+    return exit_code, "\n".join(lines)
+
+
+def _analyze_star(task: Tuple[str, str, int, bool]) -> Tuple[int, str]:
+    return analyze_one(*task)
+
+
+def _report_token(name: str, target: str, iterations: int, verbose: bool) -> str:
+    key = f"analysis-v1|{name}|{target}|{iterations}|{int(verbose)}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -50,6 +97,14 @@ def main(argv: List[str] | None = None) -> int:
         "--verbose", "-v", action="store_true",
         help="also show INFO diagnostics (attribution-window shape)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="analyze benchmarks on this many worker processes",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write cached analysis reports",
+    )
     options = parser.parse_args(argv)
 
     if options.all:
@@ -63,37 +118,40 @@ def main(argv: List[str] | None = None) -> int:
     else:
         parser.error("pass --benchmark NAME (repeatable) or --all")
 
+    disk = None if options.no_cache else DiskCache()
+    tasks = [
+        (spec.name, options.target, options.iterations, options.verbose)
+        for spec in specs
+    ]
+    reports: dict = {}
+    pending = []
+    if disk is not None:
+        for task in tasks:
+            cached = disk.get(_report_token(*task))
+            if cached is MISS:
+                pending.append(task)
+            else:
+                reports[task] = cached
+    else:
+        pending = tasks
+
+    if pending:
+        if options.jobs > 1 and len(pending) > 1:
+            workers = min(options.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(_analyze_star, pending))
+        else:
+            fresh = [analyze_one(*task) for task in pending]
+        for task, report in zip(pending, fresh):
+            reports[task] = report
+            if disk is not None:
+                disk.put(_report_token(*task), report)
+
     exit_code = 0
-    for spec in specs:
-        diagnostics: List[Diagnostic] = []
-        config = EngineConfig(target=options.target, verify=True)
-        try:
-            engine = compile_benchmark(spec, config, iterations=options.iterations)
-        except VerificationError as failure:
-            print(render_table(failure.diagnostics,
-                               title=f"== {spec.name} [{options.target}] =="))
-            exit_code = 1
-            continue
-        codes = compiled_code_objects(engine)
-        density_lines: List[str] = []
-        for code in codes:
-            diagnostics.extend(lint_code(code))
-            report = analyze_density(code)
-            diagnostics.extend(report.diagnostics)
-            density_lines.extend(report.rows())
-        if not options.verbose:
-            diagnostics = [
-                d for d in diagnostics if d.severity != Severity.INFO
-            ]
-        if any(d.severity == Severity.ERROR for d in diagnostics):
-            exit_code = 1
-        print(render_table(
-            diagnostics,
-            title=(f"== {spec.name} [{options.target}] — "
-                   f"{len(codes)} code object(s) =="),
-        ))
-        for line in density_lines:
-            print(line)
+    for task in tasks:
+        code, text = reports[task]
+        exit_code = max(exit_code, code)
+        print(text)
         print()
     return exit_code
 

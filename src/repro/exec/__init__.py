@@ -1,0 +1,56 @@
+"""Work-unit scheduler, persistent result cache, and parallel fan-out.
+
+The experiment grid (benchmark x target x config x repetition) is a set of
+independent *cells*.  This package gives every cell a canonical descriptor
+(:class:`RunCell`), deduplicates cells across figure drivers, resolves them
+through a persistent content-addressed disk cache, and computes misses on a
+process pool — see DESIGN.md and the README for the cache layout and
+invalidation rules.
+"""
+
+from .cache import MISS, DiskCache, default_cache_root
+from .cells import (
+    PROFILED,
+    REMOVABLE,
+    REMOVABLE_ITERATIONS,
+    SAMPLE_PERIOD,
+    TIMED,
+    ProfiledRun,
+    RunCell,
+    compute_cell,
+    profiled_cell,
+    removable_cell,
+    timed_cell,
+)
+from .fingerprint import CACHE_SCHEMA, engine_fingerprint
+from .scheduler import (
+    SchedulerConfig,
+    configure,
+    current_config,
+    execute_cells,
+    shared_disk_cache,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "MISS",
+    "PROFILED",
+    "REMOVABLE",
+    "REMOVABLE_ITERATIONS",
+    "SAMPLE_PERIOD",
+    "TIMED",
+    "DiskCache",
+    "ProfiledRun",
+    "RunCell",
+    "SchedulerConfig",
+    "compute_cell",
+    "configure",
+    "current_config",
+    "default_cache_root",
+    "engine_fingerprint",
+    "execute_cells",
+    "profiled_cell",
+    "removable_cell",
+    "shared_disk_cache",
+    "timed_cell",
+]

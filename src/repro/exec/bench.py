@@ -1,0 +1,101 @@
+"""Harness-throughput benchmark: simulated cycles per wall-second.
+
+Runs the smoke-scale timed grid through the scheduler four ways — serial,
+``--jobs N`` (both uncached), then cold and warm through a temporary disk
+cache — and writes ``BENCH_harness.json``::
+
+    python -m repro.exec.bench --jobs 4 --out BENCH_harness.json
+
+``cpu_count`` is recorded so the parallel numbers are interpretable: on a
+single-core container the pool can only add overhead, and the honest
+speedup there is ~1.0 or below; the warm-cache speedup does not depend on
+core count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from ..experiments.common import SCALES, suite_for_scale
+from .cache import DiskCache
+from .cells import RunCell, timed_cell
+from .scheduler import execute_cells
+
+
+def smoke_grid(targets=("arm64",)) -> List[RunCell]:
+    scale = SCALES["smoke"]
+    return [
+        timed_cell(spec, target, scale.iterations, rep=rep)
+        for spec in suite_for_scale(scale)
+        for target in targets
+        for rep in range(scale.reps)
+    ]
+
+
+def measure(cells: List[RunCell], jobs: int, disk=None) -> Dict[str, float]:
+    start = time.perf_counter()
+    results = execute_cells(cells, jobs=jobs, memo={}, disk=disk)
+    wall = time.perf_counter() - start
+    sim_cycles = sum(run.total_cycles for run in results.values())
+    return {
+        "wall_s": round(wall, 3),
+        "sim_cycles": round(sim_cycles, 1),
+        "cells": len(cells),
+        "cycles_per_wall_s": round(sim_cycles / wall, 1) if wall else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_harness.json")
+    parser.add_argument(
+        "--targets", default="arm64",
+        help="comma-separated ISA list for the grid (default: arm64)",
+    )
+    args = parser.parse_args(argv)
+    cells = smoke_grid(tuple(args.targets.split(",")))
+
+    print(f"harness throughput over {len(cells)} smoke cells "
+          f"(cpu_count={os.cpu_count()})")
+    serial = measure(cells, jobs=1)
+    print(f"  serial:      {serial['wall_s']:8.2f}s  "
+          f"{serial['cycles_per_wall_s']:>14,.0f} cyc/s")
+    parallel = measure(cells, jobs=args.jobs)
+    print(f"  jobs={args.jobs}:      {parallel['wall_s']:8.2f}s  "
+          f"{parallel['cycles_per_wall_s']:>14,.0f} cyc/s")
+    with tempfile.TemporaryDirectory() as tmp:
+        cold = measure(cells, jobs=1, disk=DiskCache(root=Path(tmp)))
+        warm = measure(cells, jobs=1, disk=DiskCache(root=Path(tmp)))
+    print(f"  cache cold:  {cold['wall_s']:8.2f}s")
+    print(f"  cache warm:  {warm['wall_s']:8.2f}s")
+
+    payload = {
+        "bench": "harness_throughput",
+        "grid": f"smoke/{args.targets}",
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "serial": serial,
+        "parallel": parallel,
+        "parallel_speedup": round(serial["wall_s"] / parallel["wall_s"], 3)
+        if parallel["wall_s"] else 0.0,
+        "cache_cold": cold,
+        "cache_warm": warm,
+        "warm_speedup": round(cold["wall_s"] / warm["wall_s"], 3)
+        if warm["wall_s"] else 0.0,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"parallel speedup {payload['parallel_speedup']}x, "
+          f"warm-cache speedup {payload['warm_speedup']}x -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

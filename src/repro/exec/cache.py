@@ -1,0 +1,115 @@
+"""Persistent content-addressed cache for cell results.
+
+Layout (all knobs documented in the README):
+
+    <root>/<fingerprint[:16]>/<token[:2]>/<token>.pkl
+
+* ``root`` defaults to ``results/.cache`` in the repository, overridable
+  with the ``REPRO_CACHE_DIR`` environment variable;
+* ``fingerprint`` is :func:`repro.exec.fingerprint.engine_fingerprint` —
+  any engine/source change sends reads and writes to a fresh directory;
+* ``token`` is the cell's sha256 content-address; the two-character fan-out
+  keeps directories small at ``full``-scale grids.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent CLI runs
+sharing one cache directory can never observe torn entries.  All I/O
+errors degrade to cache misses; an unwritable location disables the cache
+for the rest of the process instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .fingerprint import engine_fingerprint
+
+#: sentinel distinguishing "no entry" from a cached None
+MISS = object()
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "results" / ".cache"
+
+
+class DiskCache:
+    """Pickle-per-entry store namespaced by engine fingerprint."""
+
+    MISS = MISS
+
+    def __init__(
+        self, root: Optional[Path] = None, fingerprint: Optional[str] = None
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.fingerprint = fingerprint or engine_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._disabled = False
+
+    @property
+    def directory(self) -> Path:
+        return self.root / self.fingerprint[:16]
+
+    def _path(self, token: str) -> Path:
+        return self.directory / token[:2] / f"{token}.pkl"
+
+    def get(self, token: str) -> object:
+        """The stored value, or :data:`MISS`."""
+        if self._disabled:
+            return MISS
+        path = self._path(token)
+        try:
+            data = path.read_bytes()
+            value = pickle.loads(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ValueError):
+            # Torn or stale entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, token: str, value: object) -> None:
+        if self._disabled:
+            return
+        path = self._path(token)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PickleError):
+            # Read-only checkout, full disk, unpicklable payload: run without
+            # persistence rather than failing the measurement.
+            self._disabled = True
+            return
+        self.stores += 1
+
+    def clear(self) -> None:
+        """Remove this fingerprint's entries (other versions are kept)."""
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    def stats_line(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.stores} stored"

@@ -1,0 +1,258 @@
+"""Work-unit descriptors for the experiment scheduler.
+
+A :class:`RunCell` names one measurement the harness may ever need — a
+timed repetition, a PC-sampled profiling run, or a leftover-check probe —
+as a frozen, hashable, picklable value.  That single representation is
+what lets the scheduler deduplicate cells across figure drivers (Fig.
+7/8/9 share the same with/without-checks runs), ship them to pool workers,
+and key the persistent on-disk cache.
+
+:func:`compute_cell` is the one entry point that turns a cell into its
+result.  It is a plain module-level function so ``ProcessPoolExecutor``
+can pickle a reference to it, and it is deterministic: every random draw
+inside comes from :func:`repro.suite.runner.stable_seed`, so the same cell
+produces the same result in any process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
+
+from ..engine import Engine, EngineConfig
+from ..jit.checks import CheckKind
+from ..profiling.attribution import AttributionResult, attribute_samples
+from ..profiling.sampler import attach_sampler
+from ..suite.runner import (
+    BenchmarkRunner,
+    NoiseModel,
+    RunResult,
+    determine_removable_kinds,
+    stable_seed,
+)
+from ..suite.spec import BenchmarkSpec, get_benchmark
+
+#: default sampling period (simulated cycles); odd to avoid phase lock
+SAMPLE_PERIOD = 211.0
+
+#: default probe length for leftover-check detection (matches the historic
+#: ``ResultsCache.removable_kinds`` default; part of the cell key)
+REMOVABLE_ITERATIONS = 40
+
+#: cell kinds
+TIMED = "timed"
+PROFILED = "profiled"
+REMOVABLE = "removable"
+
+
+@dataclass(frozen=True)
+class RunCell:
+    """One schedulable measurement of one benchmark configuration."""
+
+    kind: str  # TIMED / PROFILED / REMOVABLE
+    benchmark: str
+    target: str
+    iterations: int
+    rep: int = 0
+    #: sorted CheckKind names withheld from codegen (TIMED only)
+    removed: Tuple[str, ...] = ()
+    emit_check_branches: bool = True
+    noise: bool = True
+
+    def key(self) -> str:
+        """Stable text form of the cell (the cache key before hashing)."""
+        return "|".join(
+            (
+                "cell-v1",
+                self.kind,
+                self.benchmark,
+                self.target,
+                str(self.iterations),
+                str(self.rep),
+                ",".join(self.removed),
+                "1" if self.emit_check_branches else "0",
+                "1" if self.noise else "0",
+            )
+        )
+
+    def token(self) -> str:
+        """Content-address of the cell for the on-disk cache."""
+        return hashlib.sha256(self.key().encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        extras = []
+        if self.removed:
+            extras.append(f"-{len(self.removed)} checks")
+        if not self.emit_check_branches:
+            extras.append("no-branches")
+        if not self.noise:
+            extras.append("quiet")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return (
+            f"{self.kind} {self.benchmark} [{self.target}]"
+            f" x{self.iterations} rep{self.rep}{suffix}"
+        )
+
+
+SpecOrName = Union[BenchmarkSpec, str]
+
+
+def _name_of(benchmark: SpecOrName) -> str:
+    return benchmark.name if isinstance(benchmark, BenchmarkSpec) else benchmark
+
+
+def _removed_names(removed: Iterable[object]) -> Tuple[str, ...]:
+    return tuple(sorted(getattr(kind, "name", kind) for kind in removed))  # type: ignore[arg-type]
+
+
+def timed_cell(
+    benchmark: SpecOrName,
+    target: str,
+    iterations: int,
+    rep: int = 0,
+    removed: FrozenSet[CheckKind] = frozenset(),
+    emit_check_branches: bool = True,
+    noise: bool = True,
+) -> RunCell:
+    return RunCell(
+        TIMED,
+        _name_of(benchmark),
+        target,
+        iterations,
+        rep,
+        _removed_names(removed),
+        emit_check_branches,
+        noise,
+    )
+
+
+def profiled_cell(
+    benchmark: SpecOrName, target: str, iterations: int, rep: int = 0
+) -> RunCell:
+    return RunCell(PROFILED, _name_of(benchmark), target, iterations, rep)
+
+
+def removable_cell(
+    benchmark: SpecOrName, target: str, iterations: int = REMOVABLE_ITERATIONS
+) -> RunCell:
+    # Fields irrelevant to the probe are normalized so equivalent requests
+    # collapse to one cell; `iterations` is deliberately part of the key
+    # (two callers probing at different lengths must not share results).
+    return RunCell(REMOVABLE, _name_of(benchmark), target, iterations, 0, (), True, False)
+
+
+@dataclass
+class ProfiledRun:
+    """A PC-sampled run plus its attribution and static check statistics."""
+
+    run: RunResult
+    window: AttributionResult
+    truth: AttributionResult
+    #: static check counts over this benchmark's optimized code
+    static_checks: int = 0
+    static_body: int = 0
+    checks_by_kind: Dict[object, int] = field(default_factory=dict)
+
+    @property
+    def static_density(self) -> float:
+        """Checks emitted per 100 JIT instructions (Fig. 1 metric)."""
+        if not self.static_body:
+            return 0.0
+        return 100.0 * self.static_checks / self.static_body
+
+
+def compute_cell(cell: RunCell) -> object:
+    """Execute one cell; the sole entry point for scheduler workers."""
+    spec = get_benchmark(cell.benchmark)
+    if cell.kind == TIMED:
+        config = EngineConfig(
+            target=cell.target,
+            removed_checks=frozenset(CheckKind[name] for name in cell.removed),
+            emit_check_branches=cell.emit_check_branches,
+        )
+        runner = BenchmarkRunner(spec, config, NoiseModel(enabled=cell.noise))
+        return runner.run(iterations=cell.iterations, rep=cell.rep)
+    if cell.kind == PROFILED:
+        return _profiled_run(spec, cell.target, cell.iterations, cell.rep)
+    if cell.kind == REMOVABLE:
+        return determine_removable_kinds(
+            spec, EngineConfig(target=cell.target), iterations=cell.iterations
+        )
+    raise ValueError(f"unknown cell kind {cell.kind!r}")
+
+
+def _profiled_run(
+    spec: BenchmarkSpec, target: str, iterations: int, rep: int
+) -> ProfiledRun:
+    config = EngineConfig(target=target)
+    noise = NoiseModel(enabled=True)
+    rng = random.Random((stable_seed(spec.name) & 0xFFFFFFF) * 7919 + rep)
+    config = noise.perturb_config(config, rng)
+    engine = Engine(config)
+    engine.load(spec.source)
+    engine.call_global("setup")
+    # Warm up so steady-state code dominates the samples (the paper
+    # samples whole runs; warmup samples land outside JIT code either
+    # way and only dilute, which we also model).
+    warmup = max(4, iterations // 5)
+    for i in range(warmup):
+        engine.current_iteration = i
+        engine.call_global("run")
+    sampler = attach_sampler(engine, SAMPLE_PERIOD)
+    cycles: List[float] = []
+    for i in range(iterations):
+        engine.current_iteration = warmup + i
+        before = engine.total_cycles
+        engine.call_global("run")
+        cycles.append(engine.total_cycles - before)
+    window = attribute_samples(sampler, "window")
+    truth = attribute_samples(sampler, "truth")
+    static_checks = 0
+    static_body = 0
+    checks_by_kind: Dict[object, int] = {}
+    seen_codes = set()
+    for shared in engine.functions:
+        code = shared.code
+        if code is None or id(code) in seen_codes:
+            continue
+        seen_codes.add(id(code))
+        static_checks += len(code.deopt_points)
+        static_body += code.body_instruction_count()
+        for point in code.deopt_points.values():
+            checks_by_kind[point.kind] = checks_by_kind.get(point.kind, 0) + 1
+    run = RunResult(
+        name=spec.name,
+        target=target,
+        iterations=iterations,
+        cycles=cycles,
+        result=None,
+        valid=True,
+        deopts=[],
+        code_stats=_sum_code_stats(engine),
+        hw_stats=engine.executor.stats.snapshot(),
+        buckets=dict(engine.buckets),
+        total_cycles=engine.total_cycles,
+    )
+    return ProfiledRun(
+        run=run,
+        window=window,
+        truth=truth,
+        static_checks=static_checks,
+        static_body=static_body,
+        checks_by_kind=checks_by_kind,
+    )
+
+
+def _sum_code_stats(engine: Engine) -> Dict[str, int]:
+    totals = {"body_instructions": 0, "check_instructions": 0, "deopt_branches": 0}
+    seen = set()
+    for shared in engine.functions:
+        code = shared.code
+        if code is not None and id(code) not in seen:
+            seen.add(id(code))
+            stats = code.check_instruction_stats()
+            for k in totals:
+                totals[k] += stats[k]
+    return totals

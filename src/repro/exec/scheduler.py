@@ -1,0 +1,118 @@
+"""Deduplicating cell scheduler with process-pool fan-out.
+
+:func:`execute_cells` resolves a batch of :class:`~repro.exec.cells.RunCell`
+descriptors through three layers, cheapest first:
+
+1. an in-process memo (the caller's, so figure drivers sharing one
+   :class:`~repro.experiments.common.ResultsCache` never recompute),
+2. the persistent :class:`~repro.exec.cache.DiskCache`,
+3. computation — serially, or fanned out on a ``ProcessPoolExecutor`` when
+   more than one cell misses and ``jobs > 1``.
+
+The experiment grid is embarrassingly parallel: every cell builds its own
+engine and draws all randomness from a per-cell stable seed, so worker
+placement cannot change results (asserted by the determinism tests).
+Workers never touch the disk cache; the parent stores results as they
+arrive, which keeps the cache layer free of cross-process races beyond the
+atomic-rename writes it already does.
+
+Process-wide defaults come from :func:`configure` (the CLIs' ``--jobs`` /
+``--no-cache``) or the ``REPRO_JOBS`` / ``REPRO_CACHE`` environment
+variables.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .cache import MISS, DiskCache
+from .cells import RunCell, compute_cell
+
+
+@dataclass
+class SchedulerConfig:
+    jobs: int = 1
+    cache: bool = True
+
+
+def _initial_config() -> SchedulerConfig:
+    try:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    except ValueError:
+        jobs = 1
+    cache = os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "no", "off")
+    return SchedulerConfig(jobs=max(1, jobs), cache=cache)
+
+
+_CONFIG = _initial_config()
+_DISK: Optional[DiskCache] = None
+_UNSET = object()
+
+
+def configure(jobs: Optional[int] = None, cache: Optional[bool] = None) -> SchedulerConfig:
+    """Set process-wide scheduler defaults; ``None`` leaves a knob unchanged."""
+    if jobs is not None:
+        _CONFIG.jobs = max(1, int(jobs))
+    if cache is not None:
+        _CONFIG.cache = bool(cache)
+    return _CONFIG
+
+
+def current_config() -> SchedulerConfig:
+    return _CONFIG
+
+
+def shared_disk_cache() -> DiskCache:
+    """The process-wide cache instance (created lazily)."""
+    global _DISK
+    if _DISK is None:
+        _DISK = DiskCache()
+    return _DISK
+
+
+def execute_cells(
+    cells: Iterable[RunCell],
+    jobs: Optional[int] = None,
+    memo: Optional[Dict[RunCell, object]] = None,
+    disk: object = _UNSET,
+) -> Dict[RunCell, object]:
+    """Resolve every cell; returns ``{cell: result}`` for the request.
+
+    ``memo`` is mutated in place when given (the caller's long-lived store);
+    ``disk`` may be an explicit :class:`DiskCache` or ``None`` to bypass
+    persistence regardless of the process-wide default.
+    """
+    unique = list(dict.fromkeys(cells))
+    if jobs is None:
+        jobs = _CONFIG.jobs
+    if disk is _UNSET:
+        disk = shared_disk_cache() if _CONFIG.cache else None
+    store: Dict[RunCell, object] = memo if memo is not None else {}
+
+    missing = [cell for cell in unique if cell not in store]
+    to_compute: List[RunCell] = []
+    if disk is not None:
+        for cell in missing:
+            value = disk.get(cell.token())
+            if value is MISS:
+                to_compute.append(cell)
+            else:
+                store[cell] = value
+    else:
+        to_compute = missing
+
+    if to_compute:
+        if jobs > 1 and len(to_compute) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(to_compute))) as pool:
+                values = list(pool.map(compute_cell, to_compute, chunksize=1))
+        else:
+            values = [compute_cell(cell) for cell in to_compute]
+        for cell, value in zip(to_compute, values):
+            store[cell] = value
+            if disk is not None:
+                disk.put(cell.token(), value)
+
+    return {cell: store[cell] for cell in unique}

@@ -1,7 +1,13 @@
 """CLI: regenerate paper figures.
 
     python -m repro.experiments fig01 [--scale smoke|default|full]
-    python -m repro.experiments all --scale default
+    python -m repro.experiments all --scale default --jobs 4
+    python -m repro.experiments fig07 --scale smoke --no-cache
+
+``--jobs`` fans the run grid across worker processes; ``--no-cache``
+bypasses the persistent result cache under ``results/.cache/`` (see
+``repro.exec``).  Both default to the ``REPRO_JOBS`` / ``REPRO_CACHE``
+environment variables.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ import argparse
 import sys
 import time
 
+from ..exec import configure, current_config, shared_disk_cache
 from . import EXPERIMENTS
 
 
@@ -17,7 +24,16 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
     parser.add_argument("--scale", default="default", choices=("smoke", "default", "full"))
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the run grid (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent result cache",
+    )
     args = parser.parse_args(argv)
+    configure(jobs=args.jobs, cache=False if args.no_cache else None)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
@@ -28,8 +44,12 @@ def main(argv=None) -> int:
                 print()
         else:
             print(output.to_text())
-        print(f"[{name} done in {time.time() - started:.1f}s]")
-        print()
+            print()
+        # Timing and cache stats go to stderr so stdout is byte-identical
+        # across serial, parallel, and cached runs (asserted in CI).
+        print(f"[{name} done in {time.time() - started:.1f}s]", file=sys.stderr)
+    if current_config().cache:
+        print(f"[cache: {shared_disk_cache().stats_line()}]", file=sys.stderr)
     return 0
 
 

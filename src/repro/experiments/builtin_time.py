@@ -8,6 +8,7 @@ the ``builtin`` bucket (string ops, regex, generic runtime helpers).
 
 from __future__ import annotations
 
+from ..exec import timed_cell
 from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
 
 
@@ -19,6 +20,10 @@ def run(scale="default", target: str = "arm64") -> ExperimentResult:
         columns=["benchmark", "category", "builtin %", "interpreter %", "gc %"],
     )
     string_shares = []
+    CACHE.prefetch(
+        timed_cell(spec, target, scale.iterations, noise=False)
+        for spec in suite_for_scale(scale)
+    )
     for spec in suite_for_scale(scale):
         run_result = CACHE.timed_run(spec, target, scale.iterations, noise=False)
         total = run_result.total_cycles or 1.0

@@ -16,19 +16,34 @@ A process-wide :class:`ResultsCache` lets the figures share expensive runs
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from ..engine import Engine, EngineConfig
-from ..jit.checks import CheckKind
-from ..profiling.attribution import AttributionResult, attribute_samples
-from ..profiling.sampler import attach_sampler
-from ..suite.runner import (
-    BenchmarkRunner,
-    NoiseModel,
-    RunResult,
-    determine_removable_kinds,
+from ..exec import (
+    REMOVABLE_ITERATIONS,
+    SAMPLE_PERIOD,
+    ProfiledRun,
+    RunCell,
+    execute_cells,
+    profiled_cell,
+    removable_cell,
+    timed_cell,
 )
+from ..jit.checks import CheckKind
+from ..suite.runner import RunResult
 from ..suite.spec import BenchmarkSpec, all_benchmarks
+
+__all__ = [
+    "CACHE",
+    "SAMPLE_PERIOD",
+    "SCALES",
+    "ExperimentResult",
+    "ProfiledRun",
+    "ResultsCache",
+    "Scale",
+    "relative_change",
+    "resolve_scale",
+    "suite_for_scale",
+]
 
 
 @dataclass(frozen=True)
@@ -62,35 +77,33 @@ def suite_for_scale(scale: Scale) -> List[BenchmarkSpec]:
     return benchmarks
 
 
-#: default sampling period (simulated cycles); odd to avoid phase lock
-SAMPLE_PERIOD = 211.0
-
-
-@dataclass
-class ProfiledRun:
-    run: RunResult
-    window: AttributionResult
-    truth: AttributionResult
-    #: static check counts over this benchmark's optimized code
-    static_checks: int = 0
-    static_body: int = 0
-    checks_by_kind: Dict[object, int] = field(default_factory=dict)
-
-    @property
-    def static_density(self) -> float:
-        """Checks emitted per 100 JIT instructions (Fig. 1 metric)."""
-        if not self.static_body:
-            return 0.0
-        return 100.0 * self.static_checks / self.static_body
-
-
 class ResultsCache:
-    """Memoizes benchmark runs across experiment drivers."""
+    """Memoizes benchmark runs across experiment drivers.
+
+    Thin facade over :mod:`repro.exec`: every lookup becomes a
+    :class:`~repro.exec.RunCell` resolved through the scheduler — this
+    in-process memo first, then the persistent disk cache, then
+    computation (on a worker pool when ``--jobs`` / ``configure(jobs=)``
+    says so).  Drivers that know their whole grid up front call
+    :meth:`prefetch` so the scheduler sees one deduplicated batch instead
+    of a sequence of single cells.
+    """
 
     def __init__(self) -> None:
-        self._runs: Dict[tuple, RunResult] = {}
-        self._profiled: Dict[tuple, ProfiledRun] = {}
-        self._removable: Dict[tuple, Tuple[FrozenSet[CheckKind], FrozenSet[CheckKind]]] = {}
+        self._memo: Dict[RunCell, object] = {}
+
+    def prefetch(self, cells: Iterable[RunCell]) -> None:
+        """Resolve a batch of cells into the memo (one scheduler pass)."""
+        execute_cells(cells, memo=self._memo)
+
+    def clear(self) -> None:
+        self._memo.clear()
+
+    def _resolve(self, cell: RunCell) -> object:
+        value = self._memo.get(cell)
+        if value is None:
+            value = execute_cells([cell], memo=self._memo)[cell]
+        return value
 
     # -- plain timed runs ---------------------------------------------------
 
@@ -104,120 +117,26 @@ class ResultsCache:
         emit_check_branches: bool = True,
         noise: bool = True,
     ) -> RunResult:
-        key = (
-            spec.name, target, iterations, rep, removed, emit_check_branches, noise,
+        cell = timed_cell(
+            spec.name, target, iterations, rep, removed, emit_check_branches, noise
         )
-        cached = self._runs.get(key)
-        if cached is not None:
-            return cached
-        config = EngineConfig(
-            target=target,
-            removed_checks=removed,
-            emit_check_branches=emit_check_branches,
-        )
-        runner = BenchmarkRunner(spec, config, NoiseModel(enabled=noise))
-        result = runner.run(iterations=iterations, rep=rep)
-        self._runs[key] = result
-        return result
+        return self._resolve(cell)  # type: ignore[return-value]
 
     # -- profiled runs (PC sampling) ------------------------------------------
 
     def profiled_run(
         self, spec: BenchmarkSpec, target: str, iterations: int, rep: int = 0
     ) -> ProfiledRun:
-        key = (spec.name, target, iterations, rep)
-        cached = self._profiled.get(key)
-        if cached is not None:
-            return cached
-        config = EngineConfig(target=target)
-        noise = NoiseModel(enabled=True)
-        import random as _random
-
-        rng = _random.Random((hash(spec.name) & 0xFFFFFFF) * 7919 + rep)
-        config = noise.perturb_config(config, rng)
-        engine = Engine(config)
-        engine.load(spec.source)
-        engine.call_global("setup")
-        # Warm up so steady-state code dominates the samples (the paper
-        # samples whole runs; warmup samples land outside JIT code either
-        # way and only dilute, which we also model).
-        warmup = max(4, iterations // 5)
-        for i in range(warmup):
-            engine.current_iteration = i
-            engine.call_global("run")
-        sampler = attach_sampler(engine, SAMPLE_PERIOD)
-        cycles: List[float] = []
-        for i in range(iterations):
-            engine.current_iteration = warmup + i
-            before = engine.total_cycles
-            engine.call_global("run")
-            cycles.append(engine.total_cycles - before)
-        window = attribute_samples(sampler, "window")
-        truth = attribute_samples(sampler, "truth")
-        static_checks = 0
-        static_body = 0
-        checks_by_kind: Dict[object, int] = {}
-        seen_codes = set()
-        for shared in engine.functions:
-            code = shared.code
-            if code is None or id(code) in seen_codes:
-                continue
-            seen_codes.add(id(code))
-            static_checks += len(code.deopt_points)
-            static_body += code.body_instruction_count()
-            for point in code.deopt_points.values():
-                checks_by_kind[point.kind] = checks_by_kind.get(point.kind, 0) + 1
-        run = RunResult(
-            name=spec.name,
-            target=target,
-            iterations=iterations,
-            cycles=cycles,
-            result=None,
-            valid=True,
-            deopts=[],
-            code_stats=_sum_code_stats(engine),
-            hw_stats=engine.executor.stats.snapshot(),
-            buckets=dict(engine.buckets),
-            total_cycles=engine.total_cycles,
-        )
-        profiled = ProfiledRun(
-            run=run,
-            window=window,
-            truth=truth,
-            static_checks=static_checks,
-            static_body=static_body,
-            checks_by_kind=checks_by_kind,
-        )
-        self._profiled[key] = profiled
-        return profiled
+        cell = profiled_cell(spec.name, target, iterations, rep)
+        return self._resolve(cell)  # type: ignore[return-value]
 
     # -- leftover-check detection ----------------------------------------------
 
     def removable_kinds(
-        self, spec: BenchmarkSpec, target: str, iterations: int = 40
+        self, spec: BenchmarkSpec, target: str, iterations: int = REMOVABLE_ITERATIONS
     ) -> Tuple[FrozenSet[CheckKind], FrozenSet[CheckKind]]:
-        key = (spec.name, target)
-        cached = self._removable.get(key)
-        if cached is not None:
-            return cached
-        result = determine_removable_kinds(
-            spec, EngineConfig(target=target), iterations=iterations
-        )
-        self._removable[key] = result
-        return result
-
-
-def _sum_code_stats(engine: Engine) -> Dict[str, int]:
-    totals = {"body_instructions": 0, "check_instructions": 0, "deopt_branches": 0}
-    seen = set()
-    for shared in engine.functions:
-        code = shared.code
-        if code is not None and id(code) not in seen:
-            seen.add(id(code))
-            stats = code.check_instruction_stats()
-            for k in totals:
-                totals[k] += stats[k]
-    return totals
+        cell = removable_cell(spec.name, target, iterations)
+        return self._resolve(cell)  # type: ignore[return-value]
 
 
 #: process-wide cache shared by all experiment drivers

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Sequence
 
+from ..exec import profiled_cell
 from ..jit.checks import CheckGroup, group_of
 from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
 
@@ -31,6 +32,11 @@ GROUP_ORDER = [
 def run(scale="default", targets: Sequence[str] = ("x64", "arm64")) -> Dict[str, ExperimentResult]:
     """Returns {"frequency": ..., "overhead": ...} tables."""
     scale = resolve_scale(scale)
+    CACHE.prefetch(
+        profiled_cell(spec, target, scale.iterations)
+        for spec in suite_for_scale(scale)
+        for target in targets
+    )
     freq_columns = ["benchmark", "target", "total/100"] + [g.value for g in GROUP_ORDER]
     ovh_columns = ["benchmark", "target", "total %"] + [g.value for g in GROUP_ORDER]
     frequency = ExperimentResult(

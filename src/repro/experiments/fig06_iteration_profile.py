@@ -19,6 +19,7 @@ import statistics
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..exec import removable_cell, timed_cell
 from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
 
 
@@ -42,8 +43,23 @@ def collect_profiles(
     scale="default", target: str = "arm64"
 ) -> List[IterationProfile]:
     scale = resolve_scale(scale)
+    benchmarks = suite_for_scale(scale)
+    CACHE.prefetch(
+        [removable_cell(spec, target) for spec in benchmarks]
+        + [
+            timed_cell(spec, target, scale.iterations, rep=0, noise=False)
+            for spec in benchmarks
+        ]
+    )
+    CACHE.prefetch(
+        timed_cell(
+            spec, target, scale.iterations, rep=0,
+            removed=CACHE.removable_kinds(spec, target)[0], noise=False,
+        )
+        for spec in benchmarks
+    )
     profiles: List[IterationProfile] = []
-    for spec in suite_for_scale(scale):
+    for spec in benchmarks:
         removable, leftovers = CACHE.removable_kinds(spec, target)
         with_checks = CACHE.timed_run(
             spec, target, scale.iterations, rep=0, noise=False

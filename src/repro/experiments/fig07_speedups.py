@@ -15,6 +15,7 @@ import statistics
 from dataclasses import dataclass
 from typing import List
 
+from ..exec import profiled_cell, removable_cell, timed_cell
 from ..stats.analysis import bootstrap_interval, compare_populations
 from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
 
@@ -39,6 +40,26 @@ def collect_speedups(
 ) -> List[BenchmarkSpeedup]:
     scale = resolve_scale(scale)
     benchmarks = suite_for_scale(scale)
+    # Two scheduler waves resolve every cell the loop below needs: the
+    # with-checks runs can start immediately, the without-checks runs only
+    # once the leftover probes say which checks are removable.
+    CACHE.prefetch(
+        [removable_cell(spec, target) for spec in benchmarks]
+        + [profiled_cell(spec, target, scale.iterations) for spec in benchmarks]
+        + [
+            timed_cell(spec, target, scale.iterations, rep=rep)
+            for spec in benchmarks
+            for rep in range(scale.reps)
+        ]
+    )
+    CACHE.prefetch(
+        timed_cell(
+            spec, target, scale.iterations, rep=rep,
+            removed=CACHE.removable_kinds(spec, target)[0],
+        )
+        for spec in benchmarks
+        for rep in range(scale.reps)
+    )
     rows: List[BenchmarkSpeedup] = []
     test_count = len(benchmarks)
     for spec in benchmarks:

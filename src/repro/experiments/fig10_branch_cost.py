@@ -23,6 +23,7 @@ import statistics
 from typing import Dict, List
 
 from ..engine import Engine, EngineConfig
+from ..exec import timed_cell
 from ..suite.spec import smi_kernels
 from ..uarch.pipeline.configs import O3_KPG
 from ..uarch.pipeline.inorder import simulate
@@ -39,6 +40,12 @@ def run(scale="default", target: str = "arm64") -> ExperimentResult:
         columns=["benchmark", "category"] + [f"d {m} %" for m in METRICS],
     )
     aggregates: Dict[str, List[float]] = {m: [] for m in METRICS}
+    CACHE.prefetch(
+        timed_cell(spec, target, scale.iterations, emit_check_branches=branches,
+                   noise=False)
+        for spec in suite_for_scale(scale)
+        for branches in (True, False)
+    )
     for spec in suite_for_scale(scale):
         base = CACHE.timed_run(spec, target, scale.iterations, noise=False)
         nobranch = CACHE.timed_run(

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..engine import Engine, EngineConfig
-from ..suite.runner import NoiseModel
+from ..suite.runner import NoiseModel, stable_seed
 from ..suite.spec import BenchmarkSpec, smi_kernels
 from ..uarch.pipeline.configs import CPUConfig, GEM5_CPUS
 from ..uarch.pipeline.inorder import simulate
@@ -60,7 +60,7 @@ def collect_traces(
     noise = NoiseModel(enabled=True)
     traces = []
     for rep in range(runs):
-        rng = random.Random((hash(spec.name) & 0xFFFFF) * 37 + rep)
+        rng = random.Random((stable_seed(spec.name) & 0xFFFFF) * 37 + rep)
         config = noise.perturb_config(EngineConfig(target=target), rng)
         engine = Engine(config)
         engine.load(spec.source)

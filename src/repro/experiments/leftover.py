@@ -11,6 +11,7 @@ from __future__ import annotations
 import statistics
 from typing import List
 
+from ..exec import profiled_cell, removable_cell
 from .common import CACHE, ExperimentResult, resolve_scale, suite_for_scale
 
 
@@ -30,7 +31,14 @@ def run(scale="default", target: str = "arm64") -> ExperimentResult:
     total = 0
     remaining_shares: List[float] = []
     leftover_overheads: List[float] = []
-    for spec in suite_for_scale(scale):
+    benchmarks = suite_for_scale(scale)
+    CACHE.prefetch(removable_cell(spec, target) for spec in benchmarks)
+    CACHE.prefetch(
+        profiled_cell(spec, target, scale.iterations)
+        for spec in benchmarks
+        if CACHE.removable_kinds(spec, target)[1]
+    )
+    for spec in benchmarks:
         total += 1
         removable, leftovers = CACHE.removable_kinds(spec, target)
         if not leftovers:

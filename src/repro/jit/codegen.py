@@ -84,6 +84,10 @@ class CodeObject:
         self.invalidated = False
         self.smi_load_checks: Dict[int, int] = {}  # pc -> check_id
         self.compile_cycles = 0
+        #: decoded dispatch entries, filled lazily by the executor at first
+        #: execution (see repro.machine.dispatch); never invalidated because
+        #: code objects are immutable once generation finishes.
+        self._decoded: Optional[list] = None
         #: Allocator pool metadata recorded for the static linter: a deopt
         #: location naming a register outside these ranges points at a
         #: scratch register, which check-condition emission may clobber.

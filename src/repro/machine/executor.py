@@ -25,11 +25,60 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
-from ..isa.base import CC, FRAME_BASE, MOp, REG_PC, REG_RE
-from ..jit.checks import REASON_CODES
+from ..isa.base import MOp, REG_PC, REG_RE  # noqa: F401  (REG_RE: public re-export)
 from ..jit.codegen import THIS_REG, CodeObject
 from ..jit.deopt import DeoptSignal
 from ..values.heap import Heap
+from .dispatch import (
+    K_ADDS,
+    K_ADDSI,
+    K_ALU_RI,
+    K_ALU_RR,
+    K_ASRI,
+    K_B,
+    K_BCC,
+    K_CALL_DYN,
+    K_CALL_JS,
+    K_CALL_RT,
+    K_CMP,
+    K_CMP_MEM,
+    K_CMPI,
+    K_CMPI_MEM,
+    K_CSET,
+    K_DEOPT,
+    K_FALU_R,
+    K_FALU_RR,
+    K_FCMP,
+    K_FCVTZS,
+    K_FDIV,
+    K_FMOVI,
+    K_FMOVR,
+    K_JSLDRSMI,
+    K_LDR,
+    K_LDR_FRAME,
+    K_LDR_IDX,
+    K_LDRF,
+    K_LDRF_FRAME,
+    K_LSLI,
+    K_MOVI,
+    K_MOVR,
+    K_MSR,
+    K_MULS,
+    K_MZCMP,
+    K_NEGS,
+    K_RET,
+    K_SCVTF,
+    K_STR,
+    K_STR_FRAME,
+    K_STRF,
+    K_STRF_FRAME,
+    K_SUBS,
+    K_SUBSI,
+    K_TST,
+    K_TSTI,
+    K_TSTI_MEM,
+    decode,
+)
 
 _UINT32 = 0xFFFFFFFF
 
@@ -225,11 +274,18 @@ class Executor:
         """Execute ``code`` to completion; returns the tagged result word.
 
         Raises :class:`DeoptSignal` when a deoptimization check fires.
+
+        The loop dispatches over :mod:`repro.machine.dispatch` decoded
+        entries (cached on the code object at first execution) instead of
+        raw :class:`MachineInstr` objects; the chain below is ordered by
+        measured dynamic frequency over the suite.
         """
         heap_words = self.heap.words
         config = self.heap.config
         smi_min, smi_max = config.smi_min, config.smi_max
-        instrs = code.instrs
+        decoded = code._decoded
+        if decoded is None:
+            decoded = code._decoded = decode(code, self.op_cost)
         regs: List[int] = [0] * code.target.gpr_count
         fregs: List[float] = [0.0] * code.target.fpr_count
         frame: List[object] = [0] * max(1, code.stack_slots)
@@ -240,314 +296,273 @@ class Executor:
         n = z = False
         c = v = False
         pc = 0
-        cost = self.op_cost
         stats = self.stats
         predictor = self.predictor
+        predict_and_update = predictor.predict_and_update
         local_cycles = self.cycles
         tracing = self.trace is not None
         trace = self.trace
         engine = self.engine
-
-        def mem_addr(mem) -> int:
-            base, index_reg, scale, disp = mem
-            if base == FRAME_BASE:
-                return -1  # frame access marker
-            address = (regs[base] >> 1) + disp
-            if index_reg >= 0:
-                address += regs[index_reg] << scale
-            return address
-
-        def cond(cc_value: int) -> bool:
-            if cc_value == CC.EQ:
-                return z
-            if cc_value == CC.NE:
-                return not z
-            if cc_value == CC.LT:
-                return n != v
-            if cc_value == CC.GE:
-                return n == v
-            if cc_value == CC.GT:
-                return (not z) and (n == v)
-            if cc_value == CC.LE:
-                return z or (n != v)
-            if cc_value == CC.HS:
-                return c
-            if cc_value == CC.LO:
-                return not c
-            if cc_value == CC.HI:
-                return c and not z
-            if cc_value == CC.LS:
-                return (not c) or z
-            if cc_value == CC.VS:
-                return v
-            if cc_value == CC.VC:
-                return not v
-            if cc_value == CC.MI:
-                return n
-            return not n  # PL
+        next_sample = self._next_sample
+        taken_extra = self.cost_model.taken_extra
+        mispredict_penalty = self.cost_model.mispredict_penalty
 
         while True:
-            instr = instrs[pc]
-            op = instr.op
+            kind, cost, dst, s1, s2, imm, aux, instr = decoded[pc]
             stats.instructions += 1
-            local_cycles += cost[op]
-            if local_cycles >= self._next_sample:
+            local_cycles += cost
+            if local_cycles >= next_sample:
                 self._sample(code, pc, local_cycles)
+                next_sample = self._next_sample
             if tracing:
                 trace.append((instr, False, -1))  # placeholder; patched below
 
-            if op == MOp.LDR:
-                mem = instr.mem
-                stats.loads += 1
-                if mem[0] == FRAME_BASE:
-                    regs[instr.dst] = frame[mem[3]]  # type: ignore[assignment]
-                else:
-                    address = mem_addr(mem)
-                    value = heap_words[address]
-                    if not isinstance(value, int):
-                        raise MachineError(
-                            f"LDR of non-int slot {address} -> {value!r}"
-                        )
-                    regs[instr.dst] = value
-                    if tracing:
-                        trace[-1] = (instr, False, address)
-                pc += 1
-            elif op == MOp.STR:
-                mem = instr.mem
-                stats.stores += 1
-                if mem[0] == FRAME_BASE:
-                    frame[mem[3]] = regs[instr.s1]
-                else:
-                    address = mem_addr(mem)
-                    heap_words[address] = regs[instr.s1]
-                    if tracing:
-                        trace[-1] = (instr, False, address)
-                pc += 1
-            elif op == MOp.MOVR:
-                regs[instr.dst] = regs[instr.s1]
-                pc += 1
-            elif op == MOp.MOVI:
-                regs[instr.dst] = instr.imm  # type: ignore[assignment]
-                pc += 1
-            elif op == MOp.ADD:
-                regs[instr.dst] = regs[instr.s1] + regs[instr.s2]
-                pc += 1
-            elif op == MOp.SUB:
-                regs[instr.dst] = regs[instr.s1] - regs[instr.s2]
-                pc += 1
-            elif op == MOp.MUL:
-                regs[instr.dst] = regs[instr.s1] * regs[instr.s2]
-                pc += 1
-            elif op == MOp.ADDI:
-                regs[instr.dst] = regs[instr.s1] + instr.imm
-                pc += 1
-            elif op == MOp.SUBI:
-                regs[instr.dst] = regs[instr.s1] - instr.imm
-                pc += 1
-            elif op == MOp.LSLI:
-                regs[instr.dst] = regs[instr.s1] << instr.imm
-                pc += 1
-            elif op == MOp.ASRI:
-                regs[instr.dst] = regs[instr.s1] >> instr.imm
-                pc += 1
-            elif op == MOp.BCC:
-                taken = cond(instr.cc)
+            if kind == K_BCC:
+                taken = aux(n, z, c, v)
                 stats.branches += 1
-                if instr.is_deopt_branch:
+                if s1:
                     stats.deopt_branch_instrs += 1
-                if predictor.predict_and_update(pc, taken):
+                if predict_and_update(pc, taken):
                     stats.mispredictions += 1
-                    local_cycles += self.cost_model.mispredict_penalty
+                    local_cycles += mispredict_penalty
                 if tracing:
                     trace[-1] = (instr, taken, -1)
                 if taken:
                     stats.taken_branches += 1
-                    local_cycles += self.cost_model.taken_extra
-                    pc = instr.target
+                    local_cycles += taken_extra
+                    pc = s2
                 else:
                     pc += 1
-            elif op == MOp.B:
-                stats.branches += 1
-                stats.taken_branches += 1
-                local_cycles += self.cost_model.taken_extra
+            elif kind == K_LDR:
+                stats.loads += 1
+                address = (regs[s1] >> 1) + imm
+                value = heap_words[address]
+                if not isinstance(value, int):
+                    raise MachineError(
+                        f"LDR of non-int slot {address} -> {value!r}"
+                    )
+                regs[dst] = value
                 if tracing:
-                    trace[-1] = (instr, True, -1)
-                pc = instr.target
-            elif op == MOp.CMP:
-                a, b = regs[instr.s1], regs[instr.s2]
+                    trace[-1] = (instr, False, address)
+                pc += 1
+            elif kind == K_LDR_IDX:
+                stats.loads += 1
+                address = (regs[s1] >> 1) + (regs[s2] << aux) + imm
+                value = heap_words[address]
+                if not isinstance(value, int):
+                    raise MachineError(
+                        f"LDR of non-int slot {address} -> {value!r}"
+                    )
+                regs[dst] = value
+                if tracing:
+                    trace[-1] = (instr, False, address)
+                pc += 1
+            elif kind == K_MOVI:
+                regs[dst] = imm
+                pc += 1
+            elif kind == K_MOVR:
+                regs[dst] = regs[s1]
+                pc += 1
+            elif kind == K_CMPI:
+                a = regs[s1]
+                diff = a - imm
+                z = diff == 0
+                n = diff < 0
+                c = (a & _UINT32) >= s2
+                v = not (-2147483648 <= diff <= 2147483647)
+                pc += 1
+            elif kind == K_TSTI:
+                masked = regs[s1] & imm
+                z = masked == 0
+                n = masked < 0
+                c = v = False
+                pc += 1
+            elif kind == K_CMP:
+                a, b = regs[s1], regs[s2]
                 diff = a - b
                 z = diff == 0
                 n = diff < 0
                 c = (a & _UINT32) >= (b & _UINT32)
-                v = not (-(1 << 31) <= diff <= (1 << 31) - 1)
+                v = not (-2147483648 <= diff <= 2147483647)
                 pc += 1
-            elif op == MOp.CMPI:
-                a, b = regs[instr.s1], instr.imm
+            elif kind == K_ASRI:
+                regs[dst] = regs[s1] >> imm
+                pc += 1
+            elif kind == K_B:
+                stats.branches += 1
+                stats.taken_branches += 1
+                local_cycles += taken_extra
+                if tracing:
+                    trace[-1] = (instr, True, -1)
+                pc = s2
+            elif kind == K_ADDS:
+                result = regs[s1] + regs[s2]
+                regs[dst] = result
+                z = result == 0
+                n = result < 0
+                v = not (smi_min <= result <= smi_max)
+                c = False
+                pc += 1
+            elif kind == K_ADDSI:
+                result = regs[s1] + imm
+                regs[dst] = result
+                z = result == 0
+                n = result < 0
+                v = not (smi_min <= result <= smi_max)
+                c = False
+                pc += 1
+            elif kind == K_LSLI:
+                regs[dst] = regs[s1] << imm
+                pc += 1
+            elif kind == K_CALL_RT:
+                self.cycles = local_cycles
+                name, extra, call_regs, returns_float = aux
+                result = engine.call_runtime(
+                    name, extra, [regs[r] for r in call_regs], fregs
+                )
+                local_cycles = self.cycles
+                next_sample = self._next_sample
+                if returns_float:
+                    fregs[0] = result  # type: ignore[assignment]
+                else:
+                    regs[0] = result  # type: ignore[assignment]
+                pc += 1
+            elif kind == K_CSET:
+                regs[dst] = 1 if aux(n, z, c, v) else 0
+                pc += 1
+            elif kind == K_CMPI_MEM:
+                base, index_reg, scale, disp = aux
+                address = (regs[base] >> 1) + disp
+                if index_reg >= 0:
+                    address += regs[index_reg] << scale
+                stats.loads += 1
+                a = heap_words[address]
+                if not isinstance(a, int):
+                    raise MachineError("cmp with non-int memory operand")
+                diff = a - imm
+                z = diff == 0
+                n = diff < 0
+                c = (a & _UINT32) >= s2
+                v = not (-2147483648 <= diff <= 2147483647)
+                if tracing:
+                    trace[-1] = (instr, False, address)
+                pc += 1
+            elif kind == K_CMP_MEM:
+                base, index_reg, scale, disp = aux
+                address = (regs[base] >> 1) + disp
+                if index_reg >= 0:
+                    address += regs[index_reg] << scale
+                stats.loads += 1
+                b = heap_words[address]
+                if not isinstance(b, int):
+                    raise MachineError("cmp with non-int memory operand")
+                a = regs[s1]
                 diff = a - b
                 z = diff == 0
                 n = diff < 0
-                c = (a & _UINT32) >= (int(b) & _UINT32)
-                v = not (-(1 << 31) <= diff <= (1 << 31) - 1)
+                c = (a & _UINT32) >= (b & _UINT32)
+                v = not (-2147483648 <= diff <= 2147483647)
+                if tracing:
+                    trace[-1] = (instr, False, address)
                 pc += 1
-            elif op == MOp.TSTI:
-                masked = regs[instr.s1] & int(instr.imm)
-                z = masked == 0
-                n = masked < 0
-                c = v = False
+            elif kind == K_STR:
+                stats.stores += 1
+                address = (regs[s2] >> 1) + imm
+                if aux is not None:
+                    address += regs[aux[0]] << aux[1]
+                heap_words[address] = regs[s1]
+                if tracing:
+                    trace[-1] = (instr, False, address)
                 pc += 1
-            elif op == MOp.TST:
-                masked = regs[instr.s1] & regs[instr.s2]
-                z = masked == 0
-                n = masked < 0
-                c = v = False
+            elif kind == K_STR_FRAME:
+                stats.stores += 1
+                frame[imm] = regs[s1]
                 pc += 1
-            elif op == MOp.ADDS or op == MOp.ADDSI:
-                b = regs[instr.s2] if op == MOp.ADDS else int(instr.imm)
-                result = regs[instr.s1] + b
-                regs[instr.dst] = result
+            elif kind == K_LDR_FRAME:
+                stats.loads += 1
+                regs[dst] = frame[imm]  # type: ignore[assignment]
+                pc += 1
+            elif kind == K_SCVTF:
+                fregs[dst] = float(regs[s1])
+                pc += 1
+            elif kind == K_ALU_RR:
+                regs[dst] = aux(regs[s1], regs[s2])
+                pc += 1
+            elif kind == K_ALU_RI:
+                regs[dst] = aux(regs[s1], imm)
+                pc += 1
+            elif kind == K_SUBS:
+                result = regs[s1] - regs[s2]
+                regs[dst] = result
                 z = result == 0
                 n = result < 0
                 v = not (smi_min <= result <= smi_max)
                 c = False
                 pc += 1
-            elif op == MOp.SUBS or op == MOp.SUBSI:
-                b = regs[instr.s2] if op == MOp.SUBS else int(instr.imm)
-                result = regs[instr.s1] - b
-                regs[instr.dst] = result
+            elif kind == K_SUBSI:
+                result = regs[s1] - imm
+                regs[dst] = result
                 z = result == 0
                 n = result < 0
                 v = not (smi_min <= result <= smi_max)
                 c = False
                 pc += 1
-            elif op == MOp.MULS:
-                result = regs[instr.s1] * regs[instr.s2]
-                regs[instr.dst] = result
+            elif kind == K_MULS:
+                result = regs[s1] * regs[s2]
+                regs[dst] = result
                 z = result == 0
                 n = result < 0
                 v = not (smi_min <= result <= smi_max)
                 c = False
                 pc += 1
-            elif op == MOp.NEGS:
-                source = regs[instr.s1]
+            elif kind == K_NEGS:
+                source = regs[s1]
                 result = -source
-                regs[instr.dst] = result
+                regs[dst] = result
                 z = source == 0
                 n = result < 0
                 v = not (smi_min <= result <= smi_max)
                 c = False
                 pc += 1
-            elif op == MOp.MZCMP:
-                z = regs[instr.s1] == 0 and regs[instr.s2] < 0
+            elif kind == K_TST:
+                masked = regs[s1] & regs[s2]
+                z = masked == 0
+                n = masked < 0
+                c = v = False
+                pc += 1
+            elif kind == K_MZCMP:
+                z = regs[s1] == 0 and regs[s2] < 0
                 n = False
                 c = v = False
                 pc += 1
-            elif op == MOp.CSET:
-                regs[instr.dst] = 1 if cond(instr.cc) else 0
+            elif kind == K_FALU_RR:
+                fregs[dst] = aux(fregs[s1], fregs[s2])
                 pc += 1
-            elif op == MOp.AND:
-                regs[instr.dst] = regs[instr.s1] & regs[instr.s2]
+            elif kind == K_FALU_R:
+                fregs[dst] = aux(fregs[s1])
                 pc += 1
-            elif op == MOp.ORR:
-                regs[instr.dst] = regs[instr.s1] | regs[instr.s2]
-                pc += 1
-            elif op == MOp.EOR:
-                regs[instr.dst] = regs[instr.s1] ^ regs[instr.s2]
-                pc += 1
-            elif op == MOp.ANDI:
-                regs[instr.dst] = regs[instr.s1] & int(instr.imm)
-                pc += 1
-            elif op == MOp.ORRI:
-                regs[instr.dst] = regs[instr.s1] | int(instr.imm)
-                pc += 1
-            elif op == MOp.EORI:
-                regs[instr.dst] = regs[instr.s1] ^ int(instr.imm)
-                pc += 1
-            elif op == MOp.LSL:
-                shift = regs[instr.s2] & 31
-                result = (regs[instr.s1] << shift) & _UINT32
-                if result >= 1 << 31:
-                    result -= 1 << 32
-                regs[instr.dst] = result
-                pc += 1
-            elif op == MOp.ASR:
-                regs[instr.dst] = regs[instr.s1] >> (regs[instr.s2] & 31)
-                pc += 1
-            elif op == MOp.LSR:
-                regs[instr.dst] = (regs[instr.s1] & _UINT32) >> (regs[instr.s2] & 31)
-                pc += 1
-            elif op == MOp.LSRI:
-                regs[instr.dst] = (regs[instr.s1] & _UINT32) >> int(instr.imm)
-                pc += 1
-            elif op == MOp.SDIV:
-                divisor = regs[instr.s2]
-                if divisor == 0:
-                    regs[instr.dst] = 0  # ARM semantics: division by zero -> 0
-                else:
-                    quotient = abs(regs[instr.s1]) // abs(divisor)
-                    if (regs[instr.s1] < 0) != (divisor < 0):
-                        quotient = -quotient
-                    regs[instr.dst] = quotient
-                pc += 1
-            elif op == MOp.LDRF:
-                mem = instr.mem
-                stats.loads += 1
-                if mem[0] == FRAME_BASE:
-                    fregs[instr.dst] = frame[mem[3]]  # type: ignore[assignment]
-                else:
-                    address = mem_addr(mem)
-                    value = heap_words[address]
-                    fregs[instr.dst] = float(value)  # type: ignore[arg-type]
-                    if tracing:
-                        trace[-1] = (instr, False, address)
-                pc += 1
-            elif op == MOp.STRF:
-                mem = instr.mem
-                stats.stores += 1
-                if mem[0] == FRAME_BASE:
-                    frame[mem[3]] = fregs[instr.s1]
-                else:
-                    address = mem_addr(mem)
-                    heap_words[address] = fregs[instr.s1]
-                    if tracing:
-                        trace[-1] = (instr, False, address)
-                pc += 1
-            elif op == MOp.FADD:
-                fregs[instr.dst] = fregs[instr.s1] + fregs[instr.s2]
-                pc += 1
-            elif op == MOp.FSUB:
-                fregs[instr.dst] = fregs[instr.s1] - fregs[instr.s2]
-                pc += 1
-            elif op == MOp.FMUL:
-                fregs[instr.dst] = fregs[instr.s1] * fregs[instr.s2]
-                pc += 1
-            elif op == MOp.FDIV:
-                denominator = fregs[instr.s2]
-                numerator = fregs[instr.s1]
+            elif kind == K_FDIV:
+                denominator = fregs[s2]
+                numerator = fregs[s1]
                 if denominator == 0.0:
                     if numerator == 0.0 or math.isnan(numerator):
-                        fregs[instr.dst] = float("nan")
+                        fregs[dst] = float("nan")
                     else:
                         sign = math.copysign(1.0, numerator) * math.copysign(
                             1.0, denominator
                         )
-                        fregs[instr.dst] = math.inf * sign
+                        fregs[dst] = math.inf * sign
                 else:
-                    fregs[instr.dst] = numerator / denominator
+                    fregs[dst] = numerator / denominator
                 pc += 1
-            elif op == MOp.FNEG:
-                fregs[instr.dst] = -fregs[instr.s1]
+            elif kind == K_FMOVR:
+                fregs[dst] = fregs[s1]
                 pc += 1
-            elif op == MOp.FABS:
-                fregs[instr.dst] = abs(fregs[instr.s1])
+            elif kind == K_FMOVI:
+                fregs[dst] = imm
                 pc += 1
-            elif op == MOp.FMOVR:
-                fregs[instr.dst] = fregs[instr.s1]
-                pc += 1
-            elif op == MOp.FMOVI:
-                fregs[instr.dst] = float(instr.imm)
-                pc += 1
-            elif op == MOp.FCMP:
-                a, b = fregs[instr.s1], fregs[instr.s2]
+            elif kind == K_FCMP:
+                a, b = fregs[s1], fregs[s2]
                 if math.isnan(a) or math.isnan(b):
                     n, z, c, v = False, False, True, True
                 else:
@@ -556,25 +571,64 @@ class Executor:
                     c = a >= b
                     v = False
                 pc += 1
-            elif op == MOp.SCVTF:
-                fregs[instr.dst] = float(regs[instr.s1])
-                pc += 1
-            elif op == MOp.FCVTZS:
+            elif kind == K_FCVTZS:
                 # JS ToInt32 truncation semantics (wrap modulo 2^32): this is
                 # what the compiler's float64->int32 lowering implements.
-                value = fregs[instr.s1]
+                value = fregs[s1]
                 if math.isnan(value) or math.isinf(value):
-                    regs[instr.dst] = 0
+                    regs[dst] = 0
                 else:
                     wrapped = int(value) % 4294967296
-                    regs[instr.dst] = (
+                    regs[dst] = (
                         wrapped - 4294967296 if wrapped >= 2147483648 else wrapped
                     )
                 pc += 1
-            elif op == MOp.JSLDRSMI:
-                mem = instr.mem
+            elif kind == K_LDRF:
                 stats.loads += 1
-                address = mem_addr(mem)
+                address = (regs[s1] >> 1) + imm
+                if s2 >= 0:
+                    address += regs[s2] << aux
+                value = heap_words[address]
+                fregs[dst] = float(value)  # type: ignore[arg-type]
+                if tracing:
+                    trace[-1] = (instr, False, address)
+                pc += 1
+            elif kind == K_LDRF_FRAME:
+                stats.loads += 1
+                fregs[dst] = frame[imm]  # type: ignore[assignment]
+                pc += 1
+            elif kind == K_STRF:
+                stats.stores += 1
+                address = (regs[s2] >> 1) + imm
+                if aux is not None:
+                    address += regs[aux[0]] << aux[1]
+                heap_words[address] = fregs[s1]
+                if tracing:
+                    trace[-1] = (instr, False, address)
+                pc += 1
+            elif kind == K_STRF_FRAME:
+                stats.stores += 1
+                frame[imm] = fregs[s1]
+                pc += 1
+            elif kind == K_TSTI_MEM:
+                base, index_reg, scale, disp = aux
+                address = (regs[base] >> 1) + disp
+                if index_reg >= 0:
+                    address += regs[index_reg] << scale
+                stats.loads += 1
+                a = heap_words[address]
+                masked = a & imm  # type: ignore[operator]
+                z = masked == 0
+                n = masked < 0  # type: ignore[operator]
+                c = v = False
+                if tracing:
+                    trace[-1] = (instr, False, address)
+                pc += 1
+            elif kind == K_JSLDRSMI:
+                stats.loads += 1
+                address = (regs[s1] >> 1) + imm
+                if s2 >= 0:
+                    address += regs[s2] << aux[0]
                 value = heap_words[address]
                 if tracing:
                     trace[-1] = (instr, False, address)
@@ -583,97 +637,44 @@ class Executor:
                 if value & 1:
                     # Commit-time bailout (Fig. 12): update the special
                     # registers and raise through the bailout handler.
-                    check_id = code.smi_load_checks.get(pc, -1)
+                    check_id = aux[1]
                     special[REG_PC] = pc
-                    special[REG_RE] = REASON_CODES.get(
-                        code.deopt_points[check_id].kind, 1
-                    ) if check_id >= 0 else 1
+                    special[REG_RE] = aux[2] if check_id >= 0 else 1
                     if check_id < 0:
                         raise MachineError("jsldrsmi bailout without deopt point")
                     self.cycles = local_cycles
                     self.deopt_state = (regs, fregs, frame)
                     raise DeoptSignal(check_id)
-                regs[instr.dst] = value >> 1
+                regs[dst] = value >> 1
                 pc += 1
-            elif op == MOp.CMP_MEM:
-                address = mem_addr(instr.mem)
-                stats.loads += 1
-                b = heap_words[address]
-                if not isinstance(b, int):
-                    raise MachineError("cmp with non-int memory operand")
-                a = regs[instr.s1]
-                diff = a - b
-                z = diff == 0
-                n = diff < 0
-                c = (a & _UINT32) >= (b & _UINT32)
-                v = not (-(1 << 31) <= diff <= (1 << 31) - 1)
-                if tracing:
-                    trace[-1] = (instr, False, address)
-                pc += 1
-            elif op == MOp.CMPI_MEM:
-                address = mem_addr(instr.mem)
-                stats.loads += 1
-                a = heap_words[address]
-                if not isinstance(a, int):
-                    raise MachineError("cmp with non-int memory operand")
-                b = int(instr.imm)
-                diff = a - b
-                z = diff == 0
-                n = diff < 0
-                c = (a & _UINT32) >= (b & _UINT32)
-                v = not (-(1 << 31) <= diff <= (1 << 31) - 1)
-                if tracing:
-                    trace[-1] = (instr, False, address)
-                pc += 1
-            elif op == MOp.TSTI_MEM:
-                address = mem_addr(instr.mem)
-                stats.loads += 1
-                a = heap_words[address]
-                masked = a & int(instr.imm)  # type: ignore[operator]
-                z = masked == 0
-                n = masked < 0  # type: ignore[operator]
-                c = v = False
-                if tracing:
-                    trace[-1] = (instr, False, address)
-                pc += 1
-            elif op == MOp.CALL_JS:
+            elif kind == K_CALL_JS:
                 self.cycles = local_cycles
-                call_args = [regs[r] for r in instr.args]
-                regs[0] = engine.call_shared(int(instr.imm), regs[THIS_REG], call_args)
+                call_args = [regs[r] for r in aux]
+                regs[0] = engine.call_shared(imm, regs[THIS_REG], call_args)
                 local_cycles = self.cycles
+                next_sample = self._next_sample
                 pc += 1
-            elif op == MOp.CALL_DYN:
+            elif kind == K_CALL_DYN:
                 self.cycles = local_cycles
-                call_args = [regs[r] for r in instr.args]
+                call_args = [regs[r] for r in aux]
                 regs[0] = engine.call_value(
-                    regs[instr.s1], self.heap.undefined, call_args, None
+                    regs[s1], self.heap.undefined, call_args, None
                 )
                 local_cycles = self.cycles
+                next_sample = self._next_sample
                 pc += 1
-            elif op == MOp.CALL_RT:
+            elif kind == K_RET:
                 self.cycles = local_cycles
-                name, extra = instr.aux  # type: ignore[misc]
-                result = engine.call_runtime(
-                    name, extra, [regs[r] for r in instr.args], fregs
-                )
-                local_cycles = self.cycles
-                if instr.returns_float:
-                    fregs[0] = result  # type: ignore[assignment]
-                else:
-                    regs[0] = result  # type: ignore[assignment]
-                pc += 1
-            elif op == MOp.RET:
-                self.cycles = local_cycles
-                return regs[instr.s1]
-            elif op == MOp.DEOPT:
+                return regs[s1]
+            elif kind == K_DEOPT:
                 self.cycles = local_cycles
                 self.deopt_state = (regs, fregs, frame)
-                raise DeoptSignal(int(instr.imm))
-            elif op == MOp.MSR:
-                special[int(instr.imm)] = regs[instr.s1]
+                raise DeoptSignal(imm)
+            elif kind == K_MSR:
+                special[imm] = regs[s1]
                 pc += 1
-            else:  # pragma: no cover - full dispatch above
-                raise MachineError(f"unimplemented machine op {op.name}")
+            else:  # pragma: no cover - decode() covers every MOp
+                raise MachineError(f"unimplemented dispatch kind {kind}")
 
     def _sample(self, code: CodeObject, pc: int, cycles: float) -> None:
         if self.sampler is not None:

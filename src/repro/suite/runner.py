@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -36,6 +37,16 @@ if TYPE_CHECKING:
 EAGER_KINDS: FrozenSet[CheckKind] = frozenset(
     kind for kind in CheckKind if category_of(kind) == DeoptCategory.EAGER
 )
+
+
+def stable_seed(name: str) -> int:
+    """Process-stable seed digest for a benchmark name.
+
+    ``hash(str)`` is salted per process (PYTHONHASHSEED), so seeding noise
+    from it makes results differ across runs and across pool workers.
+    CRC32 is stable everywhere and cheap.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 @dataclass
@@ -120,7 +131,7 @@ class BenchmarkRunner:
         rep: int = 0,
         reference: object = None,
     ) -> RunResult:
-        rng = random.Random((hash(self.spec.name) & 0xFFFFFFF) * 1000003 + rep)
+        rng = random.Random((stable_seed(self.spec.name) & 0xFFFFFFF) * 1000003 + rep)
         config = self.noise.perturb_config(self.config, rng)
         engine = Engine(config)
         engine.load(self.spec.source)

@@ -1,0 +1,88 @@
+"""Disk-cache round trips: cold store, warm hit, fingerprint invalidation."""
+
+import pytest
+
+from repro.exec import DiskCache, MISS, execute_cells, timed_cell
+from repro.exec.fingerprint import engine_fingerprint
+
+
+@pytest.fixture
+def cell():
+    return timed_cell("FIB", "arm64", 3, noise=False)
+
+
+class TestDiskCache:
+    def test_get_on_empty_cache_is_a_miss(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        assert cache.get("00" * 32) is MISS
+        assert cache.misses == 1
+
+    def test_put_then_get_round_trips(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        cache.put("ab" * 32, {"x": 1})
+        assert cache.get("ab" * 32) == {"x": 1}
+        assert (cache.stores, cache.hits) == (1, 1)
+
+    def test_layout_is_fingerprint_then_token_fanout(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        token = "cd" * 32
+        cache.put(token, 42)
+        expected = tmp_path / engine_fingerprint()[:16] / token[:2] / f"{token}.pkl"
+        assert expected.is_file()
+
+    def test_corrupt_entry_degrades_to_miss_and_is_dropped(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        token = "ef" * 32
+        cache.put(token, 42)
+        path = cache._path(token)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(token) is MISS
+        assert not path.exists()
+
+    def test_unwritable_root_disables_quietly(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        cache = DiskCache(root=blocker)  # mkdir under a file fails
+        cache.put("aa" * 32, 1)
+        assert cache._disabled
+        assert cache.get("aa" * 32) is MISS
+
+
+class TestSchedulerRoundTrip:
+    def test_cold_run_stores_warm_run_hits(self, tmp_path, cell, monkeypatch):
+        disk = DiskCache(root=tmp_path)
+        cold = execute_cells([cell], jobs=1, memo={}, disk=disk)[cell]
+        assert disk.stores == 1
+
+        # A warm run must be served entirely from disk: make any attempt to
+        # recompute blow up.
+        import repro.exec.scheduler as sched
+
+        def explode(_cell):
+            raise AssertionError("warm run recomputed a cached cell")
+
+        monkeypatch.setattr(sched, "compute_cell", explode)
+        warm = execute_cells([cell], jobs=1, memo={}, disk=disk)[cell]
+        assert warm == cold
+        assert disk.hits == 1
+
+    def test_fingerprint_bump_invalidates(self, tmp_path, cell):
+        old = DiskCache(root=tmp_path)
+        execute_cells([cell], jobs=1, memo={}, disk=old)
+        bumped = DiskCache(root=tmp_path, fingerprint="deadbeef" * 8)
+        assert bumped.get(cell.token()) is MISS
+        execute_cells([cell], jobs=1, memo={}, disk=bumped)
+        assert bumped.stores == 1  # recomputed and stored under the new version
+
+    def test_disk_none_bypasses_persistence(self, tmp_path, cell):
+        execute_cells([cell], jobs=1, memo={}, disk=None)
+        assert not any(tmp_path.iterdir())
+
+    def test_clear_removes_only_this_fingerprint(self, tmp_path):
+        ours = DiskCache(root=tmp_path)
+        other = DiskCache(root=tmp_path, fingerprint="feedface" * 8)
+        ours.put("11" * 32, 1)
+        other.put("11" * 32, 2)
+        ours.clear()
+        assert not ours.directory.exists()
+        assert other.get("11" * 32) == 2

@@ -1,0 +1,91 @@
+"""RunCell descriptors: normalization, keys, and compute determinism."""
+
+from repro.exec import (
+    RunCell,
+    compute_cell,
+    execute_cells,
+    profiled_cell,
+    removable_cell,
+    timed_cell,
+)
+from repro.jit.checks import CheckKind
+from repro.suite.spec import get_benchmark
+
+
+class TestCellNormalization:
+    def test_spec_and_name_make_the_same_cell(self):
+        spec = get_benchmark("FIB")
+        assert timed_cell(spec, "arm64", 10) == timed_cell("FIB", "arm64", 10)
+
+    def test_removed_kinds_are_sorted_names(self):
+        removed = frozenset({CheckKind.NOT_A_SMI, CheckKind.OUT_OF_BOUNDS})
+        cell = timed_cell("FIB", "arm64", 10, removed=removed)
+        assert cell.removed == tuple(sorted(k.name for k in removed))
+        # Any iteration order of the frozenset produces the identical cell.
+        assert cell == timed_cell("FIB", "arm64", 10, removed=set(removed))
+
+    def test_cells_are_hashable_and_distinct_by_kind(self):
+        cells = {
+            timed_cell("FIB", "arm64", 10),
+            profiled_cell("FIB", "arm64", 10),
+            removable_cell("FIB", "arm64", 10),
+        }
+        assert len(cells) == 3
+
+    def test_token_is_stable_and_distinct(self):
+        a = timed_cell("FIB", "arm64", 10)
+        assert a.token() == timed_cell("FIB", "arm64", 10).token()
+        assert a.token() != timed_cell("FIB", "arm64", 11).token()
+        assert len(a.token()) == 64
+
+    def test_removable_key_includes_iterations(self):
+        # Historic bug: two callers probing at different lengths silently
+        # shared one result.  The iteration count is now part of the key.
+        assert removable_cell("FIB", "arm64", 10) != removable_cell("FIB", "arm64", 40)
+
+    def test_removable_cell_normalizes_irrelevant_fields(self):
+        cell = removable_cell("FIB", "arm64")
+        assert (cell.rep, cell.removed, cell.noise) == (0, (), False)
+
+
+class TestComputeCell:
+    def test_timed_cell_matches_direct_runner(self):
+        spec = get_benchmark("FIB")
+        cell = timed_cell(spec, "arm64", 3, noise=False)
+        first = compute_cell(cell)
+        second = compute_cell(cell)
+        assert first == second  # RunResult dataclass equality, bitwise
+
+    def test_unknown_kind_rejected(self):
+        cell = RunCell("bogus", "FIB", "arm64", 3)
+        try:
+            compute_cell(cell)
+        except ValueError as error:
+            assert "bogus" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestSchedulerDedup:
+    def test_duplicate_cells_resolve_once(self, monkeypatch):
+        import repro.exec.scheduler as sched
+
+        calls = []
+        real = compute_cell
+
+        def counting(cell):
+            calls.append(cell)
+            return real(cell)
+
+        monkeypatch.setattr(sched, "compute_cell", counting)
+        cell = timed_cell("FIB", "arm64", 3, noise=False)
+        results = execute_cells([cell, cell, cell], jobs=1, memo={}, disk=None)
+        assert len(calls) == 1
+        assert list(results) == [cell]
+
+    def test_memo_is_reused_across_batches(self):
+        memo = {}
+        cell = timed_cell("FIB", "arm64", 3, noise=False)
+        first = execute_cells([cell], jobs=1, memo=memo, disk=None)[cell]
+        second = execute_cells([cell], jobs=1, memo=memo, disk=None)[cell]
+        assert first is second
