@@ -29,7 +29,13 @@ from .ir.builder import BailoutCompilation, build_graph
 from .ir.passes.pipeline import run_optimization_pipeline
 from .jit.checks import CheckKind, DeoptCategory, category_of
 from .jit.codegen import CodeObject, generate_code
-from .jit.deopt import DeoptEvent, DeoptSignal, materialize_frame
+from .jit.deopt import (
+    DeoptEvent,
+    DeoptSignal,
+    DeoptStateError,
+    LazyDeoptEvent,
+    materialize_frame,
+)
 from .lang.errors import JSTypeError
 from .machine.executor import CostModel, Executor
 from .regex.engine import Regex
@@ -60,6 +66,14 @@ class EngineConfig:
     emit_check_branches: bool = True
     gc_between_iterations: bool = True
     max_reoptimizations: int = 3
+    #: deopt-storm guard (mirrors V8's deopt-loop detection): a function
+    #: whose checks of the *same kind* fail this many times has its
+    #: speculation permanently disabled, regardless of the total
+    #: re-optimization budget above.
+    storm_strikes: int = 3
+    #: cap on the exponential re-tier backoff (threshold scale is
+    #: ``2 ** min(reopt_count, backoff_cap)``).
+    backoff_cap: int = 4
     cost_model: Optional[CostModel] = None
     collect_trace: bool = False
     random_seed: int = 0x9E3779B97F4A7C15
@@ -82,6 +96,7 @@ class SharedFunction:
         "code",
         "deopt_count",
         "reopt_count",
+        "deopts_by_kind",
         "optimization_disabled",
         "native_impl",
         "name",
@@ -109,6 +124,9 @@ class SharedFunction:
         self.code: Optional[CodeObject] = None
         self.deopt_count = 0
         self.reopt_count = 0
+        #: eager deopts per check kind (the deopt-storm guard's strike
+        #: counters; soft deopts are not strikes)
+        self.deopts_by_kind: Dict[CheckKind, int] = {}
         self.optimization_disabled = False
         self.native_impl = native_impl
         self.name = name or (info.name if info is not None else "<native>")
@@ -173,6 +191,12 @@ class Engine:
         }
         self.deopt_events: List[DeoptEvent] = []
         self.lazy_deopts = 0
+        self.lazy_deopt_events: List[LazyDeoptEvent] = []
+        #: engine-wide deopt tally per check kind (eager and soft)
+        self.deopts_by_kind: Dict[CheckKind, int] = {}
+        self.storms_detected = 0
+        #: (function name, check kind name) pairs disabled by the storm guard
+        self.storm_disabled: List[tuple] = []
         self.compilations = 0
         self.current_iteration = -1
         self._code_objects: List[CodeObject] = []
@@ -181,6 +205,9 @@ class Engine:
 
         self._runtime_table = _build_runtime_table()
         self._install_globals()
+        #: names installed by the engine itself (Math, RegExp, ...); the
+        #: fault injector perturbs only globals defined after this point.
+        self._builtin_global_names: FrozenSet[str] = frozenset(self._global_index)
 
     # ------------------------------------------------------------------
     # Time accounting
@@ -246,6 +273,18 @@ class Engine:
 
     def set_global_word(self, name: str, word: int) -> None:
         self.global_cells[self.global_cell_index(name)] = word
+
+    def get_global_word(self, name: str) -> Optional[int]:
+        cell = self._global_index.get(name)
+        return None if cell is None else self.global_cells[cell]
+
+    def user_global_names(self) -> List[str]:
+        """Globals defined by the loaded program, in definition order."""
+        return [
+            name
+            for name in self._global_index
+            if name not in self._builtin_global_names
+        ]
 
     def global_array_word(self) -> int:
         return self._global_array_word
@@ -333,6 +372,11 @@ class Engine:
             shared.code = None
             code = None
             self.lazy_deopts += 1
+            self.lazy_deopt_events.append(
+                LazyDeoptEvent(
+                    shared.name, self.current_iteration, int(self.total_cycles)
+                )
+            )
         if code is None:
             self.maybe_tier_up(shared)
             code = shared.code
@@ -380,7 +424,11 @@ class Engine:
             or shared.native_impl is not None
         ):
             return
-        threshold_scale = 1 + shared.reopt_count
+        # Exponential re-tier backoff: every prior deopt doubles the budget a
+        # function must re-earn before the optimizer trusts it again, so a
+        # function stuck in a deopt/re-opt cycle spends geometrically less of
+        # its life being recompiled (V8's deopt-loop damping).
+        threshold_scale = 1 << min(shared.reopt_count, self.config.backoff_cap)
         if (
             shared.invocation_count < self.config.tierup_invocations * threshold_scale
             and shared.backedge_count < self.config.tierup_backedges * threshold_scale
@@ -423,7 +471,15 @@ class Engine:
         # code object itself.
         point = code.deopt_points[signal.check_id]
         state = getattr(self.executor, "deopt_state", None)
-        assert state is not None, "executor did not record deopt state"
+        if state is None:
+            raise DeoptStateError(
+                signal.check_id,
+                point.kind.name,
+                shared.name,
+                context=f"bytecode pc {point.bytecode_pc}, iteration "
+                f"{self.current_iteration}",
+            )
+        self.executor.deopt_state = None
         regs, fregs, frame = state
         interp_regs, this_word = materialize_frame(
             self.heap, point, shared.info.register_count, regs, fregs, frame
@@ -438,13 +494,25 @@ class Engine:
             )
         )
         shared.deopt_count += 1
-        # Discard the code; re-optimization is allowed with a raised
-        # threshold until the budget is exhausted (prevents deopt loops).
+        self.deopts_by_kind[point.kind] = self.deopts_by_kind.get(point.kind, 0) + 1
+        # Discard the code; re-optimization is allowed with an exponentially
+        # raised threshold until either budget is exhausted (the total
+        # re-optimization budget, or the per-kind storm guard below).
         if shared.code is code:
             shared.code = None
         if category_of(point.kind) != DeoptCategory.SOFT:
+            strikes = shared.deopts_by_kind.get(point.kind, 0) + 1
+            shared.deopts_by_kind[point.kind] = strikes
             shared.reopt_count += 1
-            if shared.reopt_count > self.config.max_reoptimizations:
+            if strikes >= self.config.storm_strikes:
+                # Deopt storm: the same speculation keeps failing in this
+                # function.  Stop speculating on it permanently rather than
+                # thrashing through compile/deopt cycles.
+                if not shared.optimization_disabled:
+                    shared.optimization_disabled = True
+                    self.storms_detected += 1
+                    self.storm_disabled.append((shared.name, point.kind.name))
+            elif shared.reopt_count > self.config.max_reoptimizations:
                 shared.optimization_disabled = True
         shared.invocation_count = 0
         shared.backedge_count = 0
@@ -452,6 +520,29 @@ class Engine:
         return self.interpreter.run_from(
             shared, interp_regs, point.bytecode_pc, this_word
         )
+
+    def resilience_stats(self) -> Dict[str, object]:
+        """Deopt/backoff counters surfaced for the chaos CLI and figures."""
+        eager: Dict[str, int] = {}
+        soft: Dict[str, int] = {}
+        for kind, count in self.deopts_by_kind.items():
+            bucket = soft if category_of(kind) == DeoptCategory.SOFT else eager
+            bucket[kind.name] = count
+        return {
+            "eager_deopts_by_kind": dict(sorted(eager.items())),
+            "soft_deopts_by_kind": dict(sorted(soft.items())),
+            "lazy_deopts": self.lazy_deopts,
+            "storms_detected": self.storms_detected,
+            "storm_disabled": list(self.storm_disabled),
+            "max_reopt_count": max(
+                (f.reopt_count for f in self.functions), default=0
+            ),
+            "disabled_functions": [
+                f.name
+                for f in self.functions
+                if f.optimization_disabled and f.info is not None
+            ],
+        }
 
     # ------------------------------------------------------------------
     # Garbage collection

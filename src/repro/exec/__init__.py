@@ -24,10 +24,17 @@ from .cells import (
 )
 from .fingerprint import CACHE_SCHEMA, engine_fingerprint
 from .scheduler import (
+    CellFailure,
+    GridError,
+    RetryPolicy,
     SchedulerConfig,
+    clear_quarantine,
     configure,
     current_config,
+    current_policy,
     execute_cells,
+    quarantine_report,
+    quarantined_cells,
     shared_disk_cache,
 )
 
@@ -39,17 +46,24 @@ __all__ = [
     "REMOVABLE_ITERATIONS",
     "SAMPLE_PERIOD",
     "TIMED",
+    "CellFailure",
     "DiskCache",
+    "GridError",
     "ProfiledRun",
+    "RetryPolicy",
     "RunCell",
     "SchedulerConfig",
+    "clear_quarantine",
     "compute_cell",
     "configure",
     "current_config",
+    "current_policy",
     "default_cache_root",
     "engine_fingerprint",
     "execute_cells",
     "profiled_cell",
+    "quarantine_report",
+    "quarantined_cells",
     "removable_cell",
     "shared_disk_cache",
     "timed_cell",

@@ -11,14 +11,25 @@ Layout (all knobs documented in the README):
 * ``token`` is the cell's sha256 content-address; the two-character fan-out
   keeps directories small at ``full``-scale grids.
 
+Entries are **checksummed**: the on-disk format is a 4-byte magic, the
+sha256 digest of the pickled payload, then the payload.  A truncated file
+(power loss mid-``os.replace`` on non-atomic filesystems), a flipped bit,
+or an entry written by an older schema fails validation and is *evicted* —
+counted in ``corrupt_evictions`` — rather than deserialized into a bogus
+measurement.
+
 Writes are atomic (temp file + ``os.replace``) so concurrent CLI runs
-sharing one cache directory can never observe torn entries.  All I/O
-errors degrade to cache misses; an unwritable location disables the cache
-for the rest of the process instead of failing the run.
+sharing one cache directory can never observe torn entries, and they
+tolerate the cache directory being deleted concurrently (``clear`` from
+another process, an overzealous ``rm -rf results``): the tree is recreated
+and the write retried once.  All other I/O errors degrade to cache misses;
+a persistently unwritable location disables the cache for the rest of the
+process instead of failing the run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import shutil
@@ -31,12 +42,33 @@ from .fingerprint import engine_fingerprint
 #: sentinel distinguishing "no entry" from a cached None
 MISS = object()
 
+#: on-disk entry magic; bump with the entry format
+_MAGIC = b"RPC2"
+_DIGEST_BYTES = hashlib.sha256().digest_size
+_HEADER_BYTES = len(_MAGIC) + _DIGEST_BYTES
+
 
 def default_cache_root() -> Path:
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
         return Path(env)
     return Path(__file__).resolve().parents[3] / "results" / ".cache"
+
+
+def _encode(value: object) -> bytes:
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return _MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def _decode(data: bytes) -> object:
+    """Validated payload, or raise ``ValueError`` on any corruption."""
+    if len(data) < _HEADER_BYTES or not data.startswith(_MAGIC):
+        raise ValueError("bad cache entry header")
+    digest = data[len(_MAGIC):_HEADER_BYTES]
+    payload = data[_HEADER_BYTES:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise ValueError("cache entry checksum mismatch")
+    return pickle.loads(payload)
 
 
 class DiskCache:
@@ -52,6 +84,7 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_evictions = 0
         self._disabled = False
 
     @property
@@ -68,12 +101,15 @@ class DiskCache:
         path = self._path(token)
         try:
             data = path.read_bytes()
-            value = pickle.loads(data)
-        except FileNotFoundError:
+        except OSError:
             self.misses += 1
             return MISS
-        except (OSError, pickle.PickleError, EOFError, AttributeError, ValueError):
-            # Torn or stale entry: drop it and recompute.
+        try:
+            value = _decode(data)
+        except (ValueError, pickle.PickleError, EOFError, AttributeError):
+            # Truncated, bit-flipped, or legacy-format entry: evict and
+            # recompute rather than trust it.
+            self.corrupt_evictions += 1
             try:
                 path.unlink()
             except OSError:
@@ -86,30 +122,47 @@ class DiskCache:
     def put(self, token: str, value: object) -> None:
         if self._disabled:
             return
-        path = self._path(token)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except (OSError, pickle.PickleError):
-            # Read-only checkout, full disk, unpicklable payload: run without
-            # persistence rather than failing the measurement.
+            data = _encode(value)
+        except pickle.PickleError:
             self._disabled = True
             return
-        self.stores += 1
+        path = self._path(token)
+        for attempt in range(2):
+            try:
+                self._write_atomic(path, data)
+                self.stores += 1
+                return
+            except OSError:
+                # First failure is commonly a concurrently-deleted cache
+                # tree (clear() in another process); mkdir in
+                # _write_atomic recreates it, so one retry suffices.
+                # A second failure means a genuinely unwritable location
+                # (read-only checkout, full disk): run without persistence
+                # rather than failing the measurement.
+                if attempt == 1:
+                    self._disabled = True
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def clear(self) -> None:
         """Remove this fingerprint's entries (other versions are kept)."""
         shutil.rmtree(self.directory, ignore_errors=True)
 
     def stats_line(self) -> str:
-        return f"{self.hits} hits, {self.misses} misses, {self.stores} stored"
+        return (
+            f"{self.hits} hits, {self.misses} misses, {self.stores} stored, "
+            f"{self.corrupt_evictions} corrupt evicted"
+        )

@@ -17,7 +17,9 @@ produces the same result in any process.
 from __future__ import annotations
 
 import hashlib
+import os
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
 
@@ -163,8 +165,37 @@ class ProfiledRun:
         return 100.0 * self.static_checks / self.static_body
 
 
+def _chaos_hook(cell: RunCell) -> None:
+    """Test-only failure injection, driven by ``REPRO_CHAOS_EXEC``.
+
+    The variable holds ``action:benchmark`` (e.g. ``crash:FIB``); when a
+    matching cell is computed the worker crashes (``os._exit``), hangs, or
+    raises — exercising the scheduler's retry/timeout/quarantine paths with
+    real process death rather than mocks.  ``crash`` and ``hang`` are
+    suppressed in the scheduler's own process (``REPRO_CHAOS_MAIN_PID``) so
+    serial fallback passes survive to report the failure.
+    """
+    spec_var = os.environ.get("REPRO_CHAOS_EXEC")
+    if not spec_var:
+        return
+    try:
+        action, _, benchmark = spec_var.partition(":")
+    except ValueError:
+        return
+    if benchmark != cell.benchmark:
+        return
+    in_main = os.environ.get("REPRO_CHAOS_MAIN_PID") == str(os.getpid())
+    if action == "crash" and not in_main:
+        os._exit(17)
+    elif action == "hang" and not in_main:
+        time.sleep(3600)
+    elif action == "fail":
+        raise RuntimeError(f"chaos: injected failure for {cell.describe()}")
+
+
 def compute_cell(cell: RunCell) -> object:
     """Execute one cell; the sole entry point for scheduler workers."""
+    _chaos_hook(cell)
     spec = get_benchmark(cell.benchmark)
     if cell.kind == TIMED:
         config = EngineConfig(

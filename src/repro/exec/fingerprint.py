@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Optional
 
 #: bump when the RunCell key layout or pickled payloads change shape
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2  # 2: checksummed entry format (magic + sha256 + payload)
 
 _cached: Optional[str] = None
 

@@ -1,4 +1,4 @@
-"""Deduplicating cell scheduler with process-pool fan-out.
+"""Deduplicating cell scheduler with process-pool fan-out and hardening.
 
 :func:`execute_cells` resolves a batch of :class:`~repro.exec.cells.RunCell`
 descriptors through three layers, cheapest first:
@@ -16,26 +16,109 @@ Workers never touch the disk cache; the parent stores results as they
 arrive, which keeps the cache layer free of cross-process races beyond the
 atomic-rename writes it already does.
 
+Long grids die to one bad cell without hardening, so computation runs
+under a :class:`RetryPolicy`:
+
+* **crashed workers** (``BrokenProcessPool``) and **hung workers** (no
+  completion within ``timeout`` seconds) poison a whole pool pass, which
+  cannot attribute blame — the unfinished cells are re-run *in isolation*
+  (one single-worker pool each) so the guilty cell convicts itself while
+  innocent neighbours complete on their first solo attempt;
+* failing cells are retried with capped exponential backoff, then
+  **quarantined**: later batches in the same process skip them instead of
+  re-dying (:func:`quarantined_cells` lists them, :func:`clear_quarantine`
+  resets);
+* with ``keep_going`` the failure is recorded as a :class:`CellFailure`
+  result so figure drivers can emit partial output with missing cells
+  marked; without it the original exception (or a :class:`GridError` when
+  the worker died and there is no exception object) propagates after the
+  retries are exhausted.
+
+Wall-clock timeouts need process isolation to be enforceable, so setting
+``timeout`` routes computation through a pool even at ``jobs=1``; with no
+timeout and one job the serial fast path runs cells in-process exactly as
+before.  Failures are never written to the disk cache.
+
 Process-wide defaults come from :func:`configure` (the CLIs' ``--jobs`` /
-``--no-cache``) or the ``REPRO_JOBS`` / ``REPRO_CACHE`` environment
-variables.
+``--no-cache`` / ``--keep-going`` / ``--timeout`` / ``--retries``) or the
+``REPRO_JOBS`` / ``REPRO_CACHE`` / ``REPRO_KEEP_GOING`` /
+``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRIES`` environment variables.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .cache import MISS, DiskCache
 from .cells import RunCell, compute_cell
+
+
+class GridError(RuntimeError):
+    """A cell failed in a way that leaves no exception to re-raise
+    (worker process died, or a quarantined cell was requested again)."""
+
+
+@dataclass
+class RetryPolicy:
+    """How :func:`execute_cells` treats failing, crashing, or hung cells."""
+
+    #: per-cell wall-clock budget in seconds; ``None`` disables hang
+    #: detection (and the forced pool routing that enforces it)
+    timeout: Optional[float] = None
+    #: how many times a failing cell is re-run before giving up
+    retries: int = 1
+    #: base of the capped exponential backoff between attempts
+    backoff: float = 0.25
+    backoff_cap: float = 4.0
+    #: record failures as :class:`CellFailure` results instead of raising
+    keep_going: bool = False
+
+    def sleep_for(self, attempt: int) -> float:
+        return min(self.backoff * (2 ** max(0, attempt - 1)), self.backoff_cap)
+
+
+@dataclass
+class CellFailure:
+    """Placeholder result for a cell that exhausted its retries."""
+
+    cell: RunCell
+    error: str
+    attempts: int
+    quarantined: bool = True
+
+    def describe(self) -> str:
+        return f"{self.cell.describe()}: {self.error} (after {self.attempts} attempt(s))"
+
+
+#: cells that exhausted their retries this process, with their failures
+_QUARANTINE: Dict[RunCell, CellFailure] = {}
+
+
+def quarantined_cells() -> List[RunCell]:
+    """Cells this process has given up on, in first-failure order."""
+    return list(_QUARANTINE)
+
+
+def quarantine_report() -> List[str]:
+    return [failure.describe() for failure in _QUARANTINE.values()]
+
+
+def clear_quarantine() -> None:
+    _QUARANTINE.clear()
 
 
 @dataclass
 class SchedulerConfig:
     jobs: int = 1
     cache: bool = True
+    keep_going: bool = False
+    timeout: Optional[float] = None
+    retries: int = 1
 
 
 def _initial_config() -> SchedulerConfig:
@@ -44,7 +127,22 @@ def _initial_config() -> SchedulerConfig:
     except ValueError:
         jobs = 1
     cache = os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "no", "off")
-    return SchedulerConfig(jobs=max(1, jobs), cache=cache)
+    keep_going = os.environ.get("REPRO_KEEP_GOING", "0").lower() in ("1", "yes", "on")
+    try:
+        timeout: Optional[float] = float(os.environ["REPRO_CELL_TIMEOUT"])
+    except (KeyError, ValueError):
+        timeout = None
+    try:
+        retries = int(os.environ.get("REPRO_RETRIES", "1"))
+    except ValueError:
+        retries = 1
+    return SchedulerConfig(
+        jobs=max(1, jobs),
+        cache=cache,
+        keep_going=keep_going,
+        timeout=timeout if timeout and timeout > 0 else None,
+        retries=max(0, retries),
+    )
 
 
 _CONFIG = _initial_config()
@@ -52,17 +150,38 @@ _DISK: Optional[DiskCache] = None
 _UNSET = object()
 
 
-def configure(jobs: Optional[int] = None, cache: Optional[bool] = None) -> SchedulerConfig:
-    """Set process-wide scheduler defaults; ``None`` leaves a knob unchanged."""
+def configure(
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    keep_going: Optional[bool] = None,
+    timeout: Optional[float] = _UNSET,  # type: ignore[assignment]
+    retries: Optional[int] = None,
+) -> SchedulerConfig:
+    """Set process-wide scheduler defaults; ``None`` leaves a knob unchanged
+    (``timeout`` uses a sentinel so it can be explicitly reset to ``None``)."""
     if jobs is not None:
         _CONFIG.jobs = max(1, int(jobs))
     if cache is not None:
         _CONFIG.cache = bool(cache)
+    if keep_going is not None:
+        _CONFIG.keep_going = bool(keep_going)
+    if timeout is not _UNSET:
+        _CONFIG.timeout = float(timeout) if timeout else None  # type: ignore[arg-type]
+    if retries is not None:
+        _CONFIG.retries = max(0, int(retries))
     return _CONFIG
 
 
 def current_config() -> SchedulerConfig:
     return _CONFIG
+
+
+def current_policy() -> RetryPolicy:
+    return RetryPolicy(
+        timeout=_CONFIG.timeout,
+        retries=_CONFIG.retries,
+        keep_going=_CONFIG.keep_going,
+    )
 
 
 def shared_disk_cache() -> DiskCache:
@@ -78,41 +197,202 @@ def execute_cells(
     jobs: Optional[int] = None,
     memo: Optional[Dict[RunCell, object]] = None,
     disk: object = _UNSET,
+    policy: Optional[RetryPolicy] = None,
 ) -> Dict[RunCell, object]:
     """Resolve every cell; returns ``{cell: result}`` for the request.
 
     ``memo`` is mutated in place when given (the caller's long-lived store);
     ``disk`` may be an explicit :class:`DiskCache` or ``None`` to bypass
-    persistence regardless of the process-wide default.
+    persistence regardless of the process-wide default.  Under a
+    ``keep_going`` policy, values may be :class:`CellFailure` placeholders.
     """
     unique = list(dict.fromkeys(cells))
     if jobs is None:
         jobs = _CONFIG.jobs
     if disk is _UNSET:
         disk = shared_disk_cache() if _CONFIG.cache else None
+    if policy is None:
+        policy = current_policy()
     store: Dict[RunCell, object] = memo if memo is not None else {}
+
+    # Lets the chaos hook distinguish the scheduler's own process (where a
+    # crash/hang injection must not fire) from pool workers.
+    os.environ["REPRO_CHAOS_MAIN_PID"] = str(os.getpid())
 
     missing = [cell for cell in unique if cell not in store]
     to_compute: List[RunCell] = []
-    if disk is not None:
-        for cell in missing:
+    for cell in missing:
+        known = _QUARANTINE.get(cell)
+        if known is not None:
+            if not policy.keep_going:
+                raise GridError(f"cell is quarantined: {known.describe()}")
+            store[cell] = known
+        elif disk is not None:
             value = disk.get(cell.token())
             if value is MISS:
                 to_compute.append(cell)
             else:
                 store[cell] = value
-    else:
-        to_compute = missing
+        else:
+            to_compute.append(cell)
 
     if to_compute:
-        if jobs > 1 and len(to_compute) > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(to_compute))) as pool:
-                values = list(pool.map(compute_cell, to_compute, chunksize=1))
+        attempts: Dict[RunCell, int] = {}
+        use_pool = (jobs > 1 and len(to_compute) > 1) or policy.timeout is not None
+        if use_pool:
+            outcomes = _pool_compute(to_compute, jobs, policy, attempts)
         else:
-            values = [compute_cell(cell) for cell in to_compute]
-        for cell, value in zip(to_compute, values):
-            store[cell] = value
-            if disk is not None:
-                disk.put(cell.token(), value)
+            outcomes = {
+                cell: _serial_compute(cell, policy, attempts) for cell in to_compute
+            }
+        for cell in to_compute:
+            tag, value = outcomes[cell]
+            if tag == "ok":
+                store[cell] = value
+                if disk is not None:
+                    disk.put(cell.token(), value)
+                continue
+            failure = CellFailure(
+                cell=cell,
+                error=value if isinstance(value, str) else f"{type(value).__name__}: {value}",
+                attempts=attempts.get(cell, 0),
+            )
+            _QUARANTINE[cell] = failure
+            if not policy.keep_going:
+                if isinstance(value, BaseException):
+                    raise value
+                raise GridError(failure.describe())
+            store[cell] = failure
 
     return {cell: store[cell] for cell in unique}
+
+
+# ----------------------------------------------------------------------
+# computation strategies
+# ----------------------------------------------------------------------
+
+Outcome = Tuple[str, object]  # ("ok", value) | ("err", exception-or-str)
+
+
+def _serial_compute(
+    cell: RunCell, policy: RetryPolicy, attempts: Dict[RunCell, int]
+) -> Outcome:
+    """In-process computation with retries (no crash/hang protection)."""
+    while True:
+        try:
+            return ("ok", compute_cell(cell))
+        except Exception as failure:
+            attempts[cell] = attempts.get(cell, 0) + 1
+            if attempts[cell] > policy.retries:
+                return ("err", failure)
+            time.sleep(policy.sleep_for(attempts[cell]))
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.terminate()
+        except OSError:
+            pass
+
+
+def _run_pool_round(
+    cells: List[RunCell], jobs: int, policy: RetryPolicy
+) -> Tuple[Dict[RunCell, Outcome], List[RunCell], bool]:
+    """One pool pass over ``cells``.
+
+    Returns ``(done, unfinished, broken)``.  ``broken`` means the pass was
+    poisoned by a dead or hung worker; ``unfinished`` holds the cells whose
+    futures never produced a result (blame is attributed by the caller).
+    ``policy.timeout`` is applied as a *no-progress* watchdog: it only
+    fires when no cell completes for that long, so a slow but advancing
+    grid never trips it, while a hung worker is caught — at the latest —
+    once only hung cells remain pending.
+    """
+    done: Dict[RunCell, Outcome] = {}
+    poisoned: List[RunCell] = []  # futures killed by the broken pool
+    broken = False
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(cells)))
+    futures = {pool.submit(compute_cell, cell): cell for cell in cells}
+    pending = set(futures)
+    try:
+        while pending:
+            finished, pending = wait(
+                pending, timeout=policy.timeout, return_when=FIRST_COMPLETED
+            )
+            if not finished:
+                broken = True  # nothing completed in `timeout` seconds
+                break
+            for future in finished:
+                cell = futures[future]
+                try:
+                    done[cell] = ("ok", future.result())
+                except BrokenProcessPool:
+                    broken = True
+                    poisoned.append(cell)
+                except Exception as failure:
+                    done[cell] = ("err", failure)
+            if broken:
+                break
+    finally:
+        if broken:
+            _terminate_workers(pool)
+        pool.shutdown(wait=not broken, cancel_futures=True)
+    unfinished = poisoned + [futures[future] for future in pending]
+    return done, unfinished, broken
+
+
+def _solo_compute(
+    cell: RunCell, policy: RetryPolicy, attempts: Dict[RunCell, int]
+) -> Outcome:
+    """Re-run one cell alone in a fresh single-worker pool until it
+    succeeds or exhausts its retries.  Used after a broken pool pass:
+    isolation attributes the crash/hang to the guilty cell."""
+    while True:
+        done, _unfinished, broken = _run_pool_round([cell], 1, policy)
+        if cell in done:
+            tag, value = done[cell]
+            if tag == "ok":
+                return ("ok", value)
+            failure: object = value
+        elif broken:
+            failure = f"worker crashed or timed out computing {cell.describe()}"
+        else:  # pragma: no cover - wait() without timeout cannot leave work
+            failure = f"cell never completed: {cell.describe()}"
+        attempts[cell] = attempts.get(cell, 0) + 1
+        if attempts[cell] > policy.retries:
+            return ("err", failure)
+        time.sleep(policy.sleep_for(attempts[cell]))
+
+
+def _pool_compute(
+    to_compute: List[RunCell],
+    jobs: int,
+    policy: RetryPolicy,
+    attempts: Dict[RunCell, int],
+) -> Dict[RunCell, Outcome]:
+    outcomes: Dict[RunCell, Outcome] = {}
+    work = list(to_compute)
+    while work:
+        done, unfinished, broken = _run_pool_round(work, jobs, policy)
+        work = []
+        for cell, (tag, value) in done.items():
+            if tag == "ok":
+                outcomes[cell] = ("ok", value)
+                continue
+            attempts[cell] = attempts.get(cell, 0) + 1
+            if attempts[cell] > policy.retries:
+                outcomes[cell] = ("err", value)
+            else:
+                work.append(cell)
+        if broken:
+            # A dead/hung worker poisons the whole pass and blame cannot
+            # be attributed here; isolate each survivor so the guilty
+            # cell convicts itself and innocents complete immediately.
+            for cell in unfinished:
+                outcomes[cell] = _solo_compute(cell, policy, attempts)
+        else:
+            work.extend(unfinished)
+        if work:
+            time.sleep(policy.sleep_for(max(attempts.get(cell, 1) for cell in work)))
+    return outcomes

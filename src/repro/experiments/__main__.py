@@ -3,11 +3,18 @@
     python -m repro.experiments fig01 [--scale smoke|default|full]
     python -m repro.experiments all --scale default --jobs 4
     python -m repro.experiments fig07 --scale smoke --no-cache
+    python -m repro.experiments all --keep-going --timeout 120 --retries 2
 
 ``--jobs`` fans the run grid across worker processes; ``--no-cache``
 bypasses the persistent result cache under ``results/.cache/`` (see
-``repro.exec``).  Both default to the ``REPRO_JOBS`` / ``REPRO_CACHE``
-environment variables.
+``repro.exec``).  Hardening knobs: ``--keep-going`` emits partial figures
+with failing cells marked instead of aborting the grid, ``--timeout``
+bounds each cell's wall clock (hung workers are killed and the cell
+retried), ``--retries`` caps re-runs of crashed/failed cells.  All
+default to the ``REPRO_JOBS`` / ``REPRO_CACHE`` / ``REPRO_KEEP_GOING`` /
+``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRIES`` environment variables.
+
+Exit codes: 0 clean, 3 partial (``--keep-going`` with quarantined cells).
 """
 
 from __future__ import annotations
@@ -16,8 +23,11 @@ import argparse
 import sys
 import time
 
-from ..exec import configure, current_config, shared_disk_cache
+from ..exec import configure, current_config, quarantine_report, shared_disk_cache
 from . import EXPERIMENTS
+
+#: exit code for a --keep-going run that quarantined at least one cell
+EXIT_PARTIAL = 3
 
 
 def main(argv=None) -> int:
@@ -32,8 +42,27 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="do not read or write the persistent result cache",
     )
+    parser.add_argument(
+        "--keep-going", action="store_true", default=None,
+        help="emit partial figures when cells fail (exit code 3) instead of aborting",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds (hung workers are killed)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None,
+        help="re-runs of a crashed/failed cell before quarantine (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print cache hit/miss/eviction counters even with --no-cache",
+    )
     args = parser.parse_args(argv)
-    configure(jobs=args.jobs, cache=False if args.no_cache else None)
+    configure(jobs=args.jobs, cache=False if args.no_cache else None,
+              keep_going=args.keep_going, retries=args.retries)
+    if args.timeout is not None:
+        configure(timeout=args.timeout)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
@@ -48,8 +77,16 @@ def main(argv=None) -> int:
         # Timing and cache stats go to stderr so stdout is byte-identical
         # across serial, parallel, and cached runs (asserted in CI).
         print(f"[{name} done in {time.time() - started:.1f}s]", file=sys.stderr)
-    if current_config().cache:
+    if current_config().cache or args.cache_stats:
         print(f"[cache: {shared_disk_cache().stats_line()}]", file=sys.stderr)
+    # Quarantine lines appear only on partial runs, so clean stdout stays
+    # byte-identical across serial/parallel/cached runs.
+    quarantined = quarantine_report()
+    if quarantined:
+        print(f"quarantined cells ({len(quarantined)}):")
+        for line in quarantined:
+            print(f"  {line}")
+        return EXIT_PARTIAL
     return 0
 
 

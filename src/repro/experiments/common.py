@@ -15,12 +15,14 @@ A process-wide :class:`ResultsCache` lets the figures share expensive runs
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..exec import (
     REMOVABLE_ITERATIONS,
     SAMPLE_PERIOD,
+    CellFailure,
     ProfiledRun,
     RunCell,
     execute_cells,
@@ -29,6 +31,7 @@ from ..exec import (
     timed_cell,
 )
 from ..jit.checks import CheckKind
+from ..profiling.attribution import AttributionResult
 from ..suite.runner import RunResult
 from ..suite.spec import BenchmarkSpec, all_benchmarks
 
@@ -103,6 +106,11 @@ class ResultsCache:
         value = self._memo.get(cell)
         if value is None:
             value = execute_cells([cell], memo=self._memo)[cell]
+        if isinstance(value, CellFailure):
+            # keep_going mode: stand in a recognizably-invalid placeholder
+            # so drivers emit partial figures with the cell marked instead
+            # of dying mid-grid (the CLI lists quarantined cells at exit).
+            return _failure_placeholder(cell, value)
         return value
 
     # -- plain timed runs ---------------------------------------------------
@@ -137,6 +145,47 @@ class ResultsCache:
     ) -> Tuple[FrozenSet[CheckKind], FrozenSet[CheckKind]]:
         cell = removable_cell(spec.name, target, iterations)
         return self._resolve(cell)  # type: ignore[return-value]
+
+
+def _failed_timed(cell: RunCell) -> RunResult:
+    """An obviously-invalid RunResult for a failed/quarantined cell: NaN
+    cycles poison any mean they enter, ``valid=False`` flags the row."""
+    return RunResult(
+        name=cell.benchmark,
+        target=cell.target,
+        iterations=cell.iterations,
+        cycles=[math.nan] * max(1, cell.iterations),
+        result=None,
+        valid=False,
+        deopts=[],
+        code_stats={"body_instructions": 0, "check_instructions": 0, "deopt_branches": 0},
+        hw_stats={
+            "instructions": 0,
+            "branches": 0,
+            "taken_branches": 0,
+            "mispredictions": 0,
+            "loads": 0,
+            "stores": 0,
+            "deopt_branches": 0,
+        },
+        buckets={},
+        total_cycles=math.nan,
+    )
+
+
+def _failure_placeholder(cell: RunCell, failure: CellFailure) -> object:
+    from ..exec import PROFILED, REMOVABLE
+
+    if cell.kind == PROFILED:
+        return ProfiledRun(
+            run=_failed_timed(cell),
+            window=AttributionResult(0),
+            truth=AttributionResult(0),
+        )
+    if cell.kind == REMOVABLE:
+        # No removal claims can be made about a benchmark that never ran.
+        return (frozenset(), frozenset())
+    return _failed_timed(cell)
 
 
 #: process-wide cache shared by all experiment drivers

@@ -74,6 +74,42 @@ class DeoptSignal(Exception):
         self.check_id = check_id
 
 
+class DeoptStateError(RuntimeError):
+    """The deoptimizer was entered without captured machine state.
+
+    This is an engine invariant violation, not a guest-program error: the
+    executor must record ``(regs, fregs, frame)`` before raising
+    :class:`DeoptSignal`.  A typed exception (rather than ``assert``) keeps
+    the failure loud under ``python -O`` and lets chaos harnesses attach
+    benchmark context.
+    """
+
+    def __init__(self, check_id: int, kind: str, function: str, context: str = "") -> None:
+        detail = f"no machine state for deopt check #{check_id} ({kind}) in {function!r}"
+        if context:
+            detail += f" [{context}]"
+        super().__init__(detail)
+        self.check_id = check_id
+        self.kind = kind
+        self.function = function
+        self.context = context
+
+
+@dataclass
+class LazyDeoptEvent:
+    """Logged when invalidated code is discarded at its next invocation.
+
+    Lazy deopts never transfer machine state (the code was off-stack when
+    its assumptions died), so they are accounted separately from
+    :class:`DeoptEvent`; ``Engine.lazy_deopts`` must equal the number of
+    these events (asserted by the resilience tests).
+    """
+
+    function_name: str
+    iteration: int
+    cycle: int
+
+
 @dataclass
 class DeoptEvent:
     """Logged by the engine for Fig. 6's deopt-event markers."""

@@ -262,6 +262,11 @@ class Executor:
         #: machine state captured when a DeoptSignal is raised, for the
         #: deoptimizer's frame materialization.
         self.deopt_state = None
+        #: fault-injection budget: when positive, the next executed deopt
+        #: branch whose condition did NOT fire is taken anyway (a spurious
+        #: deopt).  The state transfer must still be correct — the
+        #: differential oracle in repro.resilience asserts exactly that.
+        self.forced_deopt_trips = 0
 
     def set_sampling(self, sampler, period: float) -> None:
         self.sampler = sampler
@@ -322,6 +327,11 @@ class Executor:
                 stats.branches += 1
                 if s1:
                     stats.deopt_branch_instrs += 1
+                    if not taken and self.forced_deopt_trips > 0:
+                        # Injected speculation fault: take the deopt branch
+                        # even though the guarded condition holds.
+                        self.forced_deopt_trips -= 1
+                        taken = True
                 if predict_and_update(pc, taken):
                     stats.mispredictions += 1
                     local_cycles += mispredict_penalty

@@ -1,0 +1,132 @@
+"""Chaos CLI: sweep the speculation fault injector across the suite.
+
+Runs every benchmark under its canonical :func:`~repro.resilience.faults.plan_for`
+fault plan on every requested ISA, and checks the differential oracle —
+post-fault results and heap must be bitwise-identical to a pure-interpreter
+run under the same plan.
+
+    python -m repro.resilience                 # full sweep, arm64 + x64
+    python -m repro.resilience --smoke         # quick CI slice
+    python -m repro.resilience --benchmark FIB --seed 3 --iterations 50
+
+Exit code 0 when every cell recovers and matches; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Tuple
+
+from ..suite.spec import all_benchmarks
+from .oracle import ChaosOutcome, differential_run
+
+#: fast slice exercising every fault kind across categories (CI smoke job)
+SMOKE_BENCHMARKS = ("FIB", "NBODY", "SPMV-CSR-SMI", "CRC32", "JSONLIKE", "RICH")
+
+
+def _run_case(case: Tuple[str, str, int, int]) -> ChaosOutcome:
+    benchmark, target, seed, iterations = case
+    return differential_run(benchmark, target, seed=seed, iterations=iterations)
+
+
+def _format_row(out: ChaosOutcome) -> str:
+    verdict = "ok" if out.ok else "FAIL"
+    return (
+        f"{out.benchmark:<16} {out.target:<6} {verdict:<5} "
+        f"eager={out.eager_deopts:<3} lazy={out.lazy_deopts:<3} "
+        f"storms={out.storms_detected} reopt<={out.max_reopt_count} "
+        f"faults={len(out.faults_applied)}"
+    )
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="speculation fault-injection sweep with differential oracle",
+    )
+    parser.add_argument(
+        "--benchmark", action="append", default=None,
+        help="benchmark name (repeatable; default: whole suite)",
+    )
+    parser.add_argument(
+        "--targets", nargs="+", default=["arm64", "x64"], help="ISAs to sweep"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="plan seed")
+    parser.add_argument(
+        "--iterations", type=int, default=30, help="iterations per run"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"quick slice ({len(SMOKE_BENCHMARKS)} benchmarks, fewer iterations)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print applied faults per cell"
+    )
+    args = parser.parse_args(argv)
+
+    if args.benchmark:
+        names = list(args.benchmark)
+    elif args.smoke:
+        names = list(SMOKE_BENCHMARKS)
+    else:
+        names = [spec.name for spec in all_benchmarks()]
+    iterations = min(args.iterations, 16) if args.smoke else args.iterations
+
+    cases = [
+        (name, target, args.seed, iterations)
+        for name in names
+        for target in args.targets
+    ]
+    print(
+        f"chaos sweep: {len(names)} benchmark(s) x {len(args.targets)} "
+        f"target(s), seed={args.seed}, {iterations} iterations"
+    )
+
+    if args.jobs > 1:
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            outcomes = list(pool.map(_run_case, cases))
+    else:
+        outcomes = [_run_case(case) for case in cases]
+
+    failures: List[ChaosOutcome] = []
+    no_deopt: List[ChaosOutcome] = []
+    for out in outcomes:
+        print(_format_row(out))
+        if args.verbose:
+            for iteration, kind, detail in out.faults_applied:
+                print(f"    @{iteration:<3} {kind}: {detail}")
+        if not out.ok:
+            failures.append(out)
+        elif out.eager_deopts == 0:
+            no_deopt.append(out)
+
+    total = len(outcomes)
+    print(
+        f"\n{total - len(failures)}/{total} cells recovered with "
+        f"interpreter-identical results"
+    )
+    if no_deopt:
+        # The two anchored TRIP_CHECK faults should force eager deopts in
+        # any cell whose optimized code runs; a zero here means the plan
+        # never engaged speculation and the cell proved nothing.
+        print(f"warning: {len(no_deopt)} cell(s) saw no eager deopt:")
+        for out in no_deopt:
+            print(f"  {out.benchmark} [{out.target}]")
+    for out in failures:
+        print(f"\nFAIL {out.benchmark} [{out.target}] seed={out.seed}")
+        if out.error:
+            print(f"  error: {out.error}")
+        for line in out.mismatches:
+            print(f"  mismatch: {line}")
+        for iteration, kind, detail in out.faults_applied:
+            print(f"  fault @{iteration}: {kind}: {detail}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

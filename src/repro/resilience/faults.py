@@ -1,0 +1,263 @@
+"""Deterministic speculation-fault injection.
+
+A :class:`FaultPlan` schedules a handful of :class:`Fault`\\ s at fixed
+iteration boundaries; :class:`FaultInjector` applies them to a live
+:class:`~repro.engine.Engine` through ``BenchmarkRunner.run(injector=...)``.
+
+Every fault is **value-preserving by construction**: it perturbs machine
+representations, hidden classes, or speculation state, never the numbers a
+benchmark computes.  Applied to two engines whose guest-visible state is
+identical, a fault makes identical changes in both — which is what lets
+the differential oracle demand bitwise-identical results from an optimized
+run and a pure-interpreter run under the same plan.  The taxonomy:
+
+``TRIP_CHECK``
+    Arm the executor so the next executed deopt branch is taken even
+    though its condition holds (a *spurious* eager deopt).  This is the
+    purest state-transfer test: the machine state at the checkpoint is
+    valid, and the materialized interpreter frame must reproduce it
+    exactly.  No-op in an interpreter-only engine.
+``BOX_SMI_GLOBAL``
+    Replace an SMI-valued global with a HeapNumber of the same value:
+    code specialized on SMI feedback hits NOT_A_SMI.
+``SHAPE_SHIFT``
+    Add a fresh property to a live object global: hidden-class transition,
+    destabilizing the old map (WRONG_MAP / dependency invalidation).
+``ELEMENTS_TRANSITION``
+    Re-store an SMI array's first element as a boxed double of the same
+    value: PACKED_SMI → PACKED_DOUBLE generalization.
+``POLY_CALL``
+    Rebind a function-valued global to a *fresh* closure over the same
+    SharedFunction: monomorphic call sites embedding the canonical closure
+    word hit WRONG_CALL_TARGET; call semantics are unchanged.
+``INVALIDATE_CODE``
+    Destabilize every map that live optimized code depends on (falling
+    back to direct invalidation when code has no map dependencies):
+    assumptions die while code is off-stack, forcing lazy deopts at the
+    next invocation.  No-op in an interpreter-only engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from ..suite.runner import stable_seed
+from ..values.heap import HeapError
+from ..values.maps import ElementsKind, InstanceType
+from ..values.tagged import is_smi, pointer_untag, smi_untag
+
+#: mixed into every plan seed so chaos streams are independent of the
+#: benchmark-noise streams that also key off stable_seed()
+_PLAN_SALT = 0x5EEDFA117
+
+
+class FaultKind(Enum):
+    TRIP_CHECK = "trip-check"
+    BOX_SMI_GLOBAL = "box-smi-global"
+    SHAPE_SHIFT = "shape-shift"
+    ELEMENTS_TRANSITION = "elements-transition"
+    POLY_CALL = "poly-call"
+    INVALIDATE_CODE = "invalidate-code"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled perturbation: *kind* applied before iteration *iteration*."""
+
+    iteration: int
+    kind: FaultKind
+    #: disambiguates target selection when one iteration carries several
+    #: faults of the same kind
+    salt: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seedable schedule of faults for one benchmark."""
+
+    benchmark: str
+    seed: int
+    faults: Tuple[Fault, ...]
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{f.kind.value}@{f.iteration}" for f in self.faults)
+        return f"plan[{self.benchmark} seed={self.seed}]({parts})"
+
+
+def plan_for(benchmark: str, seed: int, iterations: int) -> FaultPlan:
+    """Build the canonical chaos plan for one benchmark run.
+
+    Two forced check trips anchor the plan (one after warm-up, one late),
+    guaranteeing at least one eager deopt whenever optimized code with
+    deopt branches runs at all; two to four further faults are drawn from
+    the perturbation taxonomy at rng-chosen iterations.  Same arguments →
+    same plan, in any process.
+    """
+    rng = random.Random((stable_seed(benchmark) ^ _PLAN_SALT) * 2654435761 + seed)
+    first_trip = max(2, iterations // 3)
+    second_trip = max(first_trip + 1, (2 * iterations) // 3)
+    faults: List[Fault] = [
+        Fault(first_trip, FaultKind.TRIP_CHECK),
+        Fault(second_trip, FaultKind.TRIP_CHECK, salt=1),
+    ]
+    others = [
+        FaultKind.BOX_SMI_GLOBAL,
+        FaultKind.SHAPE_SHIFT,
+        FaultKind.ELEMENTS_TRANSITION,
+        FaultKind.POLY_CALL,
+        FaultKind.INVALIDATE_CODE,
+    ]
+    for salt in range(rng.randint(2, 4)):
+        kind = rng.choice(others)
+        iteration = rng.randint(1, max(1, iterations - 1))
+        faults.append(Fault(iteration, kind, salt=salt + 2))
+    faults.sort(key=lambda f: (f.iteration, f.kind.value, f.salt))
+    return FaultPlan(benchmark, seed, tuple(faults))
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a live engine between iterations.
+
+    Target selection draws only on the plan (not on Python object
+    identity) and on guest-visible heap state, so two engines in identical
+    states make identical choices — the property the differential oracle
+    relies on.  ``applied`` records ``(iteration, kind, detail)`` triples
+    for reporting.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._by_iteration: Dict[int, List[Fault]] = {}
+        for fault in plan.faults:
+            self._by_iteration.setdefault(fault.iteration, []).append(fault)
+        self.applied: List[Tuple[int, str, str]] = []
+
+    def before_iteration(self, engine, iteration: int) -> None:
+        for fault in self._by_iteration.get(iteration, ()):
+            detail = self._apply(engine, fault)
+            self.applied.append((iteration, fault.kind.value, detail))
+
+    # ------------------------------------------------------------------
+
+    def _rng(self, fault: Fault) -> random.Random:
+        return random.Random(
+            (stable_seed(self.plan.benchmark) ^ _PLAN_SALT)
+            * 1000003
+            + self.plan.seed * 7919
+            + fault.iteration * 31
+            + fault.salt
+        )
+
+    def _apply(self, engine, fault: Fault) -> str:
+        handler = {
+            FaultKind.TRIP_CHECK: self._trip_check,
+            FaultKind.BOX_SMI_GLOBAL: self._box_smi_global,
+            FaultKind.SHAPE_SHIFT: self._shape_shift,
+            FaultKind.ELEMENTS_TRANSITION: self._elements_transition,
+            FaultKind.POLY_CALL: self._poly_call,
+            FaultKind.INVALIDATE_CODE: self._invalidate_code,
+        }[fault.kind]
+        return handler(engine, fault)
+
+    def _globals_of_type(self, engine, predicate) -> List[str]:
+        names = []
+        for name in engine.user_global_names():
+            word = engine.get_global_word(name)
+            if word is not None and predicate(engine, word):
+                names.append(name)
+        return names
+
+    # -- fault implementations ------------------------------------------
+
+    def _trip_check(self, engine, fault: Fault) -> str:
+        engine.executor.forced_deopt_trips += 1
+        return "armed 1 forced deopt-branch trip"
+
+    def _box_smi_global(self, engine, fault: Fault) -> str:
+        candidates = self._globals_of_type(
+            engine, lambda e, w: is_smi(w)
+        )
+        if not candidates:
+            return "no-op (no SMI-valued globals)"
+        name = self._rng(fault).choice(sorted(candidates))
+        word = engine.get_global_word(name)
+        value = smi_untag(word)
+        engine.set_global_word(name, engine.heap.alloc_number(float(value)))
+        return f"boxed global {name!r} (= {value})"
+
+    def _shape_shift(self, engine, fault: Fault) -> str:
+        def is_plain_object(e, w):
+            if is_smi(w):
+                return False
+            itype = e.heap.map_of(pointer_untag(w)).instance_type
+            return (
+                itype == InstanceType.JS_OBJECT and e.regex_from_word(w) is None
+            )
+
+        candidates = self._globals_of_type(engine, is_plain_object)
+        if not candidates:
+            return "no-op (no object globals)"
+        name = self._rng(fault).choice(sorted(candidates))
+        word = engine.get_global_word(name)
+        prop = f"__chaos{fault.iteration}_{fault.salt}"
+        try:
+            engine.heap.object_set_property(word, prop, engine.heap.to_word(1))
+        except HeapError:
+            # Object at in-object capacity: the transition is impossible in
+            # both engines alike, so skipping preserves parity.
+            return f"no-op (global {name!r} at property capacity)"
+        return f"added property {prop!r} to global {name!r} (map transition)"
+
+    def _elements_transition(self, engine, fault: Fault) -> str:
+        def is_smi_array(e, w):
+            if is_smi(w):
+                return False
+            addr = pointer_untag(w)
+            a_map = e.heap.map_of(addr)
+            return (
+                a_map.instance_type == InstanceType.JS_ARRAY
+                and a_map.elements_kind == ElementsKind.PACKED_SMI
+                and e.heap.array_length(w) > 0
+            )
+
+        candidates = self._globals_of_type(engine, is_smi_array)
+        if not candidates:
+            return "no-op (no packed-SMI array globals)"
+        name = self._rng(fault).choice(sorted(candidates))
+        word = engine.get_global_word(name)
+        element = engine.heap.array_get(word, 0)
+        value = smi_untag(element)
+        engine.heap.array_set(word, 0, engine.heap.alloc_number(float(value)))
+        return f"generalized elements of global {name!r} (SMI -> double)"
+
+    def _poly_call(self, engine, fault: Fault) -> str:
+        def is_user_function(e, w):
+            index = e.shared_index_of_function(w)
+            return index >= 0 and e.functions[index].info is not None
+
+        candidates = self._globals_of_type(engine, is_user_function)
+        if not candidates:
+            return "no-op (no function globals)"
+        name = self._rng(fault).choice(sorted(candidates))
+        word = engine.get_global_word(name)
+        index = engine.shared_index_of_function(word)
+        engine.set_global_word(name, engine.heap.alloc_function(index))
+        return f"rebound global {name!r} to a fresh closure (same function)"
+
+    def _invalidate_code(self, engine, fault: Fault) -> str:
+        codes = [f.code for f in engine.functions if f.code is not None]
+        if not codes:
+            return "no-op (no optimized code live)"
+        maps = set()
+        for code in codes:
+            maps.update(code.map_dependencies)
+        if maps:
+            for a_map in sorted(maps, key=id):
+                a_map.destabilize()
+            return f"destabilized {len(maps)} depended-on map(s)"
+        for code in codes:
+            code.invalidated = True
+        return f"invalidated {len(codes)} code object(s) directly"

@@ -1,0 +1,224 @@
+"""Differential oracle: faulted optimized run vs. pure-interpreter run.
+
+Deoptimization is only correct if it is *invisible*: a run that tiers up,
+speculates, takes injected faults, deopts and re-optimizes must produce
+exactly the results of an interpreter-only run under the same fault plan.
+:func:`differential_run` executes both and compares
+
+* every iteration's ``run()`` result, and
+* a canonical snapshot of all user-defined globals after the run
+
+under a **bitwise** notion of equality for numbers: values are compared as
+IEEE-754 bit patterns (so ``-0.0 != 0.0`` and NaN payloads must agree),
+while the SMI/HeapNumber *representation* split — which legitimately
+differs between tiers — is normalized away by converting through double.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import Engine, EngineConfig
+from ..jit.checks import DeoptCategory, category_of
+from ..suite.runner import BenchmarkRunner, NoiseModel, RunResult
+from ..suite.spec import BenchmarkSpec, get_benchmark
+from ..values.maps import InstanceType
+from ..values.tagged import is_smi, pointer_untag, smi_untag
+from .faults import FaultInjector, FaultPlan
+
+#: cap on mismatch details carried back to the caller/CLI
+_MAX_MISMATCHES = 5
+
+
+def canonical_value(value: object) -> str:
+    """Canonical text form of a Python-level guest value.
+
+    Numbers collapse to their double bit pattern (bitwise comparison that
+    is agnostic to the SMI/boxed split); containers canonicalize
+    recursively.
+    """
+    if value is None:
+        return "u"
+    if isinstance(value, bool):
+        return "b:1" if value else "b:0"
+    if isinstance(value, (int, float)):
+        return "d:" + struct.pack("<d", float(value)).hex()
+    if isinstance(value, str):
+        return "s:" + value
+    if isinstance(value, list):
+        return "[" + ",".join(canonical_value(v) for v in value) + "]"
+    if isinstance(value, dict):
+        return (
+            "{"
+            + ",".join(
+                f"{k}=" + canonical_value(value[k]) for k in sorted(value)
+            )
+            + "}"
+        )
+    return "?:" + repr(value)
+
+
+def _canonical_word(engine: Engine, word: int, depth: int, seen: frozenset) -> str:
+    """Canonicalize a tagged heap word without leaking heap addresses."""
+    heap = engine.heap
+    if is_smi(word):
+        return "d:" + struct.pack("<d", float(smi_untag(word))).hex()
+    addr = pointer_untag(word)
+    if depth > 6 or addr in seen:
+        return "..."
+    itype = heap.map_of(addr).instance_type
+    if itype == InstanceType.JS_FUNCTION:
+        index = engine.shared_index_of_function(word)
+        return f"fn:{engine.functions[index].name}"
+    if itype == InstanceType.JS_ARRAY:
+        seen = seen | {addr}
+        return (
+            "["
+            + ",".join(
+                _canonical_word(engine, heap.array_get(word, i), depth + 1, seen)
+                for i in range(heap.array_length(word))
+            )
+            + "]"
+        )
+    if itype == InstanceType.JS_OBJECT:
+        seen = seen | {addr}
+        offsets = heap.map_of(addr).property_offsets
+        return (
+            "{"
+            + ",".join(
+                f"{name}="
+                + _canonical_word(
+                    engine, heap.read(addr, offsets[name]), depth + 1, seen
+                )
+                for name in sorted(offsets)
+            )
+            + "}"
+        )
+    return canonical_value(heap.to_python(word))
+
+
+def snapshot_globals(engine: Engine) -> Dict[str, str]:
+    """Canonical form of every user-defined global (post-run heap state)."""
+    out: Dict[str, str] = {}
+    for name in engine.user_global_names():
+        word = engine.get_global_word(name)
+        assert word is not None
+        out[name] = _canonical_word(engine, word, 0, frozenset())
+    return out
+
+
+@dataclass
+class ChaosOutcome:
+    """One benchmark × target × plan chaos verdict."""
+
+    benchmark: str
+    target: str
+    seed: int
+    ok: bool
+    eager_deopts: int
+    lazy_deopts: int
+    storms_detected: int
+    max_reopt_count: int
+    faults_applied: List[Tuple[int, str, str]] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    resilience: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def recovered(self) -> bool:
+        """Did the optimized run survive every injected fault?"""
+        return self.error is None
+
+
+def _chaos_run(
+    spec: BenchmarkSpec,
+    config: EngineConfig,
+    plan: FaultPlan,
+    iterations: int,
+) -> Tuple[RunResult, Engine, FaultInjector]:
+    runner = BenchmarkRunner(spec, config, NoiseModel(enabled=False))
+    injector = FaultInjector(plan)
+    result = runner.run(
+        iterations=iterations, injector=injector, collect_values=True
+    )
+    assert runner.last_engine is not None
+    return result, runner.last_engine, injector
+
+
+def differential_run(
+    benchmark: str,
+    target: str,
+    plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+    iterations: int = 30,
+) -> ChaosOutcome:
+    """Run one benchmark under a fault plan on the optimizing engine and on
+    the interpreter, and compare bitwise."""
+    from .faults import plan_for
+
+    spec = get_benchmark(benchmark)
+    if plan is None:
+        plan = plan_for(benchmark, seed, iterations)
+
+    try:
+        opt_result, opt_engine, injector = _chaos_run(
+            spec, EngineConfig(target=target), plan, iterations
+        )
+    except Exception as failure:  # recovery failure IS the signal here
+        return ChaosOutcome(
+            benchmark,
+            target,
+            plan.seed,
+            ok=False,
+            eager_deopts=0,
+            lazy_deopts=0,
+            storms_detected=0,
+            max_reopt_count=0,
+            error=f"{type(failure).__name__}: {failure}",
+        )
+    ref_result, ref_engine, _ = _chaos_run(
+        spec,
+        EngineConfig(target=target, enable_optimizer=False),
+        plan,
+        iterations,
+    )
+
+    mismatches: List[str] = []
+    assert opt_result.values is not None and ref_result.values is not None
+    for index, (got, want) in enumerate(zip(opt_result.values, ref_result.values)):
+        if canonical_value(got) != canonical_value(want):
+            mismatches.append(
+                f"iteration {index}: optimized {got!r} != interpreter {want!r}"
+            )
+            if len(mismatches) >= _MAX_MISMATCHES:
+                break
+    if len(mismatches) < _MAX_MISMATCHES:
+        opt_heap = snapshot_globals(opt_engine)
+        ref_heap = snapshot_globals(ref_engine)
+        for name in sorted(set(opt_heap) | set(ref_heap)):
+            if opt_heap.get(name) != ref_heap.get(name):
+                mismatches.append(f"global {name!r} diverged post-run")
+                if len(mismatches) >= _MAX_MISMATCHES:
+                    break
+
+    stats = opt_engine.resilience_stats()
+    eager = sum(
+        1
+        for event in opt_engine.deopt_events
+        if category_of(event.kind) != DeoptCategory.SOFT
+    )
+    return ChaosOutcome(
+        benchmark,
+        target,
+        plan.seed,
+        ok=not mismatches,
+        eager_deopts=eager,
+        lazy_deopts=opt_engine.lazy_deopts,
+        storms_detected=opt_engine.storms_detected,
+        max_reopt_count=int(stats["max_reopt_count"]),  # type: ignore[arg-type]
+        faults_applied=list(injector.applied),
+        mismatches=mismatches,
+        resilience=stats,
+    )

@@ -100,6 +100,11 @@ class RunResult:
     #: cycle buckets at the end of the run
     buckets: Dict[str, float]
     total_cycles: float = 0.0
+    #: every iteration's Python-level result (populated only when the
+    #: runner is asked to collect them, e.g. by the differential oracle)
+    values: Optional[List[object]] = None
+    #: deopt/backoff counters (Engine.resilience_stats) at the end of the run
+    resilience: Optional[Dict[str, object]] = None
 
     @property
     def steady_state_cycles(self) -> float:
@@ -124,28 +129,45 @@ class BenchmarkRunner:
         self.spec = spec
         self.config = config or EngineConfig()
         self.noise = noise or NoiseModel(enabled=False)
+        #: the engine of the most recent :meth:`run` (chaos harnesses read
+        #: deopt counters and heap state off it after the run)
+        self.last_engine: Optional[Engine] = None
 
     def run(
         self,
         iterations: int = 100,
         rep: int = 0,
         reference: object = None,
+        injector: object = None,
+        collect_values: bool = False,
     ) -> RunResult:
+        """One repetition.
+
+        ``injector`` is an optional fault injector (duck-typed: anything
+        with ``before_iteration(engine, iteration)``) invoked between
+        iterations — see :mod:`repro.resilience.faults`.
+        """
         rng = random.Random((stable_seed(self.spec.name) & 0xFFFFFFF) * 1000003 + rep)
         config = self.noise.perturb_config(self.config, rng)
         engine = Engine(config)
+        self.last_engine = engine
         engine.load(self.spec.source)
         engine.call_global("setup")
         gc_period = self.noise.gc_period(rng)
 
         cycles: List[float] = []
+        values: Optional[List[object]] = [] if collect_values else None
         result: object = None
         valid = True
         hw_before = engine.executor.stats.snapshot()
         for iteration in range(iterations):
             engine.current_iteration = iteration
+            if injector is not None:
+                injector.before_iteration(engine, iteration)
             before = engine.total_cycles
             value = engine.call_global("run")
+            if values is not None:
+                values.append(value)
             elapsed = (engine.total_cycles - before) * self.noise.iteration_noise(rng)
             if config.gc_between_iterations and iteration % gc_period == gc_period - 1:
                 gc_before = engine.total_cycles
@@ -185,6 +207,8 @@ class BenchmarkRunner:
             hw_stats={k: hw_after[k] - hw_before[k] for k in hw_after},
             buckets=dict(engine.buckets),
             total_cycles=engine.total_cycles,
+            values=values,
+            resilience=engine.resilience_stats(),
         )
 
 

@@ -1,0 +1,175 @@
+"""Grid hardening: checksummed cache, retries, crash/hang recovery, quarantine."""
+
+import shutil
+
+import pytest
+
+from repro.exec import (
+    MISS,
+    CellFailure,
+    DiskCache,
+    GridError,
+    RetryPolicy,
+    clear_quarantine,
+    execute_cells,
+    quarantined_cells,
+    timed_cell,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_quarantine():
+    clear_quarantine()
+    yield
+    clear_quarantine()
+
+
+@pytest.fixture
+def chaos(monkeypatch):
+    """Inject a failure for one benchmark via the worker chaos hook."""
+
+    def arm(action, benchmark):
+        monkeypatch.setenv("REPRO_CHAOS_EXEC", f"{action}:{benchmark}")
+
+    monkeypatch.delenv("REPRO_CHAOS_EXEC", raising=False)
+    return arm
+
+
+FAST = RetryPolicy(retries=1, backoff=0.01, backoff_cap=0.02)
+
+
+class TestChecksummedCache:
+    def test_bit_flip_is_evicted_and_counted(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        token = "ab" * 32
+        cache.put(token, {"x": 1})
+        path = cache._path(token)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert cache.get(token) is MISS
+        assert cache.corrupt_evictions == 1
+        assert not path.exists()
+
+    def test_truncated_entry_is_evicted(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        token = "cd" * 32
+        cache.put(token, list(range(100)))
+        path = cache._path(token)
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.get(token) is MISS
+        assert cache.corrupt_evictions == 1
+
+    def test_legacy_unchecksummed_entry_is_evicted(self, tmp_path):
+        import pickle
+
+        cache = DiskCache(root=tmp_path)
+        token = "ef" * 32
+        path = cache._path(token)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"old": "format"}))
+        assert cache.get(token) is MISS
+        assert cache.corrupt_evictions == 1
+
+    def test_good_entry_round_trips_with_zero_evictions(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        cache.put("11" * 32, (1, 2.5, "x"))
+        assert cache.get("11" * 32) == (1, 2.5, "x")
+        assert cache.corrupt_evictions == 0
+
+    def test_concurrently_deleted_directory_is_recreated(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        cache.put("22" * 32, 1)
+        shutil.rmtree(tmp_path)  # another process cleared the whole cache
+        cache.put("33" * 32, 2)
+        assert not cache._disabled
+        assert cache.get("33" * 32) == 2
+
+    def test_stats_line_reports_corrupt_evictions(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        line = cache.stats_line()
+        assert "0 misses" in line  # grepped by CI's warm-run check
+        assert "corrupt" in line
+
+
+class TestKeepGoing:
+    def test_failure_recorded_and_quarantined(self, chaos):
+        chaos("fail", "FIB")
+        cells = [
+            timed_cell("FIB", "arm64", 2, noise=False),
+            timed_cell("PRIMES", "arm64", 2, noise=False),
+        ]
+        policy = RetryPolicy(retries=1, backoff=0.01, keep_going=True)
+        results = execute_cells(cells, jobs=1, memo={}, disk=None, policy=policy)
+        failure = results[cells[0]]
+        assert isinstance(failure, CellFailure)
+        assert "chaos" in failure.error
+        assert failure.attempts == 2  # initial try + one retry
+        assert results[cells[1]].valid  # innocent cell computed normally
+        assert cells[0] in quarantined_cells()
+
+    def test_quarantined_cell_skipped_on_next_batch(self, chaos, monkeypatch):
+        chaos("fail", "FIB")
+        cell = timed_cell("FIB", "arm64", 2, noise=False)
+        policy = RetryPolicy(retries=0, keep_going=True)
+        execute_cells([cell], jobs=1, memo={}, disk=None, policy=policy)
+
+        import repro.exec.scheduler as sched
+
+        def explode(_cell):
+            raise AssertionError("quarantined cell was recomputed")
+
+        monkeypatch.setattr(sched, "compute_cell", explode)
+        again = execute_cells([cell], jobs=1, memo={}, disk=None, policy=policy)
+        assert isinstance(again[cell], CellFailure)
+
+    def test_without_keep_going_the_original_exception_propagates(self, chaos):
+        chaos("fail", "FIB")
+        cell = timed_cell("FIB", "arm64", 2, noise=False)
+        with pytest.raises(RuntimeError, match="chaos"):
+            execute_cells([cell], jobs=1, memo={}, disk=None, policy=FAST)
+
+    def test_failures_are_not_written_to_disk_cache(self, chaos, tmp_path):
+        chaos("fail", "FIB")
+        cell = timed_cell("FIB", "arm64", 2, noise=False)
+        disk = DiskCache(root=tmp_path)
+        policy = RetryPolicy(retries=0, keep_going=True)
+        execute_cells([cell], jobs=1, memo={}, disk=disk, policy=policy)
+        assert disk.stores == 0
+        assert disk.get(cell.token()) is MISS
+
+
+@pytest.mark.slow
+class TestWorkerDeath:
+    def test_killed_worker_is_quarantined_and_innocents_complete(self, chaos):
+        chaos("crash", "FIB")  # worker os._exit(17)s mid-grid
+        cells = [
+            timed_cell("FIB", "arm64", 2, noise=False),
+            timed_cell("PRIMES", "arm64", 2, noise=False),
+            timed_cell("BITS", "arm64", 2, noise=False),
+        ]
+        policy = RetryPolicy(retries=1, backoff=0.01, keep_going=True)
+        results = execute_cells(cells, jobs=2, memo={}, disk=None, policy=policy)
+        assert isinstance(results[cells[0]], CellFailure)
+        assert "crashed" in results[cells[0]].error
+        assert results[cells[1]].valid
+        assert results[cells[2]].valid
+        assert quarantined_cells() == [cells[0]]
+
+    def test_hung_worker_is_killed_after_timeout(self, chaos):
+        chaos("hang", "FIB")
+        cells = [
+            timed_cell("FIB", "arm64", 2, noise=False),
+            timed_cell("PRIMES", "arm64", 2, noise=False),
+        ]
+        policy = RetryPolicy(timeout=3.0, retries=0, keep_going=True)
+        results = execute_cells(cells, jobs=2, memo={}, disk=None, policy=policy)
+        assert isinstance(results[cells[0]], CellFailure)
+        assert results[cells[1]].valid
+
+    def test_crash_without_keep_going_raises_grid_error(self, chaos):
+        chaos("crash", "FIB")
+        cell = timed_cell("FIB", "arm64", 2, noise=False)
+        other = timed_cell("PRIMES", "arm64", 2, noise=False)
+        with pytest.raises(GridError):
+            execute_cells([cell, other], jobs=2, memo={}, disk=None, policy=FAST)

@@ -1,0 +1,118 @@
+"""Deopt-storm detection, exponential re-tier backoff, DeoptStateError."""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.jit.deopt import DeoptStateError
+
+
+def warmed(source, name, warm_args, calls=40, **config_kwargs):
+    engine = Engine(EngineConfig(**config_kwargs))
+    engine.load(source)
+    for _ in range(calls):
+        engine.call_global(name, *warm_args)
+    shared = next(f for f in engine.functions if f.name == name)
+    assert shared.code is not None
+    return engine, shared
+
+
+def force_trip(engine, shared, name, *args):
+    """Re-tier if needed, then force the next deopt branch to be taken."""
+    while shared.code is None:
+        if shared.optimization_disabled:
+            return None
+        engine.call_global(name, *args)
+    engine.executor.forced_deopt_trips += 1
+    return engine.call_global(name, *args)
+
+
+class TestStormGuard:
+    def test_repeated_same_kind_deopts_disable_speculation(self):
+        engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
+        for _ in range(engine.config.storm_strikes):
+            result = force_trip(engine, shared, "f", 1)
+            assert result == 2  # semantics survive every spurious deopt
+        assert shared.optimization_disabled
+        assert engine.storms_detected == 1
+        assert len(engine.storm_disabled) == 1
+        function_name, kind_name = engine.storm_disabled[0]
+        assert function_name == "f"
+        assert shared.deopts_by_kind  # per-kind strikes recorded
+
+    def test_disabled_function_still_runs_correctly(self):
+        engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
+        for _ in range(engine.config.storm_strikes):
+            force_trip(engine, shared, "f", 1)
+        assert shared.optimization_disabled
+        for _ in range(50):
+            assert engine.call_global("f", 41) == 42
+        assert shared.code is None  # never re-tiers
+
+    def test_storm_counters_in_resilience_stats(self):
+        engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
+        for _ in range(engine.config.storm_strikes):
+            force_trip(engine, shared, "f", 1)
+        stats = engine.resilience_stats()
+        assert stats["storms_detected"] == 1
+        assert ("f", engine.storm_disabled[0][1]) in stats["storm_disabled"]
+        assert "f" in stats["disabled_functions"]
+
+    def test_different_kinds_do_not_count_as_one_storm(self):
+        # A NOT_A_SMI deopt and forced branch trips are different kinds of
+        # strike only if their check kinds differ; reopt_count still
+        # accumulates toward the total budget.
+        engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,), storm_strikes=99)
+        engine.call_global("f", 1.5)  # NOT_A_SMI
+        assert not shared.optimization_disabled
+        assert shared.reopt_count == 1
+
+
+class TestExponentialBackoff:
+    def test_retier_threshold_doubles_per_reopt(self):
+        engine, shared = warmed(
+            "function f(x) { return x + 1; }", "f", (1,),
+            storm_strikes=99, max_reoptimizations=99,
+        )
+        threshold = engine.config.tierup_invocations
+        for round_number in (1, 2):
+            force_trip(engine, shared, "f", 1)
+            assert shared.code is None
+            scale = 2 ** round_number
+            # One invocation short of the scaled threshold: still bytecode.
+            for _ in range(threshold * scale - 1):
+                engine.call_global("f", 1)
+            assert shared.code is None, f"re-tiered too early at reopt {round_number}"
+            engine.call_global("f", 1)
+            engine.call_global("f", 1)
+            assert shared.code is not None, f"failed to re-tier at reopt {round_number}"
+
+    def test_backoff_cap_bounds_the_scale(self):
+        engine, shared = warmed(
+            "function f(x) { return x + 1; }", "f", (1,),
+            storm_strikes=99, max_reoptimizations=99, backoff_cap=2,
+        )
+        for _ in range(5):
+            force_trip(engine, shared, "f", 1)
+        assert shared.reopt_count >= 5
+        threshold = engine.config.tierup_invocations
+        # Scale is capped at 2**2 even after 5 reopts.
+        for _ in range(threshold * 4 + 2):
+            engine.call_global("f", 1)
+        assert shared.code is not None
+
+
+class TestDeoptStateError:
+    def test_missing_machine_state_raises_typed_error(self):
+        engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
+        code = shared.code
+        check_id = next(iter(code.deopt_points))
+        from repro.jit.deopt import DeoptSignal
+
+        engine.executor.deopt_state = None
+        with pytest.raises(DeoptStateError) as excinfo:
+            engine._deoptimize(shared, code, DeoptSignal(check_id))
+        error = excinfo.value
+        assert error.check_id == check_id
+        assert error.function == "f"
+        assert error.kind == code.deopt_points[check_id].kind.name
+        assert "bytecode pc" in str(error)

@@ -1,0 +1,61 @@
+"""Lazy-deopt accounting stays consistent when assumptions die off-stack."""
+
+from repro.engine import Engine, EngineConfig
+from repro.resilience import Fault, FaultInjector, FaultKind, FaultPlan
+from repro.suite.runner import BenchmarkRunner, NoiseModel
+from repro.suite.spec import get_benchmark
+
+
+class TestLazyDeoptEvents:
+    def test_invalidation_while_off_stack_is_lazy_not_eager(self):
+        source = """
+        var data = [1, 2, 3, 4];
+        function f() { return data[2]; }
+        function poison() { data[0] = 0.5; }
+        """
+        engine = Engine(EngineConfig())
+        engine.load(source)
+        for _ in range(40):
+            engine.call_global("f")
+        shared = next(fn for fn in engine.functions if fn.name == "f")
+        assert shared.code is not None
+        engine.call_global("poison")  # assumption dies with f off-stack
+        assert shared.code.invalidated
+        lazy_before = engine.lazy_deopts
+        compilations_before = engine.compilations
+        eager_before = len(engine.deopt_events)
+        assert engine.call_global("f") == 3
+        # The invalidation is booked exactly once, as a lazy event.
+        assert engine.lazy_deopts == lazy_before + 1
+        assert engine.lazy_deopts == len(engine.lazy_deopt_events)
+        assert engine.lazy_deopt_events[-1].function_name == "f"
+        # The still-hot function may re-tier immediately and take a real
+        # eager deopt from its fresh code; any new eager event must come
+        # from such a recompilation, never from the invalidation itself.
+        if len(engine.deopt_events) > eager_before:
+            assert engine.compilations > compilations_before
+
+    def test_lazy_accounting_under_fault_injection(self):
+        plan = FaultPlan(
+            "NBODY",
+            0,
+            (
+                Fault(4, FaultKind.INVALIDATE_CODE),
+                Fault(8, FaultKind.INVALIDATE_CODE, salt=1),
+            ),
+        )
+        spec = get_benchmark("NBODY")
+        runner = BenchmarkRunner(spec, EngineConfig(), NoiseModel(enabled=False))
+        injector = FaultInjector(plan)
+        result = runner.run(iterations=12, injector=injector, collect_values=True)
+        engine = runner.last_engine
+        assert engine.lazy_deopts == len(engine.lazy_deopt_events)
+        assert engine.lazy_deopts >= 1
+        assert result.valid
+        # Every recorded lazy event names a real function and a sane cycle.
+        names = {fn.name for fn in engine.functions}
+        for event in engine.lazy_deopt_events:
+            assert event.function_name in names
+            assert 0 <= event.iteration < 12
+            assert event.cycle >= 0
+        assert result.resilience["lazy_deopts"] == engine.lazy_deopts
