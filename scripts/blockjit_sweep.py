@@ -1,0 +1,98 @@
+"""Full differential sweep: blockjit on vs off must be byte-identical.
+
+Runs every benchmark on both ISAs in three modes (plain, PC-sampled,
+fault-injected) and asserts bitwise-identical results, cycle totals,
+per-pc sample counts and deopt records between the step loop and the
+block-compiled executor.  CI runs the same oracle on the smoke subset via
+tests/machine/test_blockjit_diff.py; this script is the exhaustive
+acceptance sweep (about 10 minutes of CPU).
+
+Usage: PYTHONPATH=src python scripts/blockjit_sweep.py
+"""
+
+import sys
+
+from repro.engine import Engine, EngineConfig
+from repro.profiling.sampler import attach_sampler
+from repro.resilience.faults import FaultInjector, plan_for
+from repro.suite.runner import BenchmarkRunner
+from repro.suite.spec import all_benchmarks
+
+ITERATIONS = 20
+SAMPLE_PERIOD = 467.0
+
+
+def plain_or_injected(spec, target, blockjit, inject):
+    config = EngineConfig(target=target, blockjit=blockjit)
+    runner = BenchmarkRunner(spec, config)
+    injector = (
+        FaultInjector(plan_for(spec.name, seed=7, iterations=ITERATIONS))
+        if inject
+        else None
+    )
+    r = runner.run(iterations=ITERATIONS, injector=injector)
+    return {
+        "result": r.result,
+        "cycles": r.total_cycles,
+        "deopts": r.deopts,
+        "hw": r.hw_stats,
+    }
+
+
+def sampled(spec, target, blockjit):
+    engine = Engine(EngineConfig(target=target, blockjit=blockjit))
+    engine.load(spec.source)
+    engine.call_global("setup")
+    for i in range(8):
+        engine.current_iteration = i
+        engine.call_global("run")
+    sampler = attach_sampler(engine, SAMPLE_PERIOD)
+    values = []
+    for i in range(ITERATIONS):
+        engine.current_iteration = 8 + i
+        values.append(engine.call_global("run"))
+    # Normalize sample keys: id(code) differs across engines, but both
+    # runs register code objects in the same deterministic order.
+    order = {cid: n for n, cid in enumerate(sampler._code_by_id)}
+    samples = sorted(
+        ((order[cid], pc), count)
+        for (cid, pc), count in sampler.jit_samples.items()
+    )
+    return {
+        "values": values,
+        "cycles": engine.executor.cycles,
+        "samples": samples,
+        "other": sampler.other_samples,
+    }
+
+
+def main():
+    failures = []
+    for spec in all_benchmarks():
+        for target in ("arm64", "x64"):
+            for mode in ("plain", "sample", "inject"):
+                if mode == "sample":
+                    off = sampled(spec, target, False)
+                    on = sampled(spec, target, True)
+                else:
+                    off = plain_or_injected(spec, target, False, mode == "inject")
+                    on = plain_or_injected(spec, target, True, mode == "inject")
+                tag = f"{spec.name}/{target}/{mode}"
+                if off == on:
+                    print(f"ok   {tag}", flush=True)
+                else:
+                    failures.append(tag)
+                    print(f"FAIL {tag}", flush=True)
+                    for key in off:
+                        if off[key] != on[key]:
+                            print(f"     {key}: step={off[key]!r}", flush=True)
+                            print(f"     {key}: block={on[key]!r}", flush=True)
+    print(f"\n{len(failures)} divergent configurations", flush=True)
+    if failures:
+        for tag in failures:
+            print("  ", tag)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,17 @@
 """Static linter for compiled :class:`~repro.jit.codegen.CodeObject`s.
 
-Four families of checks over the emitted machine code, for both ISA
+Five families of checks over the emitted machine code, for both ISA
 shapes:
 
 * **control** — every branch target lands inside the code object (an
   unpatched ``-1`` target means a forgotten fixup);
+* **block partition** — the fused-block partition the block-compiled
+  executor (:mod:`repro.machine.blockjit`) batches timing over is
+  validated against the label/branch structure: spans tile the code in
+  order, every branch target starts a block, and no block crosses a
+  branch, call, or deopt commit point (``jsldrsmi``/``DEOPT``) — i.e.
+  every such instruction is the *last* of its block, which is what makes
+  block-batched statistics and the single-add cycle charge exact;
 * **deopt wiring** — every deopt branch jumps to a registered bailout
   stub whose ``DEOPT`` immediate matches the branch's check id; every
   stub's check id has a :class:`DeoptPoint`; frame-state locations name
@@ -27,8 +34,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..isa.base import MachineInstr, MOp
-from ..isa.semantics import BLOCK_END_OPS, InstrEffect, effect_of, leaders_of, successors_of
+from ..isa.semantics import (
+    BLOCK_END_OPS,
+    FUSED_BLOCK_END_OPS,
+    InstrEffect,
+    effect_of,
+    leaders_of,
+    successors_of,
+)
 from ..jit.codegen import CodeObject
+from ..machine.blockjit import block_spans
 from ..jit.deopt import Location
 from .diagnostics import Diagnostic, Severity, errors
 from .verifier import VerificationError
@@ -77,6 +92,7 @@ class _Linter:
 
     def run(self) -> List[Diagnostic]:
         self._check_branch_targets()
+        self._check_block_partition()
         self._check_deopt_wiring()
         self._check_frame_state_locations()
         self._check_dataflow()
@@ -97,6 +113,61 @@ class _Linter:
                     f"[0, {count}) (unpatched fixup?)",
                     pc,
                 )
+
+    # -- fused-block partition -------------------------------------------
+
+    def _check_block_partition(self) -> None:
+        """Validate the blockjit partition the block executor relies on.
+
+        The block-compiled executor charges each block's cycle cost in
+        one add and its static statistics in one batch; both are exact
+        only if (a) control can enter a block solely at its first pc and
+        (b) any instruction that can leave the block — branch, call,
+        ``RET``, ``DEOPT``, or a ``jsldrsmi`` commit point — is the
+        block's last.  Violations here mean the fast tier would diverge
+        from the step loop, so they are ERRORs.
+        """
+        instrs = self.instrs
+        if not instrs:
+            return
+        count = len(instrs)
+        spans = block_spans(instrs)
+        starts = {start for start, _end in spans}
+        previous_end = 0
+        for start, end in spans:
+            if start != previous_end or not start < end <= count:
+                self.error(
+                    "block-partition",
+                    f"fused-block span [{start}, {end}) does not tile the "
+                    f"code (previous span ended at {previous_end})",
+                    start,
+                )
+            previous_end = end
+        if previous_end != count:
+            self.error(
+                "block-partition",
+                f"fused-block spans cover [0, {previous_end}) but the code "
+                f"object has {count} instructions",
+            )
+        for pc, instr in enumerate(instrs):
+            if instr.op in (MOp.B, MOp.BCC) and 0 <= instr.target < count:
+                if instr.target not in starts:
+                    self.error(
+                        "block-partition",
+                        f"{instr.op.name} target {instr.target} is not a "
+                        "fused-block leader; the block executor could enter "
+                        "a block mid-body",
+                        pc,
+                    )
+            if instr.op in FUSED_BLOCK_END_OPS and pc + 1 < count:
+                if pc + 1 not in starts:
+                    self.error(
+                        "block-partition",
+                        f"{instr.op.name} at pc {pc} is followed by a "
+                        "non-leader: a fused block would cross this "
+                        "branch/call/deopt commit point",
+                        pc,
+                    )
 
     # -- deopt wiring ----------------------------------------------------
 

@@ -37,6 +37,7 @@ from .jit.deopt import (
     materialize_frame,
 )
 from .lang.errors import JSTypeError
+from .machine.blockjit import default_blockjit
 from .machine.executor import CostModel, Executor
 from .regex.engine import Regex
 from .isa.base import TargetISA, resolve_target
@@ -81,6 +82,12 @@ class EngineConfig:
     #: code (repro.analysis).  None defers to the process-wide default
     #: (on in the test suite, or via REPRO_VERIFY=1).
     verify: Optional[bool] = None
+    #: Block-compiled execution (repro.machine.blockjit): fuse basic
+    #: blocks into superinstruction closures with batched cycle charging.
+    #: Semantics, cycle totals, sample attributions and deopt pcs are
+    #: bit-identical to the step loop.  None defers to the process-wide
+    #: default (on, unless REPRO_BLOCKJIT=0).
+    blockjit: Optional[bool] = None
 
 
 class SharedFunction:
@@ -164,6 +171,11 @@ class Engine:
         self.heap = Heap(TagConfig(self.config.smi_bits))
         self.target: TargetISA = resolve_target(self.config.target)
         self.executor = Executor(self, self.config.cost_model)
+        self.executor.blockjit = (
+            default_blockjit()
+            if self.config.blockjit is None
+            else bool(self.config.blockjit)
+        )
         self.interpreter = Interpreter(self)
         self.functions: List[SharedFunction] = []
         self.random = builtin_impls.DeterministicRandom(self.config.random_seed)

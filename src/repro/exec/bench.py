@@ -7,9 +7,17 @@ cache — and writes ``BENCH_harness.json``::
     python -m repro.exec.bench --jobs 4 --out BENCH_harness.json
 
 ``cpu_count`` is recorded so the parallel numbers are interpretable: on a
-single-core container the pool can only add overhead, and the honest
-speedup there is ~1.0 or below; the warm-cache speedup does not depend on
-core count.
+single-core container the pool can only add overhead, so the payload is
+marked ``degenerate`` there and no parallel-speedup claim is made; the
+warm-cache speedup does not depend on core count.
+
+The ``executor`` section measures the simulator core directly —
+instructions retired per wall-second with the per-instruction step loop
+versus the block-compiled executor (``EngineConfig(blockjit=...)``, see
+:mod:`repro.machine.blockjit`) — plus the fused-block shape of the
+compiled code, so perf regressions in either tier are visible without
+the scheduler noise on top.  CI's perf-smoke job fails when the block
+tier stops being faster than the step loop.
 """
 
 from __future__ import annotations
@@ -23,10 +31,17 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+from ..engine import Engine, EngineConfig
 from ..experiments.common import SCALES, suite_for_scale
+from ..suite.spec import get_benchmark
+from ..uarch.blockcost import block_shape_summary
 from .cache import DiskCache
 from .cells import RunCell, timed_cell
 from .scheduler import execute_cells
+
+#: benchmarks the executor section times (int-heavy, load/store-heavy and
+#: float-heavy, so both tiers exercise every hot dispatch kind)
+EXECUTOR_BENCHMARKS = ("FIB", "AES2", "MANDEL")
 
 
 def smoke_grid(targets=("arm64",)) -> List[RunCell]:
@@ -50,6 +65,46 @@ def measure(cells: List[RunCell], jobs: int, disk=None) -> Dict[str, float]:
         "cells": len(cells),
         "cycles_per_wall_s": round(sim_cycles / wall, 1) if wall else 0.0,
     }
+
+
+def executor_section(iterations: int = 20, warmup: int = 10) -> Dict[str, object]:
+    """Time the two executor tiers head-to-head on warmed JIT code."""
+    section: Dict[str, object] = {
+        "benchmarks": list(EXECUTOR_BENCHMARKS),
+        "iterations": iterations,
+    }
+    shape = None
+    for label, blockjit in (("step", False), ("block", True)):
+        instructions = 0
+        wall = 0.0
+        for name in EXECUTOR_BENCHMARKS:
+            spec = get_benchmark(name)
+            engine = Engine(EngineConfig(blockjit=blockjit))
+            engine.load(spec.source)
+            engine.call_global("setup")
+            for i in range(warmup):
+                engine.current_iteration = i
+                engine.call_global("run")
+            before = engine.executor.stats.instructions
+            start = time.perf_counter()
+            for i in range(iterations):
+                engine.current_iteration = warmup + i
+                engine.call_global("run")
+            wall += time.perf_counter() - start
+            instructions += engine.executor.stats.instructions - before
+            if blockjit and shape is None:
+                codes = [f.code for f in engine.functions if f.code is not None]
+                shape = block_shape_summary(codes)
+        section[label] = {
+            "wall_s": round(wall, 3),
+            "instructions": instructions,
+            "instructions_per_wall_s": round(instructions / wall, 1) if wall else 0.0,
+        }
+    step = section["step"]["instructions_per_wall_s"]  # type: ignore[index]
+    block = section["block"]["instructions_per_wall_s"]  # type: ignore[index]
+    section["block_speedup"] = round(block / step, 3) if step else 0.0
+    section["block_shape"] = shape
+    return section
 
 
 def main(argv=None) -> int:
@@ -76,24 +131,40 @@ def main(argv=None) -> int:
         warm = measure(cells, jobs=1, disk=DiskCache(root=Path(tmp)))
     print(f"  cache cold:  {cold['wall_s']:8.2f}s")
     print(f"  cache warm:  {warm['wall_s']:8.2f}s")
+    executor = executor_section()
+    print(f"  executor step:  {executor['step']['instructions_per_wall_s']:>14,.0f}"
+          " instr/s")
+    print(f"  executor block: {executor['block']['instructions_per_wall_s']:>14,.0f}"
+          f" instr/s ({executor['block_speedup']}x)")
 
+    # A single-core host cannot demonstrate pool parallelism — the honest
+    # report is "degenerate", not a ~1.0x speedup headline.
+    degenerate = (os.cpu_count() or 1) == 1
     payload = {
         "bench": "harness_throughput",
         "grid": f"smoke/{args.targets}",
         "cpu_count": os.cpu_count(),
+        "degenerate": degenerate,
         "jobs": args.jobs,
         "serial": serial,
         "parallel": parallel,
-        "parallel_speedup": round(serial["wall_s"] / parallel["wall_s"], 3)
-        if parallel["wall_s"] else 0.0,
+        "parallel_speedup": None if degenerate else (
+            round(serial["wall_s"] / parallel["wall_s"], 3)
+            if parallel["wall_s"] else 0.0
+        ),
         "cache_cold": cold,
         "cache_warm": warm,
         "warm_speedup": round(cold["wall_s"] / warm["wall_s"], 3)
         if warm["wall_s"] else 0.0,
+        "executor": executor,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"parallel speedup {payload['parallel_speedup']}x, "
-          f"warm-cache speedup {payload['warm_speedup']}x -> {args.out}")
+    if degenerate:
+        print("parallel speedup: n/a (single-core host; pool overhead only), "
+              f"warm-cache speedup {payload['warm_speedup']}x -> {args.out}")
+    else:
+        print(f"parallel speedup {payload['parallel_speedup']}x, "
+              f"warm-cache speedup {payload['warm_speedup']}x -> {args.out}")
     return 0
 
 

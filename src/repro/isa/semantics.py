@@ -202,3 +202,32 @@ def leaders_of(instrs: Tuple[MachineInstr, ...]) -> Set[int]:
         if instr.op in BLOCK_END_OPS and pc + 1 < len(instrs):
             leaders.add(pc + 1)
     return leaders
+
+
+#: Instructions that terminate a block in the *executor's* fused-block
+#: partition (:mod:`repro.machine.blockjit`).  Besides the CFG enders,
+#: calls end blocks because they flush/reload the cycle clock and may
+#: sample inside the callee, and ``JSLDRSMI`` ends its block because its
+#: commit-time bailout must flush cycles exact to its own pc.
+FUSED_BLOCK_END_OPS = BLOCK_END_OPS | frozenset(
+    {MOp.CALL_JS, MOp.CALL_DYN, MOp.CALL_RT, MOp.JSLDRSMI}
+)
+
+
+def fused_block_leaders(instrs: Tuple[MachineInstr, ...]) -> Set[int]:
+    """Leader pcs of the executor's fused-block partition.
+
+    A superset of :func:`leaders_of`: every CFG leader, plus the
+    fall-through after each call and each ``JSLDRSMI`` commit point.
+    Both the fast step loop's block-relative cycle accounting and the
+    block-compiled executor are built over this partition, so the two
+    charge bit-identical cycle totals.
+    """
+    leaders: Set[int] = {0} if instrs else set()
+    count = len(instrs)
+    for pc, instr in enumerate(instrs):
+        if instr.op in (MOp.B, MOp.BCC) and 0 <= instr.target < count:
+            leaders.add(instr.target)
+        if instr.op in FUSED_BLOCK_END_OPS and pc + 1 < count:
+            leaders.add(pc + 1)
+    return leaders

@@ -88,6 +88,11 @@ class CodeObject:
         #: execution (see repro.machine.dispatch); never invalidated because
         #: code objects are immutable once generation finishes.
         self._decoded: Optional[list] = None
+        #: fused-block table (repro.machine.blockjit.BlockTable), compiled
+        #: lazily next to ``_decoded`` on first block-mode execution; also
+        #: never invalidated, but rebuilt if a different executor runs the
+        #: code (the closures bind executor state).
+        self._blocks: Optional[object] = None
         #: Allocator pool metadata recorded for the static linter: a deopt
         #: location naming a register outside these ranges points at a
         #: scratch register, which check-condition emission may clobber.

@@ -6,7 +6,7 @@ instruction; profiling showed that dominating the harness (~83 % of the
 wall clock of a figure run).  :func:`decode` runs once per code object and
 flattens each instruction into a plain tuple
 
-    (kind, cost, dst, s1, s2, imm, aux, instr)
+    (kind, cost, dst, s1, s2, imm, aux, instr, prefix, leader)
 
 where ``kind`` is a synthetic small int chosen *after* looking at the
 operands — e.g. ``LDR`` decodes to a frame-slot, no-index, or indexed
@@ -22,6 +22,15 @@ and skips operand checks that can be settled statically:
 * ``JSLDRSMI`` pre-resolves its check id and bailout reason code;
 * ``CALL_RT`` pre-unpacks ``(name, extra, args, returns_float)``.
 
+The last two slots carry the block-relative timing view shared with the
+block-compiled executor (:mod:`repro.machine.blockjit`): ``prefix`` is the
+cumulative base cycle cost from the instruction's fused-block leader
+through the instruction itself (partial sums folded left, so the step
+loop's ``entry + prefix`` reproduces the exact float the block path's
+single ``entry + total`` add produces at block exit), and ``leader`` is 1
+when the pc starts a fused block (where the step loop re-latches its
+block-entry cycle count).
+
 The decoded form is cached on ``CodeObject._decoded`` at first execution.
 Code objects are immutable after generation (deopt/reoptimization builds a
 new object), so the cache never needs invalidation.  Slot meanings per
@@ -35,6 +44,7 @@ import operator
 from typing import TYPE_CHECKING, List, Tuple
 
 from ..isa.base import CC, FRAME_BASE, MOp
+from ..isa.semantics import fused_block_leaders
 from ..jit.checks import REASON_CODES
 
 if TYPE_CHECKING:
@@ -172,12 +182,16 @@ CC_EVAL = {
     int(CC.PL): lambda n, z, c, v: not n,
 }
 
-DecodedInstr = Tuple[int, float, int, int, int, object, object, object]
+DecodedInstr = Tuple[
+    int, float, int, int, int, object, object, object, float, int
+]
 
 
 def decode(code: "CodeObject", op_cost: dict) -> List[DecodedInstr]:
     """Flatten a code object's instructions for the fast dispatch loop."""
     entries: List[DecodedInstr] = []
+    leaders = fused_block_leaders(tuple(code.instrs))
+    running = 0.0
     for pc, instr in enumerate(code.instrs):
         op = instr.op
         cost = op_cost[op]
@@ -317,5 +331,14 @@ def decode(code: "CodeObject", op_cost: dict) -> List[DecodedInstr]:
         else:  # pragma: no cover - every MOp is handled above
             raise ValueError(f"unimplemented machine op {op.name}")
 
-        entries.append((kind, cost, dst, s1, s2, imm, aux, instr))
+        is_leader = 1 if pc in leaders else 0
+        if is_leader:
+            running = 0.0
+        # Left-fold of the block's costs: ``prefix`` at the block's last
+        # instruction is exactly the float the block executor adds in one
+        # go, so step-mode and block-mode cycle totals are bit-identical.
+        running = running + cost
+        entries.append(
+            (kind, cost, dst, s1, s2, imm, aux, instr, running, is_leader)
+        )
     return entries

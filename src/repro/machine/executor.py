@@ -18,6 +18,20 @@ simulated heap, with:
 Each activation gets a fresh register file (register-window style), which
 lets the simulator avoid modelling callee-save traffic; call costs are
 charged as a lump sum instead.
+
+Execution is two-tier (see DESIGN.md "Two-tier executor"):
+
+* the **step loop** (:meth:`Executor._run_steps`) retires one decoded
+  instruction per iteration and *defines* the timing/sampling semantics;
+* the **block executor** (:meth:`Executor._run_blocks`, built by
+  :mod:`repro.machine.blockjit`) retires whole basic blocks through fused
+  closures, charging each block's precomputed cycle total in one add, and
+  bails to a per-block stepped variant whenever per-instruction fidelity
+  is required (a PC sample due inside the block, or a pending injected
+  deopt trip).  Tracing for the pipeline models disables block mode
+  entirely.  Both tiers share the block-relative cycle prefixes computed
+  by :func:`repro.machine.dispatch.decode`, so results, cycle totals,
+  sample attributions and deopt pcs are bit-identical between them.
 """
 
 from __future__ import annotations
@@ -266,12 +280,26 @@ class Executor:
         #: branch whose condition did NOT fire is taken anyway (a spurious
         #: deopt).  The state transfer must still be correct — the
         #: differential oracle in repro.resilience asserts exactly that.
+        #: While trips are pending, the block executor routes every block
+        #: through its stepped tier so the trip lands on the exact branch.
         self.forced_deopt_trips = 0
+        #: block-compiled execution (repro.machine.blockjit); wired by the
+        #: engine from EngineConfig.blockjit / REPRO_BLOCKJIT.
+        self.blockjit = False
+        #: result word stashed by a fused RET block for the block driver.
+        self.ret_value = 0
 
     def set_sampling(self, sampler, period: float) -> None:
         self.sampler = sampler
         self.sample_period = period
         self._next_sample = self.cycles + period if sampler else math.inf
+
+    def next_sample_due(self) -> float:
+        """Simulated cycle at which the next PC sample fires (inf when
+        sampling is off).  The block executor's fused tier runs a block
+        only when the block's exit cycle count stays below this due point
+        (see :func:`repro.profiling.sampler.window_straddles_tick`)."""
+        return self._next_sample
 
     # ------------------------------------------------------------------
 
@@ -279,6 +307,88 @@ class Executor:
         """Execute ``code`` to completion; returns the tagged result word.
 
         Raises :class:`DeoptSignal` when a deoptimization check fires.
+
+        Dispatches to the block-compiled executor when enabled; the
+        per-instruction step loop remains the semantic reference and the
+        only tier that supports tracing for the pipeline models.
+        """
+        if self.blockjit and self.trace is None:
+            return self._run_blocks(code, args, this_word)
+        return self._run_steps(code, args, this_word)
+
+    def _run_blocks(
+        self, code: CodeObject, args: Sequence[int], this_word: int
+    ) -> int:
+        """Block-compiled execution (repro.machine.blockjit).
+
+        Retires one fused basic block per iteration.  Statistics are
+        charged block-at-a-time by a generated prologue inside each
+        closure, from precomputed static counts (exactly what the step
+        loop accumulates one instruction at a time — every raise point is
+        a block's last instruction, so the batched counts never overrun
+        the stepped ones).  A block whose cycle window may contain a
+        sample tick, or any block while an injected deopt trip is
+        pending, runs through its stepped twin instead of its fused
+        closure.
+        """
+        from .blockjit import compile_blocks
+
+        table = code._blocks
+        if table is None or table.executor is not self:
+            table = code._blocks = compile_blocks(code, self)
+        regs: List[int] = [0] * code.target.gpr_count
+        fregs: List[float] = [0.0] * code.target.fpr_count
+        frame: List[object] = [0] * max(1, code.stack_slots)
+        special = [0, 0, 0]
+        for index, arg in enumerate(args):
+            regs[index] = arg
+        regs[THIS_REG] = this_word
+        heap_words = self.heap.words
+        blocks = table.driver
+        local_cycles = self.cycles
+        bid = 0
+        if table.flags_live:
+            # Rare ABI: some block reads flags it did not set, so the
+            # closures thread (n, z, c, v) through their signature.
+            n = z = c = v = False
+            while True:
+                total_cost, fused, stepped = blocks[bid]
+                exit_cycles = local_cycles + total_cost
+                if (exit_cycles >= self._next_sample
+                        or self.forced_deopt_trips > 0):
+                    bid, local_cycles, n, z, c, v = stepped(
+                        regs, fregs, frame, special, heap_words,
+                        local_cycles, n, z, c, v,
+                    )
+                else:
+                    bid, local_cycles, n, z, c, v = fused(
+                        regs, fregs, frame, special, heap_words,
+                        exit_cycles, n, z, c, v,
+                    )
+                if bid < 0:
+                    return self.ret_value
+        while True:
+            total_cost, fused, stepped = blocks[bid]
+            exit_cycles = local_cycles + total_cost
+            # Inline window_straddles_tick(self._next_sample, exit_cycles):
+            # a sample tick inside the block forces per-pc attribution.
+            # Both attributes must be re-read per block — nested calls
+            # inside a block move the sample clock and consume trips.
+            if exit_cycles >= self._next_sample or self.forced_deopt_trips > 0:
+                bid, local_cycles = stepped(
+                    regs, fregs, frame, special, heap_words, local_cycles,
+                )
+            else:
+                bid, local_cycles = fused(
+                    regs, fregs, frame, special, heap_words, exit_cycles,
+                )
+            if bid < 0:
+                return self.ret_value
+
+    def _run_steps(
+        self, code: CodeObject, args: Sequence[int], this_word: int
+    ) -> int:
+        """The per-instruction step loop (the timing/sampling reference).
 
         The loop dispatches over :mod:`repro.machine.dispatch` decoded
         entries (cached on the code object at first execution) instead of
@@ -312,10 +422,17 @@ class Executor:
         taken_extra = self.cost_model.taken_extra
         mispredict_penalty = self.cost_model.mispredict_penalty
 
+        entry_cycles = local_cycles
         while True:
-            kind, cost, dst, s1, s2, imm, aux, instr = decoded[pc]
+            kind, cost, dst, s1, s2, imm, aux, instr, prefix, leader = decoded[pc]
             stats.instructions += 1
-            local_cycles += cost
+            # Block-relative accounting: ``entry + prefix`` at a block's
+            # last instruction is the very float the block executor's
+            # single ``entry + total`` add produces, keeping the two
+            # tiers' cycle totals bit-identical.
+            if leader:
+                entry_cycles = local_cycles
+            local_cycles = entry_cycles + prefix
             if local_cycles >= next_sample:
                 self._sample(code, pc, local_cycles)
                 next_sample = self._next_sample

@@ -8,7 +8,7 @@ from .attribution import (
     truth_check_pcs,
     window_check_pcs,
 )
-from .sampler import PCSampler, attach_sampler
+from .sampler import PCSampler, attach_sampler, window_straddles_tick
 
 __all__ = [
     "AttributionResult",
@@ -19,4 +19,5 @@ __all__ = [
     "static_check_density",
     "truth_check_pcs",
     "window_check_pcs",
+    "window_straddles_tick",
 ]

@@ -16,6 +16,24 @@ from typing import DefaultDict, Dict, Tuple
 from ..jit.codegen import CodeObject
 
 
+def window_straddles_tick(next_due: float, window_end: float) -> bool:
+    """Does a sample tick land inside a cycle window ending at
+    ``window_end``?
+
+    This is the contract between the sampler and the block-compiled
+    executor (:mod:`repro.machine.blockjit`): a fused block whose exit
+    cycle count stays strictly below the next sample due point
+    (:meth:`repro.machine.executor.Executor.next_sample_due`) cannot
+    contain a tick — per-instruction cycle counts within a block are
+    non-negative partial sums of the block total, and float addition of
+    non-negative terms is weakly monotonic, so no interior instruction
+    can reach the due point if the block's last one does not.  Blocks
+    that may straddle a tick must run the per-instruction stepped tier so
+    the sample is attributed to the exact pc the step loop would charge.
+    """
+    return window_end >= next_due
+
+
 class PCSampler:
     """Accumulates PC samples, keyed by (code object, pc)."""
 

@@ -1,6 +1,7 @@
 """Microarchitectural timing models: fast cost model + detailed pipelines."""
 
 from ..machine.executor import BranchPredictor, CostModel
+from .blockcost import BlockCost, block_profile, block_shape_summary
 from .cache import Cache, CacheHierarchy
 from .pipeline.common import PipelineStats, decode
 from .pipeline.configs import CPU_BY_NAME, EXYNOS_BIG, GEM5_CPUS, HPD, INORDER_LITTLE, O3_KPG, CPUConfig
@@ -8,6 +9,7 @@ from .pipeline.inorder import simulate, simulate_inorder
 from .pipeline.o3 import simulate_o3
 
 __all__ = [
+    "BlockCost",
     "BranchPredictor",
     "CPUConfig",
     "CPU_BY_NAME",
@@ -20,6 +22,8 @@ __all__ = [
     "INORDER_LITTLE",
     "O3_KPG",
     "PipelineStats",
+    "block_profile",
+    "block_shape_summary",
     "decode",
     "simulate",
     "simulate_inorder",

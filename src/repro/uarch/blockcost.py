@@ -1,0 +1,82 @@
+"""Block-granular cost accounting over compiled code objects.
+
+The block-compiled executor (:mod:`repro.machine.blockjit`) charges each
+fused basic block's base cycle cost in a single add.  This module exposes
+the same block-granular view of a code object as a static profile —
+per-block base costs and instruction-class mixes — for the bench
+harness's executor section and for reasoning about which blocks dominate
+a function's fast-timing-model cost.
+
+The per-block ``base_cost`` is the identical left-folded float the two
+executor tiers accumulate (the block's decoded cycle prefix at its last
+instruction), so summing profile costs weighted by block execution counts
+reproduces executor cycle totals exactly, branch penalties aside.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..machine.blockjit import block_spans
+from ..machine.dispatch import decode
+from ..machine.executor import CostModel
+
+
+class BlockCost:
+    """Static profile of one fused basic block."""
+
+    __slots__ = ("start", "end", "n_instr", "base_cost")
+
+    def __init__(self, start: int, end: int, n_instr: int, base_cost: float) -> None:
+        self.start = start
+        self.end = end
+        self.n_instr = n_instr
+        self.base_cost = base_cost
+
+    def as_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "instructions": self.n_instr,
+            "base_cost": self.base_cost,
+        }
+
+
+def block_profile(code, cost_model: Optional[CostModel] = None) -> List[BlockCost]:
+    """Per-block static costs for ``code``, in block order.
+
+    Reuses the code object's cached decode when its cost prefixes were
+    computed under an equivalent cost model; otherwise decodes afresh.
+    """
+    decoded = code._decoded
+    if decoded is None or cost_model is not None:
+        decoded = decode(code, (cost_model or CostModel()).op_costs())
+    profile = []
+    for start, end in block_spans(code.instrs):
+        profile.append(BlockCost(start, end, end - start, decoded[end - 1][8]))
+    return profile
+
+
+def block_shape_summary(codes, cost_model: Optional[CostModel] = None) -> dict:
+    """Aggregate block-partition shape over a set of code objects.
+
+    Reported by ``python -m repro.exec.bench`` so perf runs record how
+    much straight-line work each superinstruction fuses (the lever the
+    block executor's speedup rides on).
+    """
+    code_list = list(codes)
+    blocks = 0
+    instructions = 0
+    base_cycles = 0.0
+    for code in code_list:
+        for entry in block_profile(code, cost_model):
+            blocks += 1
+            instructions += entry.n_instr
+            base_cycles += entry.base_cost
+    return {
+        "code_objects": len(code_list),
+        "blocks": blocks,
+        "instructions": instructions,
+        "mean_block_len": (instructions / blocks) if blocks else 0.0,
+        "static_base_cycles": base_cycles,
+    }

@@ -103,3 +103,37 @@ def test_machine_cfg_helpers():
     assert successors_of(1, instrs[1], 4) == [2, 3]
     assert successors_of(2, instrs[2], 4) == [0]
     assert successors_of(3, instrs[3], 4) == []
+
+
+@pytest.mark.parametrize("target", ["x64", "arm64", "arm64+smi"])
+def test_block_partition_lints_clean_on_compiled_code(target):
+    """The blockjit partition of real compiled code satisfies the lint:
+    every branch target is a leader and no fused block crosses a branch,
+    call, or deopt commit point."""
+    codes = _compile(HOT_LOOP, "kernel", (50,), target=target)
+    assert codes
+    for code in codes:
+        assert [
+            d for d in lint_code(code) if d.invariant == "block-partition"
+        ] == []
+
+
+def test_block_partition_violations_are_errors(monkeypatch):
+    """If the partition ever drifts from the branch structure (a branch
+    target inside a block's body, a call not ending its block), the lint
+    must fail the compile as an ERROR."""
+    import repro.analysis.mclint as mclint
+
+    codes = _compile(HOT_LOOP, "kernel", (50,), target="arm64")
+    code = codes[0]
+    # A partition that fuses the whole code object into one span ignores
+    # every interior leader: branch targets and block-ender fallthroughs.
+    monkeypatch.setattr(
+        mclint, "block_spans", lambda instrs: [(0, len(instrs))]
+    )
+    bad = [
+        d
+        for d in lint_code(code)
+        if d.invariant == "block-partition" and d.severity == Severity.ERROR
+    ]
+    assert bad, "corrupt partition produced no block-partition errors"
