@@ -88,6 +88,12 @@ class EngineConfig:
     #: bit-identical to the step loop.  None defers to the process-wide
     #: default (on, unless REPRO_BLOCKJIT=0).
     blockjit: Optional[bool] = None
+    #: Online divergence sentinel (repro.supervise.sentinel): on a
+    #: deterministic schedule, shadow-execute fused blocks against their
+    #: stepped twins and demote a diverging code object to the step tier.
+    #: None defers to REPRO_AUDIT; True audits at the default interval;
+    #: an integer sets the mean interval in fused-block executions.
+    audit: object = None
 
 
 class SharedFunction:
@@ -176,6 +182,16 @@ class Engine:
             if self.config.blockjit is None
             else bool(self.config.blockjit)
         )
+        # Imported lazily: repro.supervise pulls in repro.exec, which
+        # imports this module back (cells -> engine).
+        from .supervise.sentinel import (
+            DivergenceSentinel,
+            resolve_audit_interval,
+        )
+
+        audit_interval = resolve_audit_interval(self.config.audit)
+        if audit_interval is not None and self.executor.blockjit:
+            self.executor._audit = DivergenceSentinel(audit_interval)
         self.interpreter = Interpreter(self)
         self.functions: List[SharedFunction] = []
         self.random = builtin_impls.DeterministicRandom(self.config.random_seed)
@@ -524,8 +540,14 @@ class Engine:
                     shared.optimization_disabled = True
                     self.storms_detected += 1
                     self.storm_disabled.append((shared.name, point.kind.name))
+                    # Drop the compiled-block table with the code: a
+                    # permanently disabled function runs interpreter-only,
+                    # and a stale table must not be revived if the same
+                    # (discarded) code object ever leaks back in.
+                    code._blocks = None
             elif shared.reopt_count > self.config.max_reoptimizations:
                 shared.optimization_disabled = True
+                code._blocks = None
         shared.invocation_count = 0
         shared.backedge_count = 0
         self.charge(250, "deopt")  # stack-frame conversion cost

@@ -28,6 +28,7 @@ from .scheduler import (
     GridError,
     RetryPolicy,
     SchedulerConfig,
+    active_wal,
     clear_quarantine,
     configure,
     current_config,
@@ -35,8 +36,10 @@ from .scheduler import (
     execute_cells,
     quarantine_report,
     quarantined_cells,
+    set_active_wal,
     shared_disk_cache,
 )
+from .wal import SweepWAL, default_wal_root, sweep_id
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -53,18 +56,23 @@ __all__ = [
     "RetryPolicy",
     "RunCell",
     "SchedulerConfig",
+    "SweepWAL",
+    "active_wal",
     "clear_quarantine",
     "compute_cell",
     "configure",
     "current_config",
     "current_policy",
     "default_cache_root",
+    "default_wal_root",
     "engine_fingerprint",
     "execute_cells",
     "profiled_cell",
     "quarantine_report",
     "quarantined_cells",
     "removable_cell",
+    "set_active_wal",
     "shared_disk_cache",
+    "sweep_id",
     "timed_cell",
 ]

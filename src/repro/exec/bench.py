@@ -74,12 +74,20 @@ def executor_section(iterations: int = 20, warmup: int = 10) -> Dict[str, object
         "iterations": iterations,
     }
     shape = None
-    for label, blockjit in (("step", False), ("block", True)):
+    configs = (
+        ("step", EngineConfig(blockjit=False)),
+        ("block", EngineConfig(blockjit=True)),
+        # The divergence sentinel at its default schedule; its budget is
+        # <= 10 % over the plain block tier (asserted by CI perf-smoke).
+        ("audit", EngineConfig(blockjit=True, audit=True)),
+    )
+    for label, config in configs:
         instructions = 0
         wall = 0.0
+        audits = 0
         for name in EXECUTOR_BENCHMARKS:
             spec = get_benchmark(name)
-            engine = Engine(EngineConfig(blockjit=blockjit))
+            engine = Engine(config)
             engine.load(spec.source)
             engine.call_global("setup")
             for i in range(warmup):
@@ -92,17 +100,27 @@ def executor_section(iterations: int = 20, warmup: int = 10) -> Dict[str, object
                 engine.call_global("run")
             wall += time.perf_counter() - start
             instructions += engine.executor.stats.instructions - before
-            if blockjit and shape is None:
+            if engine.executor._audit is not None:
+                audits += engine.executor._audit.audits
+            if label == "block" and shape is None:
                 codes = [f.code for f in engine.functions if f.code is not None]
                 shape = block_shape_summary(codes)
-        section[label] = {
+        entry: Dict[str, object] = {
             "wall_s": round(wall, 3),
             "instructions": instructions,
             "instructions_per_wall_s": round(instructions / wall, 1) if wall else 0.0,
         }
+        if label == "audit":
+            entry["audits"] = audits
+        section[label] = entry
     step = section["step"]["instructions_per_wall_s"]  # type: ignore[index]
     block = section["block"]["instructions_per_wall_s"]  # type: ignore[index]
     section["block_speedup"] = round(block / step, 3) if step else 0.0
+    audit_wall = section["audit"]["wall_s"]  # type: ignore[index]
+    block_wall = section["block"]["wall_s"]  # type: ignore[index]
+    section["audit_overhead"] = (
+        round(audit_wall / block_wall, 3) if block_wall else 0.0
+    )
     section["block_shape"] = shape
     return section
 
@@ -136,6 +154,9 @@ def main(argv=None) -> int:
           " instr/s")
     print(f"  executor block: {executor['block']['instructions_per_wall_s']:>14,.0f}"
           f" instr/s ({executor['block_speedup']}x)")
+    print(f"  executor audit: {executor['audit']['instructions_per_wall_s']:>14,.0f}"
+          f" instr/s ({executor['audit_overhead']}x block wall, "
+          f"{executor['audit']['audits']} audits)")
 
     # A single-core host cannot demonstrate pool parallelism — the honest
     # report is "degenerate", not a ~1.0x speedup headline.

@@ -30,6 +30,7 @@ process instead of failing the run.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import shutil
@@ -38,6 +39,8 @@ from pathlib import Path
 from typing import Optional
 
 from .fingerprint import engine_fingerprint
+
+logger = logging.getLogger(__name__)
 
 #: sentinel distinguishing "no entry" from a cached None
 MISS = object()
@@ -106,10 +109,16 @@ class DiskCache:
             return MISS
         try:
             value = _decode(data)
-        except (ValueError, pickle.PickleError, EOFError, AttributeError):
+        except (ValueError, pickle.PickleError, EOFError, AttributeError) as reason:
             # Truncated, bit-flipped, or legacy-format entry: evict and
-            # recompute rather than trust it.
+            # recompute rather than trust it.  Eviction is correct but
+            # never silent — repeated warnings for one path point at a
+            # failing disk or a concurrent writer on an older schema.
             self.corrupt_evictions += 1
+            logger.warning(
+                "evicting corrupt cache entry %s (%s); recomputing",
+                path, reason,
+            )
             try:
                 path.unlink()
             except OSError:

@@ -195,23 +195,41 @@ def _chaos_hook(cell: RunCell) -> None:
 
 def compute_cell(cell: RunCell) -> object:
     """Execute one cell; the sole entry point for scheduler workers."""
+    from ..supervise.bundles import clear_run_context, set_run_context
+
     _chaos_hook(cell)
-    spec = get_benchmark(cell.benchmark)
-    if cell.kind == TIMED:
-        config = EngineConfig(
-            target=cell.target,
-            removed_checks=frozenset(CheckKind[name] for name in cell.removed),
-            emit_check_branches=cell.emit_check_branches,
+    # Identify the cell in any crash bundle captured below this frame, so
+    # a worker that dies deep in the engine still names its work unit.
+    set_run_context(
+        cell_kind=cell.kind,
+        cell_token=cell.token(),
+        benchmark=cell.benchmark,
+        target=cell.target,
+        iterations=cell.iterations,
+        rep=cell.rep,
+    )
+    try:
+        spec = get_benchmark(cell.benchmark)
+        if cell.kind == TIMED:
+            config = EngineConfig(
+                target=cell.target,
+                removed_checks=frozenset(CheckKind[name] for name in cell.removed),
+                emit_check_branches=cell.emit_check_branches,
+            )
+            runner = BenchmarkRunner(spec, config, NoiseModel(enabled=cell.noise))
+            return runner.run(iterations=cell.iterations, rep=cell.rep)
+        if cell.kind == PROFILED:
+            return _profiled_run(spec, cell.target, cell.iterations, cell.rep)
+        if cell.kind == REMOVABLE:
+            return determine_removable_kinds(
+                spec, EngineConfig(target=cell.target), iterations=cell.iterations
+            )
+        raise ValueError(f"unknown cell kind {cell.kind!r}")
+    finally:
+        clear_run_context(
+            "cell_kind", "cell_token", "benchmark", "target", "iterations",
+            "rep",
         )
-        runner = BenchmarkRunner(spec, config, NoiseModel(enabled=cell.noise))
-        return runner.run(iterations=cell.iterations, rep=cell.rep)
-    if cell.kind == PROFILED:
-        return _profiled_run(spec, cell.target, cell.iterations, cell.rep)
-    if cell.kind == REMOVABLE:
-        return determine_removable_kinds(
-            spec, EngineConfig(target=cell.target), iterations=cell.iterations
-        )
-    raise ValueError(f"unknown cell kind {cell.kind!r}")
 
 
 def _profiled_run(

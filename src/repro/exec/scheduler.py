@@ -56,6 +56,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .cache import MISS, DiskCache
 from .cells import RunCell, compute_cell
+from .wal import SweepWAL
 
 
 class GridError(RuntimeError):
@@ -149,6 +150,22 @@ _CONFIG = _initial_config()
 _DISK: Optional[DiskCache] = None
 _UNSET = object()
 
+#: active sweep journal (repro.exec.wal); when set, every completed cell
+#: is recorded after its disk-cache store so a killed sweep can resume
+_WAL: Optional[SweepWAL] = None
+
+
+def set_active_wal(wal: Optional[SweepWAL]) -> Optional[SweepWAL]:
+    """Install (or clear, with ``None``) the process-wide sweep journal."""
+    global _WAL
+    previous = _WAL
+    _WAL = wal
+    return previous
+
+
+def active_wal() -> Optional[SweepWAL]:
+    return _WAL
+
 
 def configure(
     jobs: Optional[int] = None,
@@ -238,26 +255,50 @@ def execute_cells(
 
     if to_compute:
         attempts: Dict[RunCell, int] = {}
+
+        def _store_ok(cell: RunCell, value: object) -> None:
+            # Stream every result to the persistent layers the moment it
+            # arrives (PR 3 stored the whole batch after the fact, so a
+            # SIGKILL/OOM mid-sweep lost every completed-but-unstored
+            # cell).  The WAL append follows the cache store so a resume
+            # never finds a journaled token without its payload.
+            store[cell] = value
+            if disk is not None:
+                disk.put(cell.token(), value)
+            if _WAL is not None:
+                _WAL.append(cell.token())
+
         use_pool = (jobs > 1 and len(to_compute) > 1) or policy.timeout is not None
-        if use_pool:
-            outcomes = _pool_compute(to_compute, jobs, policy, attempts)
-        else:
-            outcomes = {
-                cell: _serial_compute(cell, policy, attempts) for cell in to_compute
-            }
+        try:
+            if use_pool:
+                outcomes = _pool_compute(
+                    to_compute, jobs, policy, attempts, _store_ok
+                )
+            else:
+                outcomes = {}
+                for cell in to_compute:
+                    outcome = _serial_compute(cell, policy, attempts)
+                    if outcome[0] == "ok":
+                        _store_ok(cell, outcome[1])
+                    outcomes[cell] = outcome
+        except KeyboardInterrupt:
+            # ^C mid-grid: results already streamed above are durable
+            # (atomic cache writes + fsynced WAL); make sure the journal
+            # hits disk, then let the CLI exit with 130.
+            if _WAL is not None:
+                _WAL.flush()
+            raise
         for cell in to_compute:
             tag, value = outcomes[cell]
             if tag == "ok":
-                store[cell] = value
-                if disk is not None:
-                    disk.put(cell.token(), value)
-                continue
+                continue  # streamed to store/disk/WAL as it completed
             failure = CellFailure(
                 cell=cell,
                 error=value if isinstance(value, str) else f"{type(value).__name__}: {value}",
                 attempts=attempts.get(cell, 0),
             )
             _QUARANTINE[cell] = failure
+            _capture_failure_bundle(failure, value)
             if not policy.keep_going:
                 if isinstance(value, BaseException):
                     raise value
@@ -265,6 +306,37 @@ def execute_cells(
             store[cell] = failure
 
     return {cell: store[cell] for cell in unique}
+
+
+def _capture_failure_bundle(failure: CellFailure, value: object) -> None:
+    """Crash-forensics record for a quarantined cell (worker crash, hang,
+    or exhausted retries) — see :mod:`repro.supervise.bundles`."""
+    import traceback as traceback_mod
+
+    from ..supervise.bundles import capture_bundle
+
+    cell = failure.cell
+    trace: Optional[str] = None
+    if isinstance(value, BaseException):
+        trace = "".join(
+            traceback_mod.format_exception(type(value), value, value.__traceback__)
+        )
+    capture_bundle("cell-failure", {
+        "cell": {
+            "kind": cell.kind,
+            "benchmark": cell.benchmark,
+            "target": cell.target,
+            "iterations": cell.iterations,
+            "rep": cell.rep,
+            "removed": list(cell.removed),
+            "emit_check_branches": cell.emit_check_branches,
+            "noise": cell.noise,
+        },
+        "token": cell.token(),
+        "error": failure.error,
+        "attempts": failure.attempts,
+        "traceback": trace,
+    })
 
 
 # ----------------------------------------------------------------------
@@ -297,7 +369,7 @@ def _terminate_workers(pool: ProcessPoolExecutor) -> None:
 
 
 def _run_pool_round(
-    cells: List[RunCell], jobs: int, policy: RetryPolicy
+    cells: List[RunCell], jobs: int, policy: RetryPolicy, on_ok=None
 ) -> Tuple[Dict[RunCell, Outcome], List[RunCell], bool]:
     """One pool pass over ``cells``.
 
@@ -308,6 +380,11 @@ def _run_pool_round(
     fires when no cell completes for that long, so a slow but advancing
     grid never trips it, while a hung worker is caught — at the latest —
     once only hung cells remain pending.
+
+    ``on_ok(cell, value)`` is invoked the moment a future succeeds, so
+    results persist even if the parent is killed later in the pass.  A
+    ``KeyboardInterrupt`` cancels the pending futures, terminates the
+    workers without waiting, and propagates.
     """
     done: Dict[RunCell, Outcome] = {}
     poisoned: List[RunCell] = []  # futures killed by the broken pool
@@ -326,14 +403,23 @@ def _run_pool_round(
             for future in finished:
                 cell = futures[future]
                 try:
-                    done[cell] = ("ok", future.result())
+                    value = future.result()
                 except BrokenProcessPool:
                     broken = True
                     poisoned.append(cell)
                 except Exception as failure:
                     done[cell] = ("err", failure)
+                else:
+                    done[cell] = ("ok", value)
+                    if on_ok is not None:
+                        on_ok(cell, value)
             if broken:
                 break
+    except KeyboardInterrupt:
+        # ^C: don't wait for in-flight cells; the finally below kills the
+        # workers and cancels everything still queued.
+        broken = True
+        raise
     finally:
         if broken:
             _terminate_workers(pool)
@@ -343,13 +429,14 @@ def _run_pool_round(
 
 
 def _solo_compute(
-    cell: RunCell, policy: RetryPolicy, attempts: Dict[RunCell, int]
+    cell: RunCell, policy: RetryPolicy, attempts: Dict[RunCell, int],
+    on_ok=None,
 ) -> Outcome:
     """Re-run one cell alone in a fresh single-worker pool until it
     succeeds or exhausts its retries.  Used after a broken pool pass:
     isolation attributes the crash/hang to the guilty cell."""
     while True:
-        done, _unfinished, broken = _run_pool_round([cell], 1, policy)
+        done, _unfinished, broken = _run_pool_round([cell], 1, policy, on_ok)
         if cell in done:
             tag, value = done[cell]
             if tag == "ok":
@@ -370,11 +457,12 @@ def _pool_compute(
     jobs: int,
     policy: RetryPolicy,
     attempts: Dict[RunCell, int],
+    on_ok=None,
 ) -> Dict[RunCell, Outcome]:
     outcomes: Dict[RunCell, Outcome] = {}
     work = list(to_compute)
     while work:
-        done, unfinished, broken = _run_pool_round(work, jobs, policy)
+        done, unfinished, broken = _run_pool_round(work, jobs, policy, on_ok)
         work = []
         for cell, (tag, value) in done.items():
             if tag == "ok":
@@ -390,7 +478,7 @@ def _pool_compute(
             # be attributed here; isolate each survivor so the guilty
             # cell convicts itself and innocents complete immediately.
             for cell in unfinished:
-                outcomes[cell] = _solo_compute(cell, policy, attempts)
+                outcomes[cell] = _solo_compute(cell, policy, attempts, on_ok)
         else:
             work.extend(unfinished)
         if work:

@@ -1,0 +1,126 @@
+"""Append-only write-ahead log of completed sweep cells.
+
+The scheduler persists each cell's result to the disk cache *as it
+completes* (see :func:`repro.exec.scheduler.execute_cells`); the WAL is
+the sweep-level progress journal next to it: one JSON line per
+completed cell token, flushed and fsynced on append, so a ``kill -9``
+or OOM mid-sweep loses at most the record being written.  A restarted
+run with ``--resume`` reads the journal to report progress and then
+skips finished cells through the (already populated) disk cache,
+reproducing byte-identical figure output.
+
+Layout: ``results/.wal/<sweep-id>.jsonl`` (override the directory with
+``REPRO_WAL_DIR``).  The sweep id hashes the experiment names, scale
+and engine fingerprint, so the *same command against the same engine
+version* finds its journal and anything else gets a fresh one.  The
+reader tolerates a torn final line (power loss mid-append) by ignoring
+any line that does not parse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Optional, Set
+
+from .fingerprint import engine_fingerprint
+
+
+def default_wal_root() -> Path:
+    env = os.environ.get("REPRO_WAL_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "results" / ".wal"
+
+
+def sweep_id(parts: Iterable[str]) -> str:
+    """Stable id for one sweep command (names + scale + engine version)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\0")
+    digest.update(engine_fingerprint().encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+class SweepWAL:
+    """One sweep's append-only completion journal."""
+
+    def __init__(self, sweep: str, root: Optional[Path] = None) -> None:
+        self.sweep = sweep
+        self.root = Path(root) if root is not None else default_wal_root()
+        self.path = self.root / f"{sweep}.jsonl"
+        self._handle = None
+        self._seen: Set[str] = set()
+
+    def completed(self) -> Set[str]:
+        """Tokens recorded by earlier (possibly killed) runs of the sweep."""
+        tokens: Set[str] = set()
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail from a killed writer
+                    token = record.get("token") if isinstance(record, dict) else None
+                    if isinstance(token, str):
+                        tokens.add(token)
+        except OSError:
+            pass
+        self._seen |= tokens
+        return set(tokens)
+
+    def append(self, token: str) -> None:
+        """Record one completed cell; durable before returning.
+
+        Append failures are swallowed: the WAL accelerates resume but
+        must never fail a measurement (the disk cache still has the
+        result).
+        """
+        if token in self._seen:
+            return
+        self._seen.add(token)
+        try:
+            if self._handle is None:
+                self.root.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+                # A killed writer may have left a torn, unterminated final
+                # line; start on a fresh line so this append stays parseable.
+                if self._handle.tell() > 0:
+                    with open(self.path, "rb") as tail:
+                        tail.seek(-1, os.SEEK_END)
+                        torn = tail.read(1) != b"\n"
+                    if torn:
+                        self._handle.write("\n")
+            self._handle.write(json.dumps({"token": token}) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError:
+            pass
+
+    def flush(self) -> None:
+        try:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        try:
+            if self._handle is not None:
+                self._handle.close()
+        except OSError:
+            pass
+        self._handle = None
+
+    def discard(self) -> None:
+        """Delete the journal (a sweep that completed cleanly)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

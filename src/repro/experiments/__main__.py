@@ -4,6 +4,7 @@
     python -m repro.experiments all --scale default --jobs 4
     python -m repro.experiments fig07 --scale smoke --no-cache
     python -m repro.experiments all --keep-going --timeout 120 --retries 2
+    python -m repro.experiments fig07 --out results/figures --resume
 
 ``--jobs`` fans the run grid across worker processes; ``--no-cache``
 bypasses the persistent result cache under ``results/.cache/`` (see
@@ -14,7 +15,16 @@ retried), ``--retries`` caps re-runs of crashed/failed cells.  All
 default to the ``REPRO_JOBS`` / ``REPRO_CACHE`` / ``REPRO_KEEP_GOING`` /
 ``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRIES`` environment variables.
 
-Exit codes: 0 clean, 3 partial (``--keep-going`` with quarantined cells).
+Kill safety: with the cache enabled every sweep keeps an append-only
+journal of completed cells (``results/.wal/``, see ``repro.exec.wal``),
+and results stream to the cache as they finish — a run killed mid-sweep
+(SIGKILL, OOM) restarted with ``--resume`` skips the finished cells and
+produces byte-identical output.  ``--out DIR`` additionally writes each
+figure to ``DIR/<name>-<scale>.txt`` atomically (temp file + rename).
+
+Exit codes: 0 clean, 1 grid failure (a cell exhausted retries without
+``--keep-going``), 2 usage error, 3 partial figures (``--keep-going``
+with quarantined cells), 130 interrupted (SIGINT).
 """
 
 from __future__ import annotations
@@ -22,12 +32,36 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
-from ..exec import configure, current_config, quarantine_report, shared_disk_cache
+from ..exec import (
+    GridError,
+    SweepWAL,
+    configure,
+    current_config,
+    quarantine_report,
+    set_active_wal,
+    shared_disk_cache,
+    sweep_id,
+)
 from . import EXPERIMENTS
 
 #: exit code for a --keep-going run that quarantined at least one cell
 EXIT_PARTIAL = 3
+#: exit code for a grid failure without --keep-going
+EXIT_FAILURE = 1
+#: exit code after SIGINT (128 + SIGINT), the shell convention
+EXIT_INTERRUPTED = 130
+
+
+def _write_figure_atomic(out_dir: Path, name: str, scale: str, text: str) -> None:
+    """Atomic figure write: a kill mid-write can never leave a torn file
+    for the byte-identity comparison to trip over."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}-{scale}.txt"
+    tmp = out_dir / f".{name}-{scale}.txt.tmp"
+    tmp.write_text(text, encoding="utf-8")
+    tmp.replace(path)
 
 
 def main(argv=None) -> int:
@@ -58,25 +92,74 @@ def main(argv=None) -> int:
         "--cache-stats", action="store_true",
         help="print cache hit/miss/eviction counters even with --no-cache",
     )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write each figure to DIR/<name>-<scale>.txt (atomic)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed sweep: skip cells journaled as complete "
+             "(requires the cache; output stays byte-identical)",
+    )
     args = parser.parse_args(argv)
     configure(jobs=args.jobs, cache=False if args.no_cache else None,
               keep_going=args.keep_going, retries=args.retries)
     if args.timeout is not None:
         configure(timeout=args.timeout)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        started = time.time()
-        output = EXPERIMENTS[name](scale=args.scale)
-        if isinstance(output, dict):
-            for part in output.values():
-                print(part.to_text())
+
+    wal = None
+    if current_config().cache:
+        wal = SweepWAL(sweep_id([*names, args.scale]))
+        journaled = wal.completed()
+        if args.resume and journaled:
+            # stderr, like timings: resume must not perturb stdout's
+            # byte-identity with an uninterrupted run.
+            print(
+                f"[resume: {len(journaled)} cells already journaled in "
+                f"{wal.path.name}]",
+                file=sys.stderr,
+            )
+        set_active_wal(wal)
+    elif args.resume:
+        print("--resume requires the persistent cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+
+    interrupted = False
+    try:
+        for name in names:
+            started = time.time()
+            output = EXPERIMENTS[name](scale=args.scale)
+            parts = list(output.values()) if isinstance(output, dict) else [output]
+            texts = [part.to_text() for part in parts]
+            for text in texts:
+                print(text)
                 print()
-        else:
-            print(output.to_text())
-            print()
-        # Timing and cache stats go to stderr so stdout is byte-identical
-        # across serial, parallel, and cached runs (asserted in CI).
-        print(f"[{name} done in {time.time() - started:.1f}s]", file=sys.stderr)
+            if args.out is not None:
+                _write_figure_atomic(
+                    Path(args.out), name, args.scale,
+                    "".join(f"{text}\n\n" for text in texts),
+                )
+            # Timing and cache stats go to stderr so stdout is byte-identical
+            # across serial, parallel, and cached runs (asserted in CI).
+            print(f"[{name} done in {time.time() - started:.1f}s]", file=sys.stderr)
+    except KeyboardInterrupt:
+        # The scheduler already cancelled pending futures and flushed the
+        # journal; completed cells are durable, so a --resume picks up here.
+        interrupted = True
+        print("interrupted: completed cells are journaled; re-run with "
+              "--resume to continue", file=sys.stderr)
+    except GridError as failure:
+        print(f"grid failure: {failure}", file=sys.stderr)
+        return EXIT_FAILURE
+    finally:
+        set_active_wal(None)
+        if wal is not None:
+            wal.close()
+    if interrupted:
+        return EXIT_INTERRUPTED
+
     if current_config().cache or args.cache_stats:
         print(f"[cache: {shared_disk_cache().stats_line()}]", file=sys.stderr)
     # Quarantine lines appear only on partial runs, so clean stdout stays
@@ -87,6 +170,8 @@ def main(argv=None) -> int:
         for line in quarantined:
             print(f"  {line}")
         return EXIT_PARTIAL
+    if wal is not None:
+        wal.discard()  # clean completion: the journal has served its purpose
     return 0
 
 

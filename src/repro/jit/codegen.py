@@ -93,6 +93,11 @@ class CodeObject:
         #: never invalidated, but rebuilt if a different executor runs the
         #: code (the closures bind executor state).
         self._blocks: Optional[object] = None
+        #: set by the divergence sentinel (repro.supervise.sentinel) when
+        #: a fused block disagreed with its stepped twin: the executor
+        #: then routes this code object through the step tier for the
+        #: rest of the process instead of crashing the run.
+        self._supervise_demoted = False
         #: Allocator pool metadata recorded for the static linter: a deopt
         #: location naming a register outside these ranges points at a
         #: scratch register, which check-condition emission may clobber.

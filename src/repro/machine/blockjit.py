@@ -190,7 +190,7 @@ class BlockTable:
     """
 
     __slots__ = ("executor", "blocks", "block_of", "spans", "driver",
-                 "flags_live")
+                 "flags_live", "auditable", "demoted")
 
     def __init__(self, executor: "Executor") -> None:
         self.executor = executor
@@ -198,12 +198,37 @@ class BlockTable:
         self.block_of: Dict[int, int] = {}
         self.spans: List[Tuple[int, int]] = []
         self.driver: List[Tuple[float, object, object]] = []
-        #: True when any block reads flags before writing them, i.e. flags
+        #: True when any block reads flags it did not set, i.e. flags
         #: flow across block boundaries and the closures must thread
         #: (n, z, c, v) through their signature.  Compiler-generated code
         #: keeps compare and branch in the same block, so this is the
         #: exception, not the rule.
         self.flags_live = False
+        #: per-block: True when the divergence sentinel may shadow-execute
+        #: the block side-effect-free (its last instruction is not a call,
+        #: RET, DEOPT or JSLDRSMI — see repro.supervise.sentinel).
+        self.auditable: List[bool] = []
+        #: set by the sentinel on a divergence: in-flight driver loops
+        #: route every block through its stepped twin from then on.
+        self.demoted = False
+
+    def demote(self) -> None:
+        """Force every block onto its stepped twin, including for loops
+        already inside the driver.
+
+        Instead of a per-block ``demoted`` check in the hot dispatch loop,
+        demotion rewrites the driver tuples with an infinite block cost:
+        ``local_cycles + inf`` trips the existing sample-window condition
+        (``inf >= anything``, even an idle sampler's ``inf`` due point),
+        which routes through the stepped twin with the *entry* cycle
+        count — the fused closure and its exit-cycles ABI are never
+        touched again, so cycle totals stay bit-exact.
+        """
+        self.demoted = True
+        infinite = float("inf")
+        self.driver[:] = [
+            (infinite, fused, stepped) for _cost, fused, stepped in self.driver
+        ]
 
 
 #: decoded kinds that retire a load / store (mirrors the step loop's
@@ -219,6 +244,16 @@ _STORE_KINDS = frozenset({K_STR, K_STR_FRAME, K_STRF, K_STRF_FRAME})
 #: first flag access is a write has no flag live-in: flags then never
 #: cross its entry and the closures can use the slim no-flags ABI.
 _FLAG_READ_KINDS = frozenset({K_BCC, K_CSET})
+
+#: last-instruction kinds whose closures touch executor/engine state
+#: (cycle-clock flush, deopt-state capture, ret stash, nested calls) —
+#: blocks ending in one of these cannot be shadow-executed by the
+#: divergence sentinel.  Everything else mutates only its positional
+#: state arguments plus the predictor/stats objects, both of which the
+#: sentinel snapshot-restores.
+_UNAUDITABLE_LAST = frozenset(
+    {K_CALL_JS, K_CALL_DYN, K_CALL_RT, K_RET, K_DEOPT, K_JSLDRSMI}
+)
 _FLAG_WRITE_KINDS = frozenset(
     {K_CMPI, K_CMP, K_TSTI, K_TST, K_MZCMP, K_ADDS, K_SUBS, K_MULS,
      K_ADDSI, K_SUBSI, K_NEGS, K_CMPI_MEM, K_CMP_MEM, K_TSTI_MEM, K_FCMP}
@@ -348,6 +383,10 @@ class _BlockCompiler:
         self.flags_live = table.flags_live = any(
             self._flags_live_in(start, end) for start, end in table.spans
         )
+        table.auditable = [
+            self.decoded[end - 1][0] not in _UNAUDITABLE_LAST
+            for _start, end in table.spans
+        ]
         sources: List[str] = []
         for bid, (start, end) in enumerate(table.spans):
             table.blocks.append(self._compile_block(bid, start, end, sources))

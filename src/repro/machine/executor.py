@@ -288,6 +288,10 @@ class Executor:
         self.blockjit = False
         #: result word stashed by a fused RET block for the block driver.
         self.ret_value = 0
+        #: optional repro.supervise.sentinel.DivergenceSentinel; wired by
+        #: the engine from EngineConfig.audit / REPRO_AUDIT.  When set,
+        #: block execution runs through the audit-aware driver loop.
+        self._audit = None
 
     def set_sampling(self, sampler, period: float) -> None:
         self.sampler = sampler
@@ -310,9 +314,16 @@ class Executor:
 
         Dispatches to the block-compiled executor when enabled; the
         per-instruction step loop remains the semantic reference and the
-        only tier that supports tracing for the pipeline models.
+        only tier that supports tracing for the pipeline models.  A code
+        object demoted by the divergence sentinel
+        (:mod:`repro.supervise.sentinel`) stays on the step tier for the
+        rest of the process.
         """
-        if self.blockjit and self.trace is None:
+        if (
+            self.blockjit
+            and self.trace is None
+            and not code._supervise_demoted
+        ):
             return self._run_blocks(code, args, this_word)
         return self._run_steps(code, args, this_word)
 
@@ -365,6 +376,63 @@ class Executor:
                         regs, fregs, frame, special, heap_words,
                         exit_cycles, n, z, c, v,
                     )
+                if bid < 0:
+                    return self.ret_value
+        audit = self._audit
+        if audit is not None:
+            # Divergence-sentinel variant of the loop below, inline so a
+            # call-heavy workload (thousands of tiny activations) pays no
+            # extra call frame per activation.  The schedule is anchored
+            # to the global ``stats.instructions`` counter (already kept
+            # current by every closure prologue), so progress towards the
+            # next audit spans nested and recursive activations.  Each
+            # activation holds the due threshold in a local and re-reads
+            # ``audit.due`` when its (possibly stale) local fires — if a
+            # descendant activation already audited and advanced the
+            # threshold, this one stands down instead of double-auditing.
+            # A due audit waits for the next *auditable* block.  Demotion
+            # needs no per-block check: BlockTable.demote rewrites the
+            # driver costs to inf, so in-flight loops (this one and
+            # nested activations') fall onto the stepped route via the
+            # sample-window condition.
+            auditable = table.auditable
+            stats = self.stats
+            due = audit.due
+            while True:
+                total_cost, fused, stepped = blocks[bid]
+                exit_cycles = local_cycles + total_cost
+                if exit_cycles >= self._next_sample or self.forced_deopt_trips > 0:
+                    bid, local_cycles = stepped(
+                        regs, fregs, frame, special, heap_words, local_cycles,
+                    )
+                    if bid < 0:
+                        return self.ret_value
+                    continue
+                if stats.instructions >= due and auditable[bid]:
+                    due = audit.due
+                    if stats.instructions >= due:
+                        audit.audit_block(
+                            self, code, table, bid, regs, fregs, frame,
+                            special, local_cycles,
+                        )
+                        due = audit.due = (
+                            stats.instructions + audit.next_interval()
+                        )
+                        if table.demoted:
+                            # The audit just demoted this very code
+                            # object: run the real execution through the
+                            # reference twin so its side effects happen
+                            # exactly once.
+                            bid, local_cycles = stepped(
+                                regs, fregs, frame, special, heap_words,
+                                local_cycles,
+                            )
+                            if bid < 0:
+                                return self.ret_value
+                            continue
+                bid, local_cycles = fused(
+                    regs, fregs, frame, special, heap_words, exit_cycles,
+                )
                 if bid < 0:
                     return self.ret_value
         while True:

@@ -147,6 +147,30 @@ def _chaos_run(
     return result, runner.last_engine, injector
 
 
+def _capture_oracle_bundle(
+    benchmark: str,
+    target: str,
+    plan: "FaultPlan",
+    iterations: int,
+    mismatches: Optional[List[str]] = None,
+    error: Optional[str] = None,
+) -> None:
+    """Crash-forensics record for an oracle failure: the fault plan plus
+    benchmark/seed is everything ``repro.supervise replay`` needs to
+    re-run the differential comparison deterministically."""
+    from ..supervise.bundles import capture_bundle, serialize_plan
+
+    capture_bundle("oracle-failure", {
+        "benchmark": benchmark,
+        "target": target,
+        "iterations": iterations,
+        "seed": plan.seed,
+        "fault_plan": serialize_plan(plan),
+        "mismatches": list(mismatches or []),
+        "error": error,
+    })
+
+
 def differential_run(
     benchmark: str,
     target: str,
@@ -167,6 +191,10 @@ def differential_run(
             spec, EngineConfig(target=target), plan, iterations
         )
     except Exception as failure:  # recovery failure IS the signal here
+        _capture_oracle_bundle(
+            benchmark, target, plan, iterations,
+            error=f"{type(failure).__name__}: {failure}",
+        )
         return ChaosOutcome(
             benchmark,
             target,
@@ -203,6 +231,10 @@ def differential_run(
                 if len(mismatches) >= _MAX_MISMATCHES:
                     break
 
+    if mismatches:
+        _capture_oracle_bundle(
+            benchmark, target, plan, iterations, mismatches=mismatches
+        )
     stats = opt_engine.resilience_stats()
     eager = sum(
         1

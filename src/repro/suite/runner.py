@@ -146,7 +146,64 @@ class BenchmarkRunner:
         ``injector`` is an optional fault injector (duck-typed: anything
         with ``before_iteration(engine, iteration)``) invoked between
         iterations — see :mod:`repro.resilience.faults`.
+
+        Any escaping engine exception captures a crash bundle
+        (:mod:`repro.supervise.bundles`) carrying everything a replay
+        needs — benchmark, config, rep, the serialized fault plan — and
+        then propagates unchanged.
         """
+        import traceback
+
+        # Imported lazily: repro.supervise pulls in repro.exec, whose
+        # cells module imports the engine this module already imports.
+        from ..supervise.bundles import (
+            capture_bundle,
+            clear_run_context,
+            serialize_plan,
+            set_run_context,
+        )
+
+        set_run_context(
+            benchmark=self.spec.name,
+            target=self.config.target,
+            iterations=iterations,
+            rep=rep,
+            noise=self.noise.enabled,
+            config={
+                "removed_checks": sorted(
+                    kind.name for kind in self.config.removed_checks
+                ),
+                "emit_check_branches": self.config.emit_check_branches,
+            },
+            fault_plan=serialize_plan(getattr(injector, "plan", None)),
+        )
+        try:
+            return self._run(iterations, rep, reference, injector, collect_values)
+        except Exception as failure:
+            capture_bundle("engine-exception", {
+                "error": f"{type(failure).__name__}: {failure}",
+                "error_type": type(failure).__name__,
+                "traceback": "".join(
+                    traceback.format_exception(
+                        type(failure), failure, failure.__traceback__
+                    )
+                ),
+            })
+            raise
+        finally:
+            clear_run_context(
+                "benchmark", "target", "iterations", "rep", "noise",
+                "config", "fault_plan",
+            )
+
+    def _run(
+        self,
+        iterations: int,
+        rep: int,
+        reference: object,
+        injector: object,
+        collect_values: bool,
+    ) -> RunResult:
         rng = random.Random((stable_seed(self.spec.name) & 0xFFFFFFF) * 1000003 + rep)
         config = self.noise.perturb_config(self.config, rng)
         engine = Engine(config)

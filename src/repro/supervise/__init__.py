@@ -1,0 +1,42 @@
+"""Supervision layer: online tier guarding and replayable crash forensics.
+
+Three cooperating pieces (DESIGN.md §10):
+
+* :mod:`repro.supervise.sentinel` — an online divergence sentinel that,
+  on a deterministic audit schedule, shadow-executes selected basic
+  blocks through both the blockjit fused closure and its stepped twin,
+  compares the complete machine state, and demotes a diverging code
+  object to the step tier instead of crashing the run;
+* :mod:`repro.supervise.bundles` — atomic, content-addressed crash
+  report bundles under ``results/crashes/`` for every divergence,
+  engine exception, oracle failure, or worker crash;
+* :mod:`repro.supervise.replay` — ``python -m repro.supervise replay``
+  re-executes a bundle deterministically and ``--minimize`` shrinks it
+  to a minimal reproducer.
+
+Kill-safe sweep resume (the WAL) lives next to the scheduler in
+:mod:`repro.exec.wal`.
+"""
+
+from .bundles import (
+    bundle_dir,
+    bundles_enabled,
+    capture_bundle,
+    clear_run_context,
+    list_bundles,
+    load_bundle,
+    set_run_context,
+)
+from .sentinel import DivergenceSentinel, resolve_audit_interval
+
+__all__ = [
+    "DivergenceSentinel",
+    "bundle_dir",
+    "bundles_enabled",
+    "capture_bundle",
+    "clear_run_context",
+    "list_bundles",
+    "load_bundle",
+    "resolve_audit_interval",
+    "set_run_context",
+]

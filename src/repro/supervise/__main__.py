@@ -1,0 +1,141 @@
+"""CLI: crash-bundle forensics.
+
+    python -m repro.supervise list
+    python -m repro.supervise replay results/crashes/<bundle>.json
+    python -m repro.supervise replay <bundle> --minimize
+    python -m repro.supervise inject FIB --iterations 12
+
+``list`` shows captured bundles; ``replay`` re-executes one
+deterministically (exit 0 when the failure reproduces, 1 when it does
+not) and ``--minimize`` shrinks the reproducer to minimal iterations
+and fault-plan entries.  ``inject`` is the CI/test driver for the
+divergence sentinel: it arms the ``REPRO_CHAOS_AUDIT`` corruption hook,
+runs one benchmark under audit, and asserts demotion plus bundle
+capture — printing the bundle path on its last stdout line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from .bundles import bundle_dir, list_bundles, load_bundle
+
+
+def _cmd_list(args) -> int:
+    root = Path(args.bundle_dir) if args.bundle_dir else bundle_dir()
+    paths = list_bundles(root)
+    if not paths:
+        print(f"no crash bundles under {root}")
+        return 0
+    for path in paths:
+        try:
+            record = load_bundle(path)
+        except (OSError, ValueError) as reason:
+            print(f"{path.name}: unreadable ({reason})")
+            continue
+        benchmark = record.get("benchmark", "?")
+        detail = record.get("error") or ",".join(record.get("mismatch", []))
+        print(f"{path.name}: {record.get('kind')} {benchmark}"
+              + (f" — {detail}" if detail else ""))
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .replay import replay_bundle
+
+    path = Path(args.bundle)
+    if not path.exists():
+        candidate = bundle_dir() / args.bundle
+        if candidate.exists():
+            path = candidate
+        else:
+            print(f"no such bundle: {args.bundle}", file=sys.stderr)
+            return 2
+    result = replay_bundle(path, minimize=args.minimize)
+    status = "REPRODUCED" if result.reproduced else "NOT REPRODUCED"
+    print(f"{status}: {result.detail}")
+    if result.minimized is not None:
+        print(f"minimized bundle: {result.minimized}")
+    return 0 if result.reproduced else 1
+
+
+def _cmd_inject(args) -> int:
+    # Arm the sentinel and its corruption hook before any engine exists.
+    os.environ["REPRO_AUDIT"] = str(args.interval)
+    os.environ["REPRO_CHAOS_AUDIT"] = "corrupt"
+    if args.bundle_dir:
+        os.environ["REPRO_BUNDLE_DIR"] = args.bundle_dir
+
+    from .bundles import bundle_dir as resolved_bundle_dir
+    from ..suite.runner import BenchmarkRunner, NoiseModel
+    from ..suite.spec import get_benchmark
+
+    before = set(list_bundles(resolved_bundle_dir()))
+    runner = BenchmarkRunner(get_benchmark(args.benchmark))
+    runner.run(iterations=args.iterations)
+    engine = runner.last_engine
+    assert engine is not None
+    sentinel = engine.executor._audit
+    if sentinel is None:
+        print("sentinel was not armed (blockjit off?)", file=sys.stderr)
+        return 1
+    if not sentinel.demotions:
+        print(
+            f"chaos corruption did not trigger a demotion "
+            f"({sentinel.audits} audits ran; raise --iterations or lower "
+            f"--interval)",
+            file=sys.stderr,
+        )
+        return 1
+    fresh = [
+        path for path in list_bundles(resolved_bundle_dir())
+        if path not in before and path.name.startswith("divergence-")
+    ]
+    if not fresh:
+        print("demotion happened but no divergence bundle was captured",
+              file=sys.stderr)
+        return 1
+    for name, block in sentinel.demotions:
+        print(f"demoted {name or '<anonymous>'} block {block} "
+              f"after audit {sentinel.audits}", file=sys.stderr)
+    print(fresh[-1])
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.supervise",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmd = sub.add_parser("list", help="list captured crash bundles")
+    cmd.add_argument("--bundle-dir", default=None)
+    cmd.set_defaults(func=_cmd_list)
+
+    cmd = sub.add_parser("replay", help="re-execute one bundle")
+    cmd.add_argument("bundle")
+    cmd.add_argument("--minimize", action="store_true",
+                     help="shrink iterations and fault-plan entries while "
+                          "the failure still reproduces")
+    cmd.set_defaults(func=_cmd_replay)
+
+    cmd = sub.add_parser(
+        "inject",
+        help="seed a deliberate fused-tier divergence via REPRO_CHAOS_AUDIT "
+             "and assert demotion + bundle capture (CI/test driver)",
+    )
+    cmd.add_argument("benchmark")
+    cmd.add_argument("--iterations", type=int, default=12)
+    cmd.add_argument("--interval", type=int, default=25,
+                     help="mean audit gap in retired instructions")
+    cmd.add_argument("--bundle-dir", default=None)
+    cmd.set_defaults(func=_cmd_inject)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,397 @@
+"""Deterministic re-execution and minimization of crash bundles.
+
+Every bundle kind records enough to rebuild its run exactly — benchmark,
+ISA target, engine-config knobs, iteration count, rep, the serialized
+fault plan, and the ``REPRO_*`` environment that shaped execution — so
+replay is a matter of reconstructing that world and checking that the
+same failure happens again:
+
+* ``divergence`` — re-run the benchmark with the recorded audit
+  interval (and chaos hook, if one seeded the divergence), capturing
+  bundles into a scratch directory; reproduced iff a divergence bundle
+  for the same code object, block and mismatch set appears.
+* ``engine-exception`` — re-run the benchmark under the recorded fault
+  plan; reproduced iff the same exception type escapes.
+* ``oracle-failure`` — re-run :func:`repro.resilience.oracle.
+  differential_run` under the recorded plan; reproduced iff the oracle
+  fails again.
+* ``cell-failure`` — re-run the cell in a fresh single-worker process
+  pool with the recorded chaos environment; reproduced iff the worker
+  crashes, hangs past the watchdog, or raises the recorded error.
+
+``--minimize`` shrinks the reproducer while it still reproduces: the
+iteration count is halved toward the latest fault-plan entry, then each
+fault entry is dropped greedily.  The minimized bundle is captured next
+to the original with a ``minimized_from`` back-reference.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .bundles import capture_bundle, list_bundles, load_bundle
+
+#: environment keys a replay restores from the bundle record
+_ENV_KEYS = (
+    "REPRO_BLOCKJIT", "REPRO_VERIFY", "REPRO_AUDIT", "REPRO_CHAOS_AUDIT",
+    "REPRO_CHAOS_EXEC",
+)
+
+#: wall-clock watchdog for cell-failure replays (a recorded hang chaos
+#: sleeps for an hour; we call it reproduced long before that)
+CELL_REPLAY_TIMEOUT = 60.0
+
+
+@dataclass
+class ReplayResult:
+    reproduced: bool
+    detail: str
+    minimized: Optional[Path] = None
+
+
+@contextmanager
+def _replay_env(record: Dict[str, object], extra: Dict[str, str]):
+    """Install the bundle's recorded REPRO_* environment plus overrides."""
+    desired: Dict[str, str] = {}
+    recorded = record.get("env")
+    if isinstance(recorded, dict):
+        for key in _ENV_KEYS:
+            if key in recorded:
+                desired[key] = str(recorded[key])
+    desired.update(extra)
+    saved: Dict[str, Optional[str]] = {}
+    touched = set(_ENV_KEYS) | set(desired) | {
+        "REPRO_BUNDLE_DIR", "REPRO_CHAOS_MAIN_PID", "REPRO_BUNDLES",
+    }
+    for key in touched:
+        saved[key] = os.environ.get(key)
+        if key in desired:
+            os.environ[key] = desired[key]
+        else:
+            os.environ.pop(key, None)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _rebuild_engine_config(record: Dict[str, object]):
+    from ..engine import EngineConfig
+    from ..jit.checks import CheckKind
+
+    config = record.get("config")
+    config = config if isinstance(config, dict) else {}
+    removed = frozenset(
+        CheckKind[name] for name in config.get("removed_checks", ())
+    )
+    return EngineConfig(
+        target=str(record.get("target", config.get("target", "arm64"))),
+        removed_checks=removed,
+        emit_check_branches=bool(config.get("emit_check_branches", True)),
+    )
+
+
+def _rebuild_plan(record: Dict[str, object]):
+    from ..resilience.faults import Fault, FaultKind, FaultPlan
+
+    data = record.get("fault_plan")
+    if not isinstance(data, dict):
+        return None
+    return FaultPlan(
+        benchmark=str(data["benchmark"]),
+        seed=int(data["seed"]),  # type: ignore[arg-type]
+        faults=tuple(
+            Fault(int(it), FaultKind(kind), int(salt))
+            for it, kind, salt in data.get("faults", ())
+        ),
+    )
+
+
+def _plan_with(plan, faults):
+    from ..resilience.faults import FaultPlan
+
+    if plan is None:
+        return None
+    return FaultPlan(benchmark=plan.benchmark, seed=plan.seed,
+                     faults=tuple(faults))
+
+
+def _run_benchmark(record: Dict[str, object], iterations: int, plan) -> Optional[BaseException]:
+    """One replay run of the recorded benchmark; returns the escaping
+    exception, if any."""
+    from ..resilience.faults import FaultInjector
+    from ..suite.runner import BenchmarkRunner, NoiseModel
+    from ..suite.spec import get_benchmark
+
+    spec = get_benchmark(str(record["benchmark"]))
+    runner = BenchmarkRunner(
+        spec,
+        _rebuild_engine_config(record),
+        NoiseModel(enabled=bool(record.get("noise", True))),
+    )
+    injector = FaultInjector(plan) if plan is not None else None
+    try:
+        runner.run(
+            iterations=iterations,
+            rep=int(record.get("rep", 0)),  # type: ignore[arg-type]
+            injector=injector,
+        )
+    except Exception as failure:
+        return failure
+    return None
+
+
+# ----------------------------------------------------------------------
+# per-kind reproduction predicates
+# ----------------------------------------------------------------------
+
+def _same_divergence(original: Dict[str, object], candidate: Dict[str, object]) -> bool:
+    if candidate.get("kind") != "divergence":
+        return False
+    return all(
+        candidate.get(key) == original.get(key)
+        for key in ("code", "block", "span", "mismatch")
+    )
+
+
+def _reproduce_divergence(
+    record: Dict[str, object], iterations: int, faults
+) -> Tuple[bool, Optional[Dict[str, object]]]:
+    plan = _rebuild_plan(record)
+    if faults is not None:
+        plan = _plan_with(plan, faults)
+    interval = record.get("audit_interval") or 0
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as scratch:
+        extra = {
+            "REPRO_AUDIT": str(int(interval)) if int(interval) > 1 else "1",
+            "REPRO_BUNDLE_DIR": scratch,
+        }
+        with _replay_env(record, extra):
+            _run_benchmark(record, iterations, plan)
+        for path in list_bundles(Path(scratch)):
+            candidate = load_bundle(path)
+            if _same_divergence(record, candidate):
+                return True, candidate
+    return False, None
+
+
+def _reproduce_engine_exception(
+    record: Dict[str, object], iterations: int, faults
+) -> bool:
+    plan = _plan_with(_rebuild_plan(record), faults)
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as scratch:
+        with _replay_env(record, {"REPRO_BUNDLE_DIR": scratch}):
+            failure = _run_benchmark(record, iterations, plan)
+    return (
+        failure is not None
+        and type(failure).__name__ == record.get("error_type")
+    )
+
+
+def _reproduce_oracle_failure(
+    record: Dict[str, object], iterations: int, faults
+) -> bool:
+    from ..resilience.oracle import differential_run
+
+    plan = _plan_with(_rebuild_plan(record), faults)
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as scratch:
+        with _replay_env(record, {"REPRO_BUNDLE_DIR": scratch}):
+            outcome = differential_run(
+                str(record["benchmark"]),
+                str(record["target"]),
+                plan=plan,
+                seed=int(record.get("seed", 0)),  # type: ignore[arg-type]
+                iterations=iterations,
+            )
+    return not outcome.ok
+
+
+def _reproduce_cell_failure(record: Dict[str, object]) -> Tuple[bool, str]:
+    from ..exec.cells import RunCell, compute_cell
+
+    data = record.get("cell")
+    if not isinstance(data, dict):
+        return False, "bundle has no cell record"
+    cell = RunCell(
+        kind=str(data["kind"]),
+        benchmark=str(data["benchmark"]),
+        target=str(data["target"]),
+        iterations=int(data["iterations"]),  # type: ignore[arg-type]
+        rep=int(data.get("rep", 0)),  # type: ignore[arg-type]
+        removed=tuple(data.get("removed", ())),
+        emit_check_branches=bool(data.get("emit_check_branches", True)),
+        noise=bool(data.get("noise", True)),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as scratch:
+        # REPRO_CHAOS_MAIN_PID must NOT name this process: the recorded
+        # crash/hang happened in a pool worker and the chaos hook only
+        # fires off the main pid — a fresh single-worker pool recreates
+        # exactly that.
+        with _replay_env(record, {"REPRO_BUNDLE_DIR": scratch}):
+            pool = ProcessPoolExecutor(max_workers=1)
+            future = pool.submit(compute_cell, cell)
+            try:
+                future.result(timeout=CELL_REPLAY_TIMEOUT)
+                return False, "cell completed without failing"
+            except BrokenProcessPool:
+                return True, "worker process died again"
+            except FutureTimeout:
+                return True, (
+                    f"worker hung past {CELL_REPLAY_TIMEOUT:.0f}s watchdog"
+                )
+            except Exception as failure:
+                detail = f"{type(failure).__name__}: {failure}"
+                recorded = str(record.get("error", ""))
+                if type(failure).__name__ in recorded or detail == recorded:
+                    return True, f"cell failed again: {detail}"
+                return False, f"cell failed differently: {detail}"
+            finally:
+                for process in list(
+                    (getattr(pool, "_processes", None) or {}).values()
+                ):
+                    try:
+                        process.terminate()
+                    except OSError:
+                        pass
+                pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# minimization
+# ----------------------------------------------------------------------
+
+def _minimize(record: Dict[str, object], reproduce) -> Tuple[int, List]:
+    """Greedy shrink: halve iterations toward the latest fault, then drop
+    fault-plan entries one at a time.  ``reproduce(iterations, faults)``
+    re-runs the failure; every accepted step still reproduces."""
+    iterations = int(record.get("iterations", 1))  # type: ignore[arg-type]
+    plan = _rebuild_plan(record)
+    faults: List = list(plan.faults) if plan is not None else []
+
+    while iterations > 1:
+        trial = max(1, iterations // 2)
+        if faults:
+            trial = max(trial, 1 + max(fault.iteration for fault in faults))
+        if trial >= iterations:
+            break
+        if reproduce(trial, faults):
+            iterations = trial
+        else:
+            break
+
+    index = 0
+    while index < len(faults):
+        candidate = faults[:index] + faults[index + 1:]
+        if reproduce(iterations, candidate):
+            faults = candidate
+        else:
+            index += 1
+    return iterations, faults
+
+
+def _write_minimized(
+    record: Dict[str, object],
+    iterations: int,
+    faults,
+    bundle_dir: Path,
+    extra: Optional[Dict[str, object]] = None,
+) -> Optional[Path]:
+    from .bundles import serialize_plan
+
+    payload = {
+        key: value
+        for key, value in record.items()
+        if key not in ("bundle_id", "captured_at", "pid", "schema", "kind")
+    }
+    payload["iterations"] = iterations
+    plan = _plan_with(_rebuild_plan(record), faults)
+    payload["fault_plan"] = serialize_plan(plan)
+    payload["minimized_from"] = record.get("bundle_id")
+    if extra:
+        payload.update(extra)
+    return capture_bundle(str(record["kind"]), payload, root=bundle_dir)
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+def replay_bundle(
+    path: Path, minimize: bool = False
+) -> ReplayResult:
+    """Re-execute one bundle; optionally shrink it to a minimal reproducer."""
+    record = load_bundle(path)
+    kind = record.get("kind")
+    bundle_dir = path.resolve().parent
+
+    if kind == "divergence":
+        def reproduce(iterations, faults):
+            hit, _candidate = _reproduce_divergence(record, iterations, faults)
+            return hit
+
+        reproduced, _candidate = _reproduce_divergence(
+            record,
+            int(record.get("iterations", 1)),  # type: ignore[arg-type]
+            None,
+        )
+        result = ReplayResult(
+            reproduced,
+            "divergence recurred on the recorded audit schedule"
+            if reproduced else "no matching divergence was observed",
+        )
+    elif kind == "engine-exception":
+        def reproduce(iterations, faults):
+            return _reproduce_engine_exception(record, iterations, faults)
+
+        plan = _rebuild_plan(record)
+        reproduced = reproduce(
+            int(record.get("iterations", 1)),  # type: ignore[arg-type]
+            list(plan.faults) if plan is not None else None,
+        )
+        result = ReplayResult(
+            reproduced,
+            f"{record.get('error_type')} escaped again"
+            if reproduced else "run completed without the recorded exception",
+        )
+    elif kind == "oracle-failure":
+        def reproduce(iterations, faults):
+            return _reproduce_oracle_failure(record, iterations, faults)
+
+        plan = _rebuild_plan(record)
+        reproduced = reproduce(
+            int(record.get("iterations", 1)),  # type: ignore[arg-type]
+            list(plan.faults) if plan is not None else None,
+        )
+        result = ReplayResult(
+            reproduced,
+            "oracle failed again under the recorded fault plan"
+            if reproduced else "oracle passed on replay",
+        )
+    elif kind == "cell-failure":
+        reproduced, detail = _reproduce_cell_failure(record)
+        return ReplayResult(reproduced, detail)  # no minimizer for cells
+    else:
+        return ReplayResult(False, f"unknown bundle kind {kind!r}")
+
+    if minimize and result.reproduced:
+        iterations, faults = _minimize(record, reproduce)
+        result.minimized = _write_minimized(
+            record, iterations, faults, bundle_dir
+        )
+        result.detail += (
+            f"; minimized to {iterations} iteration(s), "
+            f"{len(faults)} fault(s)"
+        )
+    return result

@@ -1,0 +1,364 @@
+"""Online divergence sentinel for the two-tier block executor.
+
+PR 4 proved the fused tier faithful *offline* (a sweep script diffing
+whole-run results); this module holds it to a runtime bisimulation
+obligation instead.  On a deterministic audit schedule, the executor
+hands the sentinel a basic block it is about to run through the fused
+closure.  The sentinel then **shadow-executes** the block twice — once
+through the stepped twin (the per-instruction reference) and once
+through the fused closure — against copies of the register file, frame
+and flag state and a copy-on-write heap overlay, compares the complete
+outcome (next block id, bit-exact cycle total, registers, float
+registers, frame, special registers, heap writes, branch-predictor and
+counter deltas, exception parity), restores all shared state, and only
+then lets the real execution proceed.
+
+On a mismatch the sentinel does not crash the run: it **demotes** the
+code object to the step tier (``code._supervise_demoted``) for the rest
+of the process — in-flight activations switch to stepped twins via
+``BlockTable.demote``, which rewrites the driver's block costs to
+``inf`` so the ordinary sample-window condition reroutes every block —
+and captures a ``divergence`` crash bundle
+(:mod:`repro.supervise.bundles`).  Demotion is the Deoptless recovery
+discipline applied to our own fast tier: bail out locally, never
+diverge globally.
+
+Why shadow execution is side-effect free here: audit-eligible blocks
+are exactly those the fused tier may run (no sample tick in the cycle
+window, no pending forced deopt trip) whose last instruction is not a
+call, ``RET``, ``DEOPT`` or ``JSLDRSMI`` (``BlockTable.auditable``).
+Under those conditions the generated closures touch only their
+positional state arguments plus the branch predictor and counter
+objects — both snapshot-restored around each probe — and the stepped
+twin's per-pc sampler poll can never fire (every prefix cost is ≤ the
+block total, which is below the sample due point).  Tables using the
+rare flag-threading ABI are not audited (documented limitation; the
+slim ABI covers every benchmark in the suite).
+
+The audit **schedule** is deterministic: gaps (in *retired
+instructions*, the executor's global ``stats.instructions`` counter)
+are drawn from a xorshift64* stream seeded by the engine fingerprint,
+so two runs of the same engine version audit the same blocks.
+Anchoring the schedule to the instruction counter — rather than a
+per-activation block countdown — makes progress global across nested
+and recursive activations: a driver loop holding a stale local
+threshold re-reads :attr:`DivergenceSentinel.due` before auditing, so
+a descendant's audit satisfies the ancestor's pending one.
+``EngineConfig(audit=)`` / ``REPRO_AUDIT`` select the mean gap; the
+default keeps executor-section overhead under 10 % (measured by
+``repro.exec.bench``).
+
+``REPRO_CHAOS_AUDIT=corrupt[:N]`` is the test hook: the Nth audit
+perturbs the fused shadow's result before comparison, deterministically
+seeding a divergence for CI to catch end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..exec.fingerprint import engine_fingerprint
+from .bundles import capture_bundle
+
+if TYPE_CHECKING:
+    from ..jit.codegen import CodeObject
+    from ..machine.blockjit import BlockTable
+    from ..machine.executor import Executor
+
+#: default mean audit gap, in retired instructions.  Prime, so the
+#: schedule cannot phase-lock with loop trip counts; large enough that the
+#: two-probe audit cost amortizes below the 10 % overhead budget.
+DEFAULT_INTERVAL = 9973
+
+_M64 = (1 << 64) - 1
+_PACK_D = struct.Struct("<d").pack
+
+
+def resolve_audit_interval(setting: object) -> Optional[int]:
+    """Mean audit gap (in retired instructions) from
+    ``EngineConfig(audit=)`` / ``REPRO_AUDIT``.
+
+    ``None`` consults the environment: unset/``0``/``off`` disables,
+    ``1``/``on`` enables at :data:`DEFAULT_INTERVAL`, any larger integer
+    is the gap itself.  ``True``/``False`` and integers passed
+    programmatically follow the same convention.
+    """
+    if setting is None:
+        raw = os.environ.get("REPRO_AUDIT", "")
+        if raw.lower() in ("", "0", "false", "off", "no"):
+            return None
+        if raw.lower() in ("1", "true", "on", "yes"):
+            return DEFAULT_INTERVAL
+        try:
+            value = int(raw)
+        except ValueError:
+            return None
+        return max(2, value)
+    if setting is False:
+        return None
+    if setting is True:
+        return DEFAULT_INTERVAL
+    value = int(setting)  # type: ignore[call-overload]
+    if value <= 0:
+        return None
+    return max(2, value)
+
+
+class _ShadowHeap:
+    """Copy-on-write overlay over the executor's heap word list.
+
+    Shadow probes read through to the real heap but land every write in
+    ``writes``, which doubles as the probe's heap-effect record for the
+    divergence comparison and the bundle digest.
+    """
+
+    __slots__ = ("base", "writes")
+
+    def __init__(self, base: List[int]) -> None:
+        self.base = base
+        self.writes: Dict[int, object] = {}
+
+    def __getitem__(self, address: int) -> object:
+        writes = self.writes
+        if address in writes:
+            return writes[address]
+        return self.base[address]
+
+    def __setitem__(self, address: int, value: object) -> None:
+        self.writes[address] = value
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+
+class _Probe:
+    """Outcome of one shadow execution of one block."""
+
+    __slots__ = (
+        "bid", "cycles", "regs", "fregs", "frame", "special", "writes",
+        "pred", "stats", "error",
+    )
+
+    def __init__(self) -> None:
+        self.bid: Optional[int] = None
+        self.cycles: Optional[float] = None
+        self.error: Optional[Tuple[str, str]] = None
+
+
+def _word_bits(value: object) -> object:
+    """A comparison/digest key that is bit-exact for floats."""
+    if type(value) is float:
+        return _PACK_D(value)
+    return value
+
+
+def _words_equal(left, right) -> bool:
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if a != b or _word_bits(a) != _word_bits(b):
+            return False
+    return True
+
+
+def _writes_equal(left: Dict[int, object], right: Dict[int, object]) -> bool:
+    if left.keys() != right.keys():
+        return False
+    for address, value in left.items():
+        other = right[address]
+        if value != other or _word_bits(value) != _word_bits(other):
+            return False
+    return True
+
+
+def _state_digest(probe: "_Probe") -> str:
+    digest = hashlib.sha256()
+    digest.update(repr(probe.bid).encode())
+    if probe.cycles is not None:
+        digest.update(_PACK_D(probe.cycles))
+    for group in (probe.regs, probe.fregs, probe.frame, probe.special):
+        digest.update(repr([_word_bits(v) for v in group]).encode())
+    digest.update(
+        repr(sorted((k, _word_bits(v)) for k, v in probe.writes.items())).encode()
+    )
+    digest.update(repr(probe.error).encode())
+    return digest.hexdigest()[:16]
+
+
+def _entry_digest(regs, fregs, frame, special, cycles: float) -> str:
+    digest = hashlib.sha256()
+    digest.update(_PACK_D(cycles))
+    for group in (regs, fregs, frame, special):
+        digest.update(repr([_word_bits(v) for v in group]).encode())
+    return digest.hexdigest()[:16]
+
+
+class DivergenceSentinel:
+    """Deterministic audit schedule plus the audit procedure itself."""
+
+    def __init__(self, interval: int = DEFAULT_INTERVAL,
+                 seed: Optional[int] = None) -> None:
+        self.interval = max(2, int(interval))
+        if seed is None:
+            seed = int(engine_fingerprint()[:16], 16)
+        self._state = (seed | 1) & _M64
+        #: absolute ``stats.instructions`` threshold for the next audit.
+        #: Starts at 0 so the first auditable fused block is audited even
+        #: in very short runs; each audit advances it by ``next_interval``.
+        self.due = 0
+        #: audits performed / divergences found, for tests and bundles
+        self.audits = 0
+        self.divergences = 0
+        #: (code-name, block-id) per demotion, in discovery order
+        self.demotions: List[Tuple[Optional[str], int]] = []
+        chaos = os.environ.get("REPRO_CHAOS_AUDIT", "")
+        self._chaos_at: Optional[int] = None
+        if chaos.startswith("corrupt"):
+            _, _, nth = chaos.partition(":")
+            try:
+                self._chaos_at = max(1, int(nth)) if nth else 1
+            except ValueError:
+                self._chaos_at = 1
+
+    # -- schedule --------------------------------------------------------
+
+    def _next_random(self) -> int:
+        state = self._state
+        state ^= (state << 13) & _M64
+        state ^= state >> 7
+        state ^= (state << 17) & _M64
+        self._state = state
+        return (state * 2685821657736338717) & _M64
+
+    def next_interval(self) -> int:
+        """Instructions until the next audit: uniform on [1, 2*interval-1],
+        so the mean matches ``interval`` while defeating phase lock."""
+        return 1 + self._next_random() % (2 * self.interval - 1)
+
+    # -- the audit -------------------------------------------------------
+
+    def _shadow(self, ex: "Executor", fn, regs, fregs, frame, special,
+                cycles_in: float) -> _Probe:
+        """Run one closure against copied state; restore shared state."""
+        pred = ex.predictor
+        stats = ex.stats
+        pred_snap = (pred.history, pred.predictions, pred.mispredictions,
+                     bytes(pred.table))
+        stats_snap = (stats.instructions, stats.branches,
+                      stats.taken_branches, stats.mispredictions,
+                      stats.loads, stats.stores, stats.deopt_branch_instrs)
+        exec_snap = (ex.deopt_state, ex.forced_deopt_trips, ex.ret_value,
+                     ex.cycles)
+        probe = _Probe()
+        probe.regs = list(regs)
+        probe.fregs = list(fregs)
+        probe.frame = list(frame)
+        probe.special = list(special)
+        shadow_heap = _ShadowHeap(ex.heap.words)
+        try:
+            try:
+                probe.bid, probe.cycles = fn(
+                    probe.regs, probe.fregs, probe.frame, probe.special,
+                    shadow_heap, cycles_in,
+                )
+            except Exception as failure:
+                probe.error = (type(failure).__name__, str(failure))
+        finally:
+            probe.writes = shadow_heap.writes
+            # Both probes start from the identical restored snapshot, so
+            # absolute post-state compares exactly like deltas would —
+            # including the full 2-bit counter table.
+            probe.pred = (pred.history, pred.predictions,
+                          pred.mispredictions, bytes(pred.table))
+            probe.stats = (stats.instructions, stats.branches,
+                           stats.taken_branches, stats.mispredictions,
+                           stats.loads, stats.stores,
+                           stats.deopt_branch_instrs)
+            pred.history = pred_snap[0]
+            pred.predictions = pred_snap[1]
+            pred.mispredictions = pred_snap[2]
+            pred.table[:] = pred_snap[3]
+            (stats.instructions, stats.branches, stats.taken_branches,
+             stats.mispredictions, stats.loads, stats.stores,
+             stats.deopt_branch_instrs) = stats_snap
+            (ex.deopt_state, ex.forced_deopt_trips, ex.ret_value,
+             ex.cycles) = exec_snap
+        return probe
+
+    def _compare(self, stepped: _Probe, fused: _Probe) -> List[str]:
+        mismatch: List[str] = []
+        if stepped.error != fused.error:
+            mismatch.append("error")
+        if stepped.bid != fused.bid:
+            mismatch.append("next-block")
+        if (stepped.cycles is None) != (fused.cycles is None) or (
+            stepped.cycles is not None
+            and _PACK_D(stepped.cycles) != _PACK_D(fused.cycles)
+        ):
+            mismatch.append("cycles")
+        if not _words_equal(stepped.regs, fused.regs):
+            mismatch.append("regs")
+        if not _words_equal(stepped.fregs, fused.fregs):
+            mismatch.append("fregs")
+        if not _words_equal(stepped.frame, fused.frame):
+            mismatch.append("frame")
+        if not _words_equal(stepped.special, fused.special):
+            mismatch.append("special")
+        if not _writes_equal(stepped.writes, fused.writes):
+            mismatch.append("heap")
+        if stepped.pred != fused.pred:
+            mismatch.append("predictor")
+        if stepped.stats != fused.stats:
+            mismatch.append("stats")
+        return mismatch
+
+    def audit_block(self, ex: "Executor", code: "CodeObject",
+                    table: "BlockTable", bid: int, regs, fregs, frame,
+                    special, cycles: float) -> bool:
+        """Audit one block if eligible; returns True when an audit ran.
+
+        Must only be called under fused-path conditions (no sample tick
+        in the window, no pending trips).  On divergence the code object
+        is demoted and a bundle captured; the caller re-checks
+        ``table.demoted`` and routes the *real* execution accordingly.
+        """
+        if not table.auditable[bid]:
+            return False
+        self.audits += 1
+        total_cost, fused_fn, stepped_fn = table.driver[bid]
+        stepped = self._shadow(ex, stepped_fn, regs, fregs, frame, special,
+                               cycles)
+        fused = self._shadow(ex, fused_fn, regs, fregs, frame, special,
+                             cycles + total_cost)
+        chaos = self._chaos_at is not None and self.audits == self._chaos_at
+        if chaos and fused.error is None:
+            fused.regs[0] ^= 1
+        mismatch = self._compare(stepped, fused)
+        if not mismatch:
+            return True
+        self.divergences += 1
+        table.demote()
+        code._supervise_demoted = True
+        name = getattr(getattr(code, "shared", None), "name", None)
+        self.demotions.append((name, bid))
+        start, end = table.spans[bid]
+        capture_bundle("divergence", {
+            "code": name,
+            "isa": getattr(code.target, "name", str(code.target)),
+            "block": bid,
+            "span": [start, end],
+            "mismatch": mismatch,
+            "audit_index": self.audits,
+            "audit_interval": self.interval,
+            "chaos": chaos,
+            "entry_cycles_bits": _PACK_D(cycles).hex(),
+            "pre_state": _entry_digest(regs, fregs, frame, special, cycles),
+            "stepped_post": _state_digest(stepped),
+            "fused_post": _state_digest(fused),
+            "stepped_error": stepped.error,
+            "fused_error": fused.error,
+        })
+        return True

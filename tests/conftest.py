@@ -19,6 +19,18 @@ from repro.engine import Engine, EngineConfig
 set_default_verify(True)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_supervise_dirs(tmp_path, monkeypatch):
+    """Keep crash bundles and sweep journals out of the repo's results/.
+
+    Chaos tests deliberately crash cells and diverge the fused tier; the
+    bundles they capture must land in the test's tmp dir, not in
+    ``results/crashes``.
+    """
+    monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path / "crashes"))
+    monkeypatch.setenv("REPRO_WAL_DIR", str(tmp_path / "wal"))
+
+
 @pytest.fixture
 def heap():
     from repro.values.heap import Heap

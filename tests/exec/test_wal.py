@@ -1,0 +1,100 @@
+"""Sweep WAL: append-only journal, torn tails, streaming store, resume."""
+
+import json
+
+from repro.exec import RunCell, SweepWAL, execute_cells, set_active_wal, sweep_id
+from repro.exec.cache import DiskCache
+
+
+def make_cell(benchmark="FIB", rep=0, iterations=4):
+    return RunCell(
+        kind="timed", benchmark=benchmark, target="arm64",
+        iterations=iterations, rep=rep,
+    )
+
+
+class TestSweepId:
+    def test_stable_for_same_parts(self):
+        assert sweep_id(["fig07", "smoke"]) == sweep_id(["fig07", "smoke"])
+
+    def test_order_sensitive(self):
+        assert sweep_id(["a", "b"]) != sweep_id(["b", "a"])
+
+    def test_parts_are_delimited(self):
+        assert sweep_id(["ab", "c"]) != sweep_id(["a", "bc"])
+
+
+class TestJournal:
+    def test_append_and_read_back(self, tmp_path):
+        wal = SweepWAL("deadbeef", root=tmp_path)
+        wal.append("t1")
+        wal.append("t2")
+        wal.close()
+        assert SweepWAL("deadbeef", root=tmp_path).completed() == {"t1", "t2"}
+
+    def test_append_is_idempotent(self, tmp_path):
+        wal = SweepWAL("deadbeef", root=tmp_path)
+        wal.append("t1")
+        wal.append("t1")
+        wal.close()
+        assert wal.path.read_text().count("t1") == 1
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        wal = SweepWAL("deadbeef", root=tmp_path)
+        wal.append("t1")
+        wal.close()
+        # Simulate a crash mid-append: a torn, unparseable final line.
+        with open(wal.path, "a") as handle:
+            handle.write('{"token": "t2')
+        survivor = SweepWAL("deadbeef", root=tmp_path)
+        assert survivor.completed() == {"t1"}
+        survivor.append("t3")  # journal keeps working after the torn line
+        survivor.close()
+        assert SweepWAL("deadbeef", root=tmp_path).completed() >= {"t1", "t3"}
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        assert SweepWAL("cafecafe", root=tmp_path).completed() == set()
+
+    def test_discard_removes_the_file(self, tmp_path):
+        wal = SweepWAL("deadbeef", root=tmp_path)
+        wal.append("t1")
+        assert wal.path.exists()
+        wal.discard()
+        assert not wal.path.exists()
+
+    def test_lines_are_json_records(self, tmp_path):
+        wal = SweepWAL("deadbeef", root=tmp_path)
+        wal.append("tok")
+        wal.close()
+        lines = wal.path.read_text().splitlines()
+        assert json.loads(lines[0])["token"] == "tok"
+
+
+class TestStreamingStore:
+    def test_completed_cells_are_journaled_and_cached(self, tmp_path, monkeypatch):
+        """Results stream to the disk cache and the journal as they finish
+        — the kill-safety contract: any journaled token is also cached."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        from repro.exec import scheduler
+        monkeypatch.setattr(scheduler, "_DISK", None)  # fresh cache handle
+
+        wal = SweepWAL("beefbeef", root=tmp_path)
+        previous = set_active_wal(wal)
+        try:
+            cells = [make_cell(rep=rep) for rep in range(3)]
+            results = execute_cells(cells)
+        finally:
+            set_active_wal(previous)
+            wal.close()
+        assert len(results) == 3
+        journaled = SweepWAL("beefbeef", root=tmp_path).completed()
+        assert journaled == {cell.token() for cell in cells}
+        cache = DiskCache(root=tmp_path / "cache")
+        for token in journaled:
+            from repro.exec.cache import MISS
+            assert cache.get(token) is not MISS
+
+    def test_no_wal_is_fine(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert set_active_wal(None) is None
+        assert len(execute_cells([make_cell(rep=9)])) == 1

@@ -1,0 +1,95 @@
+"""Exit-code contract of python -m repro.experiments (README "Hardening").
+
+0 = clean figures, 1 = grid failure, 2 = usage error, 3 = partial
+figures under --keep-going, 130 = interrupted.  The 0-vs-3 split is the
+one scripts key off, so it gets an end-to-end assertion here.
+"""
+
+import pytest
+
+from repro.exec import RetryPolicy, clear_quarantine, execute_cells, timed_cell
+from repro.experiments import EXPERIMENTS
+from repro.experiments.__main__ import (
+    EXIT_FAILURE,
+    EXIT_INTERRUPTED,
+    EXIT_PARTIAL,
+    main,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    clear_quarantine()
+    monkeypatch.delenv("REPRO_CHAOS_EXEC", raising=False)
+    yield
+    clear_quarantine()
+
+
+class _StubFigure:
+    def to_text(self):
+        return "stub figure"
+
+
+def _stub_experiment(scale="default"):
+    execute_cells(
+        [timed_cell("FIB", "arm64", 2, noise=False)],
+        jobs=1, memo={}, disk=None,
+        policy=RetryPolicy(retries=0, backoff=0.01, keep_going=True),
+    )
+    return _StubFigure()
+
+
+def test_clean_run_exits_zero(monkeypatch, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "figstub", _stub_experiment)
+    assert main(["figstub", "--scale", "smoke", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "stub figure" in out
+    assert "quarantined" not in out
+
+
+def test_keep_going_with_quarantined_cells_exits_three(monkeypatch, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "figstub", _stub_experiment)
+    monkeypatch.setenv("REPRO_CHAOS_EXEC", "fail:FIB")
+    code = main(["figstub", "--scale", "smoke", "--no-cache", "--keep-going"])
+    assert code == EXIT_PARTIAL == 3
+    out = capsys.readouterr().out
+    assert "quarantined cells (1):" in out
+
+
+def test_grid_failure_without_keep_going_exits_one(monkeypatch, capsys):
+    from repro.exec import GridError
+
+    def exhausted(scale="default"):
+        raise GridError("cell exhausted retries")
+
+    monkeypatch.setitem(EXPERIMENTS, "figstub", exhausted)
+    code = main(["figstub", "--scale", "smoke", "--no-cache"])
+    assert code == EXIT_FAILURE == 1
+    assert "grid failure" in capsys.readouterr().err
+
+
+def test_interrupt_exits_130(monkeypatch, capsys):
+    def interrupted(scale="default"):
+        raise KeyboardInterrupt
+
+    monkeypatch.setitem(EXPERIMENTS, "figstub", interrupted)
+    code = main(["figstub", "--scale", "smoke", "--no-cache"])
+    assert code == EXIT_INTERRUPTED == 130
+    assert "--resume" in capsys.readouterr().err
+
+
+def test_resume_without_cache_is_a_usage_error(monkeypatch, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "figstub", _stub_experiment)
+    assert main(["figstub", "--no-cache", "--resume"]) == 2
+    assert "--resume requires" in capsys.readouterr().err
+
+
+def test_out_dir_gets_atomic_figure_file(monkeypatch, tmp_path, capsys):
+    monkeypatch.setitem(EXPERIMENTS, "figstub", _stub_experiment)
+    out_dir = tmp_path / "figs"
+    assert main([
+        "figstub", "--scale", "smoke", "--no-cache", "--out", str(out_dir),
+    ]) == 0
+    written = out_dir / "figstub-smoke.txt"
+    assert written.read_text() == "stub figure\n\n"
+    assert list(out_dir.glob("*.tmp")) == []

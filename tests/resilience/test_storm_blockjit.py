@@ -1,0 +1,80 @@
+"""Deopt-storm permanent disable × the block-compiled fast tier.
+
+A storm-disabled function must not keep any stale fused blocks alive:
+the engine drops ``code._blocks`` when it turns speculation off, and the
+function runs interpreter-only from then on with identical results to a
+never-compiled engine.
+"""
+
+from repro.engine import Engine, EngineConfig
+
+SOURCE = "function f(x) { return x + 1; }"
+
+
+def warmed_blockjit(calls=40, **config_kwargs):
+    engine = Engine(EngineConfig(blockjit=True, **config_kwargs))
+    engine.load(SOURCE)
+    for _ in range(calls):
+        engine.call_global("f", 1)
+    shared = next(fn for fn in engine.functions if fn.name == "f")
+    assert shared.code is not None
+    return engine, shared
+
+
+def trip_once(engine, shared):
+    """Re-tier if needed, materialize the fused block table, then force a
+    deopt.  Returns the code object the deopt landed on (None once the
+    function is permanently disabled)."""
+    while shared.code is None:
+        if shared.optimization_disabled:
+            return None
+        engine.call_global("f", 1)
+    code = shared.code
+    engine.call_global("f", 1)  # clean call: compiles the block table
+    assert code._blocks is not None
+    engine.executor.forced_deopt_trips += 1
+    assert engine.call_global("f", 1) == 2  # semantics survive the deopt
+    return code
+
+
+def test_storm_disable_invalidates_compiled_blocks():
+    engine, shared = warmed_blockjit()
+    last_code = None
+    for _ in range(engine.config.storm_strikes):
+        code = trip_once(engine, shared)
+        if code is not None:
+            last_code = code
+    assert shared.optimization_disabled
+    assert last_code is not None
+    assert last_code._blocks is None  # stale fused closures are dropped
+    assert shared.code is None  # never re-tiers
+
+
+def test_storm_disabled_function_runs_interpreter_only_and_identically():
+    engine, shared = warmed_blockjit()
+    while not shared.optimization_disabled:
+        trip_once(engine, shared)
+
+    reference = Engine(EngineConfig(enable_optimizer=False))
+    reference.load(SOURCE)
+    for argument in range(-5, 50):
+        assert engine.call_global("f", argument) == reference.call_global(
+            "f", argument
+        )
+    assert shared.code is None  # stayed interpreter-only throughout
+
+
+def test_reopt_budget_exhaustion_also_drops_blocks():
+    engine, shared = warmed_blockjit(storm_strikes=99, max_reoptimizations=2)
+    last_code = None
+    for _ in range(40):
+        if shared.optimization_disabled:
+            break
+        code = trip_once(engine, shared)
+        if code is not None:
+            last_code = code
+    assert shared.optimization_disabled
+    assert last_code is not None
+    assert last_code._blocks is None
+    for _ in range(20):
+        assert engine.call_global("f", 41) == 42

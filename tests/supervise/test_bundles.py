@@ -1,0 +1,141 @@
+"""Crash bundles: content addressing, atomicity, run context, gating."""
+
+import json
+
+import pytest
+
+from repro.supervise.bundles import (
+    bundle_digest,
+    bundles_enabled,
+    capture_bundle,
+    clear_run_context,
+    list_bundles,
+    load_bundle,
+    serialize_plan,
+    set_run_context,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_context():
+    yield
+    clear_run_context()
+
+
+class TestContentAddressing:
+    def test_same_payload_same_bundle(self, tmp_path):
+        first = capture_bundle("divergence", {"a": 1}, root=tmp_path)
+        second = capture_bundle("divergence", {"a": 1}, root=tmp_path)
+        assert first == second
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_volatile_keys_do_not_change_the_digest(self):
+        a = bundle_digest({"kind": "x", "a": 1, "captured_at": "now", "pid": 1})
+        b = bundle_digest({"kind": "x", "a": 1, "captured_at": "later", "pid": 2})
+        assert a == b
+
+    def test_different_payloads_get_different_files(self, tmp_path):
+        first = capture_bundle("divergence", {"a": 1}, root=tmp_path)
+        second = capture_bundle("divergence", {"a": 2}, root=tmp_path)
+        assert first != second
+
+    def test_filename_carries_kind_and_digest(self, tmp_path):
+        path = capture_bundle("oracle-failure", {"b": 3}, root=tmp_path)
+        assert path.name.startswith("oracle-failure-")
+        record = load_bundle(path)
+        assert record["bundle_id"] == path.stem
+        assert record["kind"] == "oracle-failure"
+
+
+class TestAtomicityAndHygiene:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        capture_bundle("divergence", {"a": 1}, root=tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if not p.name.endswith(".json")]
+        assert leftovers == []
+
+    def test_bundle_is_valid_json_with_schema(self, tmp_path):
+        path = capture_bundle("divergence", {"a": 1}, root=tmp_path)
+        record = json.loads(path.read_text())
+        assert record["schema"] == 1
+        assert "captured_at" in record and "pid" in record
+
+    def test_capture_survives_unwritable_root(self, tmp_path):
+        # chmod is no barrier under root; a path through a *file* reliably
+        # fails mkdir on every platform and uid.
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        assert capture_bundle(
+            "divergence", {"a": 1}, root=blocker / "sub"
+        ) is None
+
+    def test_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BUNDLES", "0")
+        assert not bundles_enabled()
+        assert capture_bundle("divergence", {"a": 1}, root=tmp_path) is None
+        assert list_bundles(tmp_path) == []
+
+
+class TestRunContext:
+    def test_context_is_merged_into_captures(self, tmp_path):
+        set_run_context(benchmark="FIB", rep=3)
+        path = capture_bundle("engine-exception", {"error": "boom"}, root=tmp_path)
+        record = load_bundle(path)
+        assert record["benchmark"] == "FIB"
+        assert record["rep"] == 3
+
+    def test_payload_beats_context(self, tmp_path):
+        set_run_context(benchmark="FIB")
+        path = capture_bundle(
+            "engine-exception", {"benchmark": "DP", "error": "x"}, root=tmp_path
+        )
+        assert load_bundle(path)["benchmark"] == "DP"
+
+    def test_clear_removes_only_named_keys(self, tmp_path):
+        set_run_context(benchmark="FIB", rep=1)
+        clear_run_context("rep")
+        path = capture_bundle("engine-exception", {"error": "x"}, root=tmp_path)
+        record = load_bundle(path)
+        assert record["benchmark"] == "FIB"
+        assert "rep" not in record
+
+
+class TestSerializePlan:
+    def test_none_plan(self):
+        assert serialize_plan(None) is None
+
+    def test_plan_round_trip_shape(self):
+        from repro.resilience.faults import plan_for
+
+        plan = plan_for("FIB", seed=7, iterations=20)
+        record = serialize_plan(plan)
+        assert record["benchmark"] == "FIB"
+        assert record["seed"] == plan.seed
+        for iteration, kind, salt in record["faults"]:
+            assert isinstance(iteration, int)
+            assert isinstance(kind, str)
+
+
+class TestEngineExceptionCapture:
+    def test_runner_failure_captures_bundle(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path))
+        from repro.engine import EngineConfig
+        from repro.suite.runner import BenchmarkRunner
+        from repro.suite.spec import get_benchmark
+
+        class Bomb:
+            def before_iteration(self, engine, iteration):
+                if iteration == 3:
+                    raise RuntimeError("injected failure")
+
+        runner = BenchmarkRunner(get_benchmark("FIB"), EngineConfig())
+        with pytest.raises(RuntimeError):
+            runner.run(iterations=6, injector=Bomb())
+        bundles = [
+            p for p in list_bundles(tmp_path)
+            if p.name.startswith("engine-exception-")
+        ]
+        assert len(bundles) == 1
+        record = load_bundle(bundles[0])
+        assert record["benchmark"] == "FIB"
+        assert "injected failure" in record["error"]
+        assert "RuntimeError" in record["traceback"]

@@ -1,0 +1,112 @@
+"""Replayable forensics: bundles reproduce deterministically and minimize."""
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.supervise.bundles import list_bundles, load_bundle
+from repro.supervise.replay import replay_bundle
+from repro.suite.runner import BenchmarkRunner
+from repro.suite.spec import get_benchmark
+
+
+def seed_divergence(tmp_path, monkeypatch, name="FIB", interval=7):
+    """Provoke one fused-tier divergence via the chaos hook; return its
+    bundle path."""
+    monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CHAOS_AUDIT", "corrupt")
+    runner = BenchmarkRunner(get_benchmark(name), EngineConfig(audit=interval))
+    runner.run(iterations=14)
+    bundles = [
+        p for p in list_bundles(tmp_path) if p.name.startswith("divergence-")
+    ]
+    assert len(bundles) == 1, "chaos hook failed to seed a divergence"
+    return bundles[0]
+
+
+class TestDivergenceReplay:
+    def test_replay_reproduces(self, tmp_path, monkeypatch):
+        bundle = seed_divergence(tmp_path, monkeypatch)
+        # Replay must rebuild the recorded environment itself, no matter
+        # what this process has exported since the capture.
+        monkeypatch.delenv("REPRO_CHAOS_AUDIT", raising=False)
+        result = replay_bundle(bundle)
+        assert result.reproduced, result.detail
+
+    def test_replay_with_minimize_shrinks_the_reproducer(
+        self, tmp_path, monkeypatch
+    ):
+        bundle = seed_divergence(tmp_path, monkeypatch)
+        monkeypatch.delenv("REPRO_CHAOS_AUDIT", raising=False)
+        original = load_bundle(bundle)
+        result = replay_bundle(bundle, minimize=True)
+        assert result.reproduced
+        assert result.minimized is not None
+        minimized = load_bundle(result.minimized)
+        assert minimized["iterations"] <= original["iterations"]
+        assert minimized["minimized_from"] == original["bundle_id"]
+        # The minimized bundle itself replays.
+        assert replay_bundle(result.minimized).reproduced
+
+    def test_unrelated_bundle_kind_is_rejected_gracefully(self, tmp_path):
+        from repro.supervise.bundles import capture_bundle
+
+        path = capture_bundle("mystery", {"benchmark": "FIB"}, root=tmp_path)
+        result = replay_bundle(path)
+        assert not result.reproduced
+        assert "mystery" in result.detail
+
+
+class TestEngineExceptionReplay:
+    def test_injected_engine_exception_replays(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path))
+        from repro.resilience.oracle import differential_run
+        from repro.resilience.faults import FaultPlan
+
+        # An empty benchmark name inside the plan is fine; what matters is
+        # a real failing run.  Use a fault plan aggressive enough to be
+        # recorded, then synthesize failure via a bogus benchmark instead:
+        # simpler and fully deterministic — BenchmarkRunner raises KeyError.
+        from repro.suite.runner import BenchmarkRunner
+        from repro.suite.spec import get_benchmark
+
+        class Bomb:
+            def before_iteration(self, engine, iteration):
+                if iteration == 2:
+                    raise RuntimeError("deterministic boom")
+
+        runner = BenchmarkRunner(get_benchmark("FIB"), EngineConfig())
+        with pytest.raises(RuntimeError):
+            runner.run(iterations=5, injector=Bomb())
+        bundles = [
+            p for p in list_bundles(tmp_path)
+            if p.name.startswith("engine-exception-")
+        ]
+        assert len(bundles) == 1
+        # An injector-driven failure cannot be replayed from the fault plan
+        # alone (the Bomb object is not serializable state), so the replay
+        # must come back clean — NOT reproduced — rather than crash.
+        result = replay_bundle(bundles[0])
+        assert not result.reproduced
+
+
+class TestOracleFailureCapture:
+    def test_oracle_mismatch_captures_bundle(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path))
+        from repro.supervise.bundles import capture_bundle  # noqa: F401
+        from repro.resilience import oracle
+
+        oracle._capture_oracle_bundle(
+            "FIB", "arm64",
+            __import__("repro.resilience.faults", fromlist=["plan_for"])
+            .plan_for("FIB", seed=3, iterations=10),
+            10,
+            mismatches=["iteration 4: optimized 5 != interpreter 8"],
+        )
+        bundles = [
+            p for p in list_bundles(tmp_path)
+            if p.name.startswith("oracle-failure-")
+        ]
+        assert len(bundles) == 1
+        record = load_bundle(bundles[0])
+        assert record["fault_plan"]["benchmark"] == "FIB"
+        assert record["mismatches"]
