@@ -3,9 +3,12 @@
 Runs every benchmark on both ISAs in three modes (plain, PC-sampled,
 fault-injected) and asserts bitwise-identical results, cycle totals,
 per-pc sample counts and deopt records between the step loop and the
-block-compiled executor.  CI runs the same oracle on the smoke subset via
-tests/machine/test_blockjit_diff.py; this script is the exhaustive
-acceptance sweep (about 10 minutes of CPU).
+block-compiled executor.  The block side runs with typed block variants
+(repro.analysis.typeflow plans) force-enabled, so the sweep is also the
+acceptance oracle for check elision: a typed variant that drops a check
+it should not drop diverges here.  CI runs the same oracle on the smoke
+subset via tests/machine/test_blockjit_diff.py; this script is the
+exhaustive acceptance sweep (about 10 minutes of CPU).
 
 Usage: PYTHONPATH=src python scripts/blockjit_sweep.py
 """
@@ -23,7 +26,7 @@ SAMPLE_PERIOD = 467.0
 
 
 def plain_or_injected(spec, target, blockjit, inject):
-    config = EngineConfig(target=target, blockjit=blockjit)
+    config = EngineConfig(target=target, blockjit=blockjit, typed_blocks=True)
     runner = BenchmarkRunner(spec, config)
     injector = (
         FaultInjector(plan_for(spec.name, seed=7, iterations=ITERATIONS))
@@ -40,7 +43,9 @@ def plain_or_injected(spec, target, blockjit, inject):
 
 
 def sampled(spec, target, blockjit):
-    engine = Engine(EngineConfig(target=target, blockjit=blockjit))
+    engine = Engine(
+        EngineConfig(target=target, blockjit=blockjit, typed_blocks=True)
+    )
     engine.load(spec.source)
     engine.call_global("setup")
     for i in range(8):

@@ -16,23 +16,43 @@ from .density import DensityReport, analyze_density
 from .diagnostics import Diagnostic, Severity, errors, render_table, warnings
 from .dominators import DominatorTree, reachable_blocks
 from .mclint import assert_lint_clean, lint_code
+from .typeflow import (
+    BlockTypeSummary,
+    CheckClassification,
+    TypedBlockPlan,
+    TypeflowResult,
+    analyze_typeflow,
+    cross_validate,
+    join_typeval,
+    render_fact,
+    typed_plans,
+)
 from .verifier import VerificationError, assert_valid, verify_graph
 
 __all__ = [
+    "BlockTypeSummary",
+    "CheckClassification",
     "DensityReport",
     "Diagnostic",
     "DominatorTree",
     "Severity",
+    "TypedBlockPlan",
+    "TypeflowResult",
     "VerificationError",
     "analyze_density",
+    "analyze_typeflow",
     "assert_lint_clean",
     "assert_valid",
+    "cross_validate",
     "default_verify",
     "errors",
+    "join_typeval",
     "lint_code",
     "reachable_blocks",
+    "render_fact",
     "render_table",
     "set_default_verify",
+    "typed_plans",
     "verify_graph",
     "warnings",
 ]

@@ -7,6 +7,16 @@ a ``DEOPT`` stub.  The result is cross-validated against the dynamic
 pipeline's :func:`repro.profiling.attribution.static_check_density` (the
 Fig. 1 metric); any disagreement is an ERROR diagnostic because it means
 the two layers no longer count the same thing.
+
+Cross-ISA comparability: each ISA attributes a fixed ``check_window`` of
+condition instructions per deopt branch (1 on x64, 2 on ARM64), but many
+checks — x64 float checks, single-``TSTI`` smi checks on ARM64 — emit
+condition runs of a different length (the window-shape INFO diagnostics
+of :mod:`repro.analysis.mclint`).  Those outliers used to skew the single
+aggregate row differently per ISA; they are now counted separately, so
+:meth:`DensityReport.rows` reports an aggregate row over
+window-conforming checks (``comparable_density``) that lines up across
+arm64/x64, plus an explicit outlier row.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..isa.base import MOp
+from ..isa.semantics import BLOCK_END_OPS
 from ..jit.checks import CheckKind
 from ..jit.codegen import CodeObject
 from ..profiling.attribution import static_check_density
@@ -35,14 +46,40 @@ class DensityReport:
     #: deopt-branch instructions actually present (differs from
     #: ``check_count`` when branches are suppressed or checks are soft)
     deopt_branches: int = 0
+    #: instructions attributed to check conditions (same-check-id runs
+    #: feeding each deopt branch)
+    condition_instructions: int = 0
+    #: branch checks whose condition run differs from the ISA's
+    #: ``check_window`` — split out of the comparable aggregate so rows
+    #: line up across ISAs
+    window_outliers: int = 0
+    outlier_kinds: Dict[CheckKind, int] = field(default_factory=dict)
+    #: density over window-conforming checks only — the cross-ISA
+    #: comparable aggregate
+    comparable_density: float = 0.0
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def rows(self) -> List[str]:
         lines = [
             f"{self.function} [{self.target}]: {self.check_count} checks / "
             f"{self.body_instructions} instructions = {self.density:.2f} per 100 "
-            f"({self.deopt_branches} deopt branches)"
+            f"({self.deopt_branches} deopt branches)",
+            f"  comparable (window-conforming): "
+            f"{self.check_count - self.window_outliers} checks = "
+            f"{self.comparable_density:.2f} per 100",
         ]
+        if self.window_outliers:
+            kinds = ", ".join(
+                f"{kind.name.lower()}={count}"
+                for kind, count in sorted(
+                    self.outlier_kinds.items(), key=lambda e: e[0].name
+                )
+            )
+            lines.append(
+                f"  window outliers: {self.window_outliers} "
+                f"({kinds}) — condition runs differ from the "
+                f"{self.target} check window"
+            )
         for kind, count in sorted(self.by_kind.items(), key=lambda e: (-e[1], e[0].name)):
             lines.append(f"  {kind.name.lower():28s} {count}")
         return lines
@@ -69,6 +106,34 @@ def analyze_density(code: CodeObject) -> DensityReport:
     for point in code.deopt_points.values():
         by_kind[point.kind] = by_kind.get(point.kind, 0) + 1
 
+    # Per-branch condition runs, the same backward walk the mclint
+    # window-shape pass performs: a run whose length differs from the
+    # ISA's check_window is an attribution outlier and is excluded from
+    # the comparable aggregate.
+    window = code.target.check_window
+    condition_instructions = 0
+    window_outliers = 0
+    outlier_kinds: Dict[CheckKind, int] = {}
+    for pc, instr in enumerate(code.instrs):
+        if not (instr.op == MOp.BCC and instr.is_deopt_branch):
+            continue
+        run = 0
+        back = pc - 1
+        while back >= 0:
+            previous = code.instrs[back]
+            if previous.op in BLOCK_END_OPS or previous.check_id != instr.check_id:
+                break
+            run += 1
+            back -= 1
+        condition_instructions += run
+        if run != window:
+            window_outliers += 1
+            point = code.deopt_points.get(instr.check_id)
+            if point is not None:
+                outlier_kinds[point.kind] = outlier_kinds.get(point.kind, 0) + 1
+    conforming = check_count - window_outliers
+    comparable_density = 100.0 * conforming / body if body else 0.0
+
     report = DensityReport(
         function=code.shared.info.name,
         target=code.target.name,
@@ -77,6 +142,10 @@ def analyze_density(code: CodeObject) -> DensityReport:
         density=density,
         by_kind=by_kind,
         deopt_branches=deopt_branches,
+        condition_instructions=condition_instructions,
+        window_outliers=window_outliers,
+        outlier_kinds=outlier_kinds,
+        comparable_density=comparable_density,
     )
 
     reference = static_check_density(code)

@@ -97,6 +97,7 @@ class _Linter:
         self._check_frame_state_locations()
         self._check_dataflow()
         self._check_window_shape()
+        self._check_typed_plans()
         return self.diagnostics
 
     # -- control ---------------------------------------------------------
@@ -477,6 +478,146 @@ class _Linter:
                     f"heuristic undercounts {run - window} instruction(s)",
                     pc,
                 )
+
+
+    # -- typed block variants (repro.analysis.typeflow plans) ------------
+
+    def _check_typed_plans(self) -> None:
+        """Validate the typed-variant elision plans against the code.
+
+        The block compiler consumes these plans verbatim, so a malformed
+        plan is a typed block that silently diverges from the step loop:
+        every plan must sit on its block's single check site, carry
+        exactly one hoisted guard per assumed fact (none when the proof
+        is unconditional), only rewrite condition instructions of that
+        check, and never skip an instruction with a register/slot effect
+        (the divergence sentinel compares full register files).
+        """
+        from .typeflow import HOISTABLE, typed_plans
+
+        try:
+            plans = typed_plans(self.code)
+        except Exception as failure:  # noqa: BLE001 - surface, don't crash
+            self.error(
+                "typed-entry-guard",
+                f"typeflow plan construction failed: "
+                f"{type(failure).__name__}: {failure}",
+            )
+            return
+        if not plans:
+            return
+        spans = block_spans(self.instrs)
+        result = self.code._typeflow
+        for bid, plan in sorted(plans.items()):
+            if not 0 <= bid < len(spans) or (plan.start, plan.end) != spans[bid]:
+                self.error(
+                    "typed-entry-guard",
+                    f"typed plan for block {bid} spans [{plan.start}, "
+                    f"{plan.end}), which is not that block",
+                    plan.site_pc,
+                )
+                continue
+            start, end = spans[bid]
+            if plan.site_pc != end - 1:
+                self.error(
+                    "typed-entry-guard",
+                    f"typed plan for block {bid} elides pc {plan.site_pc}, "
+                    f"but the block's only check site is its last "
+                    f"instruction (pc {end - 1})",
+                    plan.site_pc,
+                )
+            site = self.instrs[plan.site_pc]
+            if plan.site == "branch":
+                if site.op != MOp.BCC or not site.is_deopt_branch \
+                        or site.check_id != plan.check_id:
+                    self.error(
+                        "typed-entry-guard",
+                        f"typed plan for block {bid} names a branch check "
+                        f"{plan.check_id} but pc {plan.site_pc} is not its "
+                        "deopt branch",
+                        plan.site_pc,
+                    )
+                elif self.stub_pcs.get(site.target) != plan.check_id:
+                    self.error(
+                        "typed-entry-guard",
+                        f"typed plan for block {bid}: elided branch does "
+                        "not target the registered DEOPT stub of check "
+                        f"{plan.check_id} — the generic fallback would "
+                        "bail to the wrong stub",
+                        plan.site_pc,
+                    )
+            elif plan.site == "jsldrsmi":
+                if site.op != MOp.JSLDRSMI or \
+                        self.code.smi_load_checks.get(plan.site_pc) != plan.check_id:
+                    self.error(
+                        "typed-entry-guard",
+                        f"typed plan for block {bid} names a jsldrsmi check "
+                        f"{plan.check_id} but pc {plan.site_pc} is not its "
+                        "registered commit point",
+                        plan.site_pc,
+                    )
+            else:
+                self.error(
+                    "typed-entry-guard",
+                    f"typed plan for block {bid} has unknown site kind "
+                    f"{plan.site!r}",
+                    plan.site_pc,
+                )
+            # Exactly one hoisted guard per assumed fact: the plan assumes
+            # plan.fact, so guards is () only for a proven-redundant site.
+            if len(set(plan.guards)) != len(plan.guards) or \
+                    plan.guards not in ((), (plan.fact,)):
+                self.error(
+                    "typed-entry-guard",
+                    f"typed plan for block {bid} guards {plan.guards!r} do "
+                    f"not match its assumed fact {plan.fact!r}",
+                    plan.site_pc,
+                )
+            elif result is not None:
+                verdict = result.classifications.get(plan.check_id)
+                hoisted = verdict is not None and verdict.klass == HOISTABLE
+                if hoisted != bool(plan.guards):
+                    self.error(
+                        "typed-entry-guard",
+                        f"typed plan for block {bid} carries "
+                        f"{len(plan.guards)} guard(s) but check "
+                        f"{plan.check_id} is classified "
+                        f"{verdict.klass if verdict else 'unknown'}",
+                        plan.site_pc,
+                    )
+            for pc, action in plan.actions:
+                if not start <= pc < plan.site_pc:
+                    self.error(
+                        "typed-entry-guard",
+                        f"typed plan for block {bid} rewrites pc {pc}, "
+                        f"outside its condition run [{start}, "
+                        f"{plan.site_pc})",
+                        pc,
+                    )
+                    continue
+                instr = self.instrs[pc]
+                effect = effect_of(instr)
+                if action[0] == "skip" and (
+                    effect.int_defs or effect.float_defs or effect.slot_defs
+                ):
+                    self.error(
+                        "typed-entry-guard",
+                        f"typed plan for block {bid} skips pc {pc} "
+                        f"({instr.op.name}), which defines machine state — "
+                        "the typed variant would diverge from the step "
+                        "loop's register file",
+                        pc,
+                    )
+                elif action[0] == "const" and (
+                    instr.op != MOp.LDR or instr.dst != action[1]
+                ):
+                    self.error(
+                        "typed-entry-guard",
+                        f"typed plan for block {bid} constant-folds pc {pc} "
+                        f"({instr.op.name} -> r{instr.dst}), but the action "
+                        f"writes r{action[1]}",
+                        pc,
+                    )
 
 
 def _meet(a: _State, b: _State) -> _State:

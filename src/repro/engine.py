@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from .bytecode.compiler import compile_source
 from .bytecode.opcodes import FunctionInfo, Op
@@ -37,7 +37,7 @@ from .jit.deopt import (
     materialize_frame,
 )
 from .lang.errors import JSTypeError
-from .machine.blockjit import default_blockjit
+from .machine.blockjit import default_blockjit, default_typed_blocks
 from .machine.executor import CostModel, Executor
 from .regex.engine import Regex
 from .isa.base import TargetISA, resolve_target
@@ -88,6 +88,13 @@ class EngineConfig:
     #: bit-identical to the step loop.  None defers to the process-wide
     #: default (on, unless REPRO_BLOCKJIT=0).
     blockjit: Optional[bool] = None
+    #: Typed block variants (repro.analysis.typeflow): compile fused
+    #: blocks whose checks are statically proven redundant or hoistable
+    #: without the check test, behind one hoisted entry guard per
+    #: assumed fact (generic block fallback on guard failure).  Results
+    #: and simulated counters stay bit-identical; only executed python
+    #: work shrinks.  None defers to REPRO_TYPED_BLOCKS (default on).
+    typed_blocks: Optional[bool] = None
     #: Online divergence sentinel (repro.supervise.sentinel): on a
     #: deterministic schedule, shadow-execute fused blocks against their
     #: stepped twins and demote a diverging code object to the step tier.
@@ -182,6 +189,11 @@ class Engine:
             if self.config.blockjit is None
             else bool(self.config.blockjit)
         )
+        self.executor.typed_blocks = (
+            default_typed_blocks()
+            if self.config.typed_blocks is None
+            else bool(self.config.typed_blocks)
+        )
         # Imported lazily: repro.supervise pulls in repro.exec, which
         # imports this module back (cells -> engine).
         from .supervise.sentinel import (
@@ -218,6 +230,11 @@ class Engine:
             "deopt": 0.0,
         }
         self.deopt_events: List[DeoptEvent] = []
+        #: dynamic check-trip profile: (code.serial, check_id) -> eager
+        #: deopt count.  The typeflow cross-validator joins this against
+        #: the static classifications — a trip of a redundant-classified
+        #: check is an analysis soundness bug.
+        self.check_trips: Dict[Tuple[int, int], int] = {}
         self.lazy_deopts = 0
         self.lazy_deopt_events: List[LazyDeoptEvent] = []
         #: engine-wide deopt tally per check kind (eager and soft)
@@ -487,6 +504,7 @@ class Engine:
             assert_lint_clean(code)
         shared.code = code
         self.compilations += 1
+        code.serial = len(self._code_objects)
         self._code_objects.append(code)
         self.charge(code.compile_cycles, "compile")
         for a_map in code.map_dependencies:
@@ -519,8 +537,11 @@ class Engine:
                 point.bytecode_pc,
                 self.current_iteration,
                 int(self.total_cycles),
+                signal.check_id,
             )
         )
+        trip_key = (getattr(code, "serial", -1), signal.check_id)
+        self.check_trips[trip_key] = self.check_trips.get(trip_key, 0) + 1
         shared.deopt_count += 1
         self.deopts_by_kind[point.kind] = self.deopts_by_kind.get(point.kind, 0) + 1
         # Discard the code; re-optimization is allowed with an exponentially
@@ -554,6 +575,20 @@ class Engine:
         return self.interpreter.run_from(
             shared, interp_regs, point.bytecode_pc, this_word
         )
+
+    def typed_check_stats(self) -> Dict[str, int]:
+        """Typed-block-tier elision counters (repro.analysis.typeflow).
+
+        Python-level work the typed variants avoided — never part of the
+        simulated cycle/counter model, which stays bit-identical."""
+        elided = self.executor.typed_counters
+        return {
+            "branch_checks_elided": elided[0],
+            "condition_instrs_elided": elided[1],
+            "smi_tag_tests_elided": elided[2],
+            "entry_guards_evaluated": elided[3],
+            "guard_failures": elided[4],
+        }
 
     def resilience_stats(self) -> Dict[str, object]:
         """Deopt/backoff counters surfaced for the chaos CLI and figures."""

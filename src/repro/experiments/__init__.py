@@ -13,6 +13,7 @@ from . import (
     fig13_isa_speedup,
     fig14_distributions,
     leftover,
+    typeflow_density,
 )
 from .common import CACHE, SCALES, ExperimentResult, ResultsCache, Scale
 
@@ -30,6 +31,7 @@ EXPERIMENTS = {
     "fig14": fig14_distributions.run,
     "leftover": leftover.run,
     "builtins": builtin_time.run,
+    "typeflow": typeflow_density.run,
 }
 
 __all__ = [

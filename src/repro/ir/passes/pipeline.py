@@ -20,6 +20,7 @@ from .check_elim import eliminate_checks
 from .dce import eliminate_dead_code, elide_truncated_minus_zero_checks
 from .licm import hoist_invariant_checks
 from .schedule import schedule_rpo
+from .summary import CheckSummary
 
 #: (pass name, callable) applied in order after graph construction.
 
@@ -38,8 +39,10 @@ def run_optimization_pipeline(
     """
     graph = builder.graph
     info = builder.shared.info
+    summary = builder.check_summary = CheckSummary()
 
     def checked(phase: str, removed: bool = False) -> None:
+        summary.record(phase, graph)
         if not verify:
             return
         # Imported lazily so `repro.ir` does not depend on the analysis

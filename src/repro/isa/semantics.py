@@ -177,6 +177,135 @@ def effect_of(instr: MachineInstr) -> InstrEffect:
     return e
 
 
+#: Atom of a parity expression: ("r", reg) reads a register's tag-bit
+#: parity, ("s", slot) reads a frame slot's, ("k", 0|1) is a constant.
+ParityAtom = Tuple[str, int]
+
+#: Parity descriptor: how the destination's tag bit derives from the
+#: operands' tag bits.  ``None`` means the result parity is unknown.
+#:   ("copy", a)      bit0(dst) = bit0(a)
+#:   ("xor", a, b)    bit0(dst) = bit0(a) ^ bit0(b)   (add/sub/eor)
+#:   ("and", a, b)    bit0(dst) = bit0(a) & bit0(b)   (mul/and)
+#:   ("or",  a, b)    bit0(dst) = bit0(a) | bit0(b)   (orr)
+#:   ("const", p)     bit0(dst) = p
+ParityExpr = Optional[Tuple]
+
+
+@dataclass(frozen=True)
+class AbstractTransfer:
+    """Abstract (type-state) effect of one instruction.
+
+    The typeflow abstract interpreter (:mod:`repro.analysis.typeflow`)
+    evaluates these descriptors against its per-point environment.  Only
+    the *tag-bit parity* of integer values is described here — parity 0
+    is an SMI, parity 1 a tagged heap pointer — because that single bit
+    is what the Not-a-SMI / heap-object checks test.  Everything not
+    describable as a parity dataflow (heap loads, shifts right, division,
+    conversions) maps to "unknown", which the analysis treats as top.
+
+    Attributes
+    ----------
+    dest:
+        Where the result lands: ``("r", reg)``, ``("s", frame_slot)`` for
+        frame-slot stores, or ``None`` when nothing is written.
+    parity:
+        :data:`ParityExpr` for the destination, or ``None`` (unknown).
+    kills_heap:
+        True when the instruction may mutate heap memory or transfer
+        control into code that does (stores with a heap base, all calls).
+        Heap-dependent facts (map words, array lengths, element tags)
+        cannot survive such an instruction.
+    """
+
+    dest: Optional[ParityAtom] = None
+    parity: ParityExpr = None
+    kills_heap: bool = False
+
+
+_PARITY_XOR_RR = frozenset({MOp.ADD, MOp.SUB, MOp.ADDS, MOp.SUBS, MOp.EOR})
+_PARITY_XOR_RI = frozenset({MOp.ADDI, MOp.SUBI, MOp.ADDSI, MOp.SUBSI, MOp.EORI})
+_PARITY_AND_RR = frozenset({MOp.MUL, MOp.MULS, MOp.AND})
+
+
+def abstract_transfer_of(instr: MachineInstr) -> AbstractTransfer:
+    """Per-opcode abstract transfer for the typeflow analysis.  Pure.
+
+    Mirrors the executor's concrete arithmetic at the level of the tag
+    bit: e.g. ``add`` of two even (SMI) values is even, ``lsl #k`` with
+    ``k > 0`` is always even, a heap load has unknown parity.  Keep in
+    sync with :mod:`repro.machine.executor` — an unsound entry here is
+    exactly the class of bug the typeflow cross-validator exists to
+    catch.
+    """
+    op = instr.op
+    if op == MOp.MOVI:
+        return AbstractTransfer(("r", instr.dst), ("const", int(instr.imm) & 1))
+    if op == MOp.MOVR:
+        return AbstractTransfer(("r", instr.dst), ("copy", ("r", instr.s1)))
+    if op == MOp.NEGS:
+        # -x has x's parity in two's complement.
+        return AbstractTransfer(("r", instr.dst), ("copy", ("r", instr.s1)))
+    if op in _PARITY_XOR_RR:
+        return AbstractTransfer(
+            ("r", instr.dst), ("xor", ("r", instr.s1), ("r", instr.s2))
+        )
+    if op in _PARITY_XOR_RI:
+        return AbstractTransfer(
+            ("r", instr.dst), ("xor", ("r", instr.s1), ("k", int(instr.imm) & 1))
+        )
+    if op in _PARITY_AND_RR:
+        return AbstractTransfer(
+            ("r", instr.dst), ("and", ("r", instr.s1), ("r", instr.s2))
+        )
+    if op == MOp.ORR:
+        return AbstractTransfer(
+            ("r", instr.dst), ("or", ("r", instr.s1), ("r", instr.s2))
+        )
+    if op == MOp.ANDI:
+        return AbstractTransfer(
+            ("r", instr.dst), ("and", ("r", instr.s1), ("k", int(instr.imm) & 1))
+        )
+    if op == MOp.ORRI:
+        return AbstractTransfer(
+            ("r", instr.dst), ("or", ("r", instr.s1), ("k", int(instr.imm) & 1))
+        )
+    if op == MOp.LSLI:
+        if int(instr.imm) > 0:
+            return AbstractTransfer(("r", instr.dst), ("const", 0))
+        return AbstractTransfer(("r", instr.dst), ("copy", ("r", instr.s1)))
+    if op in (MOp.LSL, MOp.LSR, MOp.ASR, MOp.SDIV, MOp.LSRI, MOp.ASRI,
+              MOp.CSET, MOp.FCVTZS):
+        return AbstractTransfer(("r", instr.dst), None)
+    if op == MOp.JSLDRSMI:
+        # Result is the *untagged* payload; its parity is unrelated to
+        # the tag bit the check proved.
+        return AbstractTransfer(("r", instr.dst), None)
+    if op == MOp.LDR:
+        mem = instr.mem
+        if mem is not None and mem[0] == FRAME_BASE:
+            # Frame reload: the slot holds exactly what was spilled.
+            return AbstractTransfer(("r", instr.dst), ("copy", ("s", mem[3])))
+        return AbstractTransfer(("r", instr.dst), None)
+    if op == MOp.STR:
+        mem = instr.mem
+        if mem is not None and mem[0] == FRAME_BASE:
+            return AbstractTransfer(("s", mem[3]), ("copy", ("r", instr.s1)))
+        return AbstractTransfer(None, None, kills_heap=True)
+    if op == MOp.STRF:
+        mem = instr.mem
+        if mem is not None and mem[0] == FRAME_BASE:
+            return AbstractTransfer(("s", mem[3]), None)
+        return AbstractTransfer(None, None, kills_heap=True)
+    if op in (MOp.CALL_JS, MOp.CALL_DYN):
+        return AbstractTransfer(("r", RET_REG), None, kills_heap=True)
+    if op == MOp.CALL_RT:
+        dest = None if instr.returns_float else ("r", RET_REG)
+        return AbstractTransfer(dest, None, kills_heap=True)
+    # Flag ops, float ops, moves between float regs, control flow: no
+    # integer destination and no heap mutation.
+    return AbstractTransfer(None, None)
+
+
 def successors_of(pc: int, instr: MachineInstr, count: int) -> List[int]:
     """Machine-CFG successor pcs of the instruction at ``pc``."""
     if instr.op == MOp.B:

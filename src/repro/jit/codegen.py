@@ -84,6 +84,16 @@ class CodeObject:
         self.invalidated = False
         self.smi_load_checks: Dict[int, int] = {}  # pc -> check_id
         self.compile_cycles = 0
+        #: position in the engine's compiled-code history (-1 until the
+        #: engine registers the object); with a check id this keys the
+        #: dynamic check-trip profile the typeflow validator joins on.
+        self.serial = -1
+        #: cached repro.analysis.typeflow result (immutable, like _decoded).
+        self._typeflow: Optional[object] = None
+        #: per-check summary exported by the IR pipeline (pass-level check
+        #: counts before/after elimination), attached by generate_code for
+        #: the typeflow CLI's static-density provenance.
+        self.ir_check_summary: Optional[object] = None
         #: decoded dispatch entries, filled lazily by the executor at first
         #: execution (see repro.machine.dispatch); never invalidated because
         #: code objects are immutable once generation finishes.
@@ -204,6 +214,9 @@ class CodeGenerator:
         self.code.allocatable_float_regs = (self.float_pool[0], self.float_pool[-1] + 1)
         self.code.embedded_words = set(self.builder.embedded_words)
         self.code.map_dependencies = set(self.builder.map_dependencies)
+        # IR-level check provenance (repro.ir.passes.summary), recorded by
+        # the pipeline; absent when a caller built the graph by hand.
+        self.code.ir_check_summary = getattr(self.builder, "check_summary", None)
 
         self._emit_prologue()
         self._emitted_blocks = blocks

@@ -119,6 +119,11 @@ class DeoptEvent:
     bytecode_pc: int
     iteration: int
     cycle: int
+    #: check id within the code object that deoptimized (-1 for events
+    #: logged before check attribution existed); joined with
+    #: ``CodeObject.serial`` this keys the engine's ``check_trips``
+    #: profile that the typeflow cross-validator consumes.
+    check_id: int = -1
 
 
 def _decode(heap: Heap, location: Location, repr_name: str, regs, fregs, frame) -> int:

@@ -140,6 +140,19 @@ def default_blockjit() -> bool:
     )
 
 
+def default_typed_blocks() -> bool:
+    """Process-wide default for typed block variants (REPRO_TYPED_BLOCKS).
+
+    Typed variants drop statically-proven checks
+    (:mod:`repro.analysis.typeflow`) behind hoisted entry guards; they
+    are bit-identical to the generic tier by construction, so they
+    default on wherever block mode itself is on.
+    """
+    return os.environ.get("REPRO_TYPED_BLOCKS", "1").lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
 def block_spans(instrs) -> List[Tuple[int, int]]:
     """The fused-block partition as ``[start, end)`` pc spans, in order."""
     leaders = sorted(fused_block_leaders(tuple(instrs)))
@@ -190,7 +203,7 @@ class BlockTable:
     """
 
     __slots__ = ("executor", "blocks", "block_of", "spans", "driver",
-                 "flags_live", "auditable", "demoted")
+                 "flags_live", "auditable", "demoted", "typed_plans")
 
     def __init__(self, executor: "Executor") -> None:
         self.executor = executor
@@ -198,6 +211,10 @@ class BlockTable:
         self.block_of: Dict[int, int] = {}
         self.spans: List[Tuple[int, int]] = []
         self.driver: List[Tuple[float, object, object]] = []
+        #: bid -> repro.analysis.typeflow.TypedBlockPlan for every block
+        #: whose fused closure is a typed variant (empty when typed
+        #: blocks are disabled or nothing was provably elidable).
+        self.typed_plans: Dict[int, object] = {}
         #: True when any block reads flags it did not set, i.e. flags
         #: flow across block boundaries and the closures must thread
         #: (n, z, c, v) through their signature.  Compiler-generated code
@@ -331,6 +348,10 @@ class _BlockCompiler:
             "sdiv": _sdiv,
             "code": code,
             "UNDEF": executor.heap.undefined,
+            # typed-variant bookkeeping (repro.analysis.typeflow): python-
+            # level counters only — never part of ExecStats or the cycle
+            # model, so simulated results stay bit-identical.
+            "tstat": getattr(executor, "typed_counters", [0, 0, 0, 0, 0]),
         }
 
     # -- helpers ---------------------------------------------------------
@@ -387,6 +408,14 @@ class _BlockCompiler:
             self.decoded[end - 1][0] not in _UNAUDITABLE_LAST
             for _start, end in table.spans
         ]
+        self.plans: Dict[int, object] = {}
+        if getattr(self.executor, "typed_blocks", False) and not self.flags_live:
+            # Imported lazily: typeflow itself imports block_spans from
+            # this module at load time.
+            from ..analysis.typeflow import typed_plans
+
+            self.plans = typed_plans(self.code)
+        table.typed_plans = dict(self.plans)
         sources: List[str] = []
         for bid, (start, end) in enumerate(table.spans):
             table.blocks.append(self._compile_block(bid, start, end, sources))
@@ -403,6 +432,8 @@ class _BlockCompiler:
         for bid, block in enumerate(table.blocks):
             block.fused = self.glb.pop(f"_blk_f{bid}")
             block.stepped = self.glb.pop(f"_blk_s{bid}")
+            # _blk_g{bid} generic fallbacks stay in glb: typed closures
+            # resolve them as globals on guard failure.
         table.driver = [(b.total_cost, b.fused, b.stepped) for b in table.blocks]
         return table
 
@@ -421,7 +452,22 @@ class _BlockCompiler:
                 block.n_branches += 1
                 if kind == K_BCC and self.decoded[pc][3]:  # s1 = is_deopt
                     block.n_deopt_branches += 1
-        sources.append(self._assemble(bid, start, end, block, stepped=False))
+        plan = self.plans.get(bid)
+        if plan is not None:
+            # The fused slot gets the typed variant; the generic body is
+            # kept (as _blk_g{bid}) only when a guard can actually fail
+            # into it.  The stepped twin below is always generic — it is
+            # the timing/sampling reference the sentinel diffs against.
+            sources.append(
+                self._assemble(bid, start, end, block, stepped=False, plan=plan)
+            )
+            if plan.guards:
+                sources.append(
+                    self._assemble(bid, start, end, block, stepped=False,
+                                   generic=True)
+                )
+        else:
+            sources.append(self._assemble(bid, start, end, block, stepped=False))
         sources.append(self._assemble(bid, start, end, block, stepped=True))
         return block
 
@@ -447,9 +493,22 @@ class _BlockCompiler:
         return lines
 
     def _assemble(
-        self, bid: int, start: int, end: int, block: Block, stepped: bool
+        self, bid: int, start: int, end: int, block: Block, stepped: bool,
+        plan=None, generic: bool = False,
     ) -> str:
-        lines: List[str] = self._stats_prologue(block)
+        lines: List[str] = []
+        actions = {}
+        if plan is not None:
+            # Hoisted entry guards run before anything is charged: a
+            # failing guard tail-calls the generic block with the entry
+            # state untouched, so the generic path is bit-identical to
+            # never having tried the typed variant.
+            for index, fact in enumerate(plan.guards):
+                lines.extend(self._guard(fact, bid, index))
+            if plan.guards:
+                lines.append(f"tstat[3] += {len(plan.guards)}")
+            actions = dict(plan.actions)
+        lines.extend(self._stats_prologue(block))
         if stepped:
             lines.append("entry = cycles")
         for pc in range(start, end):
@@ -458,13 +517,23 @@ class _BlockCompiler:
                 lines.append(f"cycles = entry + {prefix!r}")
                 lines.append("if cycles >= ex._next_sample:")
                 lines.append(f"    ex._sample(code, {pc}, cycles)")
+            if plan is not None and pc == plan.site_pc:
+                lines.extend(self._emit_elided_site(pc, plan))
+                continue
+            action = actions.get(pc)
+            if action is not None and action[0] == "skip":
+                continue  # pure flag computation of the elided check
+            if action is not None and action[0] == "const":
+                # Proven heap load: same register state, no heap traffic.
+                lines.append(f"regs[{action[1]}] = {self._lit(action[2])}")
+                continue
             lines.extend(self._emit(pc, end, stepped))
         last_kind = self.decoded[end - 1][0]
         if last_kind not in (K_BCC, K_B, K_RET, K_DEOPT, K_JSLDRSMI,
                              K_CALL_JS, K_CALL_DYN, K_CALL_RT):
             # Plain fall-through into the next leader.
             lines.append(self._ret(self._target_bid(end)))
-        variant = "s" if stepped else "f"
+        variant = "g" if generic else ("s" if stepped else "f")
         name = f"_blk_{variant}{bid}"
         flags = ", n, z, c, v" if self.flags_live else ""
         return (
@@ -479,6 +548,103 @@ class _BlockCompiler:
         # Off the end / corrupt target: an out-of-range block id makes the
         # driver raise IndexError, like the step loop's decoded[pc] would.
         return self.n_blocks
+
+    # -- typed variants (repro.analysis.typeflow plans) -------------------
+
+    def _guard(self, fact, bid: int, index: int) -> List[str]:
+        """One hoisted entry guard; its failure path tail-calls the
+        generic block.  Non-int heap words fail the guard rather than
+        raising, so the generic body reproduces the exact MachineError
+        the step loop would have raised."""
+        L = self._lit
+        fail = [
+            f"    tstat[3] += {index}",
+            "    tstat[4] += 1",
+            f"    return _blk_g{bid}(regs, fregs, frame, special, heap, "
+            "cycles)",
+        ]
+        tag = fact[0]
+        if tag == "par":
+            test = (
+                f"if regs[{fact[1]}] & 1:" if fact[2] == 0
+                else f"if not (regs[{fact[1]}] & 1):"
+            )
+            return [test] + fail
+        if tag == "regeq":
+            return [f"if regs[{fact[1]}] != {L(fact[2])}:"] + fail
+        if tag == "map":
+            return [
+                f"_g = heap[(regs[{fact[1]}] >> 1) + {L(fact[2])}]",
+                f"if _g != {L(fact[3])}:",
+            ] + fail
+        if tag == "ub":
+            idx, base, disp = fact[1], fact[2], fact[3]
+            return [
+                f"_g = heap[(regs[{base}] >> 1) + {L(disp)}]",
+                f"if not (isinstance(_g, int) and (regs[{idx}] & {_UINT32})"
+                f" < (_g & {_UINT32})):",
+            ] + fail
+        if tag == "memsmi":
+            base, idx, scale, disp = fact[1], fact[2], fact[3], fact[4]
+            addr = f"(regs[{base}] >> 1) + {L(disp)}"
+            if idx >= 0:
+                addr = (
+                    f"(regs[{base}] >> 1) + (regs[{idx}] << {L(scale)})"
+                    f" + {L(disp)}"
+                )
+            return [
+                f"_g = heap[{addr}]",
+                "if not isinstance(_g, int) or (_g & 1):",
+            ] + fail
+        raise ValueError(f"blockjit: unsupported guard fact {fact!r}")
+
+    def _emit_elided_site(self, pc: int, plan) -> List[str]:
+        """The check site with its test removed.
+
+        The branch variant keeps the generic not-taken path verbatim —
+        deterministic gshare update, mispredict accounting, fall-through
+        return — minus the flag test (the guard or the entry proof
+        already decided it).  The jsldrsmi variant commits the load
+        without the tag test.  ``tstat`` counters are python-level only.
+        """
+        decoded = self.decoded[pc]
+        if plan.site == "branch":
+            out = [
+                "_h = pred.history",
+                f"_i = ({pc} ^ _h) & {self.pmask}",
+                "_t = ptable[_i]",
+                "pred.predictions += 1",
+                f"pred.history = (_h << 1) & {self.pmask}",
+                "if _t > 0:",
+                "    ptable[_i] = _t - 1",
+                "if _t >= 2:",
+                "    pred.mispredictions += 1",
+                "    stats.mispredictions += 1",
+                f"    cycles += {self.mispredict!r}",
+                "tstat[0] += 1",
+            ]
+            if plan.n_cond_elided:
+                out.append(f"tstat[1] += {plan.n_cond_elided}")
+            out.append(self._ret(self._target_bid(pc + 1)))
+            return out
+        # jsldrsmi: aux = (scale, check_id, reason)
+        _kind, _cost, dst, s1, s2, imm, aux, _instr, _prefix, _leader = decoded
+        scale = aux[0]
+        addr = f"_a = (regs[{s1}] >> 1) + {self._lit(imm)}"
+        if s2 >= 0:
+            addr = (
+                f"_a = (regs[{s1}] >> 1) + "
+                f"(regs[{s2}] << {self._lit(scale)}) + {self._lit(imm)}"
+            )
+        return [
+            addr,
+            "_v = heap[_a]",
+            "if not isinstance(_v, int):",
+            "    raise MachineError('jsldrsmi of non-int slot %d' % _a)",
+            f"regs[{dst}] = _v >> 1",
+            "tstat[2] += 1",
+            self._ret(self._target_bid(pc + 1)),
+        ]
 
     # -- per-kind emission ----------------------------------------------
 

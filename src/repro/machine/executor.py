@@ -286,6 +286,15 @@ class Executor:
         #: block-compiled execution (repro.machine.blockjit); wired by the
         #: engine from EngineConfig.blockjit / REPRO_BLOCKJIT.
         self.blockjit = False
+        #: typed block variants (repro.analysis.typeflow plans consumed by
+        #: repro.machine.blockjit); wired by the engine from
+        #: EngineConfig.typed_blocks / REPRO_TYPED_BLOCKS.
+        self.typed_blocks = False
+        #: python-level typed-tier counters (never part of ExecStats or
+        #: the simulated cycle model): [branch checks elided, condition
+        #: instructions elided or folded, jsldrsmi tag tests elided,
+        #: entry guards evaluated, guard failures].
+        self.typed_counters = [0, 0, 0, 0, 0]
         #: result word stashed by a fused RET block for the block driver.
         self.ret_value = 0
         #: optional repro.supervise.sentinel.DivergenceSentinel; wired by

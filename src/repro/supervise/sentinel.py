@@ -252,6 +252,9 @@ class DivergenceSentinel:
                       stats.loads, stats.stores, stats.deopt_branch_instrs)
         exec_snap = (ex.deopt_state, ex.forced_deopt_trips, ex.ret_value,
                      ex.cycles)
+        # Typed variants bump python-level elision counters; a shadow
+        # probe must not inflate the real run's tally.
+        typed_snap = list(ex.typed_counters)
         probe = _Probe()
         probe.regs = list(regs)
         probe.fregs = list(fregs)
@@ -286,6 +289,7 @@ class DivergenceSentinel:
              stats.deopt_branch_instrs) = stats_snap
             (ex.deopt_state, ex.forced_deopt_trips, ex.ret_value,
              ex.cycles) = exec_snap
+            ex.typed_counters[:] = typed_snap
         return probe
 
     def _compare(self, stepped: _Probe, fused: _Probe) -> List[str]:

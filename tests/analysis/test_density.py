@@ -62,3 +62,28 @@ def test_density_suppressed_branches_keep_check_count():
         assert report.diagnostics == []
         assert report.check_count == len(code.deopt_points)
         assert report.deopt_branches == 0
+
+
+def test_window_outliers_are_split_consistently():
+    """The comparable aggregate excludes exactly the branches whose
+    condition run differs from the ISA's check window, and the outlier
+    count matches mclint's window-shape INFO diagnostics."""
+    from repro.analysis import lint_code
+
+    for target in ("arm64", "x64"):
+        for code in _codes("FIB", target=target):
+            report = analyze_density(code)
+            assert 0 <= report.window_outliers <= report.deopt_branches
+            assert sum(report.outlier_kinds.values()) == report.window_outliers
+            conforming = report.check_count - report.window_outliers
+            body = report.body_instructions
+            assert report.comparable_density == pytest.approx(
+                100.0 * conforming / body if body else 0.0
+            )
+            assert report.comparable_density <= report.density + 1e-9
+            shape_infos = [
+                d for d in lint_code(code) if d.invariant == "window-shape"
+            ]
+            assert len(shape_infos) == report.window_outliers
+            rendered = "\n".join(report.rows())
+            assert "comparable (window-conforming)" in rendered

@@ -1,0 +1,110 @@
+"""DominatorTree on the CFG shapes the iterative algorithm must not choke
+on: self-loops, irreducible regions (loops with two entries), and stale
+unreachable predecessors."""
+
+from __future__ import annotations
+
+from repro.analysis.dominators import DominatorTree, reachable_blocks
+from repro.ir.graph import Graph
+
+
+def test_self_loop():
+    graph = Graph("selfloop")
+    entry = graph.entry
+    a, b = graph.new_block(), graph.new_block()
+    graph.connect(entry, a)
+    graph.connect(a, a)
+    graph.connect(a, b)
+    tree = DominatorTree(graph)
+    assert tree.idom[entry.id] is None
+    assert tree.idom[a.id] is entry
+    assert tree.idom[b.id] is a
+    assert tree.dominates(a, a)  # reflexive through the back edge
+    assert tree.dominates(entry, b)
+    assert not tree.dominates(b, a)
+
+
+def test_entry_self_loop():
+    graph = Graph("entryloop")
+    entry = graph.entry
+    graph.connect(entry, entry)
+    tree = DominatorTree(graph)
+    assert tree.idom[entry.id] is None
+    assert tree.dominates(entry, entry)
+
+
+def test_irreducible_two_entry_loop():
+    """entry branches to both a and b, which form a cycle: the loop has
+    two entry edges, so neither a nor b dominates the other and both are
+    immediately dominated by entry."""
+    graph = Graph("irreducible")
+    entry = graph.entry
+    a, b, exit_block = graph.new_block(), graph.new_block(), graph.new_block()
+    graph.connect(entry, a)
+    graph.connect(entry, b)
+    graph.connect(a, b)
+    graph.connect(b, a)
+    graph.connect(a, exit_block)
+    tree = DominatorTree(graph)
+    assert tree.idom[a.id] is entry
+    assert tree.idom[b.id] is entry
+    assert not tree.dominates(a, b)
+    assert not tree.dominates(b, a)
+    assert tree.idom[exit_block.id] is a
+    assert tree.dominates(entry, exit_block)
+
+
+def test_irreducible_region_reached_from_two_paths():
+    """Loop a<->b entered at a from one branch arm and at b from the
+    other: the common dominator of both loop blocks is the branch block,
+    not either arm."""
+    graph = Graph("twoentry")
+    entry = graph.entry
+    left, right = graph.new_block(), graph.new_block()
+    a, b = graph.new_block(), graph.new_block()
+    graph.connect(entry, left)
+    graph.connect(entry, right)
+    graph.connect(left, a)
+    graph.connect(right, b)
+    graph.connect(a, b)
+    graph.connect(b, a)
+    tree = DominatorTree(graph)
+    assert tree.idom[a.id] is entry
+    assert tree.idom[b.id] is entry
+    assert not tree.dominates(left, a)
+    assert not tree.dominates(right, b)
+
+
+def test_unreachable_blocks_are_excluded():
+    graph = Graph("unreachable")
+    entry = graph.entry
+    a = graph.new_block()
+    orphan = graph.new_block()
+    graph.connect(entry, a)
+    graph.connect(orphan, a)  # stale predecessor edge into a live block
+    tree = DominatorTree(graph)
+    order = reachable_blocks(graph)
+    assert orphan not in order
+    assert not tree.is_reachable(orphan)
+    assert tree.idom[a.id] is entry
+    assert not tree.dominates(orphan, a)
+    assert not tree.dominates(a, orphan)
+
+
+def test_rpo_starts_at_entry_and_visits_each_once():
+    graph = Graph("rpo")
+    entry = graph.entry
+    blocks = [graph.new_block() for _ in range(4)]
+    graph.connect(entry, blocks[0])
+    graph.connect(blocks[0], blocks[1])
+    graph.connect(blocks[0], blocks[2])
+    graph.connect(blocks[1], blocks[3])
+    graph.connect(blocks[2], blocks[3])
+    graph.connect(blocks[3], blocks[0])  # reducible back edge
+    order = reachable_blocks(graph)
+    assert order[0] is entry
+    assert len(order) == len({block.id for block in order}) == 5
+    tree = DominatorTree(graph)
+    assert tree.idom[blocks[3].id] is blocks[0]
+    assert tree.dominates(blocks[0], blocks[3])
+    assert not tree.dominates(blocks[1], blocks[3])

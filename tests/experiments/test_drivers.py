@@ -29,7 +29,7 @@ class TestRegistry:
     def test_all_figures_registered(self):
         for key in (
             "fig01", "fig03", "fig04", "fig06", "fig07", "fig08", "fig09",
-            "fig10", "fig13", "fig14", "leftover", "builtins",
+            "fig10", "fig13", "fig14", "leftover", "builtins", "typeflow",
         ):
             assert key in EXPERIMENTS
 
@@ -45,6 +45,16 @@ class TestFig01:
             for key, value in row.items():
                 if key.endswith("checks/100") and value:
                     assert 0 < value < 40
+
+
+class TestTypeflow:
+    def test_residual_density_never_exceeds_static(self):
+        result = EXPERIMENTS["typeflow"](scale=SCALE)
+        assert result.rows
+        for row in result.rows:
+            for target in ("arm64", "x64"):
+                assert row[f"{target} residual"] <= row[f"{target} static"]
+                assert 0.0 <= row[f"{target} dyn elided %"] <= 100.0
 
 
 class TestFig03:
