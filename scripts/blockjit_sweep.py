@@ -1,19 +1,30 @@
-"""Full differential sweep: blockjit on vs off must be byte-identical.
+"""Full differential sweep: all three executor tiers must be byte-identical.
 
 Runs every benchmark on both ISAs in three modes (plain, PC-sampled,
 fault-injected) and asserts bitwise-identical results, cycle totals,
-per-pc sample counts and deopt records between the step loop and the
-block-compiled executor.  The block side runs with typed block variants
-(repro.analysis.typeflow plans) force-enabled, so the sweep is also the
-acceptance oracle for check elision: a typed variant that drops a check
-it should not drop diverges here.  CI runs the same oracle on the smoke
-subset via tests/machine/test_blockjit_diff.py; this script is the
-exhaustive acceptance sweep (about 10 minutes of CPU).
+per-pc sample counts and deopt records between the step loop, the
+block-compiled executor and the trace tier.  The block side runs with
+typed block variants (repro.analysis.typeflow plans) force-enabled, so
+the sweep is also the acceptance oracle for check elision — including
+the trace tier's *chain* guard elision: a typed variant or a stitched
+chain that drops a check it should not drop diverges here.  The trace
+tier runs with low promotion thresholds (REPRO_TRACEJIT_* set below) so
+chains actually form and execute within the 20-iteration cells.  CI
+runs the same oracle on the smoke subset via
+tests/machine/test_tracejit_diff.py; this script is the exhaustive
+acceptance sweep (about 15 minutes of CPU).
 
 Usage: PYTHONPATH=src python scripts/blockjit_sweep.py
 """
 
+import os
 import sys
+
+# Must be set before any engine is built: low thresholds so the trace
+# tier promotes within short sweep cells instead of idling in counting.
+os.environ.setdefault("REPRO_TRACEJIT_BUDGET", "400")
+os.environ.setdefault("REPRO_TRACEJIT_HOT", "8")
+os.environ.setdefault("REPRO_TRACEJIT_ENTRY", "8")
 
 from repro.engine import Engine, EngineConfig
 from repro.profiling.sampler import attach_sampler
@@ -24,9 +35,16 @@ from repro.suite.spec import all_benchmarks
 ITERATIONS = 20
 SAMPLE_PERIOD = 467.0
 
+#: tier name -> EngineConfig knobs
+TIERS = {
+    "step": dict(blockjit=False, tracejit=False),
+    "block": dict(blockjit=True, tracejit=False),
+    "trace": dict(blockjit=True, tracejit=True),
+}
 
-def plain_or_injected(spec, target, blockjit, inject):
-    config = EngineConfig(target=target, blockjit=blockjit, typed_blocks=True)
+
+def plain_or_injected(spec, target, tier, inject):
+    config = EngineConfig(target=target, typed_blocks=True, **TIERS[tier])
     runner = BenchmarkRunner(spec, config)
     injector = (
         FaultInjector(plan_for(spec.name, seed=7, iterations=ITERATIONS))
@@ -42,9 +60,9 @@ def plain_or_injected(spec, target, blockjit, inject):
     }
 
 
-def sampled(spec, target, blockjit):
+def sampled(spec, target, tier):
     engine = Engine(
-        EngineConfig(target=target, blockjit=blockjit, typed_blocks=True)
+        EngineConfig(target=target, typed_blocks=True, **TIERS[tier])
     )
     engine.load(spec.source)
     engine.call_global("setup")
@@ -77,21 +95,29 @@ def main():
         for target in ("arm64", "x64"):
             for mode in ("plain", "sample", "inject"):
                 if mode == "sample":
-                    off = sampled(spec, target, False)
-                    on = sampled(spec, target, True)
+                    runs = {tier: sampled(spec, target, tier)
+                            for tier in TIERS}
                 else:
-                    off = plain_or_injected(spec, target, False, mode == "inject")
-                    on = plain_or_injected(spec, target, True, mode == "inject")
+                    runs = {
+                        tier: plain_or_injected(
+                            spec, target, tier, mode == "inject")
+                        for tier in TIERS
+                    }
                 tag = f"{spec.name}/{target}/{mode}"
-                if off == on:
+                step = runs["step"]
+                bad = [t for t in ("block", "trace") if runs[t] != step]
+                if not bad:
                     print(f"ok   {tag}", flush=True)
                 else:
                     failures.append(tag)
-                    print(f"FAIL {tag}", flush=True)
-                    for key in off:
-                        if off[key] != on[key]:
-                            print(f"     {key}: step={off[key]!r}", flush=True)
-                            print(f"     {key}: block={on[key]!r}", flush=True)
+                    print(f"FAIL {tag} ({', '.join(bad)})", flush=True)
+                    for tier in bad:
+                        for key in step:
+                            if step[key] != runs[tier][key]:
+                                print(f"     {key}: step={step[key]!r}",
+                                      flush=True)
+                                print(f"     {key}: {tier}="
+                                      f"{runs[tier][key]!r}", flush=True)
     print(f"\n{len(failures)} divergent configurations", flush=True)
     if failures:
         for tag in failures:

@@ -39,6 +39,8 @@ from ..isa.semantics import (
     FUSED_BLOCK_END_OPS,
     InstrEffect,
     effect_of,
+    fused_block_edges,
+    fused_block_leaders,
     leaders_of,
     successors_of,
 )
@@ -93,6 +95,7 @@ class _Linter:
     def run(self) -> List[Diagnostic]:
         self._check_branch_targets()
         self._check_block_partition()
+        self._check_trace_edges()
         self._check_deopt_wiring()
         self._check_frame_state_locations()
         self._check_dataflow()
@@ -169,6 +172,49 @@ class _Linter:
                         "branch/call/deopt commit point",
                         pc,
                     )
+
+    def _check_trace_edges(self) -> None:
+        """Cross-validate the fused-block edge metadata the trace tier uses.
+
+        :func:`~repro.isa.semantics.fused_block_edges` summarises each
+        block by its *last* instruction; the trace compiler
+        (:mod:`repro.machine.tracejit`) refuses to stitch a chain whose
+        hop is not in that set.  Here the same edge set is re-derived
+        independently from the machine CFG (:func:`successors_of` on the
+        block's last pc, successors restricted to block leaders) and any
+        asymmetric difference is an ERROR: a missing edge would make the
+        trace tier reject a legal chain, a phantom edge would let it
+        stitch blocks control flow can never connect.
+        """
+        instrs = self.instrs
+        if not instrs:
+            return
+        count = len(instrs)
+        leaders = sorted(fused_block_leaders(tuple(instrs)))
+        block_of = {start: i for i, start in enumerate(leaders)}
+        declared = fused_block_edges(tuple(instrs))
+        derived = set()
+        for bid, start in enumerate(leaders):
+            end = leaders[bid + 1] if bid + 1 < len(leaders) else count
+            for succ in successors_of(end - 1, instrs[end - 1], count):
+                if succ in block_of:
+                    derived.add((bid, block_of[succ]))
+        for src, dst in sorted(declared - derived):
+            self.error(
+                "trace-edges",
+                f"fused_block_edges declares edge {src}->{dst} the machine "
+                "CFG does not have; the trace tier could stitch blocks "
+                "control flow never connects",
+                leaders[src],
+            )
+        for src, dst in sorted(derived - declared):
+            self.error(
+                "trace-edges",
+                f"machine-CFG edge {src}->{dst} is missing from "
+                "fused_block_edges; the trace tier would reject a legal "
+                "chain through it",
+                leaders[src],
+            )
 
     # -- deopt wiring ----------------------------------------------------
 

@@ -95,6 +95,13 @@ class EngineConfig:
     #: and simulated counters stay bit-identical; only executed python
     #: work shrinks.  None defers to REPRO_TYPED_BLOCKS (default on).
     typed_blocks: Optional[bool] = None
+    #: Trace tier (repro.machine.tracejit): compile hot block chains —
+    #: across loop back-edges and across calls — into single closures
+    #: with per-segment side-exit checks, entered from the block driver
+    #: at their anchor blocks.  Bit-identical to the block tier and the
+    #: step loop by construction; requires ``blockjit``.  None defers to
+    #: REPRO_TRACEJIT (default on).
+    tracejit: Optional[bool] = None
     #: Online divergence sentinel (repro.supervise.sentinel): on a
     #: deterministic schedule, shadow-execute fused blocks against their
     #: stepped twins and demote a diverging code object to the step tier.
@@ -193,6 +200,15 @@ class Engine:
             default_typed_blocks()
             if self.config.typed_blocks is None
             else bool(self.config.typed_blocks)
+        )
+        # Imported lazily like the sentinel below: tracejit sits on top
+        # of blockjit, which the machine package loads on demand.
+        from .machine.tracejit import default_tracejit
+
+        self.executor.tracejit = self.executor.blockjit and (
+            default_tracejit()
+            if self.config.tracejit is None
+            else bool(self.config.tracejit)
         )
         # Imported lazily: repro.supervise pulls in repro.exec, which
         # imports this module back (cells -> engine).
@@ -564,11 +580,14 @@ class Engine:
                     # Drop the compiled-block table with the code: a
                     # permanently disabled function runs interpreter-only,
                     # and a stale table must not be revived if the same
-                    # (discarded) code object ever leaks back in.
+                    # (discarded) code object ever leaks back in.  Traces
+                    # are chains over those very blocks, so they go too.
                     code._blocks = None
+                    code._traces = None
             elif shared.reopt_count > self.config.max_reoptimizations:
                 shared.optimization_disabled = True
                 code._blocks = None
+                code._traces = None
         shared.invocation_count = 0
         shared.backedge_count = 0
         self.charge(250, "deopt")  # stack-frame conversion cost
@@ -588,6 +607,31 @@ class Engine:
             "smi_tag_tests_elided": elided[2],
             "entry_guards_evaluated": elided[3],
             "guard_failures": elided[4],
+        }
+
+    def trace_stats(self) -> Dict[str, int]:
+        """Trace-tier formation/execution counters (repro.machine.tracejit).
+
+        Python-level observability only — trace execution is bit-identical
+        to the block tier, so nothing here feeds the simulated model."""
+        tables = [
+            code._traces
+            for code in self._code_objects
+            if code._traces is not None
+            and code._traces.executor is self.executor
+        ]
+        infos = [t for tt in tables for t in tt.traces.values()]
+        return {
+            "code_objects_counting": sum(1 for tt in tables if tt.counting),
+            "code_objects_promoted": sum(1 for tt in tables if tt.promoted),
+            "traces": len(infos),
+            "cyclic_traces": sum(1 for t in infos if t.cyclic),
+            "call_spanning_traces": sum(1 for t in infos if t.n_calls > 0),
+            "auditable_traces": sum(1 for t in infos if t.auditable),
+            "trace_blocks": sum(len(t.chain) for t in infos),
+            "calls_chained": sum(t.n_calls for t in infos),
+            "chain_guards_elided": sum(t.guards_elided for t in infos),
+            "trace_entries": sum(tt.trace_entries for tt in tables),
         }
 
     def resilience_stats(self) -> Dict[str, object]:

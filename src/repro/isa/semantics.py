@@ -360,3 +360,40 @@ def fused_block_leaders(instrs: Tuple[MachineInstr, ...]) -> Set[int]:
         if instr.op in FUSED_BLOCK_END_OPS and pc + 1 < count:
             leaders.add(pc + 1)
     return leaders
+
+
+def fused_block_edges(instrs: Tuple[MachineInstr, ...]) -> Set[Tuple[int, int]]:
+    """Legal ``(src_bid, dst_bid)`` edges of the fused-block CFG.
+
+    Block ids index the sorted leader list (the same numbering
+    :mod:`repro.machine.blockjit` uses).  A block's successors are
+    derived from its *last* instruction: branch targets and the
+    fall-through for ``BCC``, the target alone for ``B``, nothing for
+    ``RET``/``DEOPT``, and the fall-through block for everything else
+    (calls, ``JSLDRSMI`` commits, plain straight-line enders).  The
+    trace tier (:mod:`repro.machine.tracejit`) only stitches chains
+    whose every hop is in this set, and the machine-code linter
+    validates the same metadata statically.
+    """
+    leaders = sorted(fused_block_leaders(tuple(instrs)))
+    block_of = {start: i for i, start in enumerate(leaders)}
+    count = len(instrs)
+    edges: Set[Tuple[int, int]] = set()
+    for bid, start in enumerate(leaders):
+        end = leaders[bid + 1] if bid + 1 < len(leaders) else count
+        last = instrs[end - 1]
+        if last.op == MOp.B:
+            if last.target in block_of:
+                edges.add((bid, block_of[last.target]))
+            continue
+        if last.op == MOp.BCC:
+            if last.target in block_of:
+                edges.add((bid, block_of[last.target]))
+            if end in block_of:
+                edges.add((bid, block_of[end]))
+            continue
+        if last.op in (MOp.RET, MOp.DEOPT):
+            continue
+        if end in block_of:
+            edges.add((bid, block_of[end]))
+    return edges

@@ -103,6 +103,12 @@ class CodeObject:
         #: never invalidated, but rebuilt if a different executor runs the
         #: code (the closures bind executor state).
         self._blocks: Optional[object] = None
+        #: trace table (repro.machine.tracejit.TraceTable): hot-chain
+        #: edge counters and compiled trace closures, attached lazily by
+        #: the trace-aware driver next to ``_blocks``.  Dropped (set back
+        #: to None) together with ``_blocks`` on a deopt storm, since its
+        #: traces are built over those very blocks.
+        self._traces: Optional[object] = None
         #: set by the divergence sentinel (repro.supervise.sentinel) when
         #: a fused block disagreed with its stepped twin: the executor
         #: then routes this code object through the step tier for the

@@ -203,7 +203,8 @@ class BlockTable:
     """
 
     __slots__ = ("executor", "blocks", "block_of", "spans", "driver",
-                 "flags_live", "auditable", "demoted", "typed_plans")
+                 "flags_live", "auditable", "demoted", "typed_plans",
+                 "traces")
 
     def __init__(self, executor: "Executor") -> None:
         self.executor = executor
@@ -211,6 +212,10 @@ class BlockTable:
         self.block_of: Dict[int, int] = {}
         self.spans: List[Tuple[int, int]] = []
         self.driver: List[Tuple[float, object, object]] = []
+        #: repro.machine.tracejit.TraceTable once the trace tier has
+        #: attached to this table (None while tracing is disabled).
+        #: Kept here so demote() can tear traces down with their blocks.
+        self.traces = None
         #: bid -> repro.analysis.typeflow.TypedBlockPlan for every block
         #: whose fused closure is a typed variant (empty when typed
         #: blocks are disabled or nothing was provably elidable).
@@ -246,6 +251,11 @@ class BlockTable:
         self.driver[:] = [
             (infinite, fused, stepped) for _cost, fused, stepped in self.driver
         ]
+        if self.traces is not None:
+            # Traces are built over these very blocks; a demoted table
+            # must drop them too, or a compiled chain would keep running
+            # the code path the sentinel just proved divergent.
+            self.traces.disable()
 
 
 #: decoded kinds that retire a load / store (mirrors the step loop's
@@ -551,39 +561,35 @@ class _BlockCompiler:
 
     # -- typed variants (repro.analysis.typeflow plans) -------------------
 
-    def _guard(self, fact, bid: int, index: int) -> List[str]:
-        """One hoisted entry guard; its failure path tail-calls the
-        generic block.  Non-int heap words fail the guard rather than
-        raising, so the generic body reproduces the exact MachineError
-        the step loop would have raised."""
+    def _guard_test(self, fact) -> Tuple[List[str], str]:
+        """Setup statements plus the *failure* condition for one hoisted
+        guard fact.  Shared between the block compiler's entry guards and
+        the trace compiler's chain guards so both tiers test a fact with
+        byte-identical generated code.  Non-int heap words fail the test
+        rather than raising, so the generic fallback reproduces the
+        exact MachineError the step loop would have raised."""
         L = self._lit
-        fail = [
-            f"    tstat[3] += {index}",
-            "    tstat[4] += 1",
-            f"    return _blk_g{bid}(regs, fregs, frame, special, heap, "
-            "cycles)",
-        ]
         tag = fact[0]
         if tag == "par":
-            test = (
-                f"if regs[{fact[1]}] & 1:" if fact[2] == 0
-                else f"if not (regs[{fact[1]}] & 1):"
+            cond = (
+                f"regs[{fact[1]}] & 1" if fact[2] == 0
+                else f"not (regs[{fact[1]}] & 1)"
             )
-            return [test] + fail
+            return [], cond
         if tag == "regeq":
-            return [f"if regs[{fact[1]}] != {L(fact[2])}:"] + fail
+            return [], f"regs[{fact[1]}] != {L(fact[2])}"
         if tag == "map":
-            return [
-                f"_g = heap[(regs[{fact[1]}] >> 1) + {L(fact[2])}]",
-                f"if _g != {L(fact[3])}:",
-            ] + fail
+            return (
+                [f"_g = heap[(regs[{fact[1]}] >> 1) + {L(fact[2])}]"],
+                f"_g != {L(fact[3])}",
+            )
         if tag == "ub":
             idx, base, disp = fact[1], fact[2], fact[3]
-            return [
-                f"_g = heap[(regs[{base}] >> 1) + {L(disp)}]",
-                f"if not (isinstance(_g, int) and (regs[{idx}] & {_UINT32})"
-                f" < (_g & {_UINT32})):",
-            ] + fail
+            return (
+                [f"_g = heap[(regs[{base}] >> 1) + {L(disp)}]"],
+                f"not (isinstance(_g, int) and (regs[{idx}] & {_UINT32})"
+                f" < (_g & {_UINT32}))",
+            )
         if tag == "memsmi":
             base, idx, scale, disp = fact[1], fact[2], fact[3], fact[4]
             addr = f"(regs[{base}] >> 1) + {L(disp)}"
@@ -592,11 +598,20 @@ class _BlockCompiler:
                     f"(regs[{base}] >> 1) + (regs[{idx}] << {L(scale)})"
                     f" + {L(disp)}"
                 )
-            return [
-                f"_g = heap[{addr}]",
-                "if not isinstance(_g, int) or (_g & 1):",
-            ] + fail
+            return [f"_g = heap[{addr}]"], "not isinstance(_g, int) or (_g & 1)"
         raise ValueError(f"blockjit: unsupported guard fact {fact!r}")
+
+    def _guard(self, fact, bid: int, index: int) -> List[str]:
+        """One hoisted entry guard; its failure path tail-calls the
+        generic block with the entry state untouched."""
+        setup, cond = self._guard_test(fact)
+        return setup + [
+            f"if {cond}:",
+            f"    tstat[3] += {index}",
+            "    tstat[4] += 1",
+            f"    return _blk_g{bid}(regs, fregs, frame, special, heap, "
+            "cycles)",
+        ]
 
     def _emit_elided_site(self, pc: int, plan) -> List[str]:
         """The check site with its test removed.

@@ -290,6 +290,11 @@ class Executor:
         #: repro.machine.blockjit); wired by the engine from
         #: EngineConfig.typed_blocks / REPRO_TYPED_BLOCKS.
         self.typed_blocks = False
+        #: trace tier (repro.machine.tracejit): hot block chains compiled
+        #: into loop-spanning, call-chaining closures.  Wired by the
+        #: engine from EngineConfig.tracejit / REPRO_TRACEJIT; only
+        #: meaningful while ``blockjit`` is also set.
+        self.tracejit = False
         #: python-level typed-tier counters (never part of ExecStats or
         #: the simulated cycle model): [branch checks elided, condition
         #: instructions elided or folded, jsldrsmi tag tests elided,
@@ -333,6 +338,10 @@ class Executor:
             and self.trace is None
             and not code._supervise_demoted
         ):
+            if self.tracejit:
+                from .tracejit import run_traced
+
+                return run_traced(self, code, args, this_word)
             return self._run_blocks(code, args, this_word)
         return self._run_steps(code, args, this_word)
 

@@ -11,7 +11,9 @@ not) and ``--minimize`` shrinks the reproducer to minimal iterations
 and fault-plan entries.  ``inject`` is the CI/test driver for the
 divergence sentinel: it arms the ``REPRO_CHAOS_AUDIT`` corruption hook,
 runs one benchmark under audit, and asserts demotion plus bundle
-capture — printing the bundle path on its last stdout line.
+capture — printing the bundle path on its last stdout line.  With
+``--trace`` the corruption lands in a compiled *trace* shadow
+(``REPRO_CHAOS_TRACE``) instead, asserting the trace tier demotes too.
 """
 
 from __future__ import annotations
@@ -65,7 +67,16 @@ def _cmd_replay(args) -> int:
 def _cmd_inject(args) -> int:
     # Arm the sentinel and its corruption hook before any engine exists.
     os.environ["REPRO_AUDIT"] = str(args.interval)
-    os.environ["REPRO_CHAOS_AUDIT"] = "corrupt"
+    if args.trace:
+        # Corrupt a *trace* audit shadow instead of a block one, and
+        # drop the promotion thresholds so an auditable trace actually
+        # forms within a short CI run.
+        os.environ["REPRO_CHAOS_TRACE"] = "corrupt"
+        os.environ.setdefault("REPRO_TRACEJIT_BUDGET", "400")
+        os.environ.setdefault("REPRO_TRACEJIT_HOT", "8")
+        os.environ.setdefault("REPRO_TRACEJIT_ENTRY", "8")
+    else:
+        os.environ["REPRO_CHAOS_AUDIT"] = "corrupt"
     if args.bundle_dir:
         os.environ["REPRO_BUNDLE_DIR"] = args.bundle_dir
 
@@ -81,6 +92,14 @@ def _cmd_inject(args) -> int:
     sentinel = engine.executor._audit
     if sentinel is None:
         print("sentinel was not armed (blockjit off?)", file=sys.stderr)
+        return 1
+    if args.trace and sentinel.trace_audits == 0:
+        print(
+            "no trace audit ran (no auditable trace formed; pick a "
+            "loop-heavy, call-free benchmark such as MANDEL or raise "
+            "--iterations)",
+            file=sys.stderr,
+        )
         return 1
     if not sentinel.demotions:
         print(
@@ -130,6 +149,10 @@ def main(argv=None) -> int:
     cmd.add_argument("--iterations", type=int, default=12)
     cmd.add_argument("--interval", type=int, default=25,
                      help="mean audit gap in retired instructions")
+    cmd.add_argument("--trace", action="store_true",
+                     help="seed the divergence in a compiled *trace* "
+                          "shadow (REPRO_CHAOS_TRACE) instead of a fused "
+                          "block, asserting trace demotion")
     cmd.add_argument("--bundle-dir", default=None)
     cmd.set_defaults(func=_cmd_inject)
 

@@ -89,7 +89,8 @@ def _relevant_env() -> Dict[str, str]:
     """The ``REPRO_*`` knobs that shape execution, for the bundle record."""
     keep = (
         "REPRO_BLOCKJIT", "REPRO_VERIFY", "REPRO_AUDIT", "REPRO_CHAOS_AUDIT",
-        "REPRO_CHAOS_EXEC",
+        "REPRO_CHAOS_EXEC", "REPRO_TRACEJIT", "REPRO_TRACEJIT_BUDGET",
+        "REPRO_TRACEJIT_HOT", "REPRO_TRACEJIT_ENTRY", "REPRO_CHAOS_TRACE",
     )
     return {name: os.environ[name] for name in keep if name in os.environ}
 

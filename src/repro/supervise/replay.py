@@ -42,7 +42,8 @@ from .bundles import capture_bundle, list_bundles, load_bundle
 #: environment keys a replay restores from the bundle record
 _ENV_KEYS = (
     "REPRO_BLOCKJIT", "REPRO_VERIFY", "REPRO_AUDIT", "REPRO_CHAOS_AUDIT",
-    "REPRO_CHAOS_EXEC",
+    "REPRO_CHAOS_EXEC", "REPRO_TRACEJIT", "REPRO_TRACEJIT_BUDGET",
+    "REPRO_TRACEJIT_HOT", "REPRO_TRACEJIT_ENTRY", "REPRO_CHAOS_TRACE",
 )
 
 #: wall-clock watchdog for cell-failure replays (a recorded hang chaos

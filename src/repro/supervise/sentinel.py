@@ -211,6 +211,8 @@ class DivergenceSentinel:
         self.due = 0
         #: audits performed / divergences found, for tests and bundles
         self.audits = 0
+        #: of which, whole-trace audits (repro.machine.tracejit)
+        self.trace_audits = 0
         self.divergences = 0
         #: (code-name, block-id) per demotion, in discovery order
         self.demotions: List[Tuple[Optional[str], int]] = []
@@ -222,6 +224,17 @@ class DivergenceSentinel:
                 self._chaos_at = max(1, int(nth)) if nth else 1
             except ValueError:
                 self._chaos_at = 1
+        #: REPRO_CHAOS_TRACE=corrupt[:N] — same hook, for trace audits:
+        #: the Nth *trace* audit perturbs the trace probe's result so CI
+        #: can seed a trace divergence end to end.
+        chaos_trace = os.environ.get("REPRO_CHAOS_TRACE", "")
+        self._chaos_trace_at: Optional[int] = None
+        if chaos_trace.startswith("corrupt"):
+            _, _, nth = chaos_trace.partition(":")
+            try:
+                self._chaos_trace_at = max(1, int(nth)) if nth else 1
+            except ValueError:
+                self._chaos_trace_at = 1
 
     # -- schedule --------------------------------------------------------
 
@@ -354,6 +367,69 @@ class DivergenceSentinel:
             "isa": getattr(code.target, "name", str(code.target)),
             "block": bid,
             "span": [start, end],
+            "mismatch": mismatch,
+            "audit_index": self.audits,
+            "audit_interval": self.interval,
+            "chaos": chaos,
+            "entry_cycles_bits": _PACK_D(cycles).hex(),
+            "pre_state": _entry_digest(regs, fregs, frame, special, cycles),
+            "stepped_post": _state_digest(stepped),
+            "fused_post": _state_digest(fused),
+            "stepped_error": stepped.error,
+            "fused_error": fused.error,
+        })
+        return True
+
+    def audit_trace(self, ex: "Executor", code: "CodeObject",
+                    table: "BlockTable", tt, info, regs, fregs, frame,
+                    special, cycles: float) -> bool:
+        """Audit one compiled trace if eligible; True when an audit ran.
+
+        The trace probe is the trace's ``once`` variant (single chain
+        pass, generic bodies, entry-cycles ABI — the trace adds block
+        costs internally); the reference probe replays the same chain
+        through the blocks' stepped twins, stopping where control leaves
+        the chain.  Both start from the identical entry state, so the
+        comparison covers chain mechanics end to end: segment side-exit
+        placement, call-free terminator restructuring, per-block cycle
+        and predictor accounting.  Only call-free chains are auditable
+        (``TraceInfo.auditable``), the same rule call blocks follow.
+
+        On divergence the whole table is demoted — ``BlockTable.demote``
+        tears the traces down with the blocks — and a ``divergence``
+        bundle is captured with the chain recorded under ``"trace"``.
+        """
+        if not info.auditable:
+            return False
+        self.audits += 1
+        self.trace_audits += 1
+        stepped = self._shadow(ex, info.stepped_once, regs, fregs, frame,
+                               special, cycles)
+        fused = self._shadow(ex, info.once, regs, fregs, frame, special,
+                             cycles)
+        chaos = (self._chaos_trace_at is not None
+                 and self.trace_audits == self._chaos_trace_at)
+        if chaos and fused.error is None:
+            fused.regs[0] ^= 1
+        mismatch = self._compare(stepped, fused)
+        if not mismatch:
+            return True
+        self.divergences += 1
+        table.demote()
+        code._supervise_demoted = True
+        name = getattr(getattr(code, "shared", None), "name", None)
+        self.demotions.append((name, info.head))
+        start, end = table.spans[info.head]
+        capture_bundle("divergence", {
+            "code": name,
+            "isa": getattr(code.target, "name", str(code.target)),
+            "block": info.head,
+            "span": [start, end],
+            "trace": {
+                "head": info.head,
+                "chain": list(info.chain),
+                "cyclic": info.cyclic,
+            },
             "mismatch": mismatch,
             "audit_index": self.audits,
             "audit_interval": self.interval,

@@ -11,6 +11,16 @@ The per-block ``base_cost`` is the identical left-folded float the two
 executor tiers accumulate (the block's decoded cycle prefix at its last
 instruction), so summing profile costs weighted by block execution counts
 reproduces executor cycle totals exactly, branch penalties aside.
+
+As a CLI the module doubles as the trace tier's formation report::
+
+    python -m repro.uarch.blockcost FIB --chains
+
+runs one benchmark with the trace tier armed at low thresholds and
+prints the per-edge retirement histogram the chain detector counted
+plus every chain it stitched (head, blocks, cyclic/call-spanning/
+auditable flags, guards elided).  Without ``--chains`` it prints the
+static per-block cost profile of the compiled code objects.
 """
 
 from __future__ import annotations
@@ -80,3 +90,114 @@ def block_shape_summary(codes, cost_model: Optional[CostModel] = None) -> dict:
         "mean_block_len": (instructions / blocks) if blocks else 0.0,
         "static_base_cycles": base_cycles,
     }
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def _print_chains(engine) -> None:
+    tables = [
+        code._traces
+        for code in engine._code_objects
+        if code._traces is not None
+        and code._traces.executor is engine.executor
+    ]
+    if not tables:
+        print("no trace tables (trace tier off or nothing compiled)")
+        return
+    for tt in tables:
+        name = tt.code.shared.info.name or "<anonymous>"
+        state = ("disabled" if tt.disabled
+                 else "promoted" if tt.promoted else "counting")
+        print(f"== {name} [{tt.code.target.name}] — {state}, "
+              f"{tt.entries} activations counted ==")
+        if tt.edge_counts:
+            print("  edge histogram (src -> dst : retirements):")
+            ranked = sorted(tt.edge_counts.items(),
+                            key=lambda item: (-item[1], item[0]))
+            peak = ranked[0][1]
+            for (src, dst), count in ranked:
+                bar = "#" * max(1, round(40 * count / peak))
+                kind = " (back-edge)" if dst <= src else ""
+                print(f"    {src:4d} -> {dst:<4d} : {count:8d} {bar}{kind}")
+        else:
+            print("  no edges counted")
+        if not tt.traces:
+            print("  no chains formed")
+            continue
+        for info in sorted(tt.traces.values(), key=lambda t: t.head):
+            flags = []
+            if info.cyclic:
+                flags.append("cyclic")
+            if info.n_calls:
+                flags.append(f"spans {info.n_calls} call(s)")
+            if info.auditable:
+                flags.append("auditable")
+            if info.guards_elided:
+                flags.append(f"{info.guards_elided} guards elided")
+            chain = " -> ".join(str(bid) for bid in info.chain)
+            print(f"  chain @ block {info.head}: [{chain}]"
+                  + (f"  ({', '.join(flags)})" if flags else ""))
+
+
+def _print_profile(engine) -> None:
+    for code in engine._code_objects:
+        name = code.shared.info.name or "<anonymous>"
+        profile = block_profile(code)
+        print(f"== {name} [{code.target.name}] — {len(profile)} blocks ==")
+        for bid, entry in enumerate(profile):
+            print(f"  block {bid:3d} [{entry.start:4d}, {entry.end:4d})  "
+                  f"{entry.n_instr:3d} instr  base {entry.base_cost:9.2f} cyc")
+
+
+def main(argv=None) -> int:
+    import argparse
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="repro.uarch.blockcost",
+        description="block-cost profile / trace-chain formation report",
+    )
+    parser.add_argument("benchmark")
+    parser.add_argument("--chains", action="store_true",
+                        help="run with the trace tier armed and print the "
+                             "edge-frequency histogram and formed chains")
+    parser.add_argument("--iterations", type=int, default=10)
+    args = parser.parse_args(argv)
+
+    if args.chains:
+        # Low thresholds so short CLI runs promote; same knobs the
+        # chaos driver uses.  Real runs keep the defaults.
+        os.environ.setdefault("REPRO_TRACEJIT_BUDGET", "400")
+        os.environ.setdefault("REPRO_TRACEJIT_HOT", "8")
+        os.environ.setdefault("REPRO_TRACEJIT_ENTRY", "8")
+
+    from ..suite.runner import BenchmarkRunner
+    from ..suite.spec import get_benchmark
+
+    runner = BenchmarkRunner(get_benchmark(args.benchmark))
+    runner.run(iterations=args.iterations)
+    engine = runner.last_engine
+    assert engine is not None
+    if args.chains:
+        # Force promotion even if the budget did not run out, so the
+        # report always shows what the counters would stitch.
+        for code in engine._code_objects:
+            tt = code._traces
+            if tt is not None and tt.counting:
+                tt.promote()
+                tt.counting = False
+        _print_chains(engine)
+        stats = engine.trace_stats()
+        print("-- trace_stats --")
+        for key, value in stats.items():
+            print(f"  {key}: {value}")
+    else:
+        _print_profile(engine)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

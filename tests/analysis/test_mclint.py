@@ -137,3 +137,41 @@ def test_block_partition_violations_are_errors(monkeypatch):
         if d.invariant == "block-partition" and d.severity == Severity.ERROR
     ]
     assert bad, "corrupt partition produced no block-partition errors"
+
+
+@pytest.mark.parametrize("target", ["x64", "arm64", "arm64+smi"])
+def test_trace_edges_lint_clean_on_compiled_code(target):
+    """fused_block_edges — the metadata the trace tier stitches chains
+    over — agrees with the machine CFG on real compiled code."""
+    codes = _compile(HOT_LOOP, "kernel", (50,), target=target)
+    assert codes
+    for code in codes:
+        assert [
+            d for d in lint_code(code) if d.invariant == "trace-edges"
+        ] == []
+
+
+def test_trace_edge_drift_is_an_error(monkeypatch):
+    """A phantom edge (declared but absent from the CFG) and a missing
+    edge (present in the CFG but undeclared) both fail the lint: either
+    would let the trace tier stitch an illegal chain or reject a legal
+    one."""
+    import repro.analysis.mclint as mclint
+
+    codes = _compile(HOT_LOOP, "kernel", (50,), target="arm64")
+    code = codes[0]
+    true_edges = mclint.fused_block_edges(tuple(code.instrs))
+    assert true_edges, "no edges on the hot loop; test is vacuous"
+    dropped = set(list(sorted(true_edges))[:-1])  # one edge missing
+    phantom = true_edges | {(0, len(true_edges) + 7)}
+
+    for corrupt in (dropped, phantom):
+        monkeypatch.setattr(
+            mclint, "fused_block_edges", lambda instrs, c=corrupt: set(c)
+        )
+        bad = [
+            d
+            for d in lint_code(code)
+            if d.invariant == "trace-edges" and d.severity == Severity.ERROR
+        ]
+        assert bad, "edge drift produced no trace-edges errors"

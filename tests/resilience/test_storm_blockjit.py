@@ -1,9 +1,10 @@
 """Deopt-storm permanent disable × the block-compiled fast tier.
 
-A storm-disabled function must not keep any stale fused blocks alive:
-the engine drops ``code._blocks`` when it turns speculation off, and the
-function runs interpreter-only from then on with identical results to a
-never-compiled engine.
+A storm-disabled function must not keep any stale fused blocks — or
+stale compiled traces — alive: the engine drops ``code._blocks`` AND
+``code._traces`` when it turns speculation off, and the function runs
+interpreter-only from then on with identical results to a never-compiled
+engine.
 """
 
 from repro.engine import Engine, EngineConfig
@@ -11,8 +12,9 @@ from repro.engine import Engine, EngineConfig
 SOURCE = "function f(x) { return x + 1; }"
 
 
-def warmed_blockjit(calls=40, **config_kwargs):
-    engine = Engine(EngineConfig(blockjit=True, **config_kwargs))
+def warmed_blockjit(calls=40, tracejit=None, **config_kwargs):
+    engine = Engine(EngineConfig(blockjit=True, tracejit=tracejit,
+                                 **config_kwargs))
     engine.load(SOURCE)
     for _ in range(calls):
         engine.call_global("f", 1)
@@ -50,6 +52,35 @@ def test_storm_disable_invalidates_compiled_blocks():
     assert shared.code is None  # never re-tiers
 
 
+def test_storm_disable_also_drops_compiled_traces(monkeypatch):
+    """Regression: the storm strike used to drop only ``code._blocks``,
+    leaving a promoted trace table (and its anchors into the dead block
+    table) reachable through ``code._traces``."""
+    monkeypatch.setenv("REPRO_TRACEJIT_BUDGET", "20")
+    monkeypatch.setenv("REPRO_TRACEJIT_HOT", "2")
+    monkeypatch.setenv("REPRO_TRACEJIT_ENTRY", "2")
+    engine, shared = warmed_blockjit(tracejit=True)
+    last_code = None
+    for _ in range(engine.config.storm_strikes):
+        while shared.code is None and not shared.optimization_disabled:
+            engine.call_global("f", 1)
+        if shared.code is None:
+            break
+        code = shared.code
+        engine.call_global("f", 1)  # clean call: compiles blocks + traces
+        assert code._blocks is not None
+        assert code._traces is not None  # trace tier was really live
+        engine.executor.forced_deopt_trips += 1
+        assert engine.call_global("f", 1) == 2
+        last_code = code
+    assert shared.optimization_disabled
+    assert last_code is not None
+    assert last_code._blocks is None
+    assert last_code._traces is None  # stale traces are dropped too
+    for _ in range(10):
+        assert engine.call_global("f", 41) == 42
+
+
 def test_storm_disabled_function_runs_interpreter_only_and_identically():
     engine, shared = warmed_blockjit()
     while not shared.optimization_disabled:
@@ -65,7 +96,8 @@ def test_storm_disabled_function_runs_interpreter_only_and_identically():
 
 
 def test_reopt_budget_exhaustion_also_drops_blocks():
-    engine, shared = warmed_blockjit(storm_strikes=99, max_reoptimizations=2)
+    engine, shared = warmed_blockjit(storm_strikes=99, max_reoptimizations=2,
+                                     tracejit=True)
     last_code = None
     for _ in range(40):
         if shared.optimization_disabled:
@@ -76,5 +108,6 @@ def test_reopt_budget_exhaustion_also_drops_blocks():
     assert shared.optimization_disabled
     assert last_code is not None
     assert last_code._blocks is None
+    assert last_code._traces is None
     for _ in range(20):
         assert engine.call_global("f", 41) == 42

@@ -173,3 +173,83 @@ class TestSeededDivergence:
         audited, _engine, sentinel = audited_run("FIB", interval=None)
         assert sentinel is None
         assert plain.cycles == audited.cycles
+
+
+def traced_audited_run(name, interval, monkeypatch, chaos_trace=None,
+                       iterations=14):
+    """An audited run with the trace tier armed at low thresholds, so
+    auditable (call-free) traces form and the sentinel probes them."""
+    monkeypatch.setenv("REPRO_TRACEJIT_BUDGET", "400")
+    monkeypatch.setenv("REPRO_TRACEJIT_HOT", "8")
+    monkeypatch.setenv("REPRO_TRACEJIT_ENTRY", "8")
+    if chaos_trace is not None:
+        monkeypatch.setenv("REPRO_CHAOS_TRACE", chaos_trace)
+    runner = BenchmarkRunner(
+        get_benchmark(name), EngineConfig(audit=interval, tracejit=True)
+    )
+    result = runner.run(iterations=iterations)
+    engine = runner.last_engine
+    return result, engine, engine.executor._audit
+
+
+class TestTraceAudits:
+    @pytest.mark.parametrize("name", ("MANDEL", "SPECTRAL"))
+    def test_clean_run_audits_traces_without_divergence(self, name,
+                                                       monkeypatch):
+        _result, engine, sentinel = traced_audited_run(
+            name, interval=7, monkeypatch=monkeypatch
+        )
+        assert sentinel is not None
+        assert sentinel.trace_audits > 0, (
+            "no whole-trace audit ran; either no auditable trace formed "
+            "or the trace-anchor audit path is dead"
+        )
+        assert sentinel.divergences == 0
+        assert sentinel.demotions == []
+
+    def test_trace_corruption_demotes_and_keeps_running(self, monkeypatch):
+        result, engine, sentinel = traced_audited_run(
+            "MANDEL", interval=7, monkeypatch=monkeypatch,
+            chaos_trace="corrupt",
+        )
+        assert sentinel.divergences == 1
+        assert len(sentinel.demotions) == 1
+        # Demotion reroutes the whole code object: traces are disabled
+        # along with the fused blocks they chain over.
+        demoted = [
+            shared.code
+            for shared in engine.functions
+            if shared.code is not None and shared.code._supervise_demoted
+        ]
+        assert len(demoted) == 1
+        tt = demoted[0]._traces
+        assert tt is not None and tt.disabled
+        assert all(anchor is None for anchor in tt.anchors)
+        # The run survived and still computed the right answer.
+        plain = BenchmarkRunner(get_benchmark("MANDEL"), EngineConfig()).run(
+            iterations=14
+        )
+        assert result.result == plain.result
+
+    def test_trace_divergence_bundle_records_the_chain(self, monkeypatch,
+                                                       tmp_path):
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path))
+        from repro.supervise.bundles import list_bundles, load_bundle
+
+        traced_audited_run("MANDEL", interval=7, monkeypatch=monkeypatch,
+                           chaos_trace="corrupt")
+        bundles = [
+            p for p in list_bundles(tmp_path)
+            if p.name.startswith("divergence-")
+        ]
+        assert len(bundles) == 1
+        record = load_bundle(bundles[0])
+        assert record["kind"] == "divergence"
+        assert record["mismatch"]
+        trace = record["trace"]
+        assert trace["head"] == record["block"]
+        assert trace["head"] in trace["chain"]
+        assert isinstance(trace["cyclic"], bool)
+        # Replays restore the trace knobs from the recorded env.
+        assert record["env"]["REPRO_CHAOS_TRACE"] == "corrupt"
+        assert record["env"]["REPRO_TRACEJIT_HOT"] == "8"
