@@ -60,6 +60,15 @@ Engine-level assumption made explicit: bounds-checked indices are
 produced by overflow-checked SMI arithmetic, so the check's unsigned
 32-bit compare is exact for them — the same assumption the emitted
 bounds check itself makes.
+
+The lattice has a second consumer since PR 8: the deoptless dispatcher
+(:mod:`repro.machine.continuations`) keys its specialized continuations
+by the *negation* of the facts proved here (``"!" + render_fact``), and
+pre-seeds its variant table from every ``TypedBlockPlan``'s fact and
+hoisted guards — each names a type-state whose failure the dispatcher
+may observe, so the first real dispatch into one is a warm seeded hit.
+The sentinel's dispatch audit re-evaluates the same facts dynamically
+(:func:`repro.machine.continuations.fact_holds`).
 """
 
 from __future__ import annotations

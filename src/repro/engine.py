@@ -38,6 +38,16 @@ from .jit.deopt import (
 )
 from .lang.errors import JSTypeError
 from .machine.blockjit import default_blockjit, default_typed_blocks
+from .machine.continuations import (
+    RUNG_CLASSIC,
+    RUNG_INTERP,
+    RUNG_NAMES,
+    ContinuationTable,
+    continuation_token,
+    default_continuations,
+    dispatch_fact,
+    resolve_redispatch_budget,
+)
 from .machine.executor import CostModel, Executor
 from .regex.engine import Regex
 from .isa.base import TargetISA, resolve_target
@@ -102,6 +112,17 @@ class EngineConfig:
     #: step loop by construction; requires ``blockjit``.  None defers to
     #: REPRO_TRACEJIT (default on).
     tracejit: Optional[bool] = None
+    #: Deoptless continuation dispatch (repro.machine.continuations):
+    #: a failing check re-dispatches into a variant specialized for the
+    #: observed type-state (the guard's fact negated, seeded from the
+    #: typeflow lattice) instead of bailing out, and storms descend a
+    #: per-rung degradation ladder instead of tripping one permanent
+    #: disable bit.  None defers to REPRO_CONTINUATIONS (default on).
+    continuations: Optional[bool] = None
+    #: cycle budget of the re-dispatch breaker: a consecutive-dispatch
+    #: streak exceeding this falls back to the classic bailout path
+    #: (livelock-freedom).  None defers to REPRO_CONT_BUDGET (2000).
+    redispatch_budget: Optional[float] = None
     #: Online divergence sentinel (repro.supervise.sentinel): on a
     #: deterministic schedule, shadow-execute fused blocks against their
     #: stepped twins and demote a diverging code object to the step tier.
@@ -125,6 +146,8 @@ class SharedFunction:
         "reopt_count",
         "deopts_by_kind",
         "optimization_disabled",
+        "tier_rung",
+        "rung_strikes",
         "native_impl",
         "name",
         "closure_word",
@@ -155,6 +178,15 @@ class SharedFunction:
         #: counters; soft deopts are not strikes)
         self.deopts_by_kind: Dict[CheckKind, int] = {}
         self.optimization_disabled = False
+        #: degradation-ladder rung (repro.machine.continuations.RUNG_*);
+        #: each storm or budget exhaustion descends ONE rung, and only
+        #: the final rung sets ``optimization_disabled``.
+        self.tier_rung = 0
+        #: per-rung strike counters keyed (check kind name, type-state
+        #: token); cleared on every descent so each rung re-earns its
+        #: strikes — a storm on one type-state cannot carry strikes
+        #: against states that never tripped.
+        self.rung_strikes: Dict[Tuple[str, str], int] = {}
         self.native_impl = native_impl
         self.name = name or (info.name if info is not None else "<native>")
         self.closure_word: Optional[int] = None
@@ -220,6 +252,20 @@ class Engine:
         audit_interval = resolve_audit_interval(self.config.audit)
         if audit_interval is not None and self.executor.blockjit:
             self.executor._audit = DivergenceSentinel(audit_interval)
+        continuations_on = (
+            default_continuations()
+            if self.config.continuations is None
+            else bool(self.config.continuations)
+        )
+        self.continuations: Optional[ContinuationTable] = (
+            ContinuationTable(
+                resolve_redispatch_budget()
+                if self.config.redispatch_budget is None
+                else float(self.config.redispatch_budget)
+            )
+            if continuations_on and self.config.enable_optimizer
+            else None
+        )
         self.interpreter = Interpreter(self)
         self.functions: List[SharedFunction] = []
         self.random = builtin_impls.DeterministicRandom(self.config.random_seed)
@@ -256,8 +302,18 @@ class Engine:
         #: engine-wide deopt tally per check kind (eager and soft)
         self.deopts_by_kind: Dict[CheckKind, int] = {}
         self.storms_detected = 0
-        #: (function name, check kind name) pairs disabled by the storm guard
+        #: (function name, check kind name) pairs permanently disabled by
+        #: a storm-caused descent into the ladder's interpreter rung
         self.storm_disabled: List[tuple] = []
+        #: re-optimization-budget exhaustions (one per budget-caused
+        #: ladder descent) — surfaced separately from storms so the
+        #: chaos sweep can gate on each
+        self.budget_exhaustions = 0
+        #: (function name, check kind name) pairs permanently disabled by
+        #: a budget-caused descent into the interpreter rung
+        self.budget_disabled: List[tuple] = []
+        #: (function, kind, cause, rung name) per degradation-ladder step
+        self.ladder_descents: List[tuple] = []
         self.compilations = 0
         self.current_iteration = -1
         self._code_objects: List[CodeObject] = []
@@ -446,9 +502,16 @@ class Engine:
             while len(padded) < len(shared.info.params):
                 padded.append(self.heap.undefined)
             try:
-                return self.executor.run(code, padded, this_word)
+                result = self.executor.run(code, padded, this_word)
             except DeoptSignal as signal:
                 return self._deoptimize(shared, code, signal)
+            # A clean machine exit ends any consecutive-dispatch streak:
+            # the re-dispatch breaker only counts cycles between clean
+            # exits, so productive code never accumulates toward it.
+            cont = self.continuations
+            if cont is not None and cont.streaks:
+                cont.streaks.pop(index, None)
+            return result
         return self.interpreter.run(shared, this_word, args)
 
     def construct(
@@ -490,6 +553,12 @@ class Engine:
         # function stuck in a deopt/re-opt cycle spends geometrically less of
         # its life being recompiled (V8's deopt-loop damping).
         threshold_scale = 1 << min(shared.reopt_count, self.config.backoff_cap)
+        # Per-rung backoff: each degradation-ladder descent doubles the
+        # budget again on top of the per-reopt scale, so a function that
+        # has already burned through whole tiers re-earns trust slower
+        # the further down the ladder it sits (rung 0 is unchanged).
+        if shared.tier_rung:
+            threshold_scale <<= min(shared.tier_rung, self.config.backoff_cap)
         if (
             shared.invocation_count < self.config.tierup_invocations * threshold_scale
             and shared.backedge_count < self.config.tierup_backedges * threshold_scale
@@ -520,6 +589,11 @@ class Engine:
             assert_lint_clean(code)
         shared.code = code
         self.compilations += 1
+        # Stamp the ladder rung the function sat on at compile time: the
+        # executor gates trace promotion / typed variants / fused blocks
+        # on it (a descent discards the code, so the stamp never goes
+        # stale on a live object).
+        code._tier_rung = shared.tier_rung
         code.serial = len(self._code_objects)
         self._code_objects.append(code)
         self.charge(code.compile_cycles, "compile")
@@ -560,40 +634,133 @@ class Engine:
         self.check_trips[trip_key] = self.check_trips.get(trip_key, 0) + 1
         shared.deopt_count += 1
         self.deopts_by_kind[point.kind] = self.deopts_by_kind.get(point.kind, 0) + 1
-        # Discard the code; re-optimization is allowed with an exponentially
-        # raised threshold until either budget is exhausted (the total
-        # re-optimization budget, or the per-kind storm guard below).
+        token = continuation_token(code, signal.check_id)
+
+        # -- deoptless path: dispatch a specialized continuation ---------
+        # Instead of abandoning optimized execution, re-dispatch into the
+        # variant keyed by the type-state just observed (the failing
+        # guard's fact, negated).  The code object stays installed, no
+        # strike is recorded and the tier-up counters are not reset —
+        # the function keeps its optimized life.  Reached with identical
+        # state from all executor tiers, so the decision (and its cycle
+        # charges) is tier-invariant by construction.
+        cont = self.continuations
+        if cont is not None and self._may_dispatch(shared, code, point,
+                                                   signal.check_id, regs):
+            cost = cont.dispatch_cost(shared.index, point.bytecode_pc, token)
+            self.charge(cost, "deopt")
+            before = self.total_cycles
+            result = self.interpreter.run_from(
+                shared, interp_regs, point.bytecode_pc, this_word
+            )
+            cont.note_dispatch(shared.index, cost + self.total_cycles - before)
+            if cont.loop_armed > 0:
+                # REDISPATCH_LOOP fault: re-arm the flipped guard so the
+                # next machine entry trips again — the breaker, not the
+                # fault running dry, must terminate the loop.
+                cont.loop_armed -= 1
+                self.executor.forced_deopt_trips += 1
+            return result
+
+        # -- classic bailout: discard the code and strike the ladder -----
+        # Re-optimization is allowed with an exponentially raised
+        # threshold; a per-(kind, type-state) storm or an exhausted
+        # re-optimization budget descends ONE degradation-ladder rung.
         if shared.code is code:
             shared.code = None
         if category_of(point.kind) != DeoptCategory.SOFT:
-            strikes = shared.deopts_by_kind.get(point.kind, 0) + 1
-            shared.deopts_by_kind[point.kind] = strikes
+            strike_key = (point.kind.name, token)
+            strikes = shared.rung_strikes.get(strike_key, 0) + 1
+            shared.rung_strikes[strike_key] = strikes
+            shared.deopts_by_kind[point.kind] = (
+                shared.deopts_by_kind.get(point.kind, 0) + 1
+            )
             shared.reopt_count += 1
             if strikes >= self.config.storm_strikes:
                 # Deopt storm: the same speculation keeps failing in this
-                # function.  Stop speculating on it permanently rather than
-                # thrashing through compile/deopt cycles.
-                if not shared.optimization_disabled:
-                    shared.optimization_disabled = True
-                    self.storms_detected += 1
-                    self.storm_disabled.append((shared.name, point.kind.name))
-                    # Drop the compiled-block table with the code: a
-                    # permanently disabled function runs interpreter-only,
-                    # and a stale table must not be revived if the same
-                    # (discarded) code object ever leaks back in.  Traces
-                    # are chains over those very blocks, so they go too.
-                    code._blocks = None
-                    code._traces = None
+                # function.  Step down one rung instead of thrashing
+                # through compile/deopt cycles (or giving up wholesale).
+                self._descend_ladder(shared, code, point, token, "storm")
             elif shared.reopt_count > self.config.max_reoptimizations:
-                shared.optimization_disabled = True
-                code._blocks = None
-                code._traces = None
+                self._descend_ladder(shared, code, point, token, "budget")
         shared.invocation_count = 0
         shared.backedge_count = 0
+        if cont is not None:
+            # The bailout ends any dispatch streak: the next optimized
+            # entry starts with a fresh re-dispatch budget.
+            cont.reset_streak(shared.index)
         self.charge(250, "deopt")  # stack-frame conversion cost
         return self.interpreter.run_from(
             shared, interp_regs, point.bytecode_pc, this_word
         )
+
+    def _may_dispatch(self, shared: SharedFunction, code: CodeObject,
+                      point, check_id: int, regs) -> bool:
+        """Decide whether this deopt dispatches to a continuation."""
+        cont = self.continuations
+        assert cont is not None
+        if (
+            shared.tier_rung >= RUNG_CLASSIC
+            or shared.optimization_disabled
+            or shared.index in cont.demoted
+        ):
+            return False
+        if not cont.allow(shared.index):
+            # Cycle-budget breaker: the consecutive-dispatch streak spent
+            # its budget without a clean machine exit — refuse further
+            # dispatch so the classic path (which always terminates)
+            # takes over.  This is the livelock-freedom guarantee.
+            cont.breaker_trips += 1
+            return False
+        cont.seed(shared.index, code)
+        audit = self.executor._audit
+        if audit is not None and audit.audit_dispatch(
+            self, shared, code, point, check_id,
+            dispatch_fact(code, check_id), regs,
+        ):
+            # Spurious dispatch (the guard's fact still holds on the
+            # observed state): the sentinel poisoned this function's
+            # continuations and captured a bundle; fall back to the
+            # always-safe classic path.
+            return False
+        return True
+
+    def _descend_ladder(self, shared: SharedFunction, code: CodeObject,
+                        point, token: str, cause: str) -> None:
+        """One graceful step down the degradation ladder.
+
+        Drops ALL tier artifacts of the tripping code object (fused
+        blocks, traces chained over them, and the cached typeflow result
+        the typed variants compile from), evicts only the continuations
+        of the storming type-state, resets the rung's strike counters
+        and the re-optimization budget, and — only on reaching the final
+        rung — disables optimization permanently.
+        """
+        shared.tier_rung = min(shared.tier_rung + 1, RUNG_INTERP)
+        shared.rung_strikes.clear()
+        shared.reopt_count = 0
+        code._blocks = None
+        code._traces = None
+        code._typeflow = None
+        cont = self.continuations
+        if cont is not None:
+            cont.evict_token(shared.index, token)
+        if cause == "storm":
+            self.storms_detected += 1
+        else:
+            self.budget_exhaustions += 1
+        self.ladder_descents.append(
+            (shared.name, point.kind.name, cause, RUNG_NAMES[shared.tier_rung])
+        )
+        if shared.tier_rung >= RUNG_INTERP:
+            shared.optimization_disabled = True
+            record = (shared.name, point.kind.name)
+            if cause == "storm":
+                self.storm_disabled.append(record)
+            else:
+                self.budget_disabled.append(record)
+            if cont is not None:
+                cont.evict_function(shared.index)
 
     def typed_check_stats(self) -> Dict[str, int]:
         """Typed-block-tier elision counters (repro.analysis.typeflow).
@@ -641,12 +808,28 @@ class Engine:
         for kind, count in self.deopts_by_kind.items():
             bucket = soft if category_of(kind) == DeoptCategory.SOFT else eager
             bucket[kind.name] = count
+        cont = self.continuations
+        cont_stats = cont.stats() if cont is not None else {}
         return {
             "eager_deopts_by_kind": dict(sorted(eager.items())),
             "soft_deopts_by_kind": dict(sorted(soft.items())),
             "lazy_deopts": self.lazy_deopts,
             "storms_detected": self.storms_detected,
             "storm_disabled": list(self.storm_disabled),
+            "budget_exhaustions": self.budget_exhaustions,
+            "budget_disabled": list(self.budget_disabled),
+            "ladder_descents": list(self.ladder_descents),
+            "tier_rungs": {
+                f.name: RUNG_NAMES[f.tier_rung]
+                for f in self.functions
+                if f.tier_rung > 0
+            },
+            "continuation_dispatches": cont_stats.get("dispatches", 0),
+            "continuation_compiles": cont_stats.get("lazy_compiles", 0),
+            "continuation_seeded_hits": cont_stats.get("seeded_hits", 0),
+            "continuation_breaker_trips": cont_stats.get("breaker_trips", 0),
+            "continuation_evictions": cont_stats.get("evictions", 0),
+            "continuation_stats": cont_stats,
             "max_reopt_count": max(
                 (f.reopt_count for f in self.functions), default=0
             ),

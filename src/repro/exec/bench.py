@@ -182,6 +182,56 @@ def executor_section(iterations: int = 20, warmup: int = 10,
     return section
 
 
+def storm_section(iterations: int = 30) -> Dict[str, object]:
+    """Deoptless dispatch vs. classic bailout under a deopt storm.
+
+    Runs FIB under a TRIP_CHECK-heavy fault plan (a forced guard trip
+    every other iteration) twice: with continuation dispatch on (the
+    default) and with ``EngineConfig(continuations=False)``, which takes
+    the classic discard-recompile-backoff path on every trip.  The
+    numbers compared are **simulated cycles** — the engine's own cost
+    model — not host wall time: staying on optimized code and charging
+    ``DISPATCH_CYCLES`` per trip must beat falling back to the
+    interpreter while the exponential re-tier backoff climbs.  CI's
+    perf-smoke job gates on ``dispatch_speedup > 1`` with
+    ``dispatches > 0``.
+    """
+    from ..resilience.faults import Fault, FaultInjector, FaultKind, FaultPlan
+    from ..suite.runner import BenchmarkRunner, NoiseModel
+
+    plan = FaultPlan("FIB", 0, tuple(
+        Fault(i, FaultKind.TRIP_CHECK) for i in range(4, iterations, 2)
+    ))
+    section: Dict[str, object] = {
+        "benchmark": "FIB",
+        "iterations": iterations,
+        "forced_trips": len(plan.faults),
+    }
+    for label, config in (
+        ("dispatch", EngineConfig()),
+        ("classic", EngineConfig(continuations=False)),
+    ):
+        runner = BenchmarkRunner(get_benchmark("FIB"), config,
+                                 NoiseModel(enabled=False))
+        result = runner.run(iterations=iterations,
+                            injector=FaultInjector(plan))
+        engine = runner.last_engine
+        assert engine is not None
+        stats = engine.resilience_stats()
+        section[label] = {
+            "sim_cycles": round(result.total_cycles, 1),
+            "dispatches": stats["continuation_dispatches"],
+            "storms_detected": stats["storms_detected"],
+            "ladder_descents": len(stats["ladder_descents"]),  # type: ignore[arg-type]
+        }
+    dispatch = section["dispatch"]["sim_cycles"]  # type: ignore[index]
+    classic = section["classic"]["sim_cycles"]  # type: ignore[index]
+    section["dispatch_speedup"] = (
+        round(classic / dispatch, 3) if dispatch else 0.0
+    )
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4)
@@ -253,6 +303,15 @@ def main(argv=None) -> int:
     print(f"  executor audit: {executor['audit']['instructions_per_wall_s']:>14,.0f}"
           f" instr/s ({executor['audit_overhead']}x trace wall, "
           f"{executor['audit']['audits']} audits)")
+
+    storm = storm_section()
+    payload["storm"] = storm
+    print(f"  storm cell ({storm['benchmark']}, {storm['forced_trips']} "
+          f"forced trips): dispatch {storm['dispatch']['sim_cycles']:,.0f} "
+          f"sim-cycles ({storm['dispatch']['dispatches']} dispatches) vs "
+          f"classic {storm['classic']['sim_cycles']:,.0f} "
+          f"({storm['classic']['ladder_descents']} descents) -> "
+          f"{storm['dispatch_speedup']}x")
 
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     if args.section == "executor":

@@ -419,7 +419,14 @@ class _BlockCompiler:
             for _start, end in table.spans
         ]
         self.plans: Dict[int, object] = {}
-        if getattr(self.executor, "typed_blocks", False) and not self.flags_live:
+        if (
+            getattr(self.executor, "typed_blocks", False)
+            and not self.flags_live
+            # Typed variants are a privilege of the top two ladder rungs
+            # (repro.machine.continuations): a function demoted to
+            # RUNG_GENERIC or below compiles generic fused blocks only.
+            and getattr(self.code, "_tier_rung", 0) < 2
+        ):
             # Imported lazily: typeflow itself imports block_spans from
             # this module at load time.
             from ..analysis.typeflow import typed_plans

@@ -333,12 +333,16 @@ class Executor:
         (:mod:`repro.supervise.sentinel`) stays on the step tier for the
         rest of the process.
         """
+        rung = code._tier_rung
         if (
             self.blockjit
             and self.trace is None
             and not code._supervise_demoted
+            and rung < 4  # continuations.RUNG_STEPPED: step loop only
         ):
-            if self.tracejit:
+            # Trace promotion is a rung-0 privilege: the first ladder
+            # descent (continuations.RUNG_NOTRACE) already drops it.
+            if self.tracejit and rung == 0:
                 from .tracejit import run_traced
 
                 return run_traced(self, code, args, this_word)

@@ -46,6 +46,13 @@ the whole table — blocks *and* traces — on any mismatch.  Traces whose
 chain spans a call are not auditable (same rule as call blocks), and a
 demoted or storm-disabled code object drops its traces with its blocks.
 
+Degradation ladder (PR 8, :mod:`repro.machine.continuations`): the
+trace tier only runs at the ladder's full rung — the executor routes
+``code._tier_rung >= 1`` ("no-trace" and below) straight to the block
+or step driver, and a rung descent drops ``code._traces`` with the
+blocks, so a storming function sheds this tier first instead of losing
+everything at once.
+
 ``REPRO_TRACEJIT=0`` / ``EngineConfig(tracejit=False)`` falls back to
 the two-tier block executor.  ``REPRO_TRACEJIT_BUDGET`` (edge events
 before promotion), ``REPRO_TRACEJIT_HOT`` (edge heat threshold) and

@@ -36,6 +36,7 @@ def _format_row(out: ChaosOutcome) -> str:
     return (
         f"{out.benchmark:<16} {out.target:<6} {verdict:<5} "
         f"eager={out.eager_deopts:<3} lazy={out.lazy_deopts:<3} "
+        f"disp={out.continuation_dispatches:<3} "
         f"storms={out.storms_detected} reopt<={out.max_reopt_count} "
         f"faults={len(out.faults_applied)}"
     )

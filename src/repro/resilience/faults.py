@@ -35,6 +35,23 @@ run and a pure-interpreter run under the same plan.  The taxonomy:
     back to direct invalidation when code has no map dependencies):
     assumptions die while code is off-stack, forcing lazy deopts at the
     next invocation.  No-op in an interpreter-only engine.
+``CONTINUATION_FLIP``
+    Arm one or two forced guard flips at dispatch points: each lands as
+    a spurious deopt that the deoptless tier re-dispatches into a
+    specialized continuation (repro.machine.continuations), exercising
+    the OSR state transfer instead of the bailout path.  Equivalent to
+    ``TRIP_CHECK`` when continuations are off.
+``POISON_VARIANT``
+    Poison the next few continuation-variant lookups: the cached variant
+    is treated as lost and lazily recompiled mid-dispatch.  The dispatch
+    still succeeds — only the lookup/compile machinery is stressed.
+    No-op when continuations are off.
+``REDISPATCH_LOOP``
+    Arm a forced re-dispatch loop: after every dispatched continuation
+    the same guard is flipped again, so dispatches chain until the
+    cycle-budget breaker refuses further re-dispatch and the classic
+    bailout path terminates the loop (the livelock-freedom proof).
+    Equivalent to ``TRIP_CHECK`` when continuations are off.
 """
 
 from __future__ import annotations
@@ -61,6 +78,9 @@ class FaultKind(Enum):
     ELEMENTS_TRANSITION = "elements-transition"
     POLY_CALL = "poly-call"
     INVALIDATE_CODE = "invalidate-code"
+    CONTINUATION_FLIP = "continuation-flip"
+    POISON_VARIANT = "poison-variant-lookup"
+    REDISPATCH_LOOP = "redispatch-loop"
 
 
 @dataclass(frozen=True)
@@ -109,6 +129,9 @@ def plan_for(benchmark: str, seed: int, iterations: int) -> FaultPlan:
         FaultKind.ELEMENTS_TRANSITION,
         FaultKind.POLY_CALL,
         FaultKind.INVALIDATE_CODE,
+        FaultKind.CONTINUATION_FLIP,
+        FaultKind.POISON_VARIANT,
+        FaultKind.REDISPATCH_LOOP,
     ]
     for salt in range(rng.randint(2, 4)):
         kind = rng.choice(others)
@@ -159,6 +182,9 @@ class FaultInjector:
             FaultKind.ELEMENTS_TRANSITION: self._elements_transition,
             FaultKind.POLY_CALL: self._poly_call,
             FaultKind.INVALIDATE_CODE: self._invalidate_code,
+            FaultKind.CONTINUATION_FLIP: self._continuation_flip,
+            FaultKind.POISON_VARIANT: self._poison_variant,
+            FaultKind.REDISPATCH_LOOP: self._redispatch_loop,
         }[fault.kind]
         return handler(engine, fault)
 
@@ -175,6 +201,31 @@ class FaultInjector:
     def _trip_check(self, engine, fault: Fault) -> str:
         engine.executor.forced_deopt_trips += 1
         return "armed 1 forced deopt-branch trip"
+
+    def _continuation_flip(self, engine, fault: Fault) -> str:
+        trips = 1 + self._rng(fault).randrange(2)
+        engine.executor.forced_deopt_trips += trips
+        return f"armed {trips} forced guard flip(s) at dispatch points"
+
+    def _poison_variant(self, engine, fault: Fault) -> str:
+        table = getattr(engine, "continuations", None)
+        if table is None:
+            return "no-op (continuation dispatch off)"
+        misses = 1 + self._rng(fault).randrange(3)
+        table.poison_misses += misses
+        return f"poisoned the next {misses} continuation-variant lookup(s)"
+
+    def _redispatch_loop(self, engine, fault: Fault) -> str:
+        table = getattr(engine, "continuations", None)
+        engine.executor.forced_deopt_trips += 1
+        if table is None:
+            return "armed 1 forced trip (continuation dispatch off)"
+        rearms = 6 + self._rng(fault).randrange(6)
+        table.loop_armed += rearms
+        return (
+            f"armed a forced re-dispatch loop ({rearms} guard re-arms; "
+            "the cycle-budget breaker must terminate it)"
+        )
 
     def _box_smi_global(self, engine, fault: Fault) -> str:
         candidates = self._globals_of_type(

@@ -121,6 +121,9 @@ class ChaosOutcome:
     lazy_deopts: int
     storms_detected: int
     max_reopt_count: int
+    #: deoptless re-dispatches (repro.machine.continuations) — trips the
+    #: engine absorbed without abandoning optimized execution
+    continuation_dispatches: int = 0
     faults_applied: List[Tuple[int, str, str]] = field(default_factory=list)
     mismatches: List[str] = field(default_factory=list)
     error: Optional[str] = None
@@ -250,6 +253,9 @@ def differential_run(
         lazy_deopts=opt_engine.lazy_deopts,
         storms_detected=opt_engine.storms_detected,
         max_reopt_count=int(stats["max_reopt_count"]),  # type: ignore[arg-type]
+        continuation_dispatches=int(
+            stats["continuation_dispatches"]  # type: ignore[arg-type]
+        ),
         faults_applied=list(injector.applied),
         mismatches=mismatches,
         resilience=stats,

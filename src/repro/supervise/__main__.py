@@ -14,6 +14,12 @@ runs one benchmark under audit, and asserts demotion plus bundle
 capture — printing the bundle path on its last stdout line.  With
 ``--trace`` the corruption lands in a compiled *trace* shadow
 (``REPRO_CHAOS_TRACE``) instead, asserting the trace tier demotes too.
+With ``--continuation`` the chaos lands in a *continuation dispatch*
+audit (``REPRO_CHAOS_CONT``): the run executes under its canonical
+fault plan so deopts actually dispatch, the Nth dispatch audit is
+forced to report the guard fact as still holding, and the sentinel
+must refuse it, poison the function's continuations and capture a
+``continuation-divergence`` bundle.
 """
 
 from __future__ import annotations
@@ -75,6 +81,8 @@ def _cmd_inject(args) -> int:
         os.environ.setdefault("REPRO_TRACEJIT_BUDGET", "400")
         os.environ.setdefault("REPRO_TRACEJIT_HOT", "8")
         os.environ.setdefault("REPRO_TRACEJIT_ENTRY", "8")
+    elif args.continuation:
+        os.environ["REPRO_CHAOS_CONT"] = "spurious"
     else:
         os.environ["REPRO_CHAOS_AUDIT"] = "corrupt"
     if args.bundle_dir:
@@ -84,15 +92,60 @@ def _cmd_inject(args) -> int:
     from ..suite.runner import BenchmarkRunner, NoiseModel
     from ..suite.spec import get_benchmark
 
+    injector = None
+    if args.continuation:
+        # Continuation audits only run when a deopt is about to
+        # dispatch; the benchmark's canonical fault plan forces trips.
+        from ..resilience.faults import FaultInjector, plan_for
+
+        injector = FaultInjector(
+            plan_for(args.benchmark, 0, args.iterations)
+        )
+
     before = set(list_bundles(resolved_bundle_dir()))
     runner = BenchmarkRunner(get_benchmark(args.benchmark))
-    runner.run(iterations=args.iterations)
+    runner.run(iterations=args.iterations, injector=injector)
     engine = runner.last_engine
     assert engine is not None
     sentinel = engine.executor._audit
     if sentinel is None:
         print("sentinel was not armed (blockjit off?)", file=sys.stderr)
         return 1
+    if args.continuation:
+        if sentinel.cont_audits == 0:
+            print(
+                "no continuation dispatch was audited (no deopt reached "
+                "the dispatch path; raise --iterations)",
+                file=sys.stderr,
+            )
+            return 1
+        if not sentinel.cont_demoted:
+            print(
+                f"chaos did not force a spurious dispatch "
+                f"({sentinel.cont_audits} dispatch audits ran)",
+                file=sys.stderr,
+            )
+            return 1
+        fresh = [
+            path for path in list_bundles(resolved_bundle_dir())
+            if path not in before
+            and path.name.startswith("continuation-divergence-")
+        ]
+        if not fresh:
+            print(
+                "spurious dispatch was refused but no "
+                "continuation-divergence bundle was captured",
+                file=sys.stderr,
+            )
+            return 1
+        for name, pc in sentinel.cont_demoted:
+            print(
+                f"refused spurious dispatch in {name or '<anonymous>'} "
+                f"at bytecode pc {pc}; continuations poisoned",
+                file=sys.stderr,
+            )
+        print(fresh[-1])
+        return 0
     if args.trace and sentinel.trace_audits == 0:
         print(
             "no trace audit ran (no auditable trace formed; pick a "
@@ -153,6 +206,11 @@ def main(argv=None) -> int:
                      help="seed the divergence in a compiled *trace* "
                           "shadow (REPRO_CHAOS_TRACE) instead of a fused "
                           "block, asserting trace demotion")
+    cmd.add_argument("--continuation", action="store_true",
+                     help="seed a spurious continuation dispatch "
+                          "(REPRO_CHAOS_CONT) under the benchmark's "
+                          "canonical fault plan, asserting refusal, "
+                          "poisoning and bundle capture")
     cmd.add_argument("--bundle-dir", default=None)
     cmd.set_defaults(func=_cmd_inject)
 

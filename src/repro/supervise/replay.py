@@ -10,6 +10,10 @@ same failure happens again:
   interval (and chaos hook, if one seeded the divergence), capturing
   bundles into a scratch directory; reproduced iff a divergence bundle
   for the same code object, block and mismatch set appears.
+* ``continuation-divergence`` — re-run the benchmark under the recorded
+  fault plan with the recorded audit environment (``REPRO_AUDIT`` /
+  ``REPRO_CHAOS_CONT``); reproduced iff a spurious continuation
+  dispatch is refused again at the same code object, check and fact.
 * ``engine-exception`` — re-run the benchmark under the recorded fault
   plan; reproduced iff the same exception type escapes.
 * ``oracle-failure`` — re-run :func:`repro.resilience.oracle.
@@ -44,6 +48,7 @@ _ENV_KEYS = (
     "REPRO_BLOCKJIT", "REPRO_VERIFY", "REPRO_AUDIT", "REPRO_CHAOS_AUDIT",
     "REPRO_CHAOS_EXEC", "REPRO_TRACEJIT", "REPRO_TRACEJIT_BUDGET",
     "REPRO_TRACEJIT_HOT", "REPRO_TRACEJIT_ENTRY", "REPRO_CHAOS_TRACE",
+    "REPRO_CONTINUATIONS", "REPRO_CONT_BUDGET", "REPRO_CHAOS_CONT",
 )
 
 #: wall-clock watchdog for cell-failure replays (a recorded hang chaos
@@ -186,6 +191,35 @@ def _reproduce_divergence(
             if _same_divergence(record, candidate):
                 return True, candidate
     return False, None
+
+
+def _same_cont_divergence(
+    original: Dict[str, object], candidate: Dict[str, object]
+) -> bool:
+    if candidate.get("kind") != "continuation-divergence":
+        return False
+    return all(
+        candidate.get(key) == original.get(key)
+        for key in ("code", "check_id", "bytecode_pc", "fact")
+    )
+
+
+def _reproduce_cont_divergence(
+    record: Dict[str, object], iterations: int, faults
+) -> bool:
+    plan = _rebuild_plan(record)
+    if faults is not None:
+        plan = _plan_with(plan, faults)
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as scratch:
+        # The recorded env carries REPRO_AUDIT (the sentinel must be
+        # armed for dispatch audits to run) and REPRO_CHAOS_CONT (when
+        # chaos seeded the spurious trip in the first place).
+        with _replay_env(record, {"REPRO_BUNDLE_DIR": scratch}):
+            _run_benchmark(record, iterations, plan)
+        for path in list_bundles(Path(scratch)):
+            if _same_cont_divergence(record, load_bundle(path)):
+                return True
+    return False
 
 
 def _reproduce_engine_exception(
@@ -351,6 +385,21 @@ def replay_bundle(
             reproduced,
             "divergence recurred on the recorded audit schedule"
             if reproduced else "no matching divergence was observed",
+        )
+    elif kind == "continuation-divergence":
+        def reproduce(iterations, faults):
+            return _reproduce_cont_divergence(record, iterations, faults)
+
+        reproduced = reproduce(
+            int(record.get("iterations", 1)),  # type: ignore[arg-type]
+            None,
+        )
+        result = ReplayResult(
+            reproduced,
+            "spurious continuation dispatch was refused again at the "
+            "recorded check"
+            if reproduced else "no matching continuation divergence was "
+            "observed",
         )
     elif kind == "engine-exception":
         def reproduce(iterations, faults):

@@ -235,6 +235,28 @@ class DivergenceSentinel:
                 self._chaos_trace_at = max(1, int(nth)) if nth else 1
             except ValueError:
                 self._chaos_trace_at = 1
+        #: continuation-dispatch audits (repro.machine.continuations):
+        #: before a deopt re-dispatch the engine asks the sentinel to
+        #: re-evaluate the failing guard's fact against the live register
+        #: file.  A guard that reports a trip while its fact still holds
+        #: is *spurious* — the dispatch is refused, the function's
+        #: variants are poisoned, and a ``continuation-divergence``
+        #: bundle is captured.
+        self.cont_audits = 0
+        self.cont_demotions = 0
+        #: (code-name, bytecode-pc) per poisoned dispatch site
+        self.cont_demoted: List[Tuple[Optional[str], int]] = []
+        #: REPRO_CHAOS_CONT=spurious[:N] — the Nth continuation audit
+        #: reports the guard fact as still holding, deterministically
+        #: seeding a spurious-trip demotion for CI to catch end to end.
+        chaos_cont = os.environ.get("REPRO_CHAOS_CONT", "")
+        self._chaos_cont_at: Optional[int] = None
+        if chaos_cont.startswith("spurious"):
+            _, _, nth = chaos_cont.partition(":")
+            try:
+                self._chaos_cont_at = max(1, int(nth)) if nth else 1
+            except ValueError:
+                self._chaos_cont_at = 1
 
     # -- schedule --------------------------------------------------------
 
@@ -377,6 +399,67 @@ class DivergenceSentinel:
             "fused_post": _state_digest(fused),
             "stepped_error": stepped.error,
             "fused_error": fused.error,
+        })
+        return True
+
+    def audit_dispatch(self, engine, shared, code: "CodeObject", point,
+                       check_id: int, fact, regs) -> bool:
+        """Audit one continuation dispatch; True when the trip is spurious.
+
+        Called by the engine *before* a deoptless re-dispatch.  The
+        failing guard claimed its fact no longer holds; the sentinel
+        re-evaluates the fact against the live register file and heap
+        (``repro.machine.continuations.fact_holds`` — the pass-polarity
+        mirror of the generated guard tests).  A trip whose fact still
+        holds is a spurious deopt — a broken guard, a corrupted check
+        id, or an injected flip — and re-dispatching on it would
+        specialize for a type-state the program never left.  The
+        sentinel refuses the dispatch (the caller falls back to the
+        classic bailout), poisons the function's continuation variants,
+        and captures a ``continuation-divergence`` bundle.
+
+        Facts the sentinel cannot evaluate (``fact is None``, or
+        ``fact_holds`` returns ``None`` on an out-of-range probe) are
+        passed through un-audited: the classic path remains the safety
+        net and a refusal here must never rest on a guess.
+        """
+        self.cont_audits += 1
+        from ..machine.continuations import fact_holds
+        held = None if fact is None else fact_holds(fact, regs,
+                                                    engine.heap.words)
+        chaos = (self._chaos_cont_at is not None
+                 and self.cont_audits == self._chaos_cont_at)
+        if chaos:
+            held = True
+        if held is not True:
+            return False
+        self.cont_demotions += 1
+        self.divergences += 1
+        name = getattr(shared, "name", None)
+        self.cont_demoted.append((name, point.bytecode_pc))
+        table = getattr(engine, "continuations", None)
+        if table is not None:
+            table.poison(shared.index)
+            table.spurious_dispatches += 1
+        fact_text: Optional[str] = None
+        if fact is not None:
+            from ..analysis.typeflow import render_fact
+            try:
+                fact_text = render_fact(fact)
+            except Exception:
+                fact_text = repr(fact)
+        capture_bundle("continuation-divergence", {
+            "code": name,
+            "isa": getattr(code.target, "name", str(code.target)),
+            "check_id": check_id,
+            "check_kind": getattr(getattr(point, "kind", None), "name", None),
+            "bytecode_pc": point.bytecode_pc,
+            "fact": fact_text,
+            "fact_held": True,
+            "cont_audit_index": self.cont_audits,
+            "chaos": chaos,
+            "regs_sample": [regs[i] for i in range(min(len(regs), 8))],
+            "tier_rung": getattr(shared, "tier_rung", 0),
         })
         return True
 

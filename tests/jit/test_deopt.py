@@ -1,4 +1,11 @@
-"""Deoptimization tests: every eager kind, lazy, soft, state reconstruction."""
+"""Deoptimization tests: every eager kind, lazy, soft, state reconstruction.
+
+These tests pin the *classic* bailout machinery — discard the optimized
+code, generalize feedback, re-tier behind a raised threshold — so they
+run with `continuations=False`. Under the default config an eager deopt
+instead re-dispatches into a specialized continuation and the code stays
+installed; that path is covered by tests/resilience/test_continuations.py.
+"""
 
 import pytest
 
@@ -7,7 +14,7 @@ from repro.jit.checks import CheckKind, DeoptCategory, category_of
 
 
 def warmed(source, name, warm_args, calls=40, target="arm64"):
-    engine = Engine(EngineConfig(target=target))
+    engine = Engine(EngineConfig(target=target, continuations=False))
     engine.load(source)
     for _ in range(calls):
         engine.call_global(name, *warm_args)

@@ -1,12 +1,25 @@
-"""Deopt-storm detection, exponential re-tier backoff, DeoptStateError."""
+"""Deopt storms, the degradation ladder, re-tier backoff, DeoptStateError.
+
+Storm handling changed with the deoptless tier
+(:mod:`repro.machine.continuations`): with continuation dispatch enabled
+a tripping guard re-dispatches instead of bailing out, so these tests
+pin ``continuations=False`` to exercise the classic path — and the
+classic path no longer falls off a cliff.  A storm (or an exhausted
+re-optimization budget) steps the function down ONE degradation-ladder
+rung, dropping that rung's tier artifacts; only the final rung disables
+optimization permanently.  The dispatch path itself is covered by
+``tests/resilience/test_continuations.py``.
+"""
 
 import pytest
 
 from repro.engine import Engine, EngineConfig
 from repro.jit.deopt import DeoptStateError
+from repro.machine.continuations import RUNG_INTERP, RUNG_NAMES
 
 
 def warmed(source, name, warm_args, calls=40, **config_kwargs):
+    config_kwargs.setdefault("continuations", False)
     engine = Engine(EngineConfig(**config_kwargs))
     engine.load(source)
     for _ in range(calls):
@@ -26,23 +39,54 @@ def force_trip(engine, shared, name, *args):
     return engine.call_global(name, *args)
 
 
+def drive_to_disable(engine, shared, name="f", arg=1, bound=200):
+    """Force same-kind trips until the ladder bottoms out; returns the
+    number of trips it took."""
+    trips = 0
+    for _ in range(bound):
+        if shared.optimization_disabled:
+            return trips
+        result = force_trip(engine, shared, name, arg)
+        if result is not None:
+            assert result == arg + 1  # semantics survive every deopt
+            trips += 1
+    raise AssertionError(f"ladder never bottomed out in {bound} trips")
+
+
 class TestStormGuard:
-    def test_repeated_same_kind_deopts_disable_speculation(self):
+    def test_storm_descends_one_rung_not_a_cliff(self):
         engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
         for _ in range(engine.config.storm_strikes):
             result = force_trip(engine, shared, "f", 1)
-            assert result == 2  # semantics survive every spurious deopt
-        assert shared.optimization_disabled
+            assert result == 2
+        # One storm = one rung down, NOT permanent disable.
+        assert shared.tier_rung == 1
+        assert not shared.optimization_disabled
         assert engine.storms_detected == 1
-        assert len(engine.storm_disabled) == 1
-        function_name, kind_name = engine.storm_disabled[0]
-        assert function_name == "f"
+        assert engine.storm_disabled == []
         assert shared.deopts_by_kind  # per-kind strikes recorded
+        # The rung's strike counters reset on descent: a fresh storm is
+        # needed to descend again.
+        assert shared.rung_strikes == {}
+
+    def test_persistent_storm_walks_the_whole_ladder(self):
+        engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
+        drive_to_disable(engine, shared)
+        assert shared.optimization_disabled
+        assert shared.tier_rung == RUNG_INTERP
+        # Five descents: full -> no-trace -> generic-blocks ->
+        # classic-deopt -> stepped -> interpreter.
+        assert engine.storms_detected == RUNG_INTERP
+        assert len(engine.storm_disabled) == 1
+        function_name, _kind_name = engine.storm_disabled[0]
+        assert function_name == "f"
+        assert [rung for _, _, _, rung in engine.ladder_descents] == list(
+            RUNG_NAMES[1:]
+        )
 
     def test_disabled_function_still_runs_correctly(self):
         engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
-        for _ in range(engine.config.storm_strikes):
-            force_trip(engine, shared, "f", 1)
+        drive_to_disable(engine, shared)
         assert shared.optimization_disabled
         for _ in range(50):
             assert engine.call_global("f", 41) == 42
@@ -50,12 +94,16 @@ class TestStormGuard:
 
     def test_storm_counters_in_resilience_stats(self):
         engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,))
-        for _ in range(engine.config.storm_strikes):
-            force_trip(engine, shared, "f", 1)
+        drive_to_disable(engine, shared)
         stats = engine.resilience_stats()
-        assert stats["storms_detected"] == 1
+        assert stats["storms_detected"] == RUNG_INTERP
         assert ("f", engine.storm_disabled[0][1]) in stats["storm_disabled"]
         assert "f" in stats["disabled_functions"]
+        assert stats["tier_rungs"]["f"] == "interpreter"
+        assert len(stats["ladder_descents"]) == RUNG_INTERP
+        # Storms and budget exhaustion are distinct failure accounts.
+        assert stats["budget_exhaustions"] == 0
+        assert stats["budget_disabled"] == []
 
     def test_different_kinds_do_not_count_as_one_storm(self):
         # A NOT_A_SMI deopt and forced branch trips are different kinds of
@@ -64,6 +112,7 @@ class TestStormGuard:
         engine, shared = warmed("function f(x) { return x + 1; }", "f", (1,), storm_strikes=99)
         engine.call_global("f", 1.5)  # NOT_A_SMI
         assert not shared.optimization_disabled
+        assert shared.tier_rung == 0
         assert shared.reopt_count == 1
 
 

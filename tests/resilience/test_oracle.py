@@ -42,7 +42,10 @@ class TestDifferentialRun:
     def test_outcome_carries_resilience_counters(self):
         outcome = differential_run("FIB", "arm64", seed=0, iterations=18)
         assert "eager_deopts_by_kind" in outcome.resilience
-        assert outcome.max_reopt_count >= 1
+        # The anchored trips are absorbed deoptlessly: dispatched, not
+        # burned against the re-optimization budget.
+        assert outcome.continuation_dispatches >= 1
+        assert outcome.resilience["storm_disabled"] == []
 
 
 class _CorruptingInjector(FaultInjector):

@@ -1,18 +1,24 @@
-"""Deopt-storm permanent disable × the block-compiled fast tier.
+"""Degradation-ladder descent × the block-compiled fast tier.
 
-A storm-disabled function must not keep any stale fused blocks — or
-stale compiled traces — alive: the engine drops ``code._blocks`` AND
-``code._traces`` when it turns speculation off, and the function runs
-interpreter-only from then on with identical results to a never-compiled
-engine.
+A descending function must not keep any stale tier artifacts alive:
+every ladder rung drops ``code._blocks``, ``code._traces`` AND the
+cached ``code._typeflow`` analysis the typed variants compile from, and
+a function that bottoms out runs interpreter-only from then on with
+identical results to a never-compiled engine.
+
+``continuations=False`` throughout: these tests exercise the classic
+bailout ladder, not the deoptless dispatch path
+(``tests/resilience/test_continuations.py`` covers that).
 """
 
 from repro.engine import Engine, EngineConfig
+from repro.machine.continuations import RUNG_INTERP, RUNG_STEPPED
 
 SOURCE = "function f(x) { return x + 1; }"
 
 
 def warmed_blockjit(calls=40, tracejit=None, **config_kwargs):
+    config_kwargs.setdefault("continuations", False)
     engine = Engine(EngineConfig(blockjit=True, tracejit=tracejit,
                                  **config_kwargs))
     engine.load(SOURCE)
@@ -33,58 +39,74 @@ def trip_once(engine, shared):
         engine.call_global("f", 1)
     code = shared.code
     engine.call_global("f", 1)  # clean call: compiles the block table
-    assert code._blocks is not None
+    if shared.tier_rung < RUNG_STEPPED:
+        assert code._blocks is not None
     engine.executor.forced_deopt_trips += 1
     assert engine.call_global("f", 1) == 2  # semantics survive the deopt
     return code
 
 
-def test_storm_disable_invalidates_compiled_blocks():
-    engine, shared = warmed_blockjit()
+def drive_to_disable(engine, shared, bound=100):
     last_code = None
-    for _ in range(engine.config.storm_strikes):
+    for _ in range(bound):
+        if shared.optimization_disabled:
+            return last_code
         code = trip_once(engine, shared)
         if code is not None:
             last_code = code
+    raise AssertionError(f"ladder never bottomed out in {bound} trips")
+
+
+def test_final_descent_invalidates_compiled_blocks():
+    engine, shared = warmed_blockjit()
+    last_code = drive_to_disable(engine, shared)
     assert shared.optimization_disabled
+    assert shared.tier_rung == RUNG_INTERP
     assert last_code is not None
     assert last_code._blocks is None  # stale fused closures are dropped
+    assert last_code._typeflow is None  # cached type analysis too
     assert shared.code is None  # never re-tiers
 
 
-def test_storm_disable_also_drops_compiled_traces(monkeypatch):
-    """Regression: the storm strike used to drop only ``code._blocks``,
-    leaving a promoted trace table (and its anchors into the dead block
-    table) reachable through ``code._traces``."""
+def test_ladder_descent_drops_compiled_traces(monkeypatch):
+    """Regression (extended from the PR 5 storm x blockjit test): a rung
+    descent must drop ``code._blocks``, the promoted trace table in
+    ``code._traces`` (whose chains anchor into the dead block table) AND
+    the cached ``code._typeflow`` result — and the no-trace rung must
+    never re-form traces on recompiled code."""
     monkeypatch.setenv("REPRO_TRACEJIT_BUDGET", "20")
     monkeypatch.setenv("REPRO_TRACEJIT_HOT", "2")
     monkeypatch.setenv("REPRO_TRACEJIT_ENTRY", "2")
     engine, shared = warmed_blockjit(tracejit=True)
     last_code = None
     for _ in range(engine.config.storm_strikes):
-        while shared.code is None and not shared.optimization_disabled:
+        while shared.code is None:
             engine.call_global("f", 1)
-        if shared.code is None:
-            break
-        code = shared.code
+        last_code = shared.code
         engine.call_global("f", 1)  # clean call: compiles blocks + traces
-        assert code._blocks is not None
-        assert code._traces is not None  # trace tier was really live
+        assert last_code._blocks is not None
+        assert last_code._traces is not None  # trace tier was really live
         engine.executor.forced_deopt_trips += 1
         assert engine.call_global("f", 1) == 2
-        last_code = code
-    assert shared.optimization_disabled
-    assert last_code is not None
+    assert shared.tier_rung == 1  # first descent: the no-trace rung
     assert last_code._blocks is None
     assert last_code._traces is None  # stale traces are dropped too
+    assert last_code._typeflow is None
+    # Recompiles on the no-trace rung run fused blocks but never chain
+    # traces over them again.
+    while shared.code is None:
+        engine.call_global("f", 1)
+    for _ in range(5):
+        engine.call_global("f", 1)
+    assert shared.code._blocks is not None
+    assert shared.code._traces is None
     for _ in range(10):
         assert engine.call_global("f", 41) == 42
 
 
-def test_storm_disabled_function_runs_interpreter_only_and_identically():
+def test_bottomed_out_function_runs_interpreter_only_and_identically():
     engine, shared = warmed_blockjit()
-    while not shared.optimization_disabled:
-        trip_once(engine, shared)
+    drive_to_disable(engine, shared)
 
     reference = Engine(EngineConfig(enable_optimizer=False))
     reference.load(SOURCE)
@@ -95,19 +117,23 @@ def test_storm_disabled_function_runs_interpreter_only_and_identically():
     assert shared.code is None  # stayed interpreter-only throughout
 
 
-def test_reopt_budget_exhaustion_also_drops_blocks():
+def test_reopt_budget_exhaustion_descends_with_distinct_counters():
+    """Budget exhaustion rides the same ladder as storms but keeps its
+    own books: ``budget_exhaustions``/``budget_disabled``, never
+    ``storms_detected``/``storm_disabled``."""
     engine, shared = warmed_blockjit(storm_strikes=99, max_reoptimizations=2,
                                      tracejit=True)
-    last_code = None
-    for _ in range(40):
-        if shared.optimization_disabled:
-            break
-        code = trip_once(engine, shared)
-        if code is not None:
-            last_code = code
+    last_code = drive_to_disable(engine, shared)
     assert shared.optimization_disabled
     assert last_code is not None
     assert last_code._blocks is None
     assert last_code._traces is None
+    assert last_code._typeflow is None
+    stats = engine.resilience_stats()
+    assert stats["budget_exhaustions"] == RUNG_INTERP  # one per rung
+    assert [name for name, _ in stats["budget_disabled"]] == ["f"]
+    assert stats["storms_detected"] == 0
+    assert stats["storm_disabled"] == []
+    assert all(cause == "budget" for _, _, cause, _ in stats["ladder_descents"])
     for _ in range(20):
         assert engine.call_global("f", 41) == 42
