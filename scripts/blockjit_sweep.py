@@ -4,10 +4,13 @@ Runs every benchmark on both ISAs in three modes (plain, PC-sampled,
 fault-injected) and asserts bitwise-identical results, cycle totals,
 per-pc sample counts and deopt records between the step loop, the
 block-compiled executor and the trace tier.  The block side runs with
-typed block variants (repro.analysis.typeflow plans) force-enabled, so
-the sweep is also the acceptance oracle for check elision — including
-the trace tier's *chain* guard elision: a typed variant or a stitched
-chain that drops a check it should not drop diverges here.  The trace
+typed block variants (repro.analysis.typeflow plans) force-enabled and
+the lazy block versioning tier (repro.machine.lbbv) force-armed on
+every compiled config, so the sweep is also the acceptance oracle for
+check elision — including the trace tier's *chain* guard elision and
+lbbv's guard-free version chaining: a typed variant, a stitched chain,
+a specialized version body or a rechained edge that drops a check it
+should not drop diverges here.  The trace
 tier runs with low promotion thresholds (REPRO_TRACEJIT_* set below) so
 chains actually form and execute within the 20-iteration cells.  CI
 runs the same oracle on the smoke subset via
@@ -25,6 +28,10 @@ import sys
 os.environ.setdefault("REPRO_TRACEJIT_BUDGET", "400")
 os.environ.setdefault("REPRO_TRACEJIT_HOT", "8")
 os.environ.setdefault("REPRO_TRACEJIT_ENTRY", "8")
+# Arm the versioning tier on every compiled config regardless of the
+# session default, so all 186 cells differentially test version bodies,
+# dispatchers and rechained edges against the step loop.
+os.environ["REPRO_LBBV"] = "1"
 
 from repro.engine import Engine, EngineConfig
 from repro.profiling.sampler import attach_sampler

@@ -668,3 +668,96 @@ class _Linter:
 
 def _meet(a: _State, b: _State) -> _State:
     return (a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] and b[3])
+
+
+# -- lazy block versioning ---------------------------------------------------
+
+
+def check_version_chains(table) -> List[Diagnostic]:
+    """``version-entry-guard``: a chained edge may only skip guards whose
+    facts the predecessor's state establishes.
+
+    Re-derives, independently of :mod:`repro.machine.lbbv`'s own chain
+    walk, the outgoing edge state of every chain source — a compiled
+    block version (entry = the block's static entry facts plus the
+    version's key) or a rechained base block (entry = the static entry
+    facts alone) — and checks that the state *proves every fact of the
+    target version's key*.  A chained edge enters its target with zero
+    entry guards, so any unproven key fact is a hole the dispatcher
+    would otherwise have tested: severity ERROR.  Wiring (target
+    exists, targets the recorded successor) is checked first so a
+    corrupt table does not mask a guard hole.
+    """
+    diagnostics: List[Diagnostic] = []
+
+    def error(message: str) -> None:
+        diagnostics.append(
+            Diagnostic(Severity.ERROR, "mclint", "version-entry-guard",
+                       message)
+        )
+
+    ctx = table.ctx
+    if ctx is None:
+        return diagnostics
+
+    def edge_states(bid, entry):
+        states = {}
+        for succ, state in ctx.out_states(bid, frozenset(entry)):
+            held = states.get(succ)
+            states[succ] = state if held is None else (held & state)
+        return states
+
+    def check_edges(source: str, bid, entry, chained):
+        states = edge_states(bid, entry)
+        for succ, index in chained:
+            target = table.by_index.get(index)
+            if target is None:
+                error(f"{source} chains edge ->{succ} to driver index "
+                      f"{index}, which is not a registered version")
+                continue
+            if target.bid != succ:
+                error(f"{source} chains edge ->{succ} to version "
+                      f"{index}, which versions block {target.bid}")
+                continue
+            state = states.get(succ)
+            if state is None:
+                error(f"{source} chains edge ->{succ}, but the typeflow "
+                      "analysis derives no such edge")
+                continue
+            unproven = [f for f in target.key
+                        if not ctx.establishes(state, (f,))]
+            if unproven:
+                error(f"{source} chains edge ->{succ} into version "
+                      f"{index} guard-free, but its edge state does not "
+                      f"establish key fact(s) {sorted(map(repr, unproven))}")
+
+    static_entry = ctx.static_entry
+    for bid, versions in sorted(table.versions.items()):
+        entry_base = static_entry.get(bid, frozenset())
+        for version in versions:
+            if version.compiled is None and not version.chained_out:
+                continue
+            check_edges(
+                f"version {version.index} of block {bid}",
+                bid, entry_base | version.key, version.chained_out,
+            )
+    for bid, targets in sorted(table.rechained.items()):
+        check_edges(
+            f"rechained block {bid}",
+            bid, static_entry.get(bid, frozenset()),
+            sorted(targets.items()),
+        )
+    return diagnostics
+
+
+def assert_version_chains_clean(table) -> List[Diagnostic]:
+    """Check the version-entry-guard invariant; raise on any error."""
+    diagnostics = check_version_chains(table)
+    bad = errors(diagnostics)
+    if bad:
+        name = table.code.shared.info.name
+        raise VerificationError(
+            f"version chain lint failed for {name!r} "
+            f"[{table.code.target.name}]", bad
+        )
+    return diagnostics

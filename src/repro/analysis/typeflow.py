@@ -956,6 +956,166 @@ class _Typeflow:
         return result
 
 
+#: fact tags the machine tier can test dynamically — the shared guard
+#: vocabulary: :func:`repro.machine.blockjit._guard_test` compiles each
+#: of these to a register/heap predicate and
+#: :func:`repro.machine.continuations.fact_holds` re-evaluates the same
+#: predicates interpretively.  ``spar`` facts (frame-slot parity) are
+#: deliberately absent: they have no compiled guard, so version keys
+#: and dispatch states are restricted to this vocabulary.
+GUARDABLE_FACTS: Tuple[str, ...] = ("par", "regeq", "map", "ub", "memsmi")
+
+
+def guardable_fact(fact: Fact) -> bool:
+    """True when the machine tier can dynamically test ``fact``."""
+    return bool(fact) and fact[0] in GUARDABLE_FACTS
+
+
+def version_key(state) -> FrozenSet[Fact]:
+    """Canonical LBBV version key for a fact state: the dynamically
+    testable (guardable) subset.  Facts outside the guard vocabulary
+    cannot be established by a dispatcher nor promised across a chained
+    edge, so they never participate in version identity."""
+    return frozenset(f for f in state if guardable_fact(f))
+
+
+class VersionAnalysis:
+    """Per-code-object analysis context for runtime block versioning.
+
+    Wraps the prepared must-analysis (:class:`_Typeflow` after site
+    discovery and fixpoint) and exposes the two queries the LBBV tier
+    needs beyond the static result:
+
+    * :meth:`out_states` — per-edge *outgoing* type-states under an
+      arbitrary (version-specific) entry state, computed by the same
+      sound transfer function the static analysis converged with; and
+    * :meth:`plan_for` — a guard-free :class:`TypedBlockPlan` for the
+      block's check site when the version's entry state propagates to
+      an implication at the site, i.e. the version may elide the check
+      with **zero** entry guards because its key already promises the
+      fact.
+
+    The static per-block entry facts (:attr:`static_entry`) are the
+    meet over *all* paths; a version key is the state along *one*
+    observed path, so ``plan_for`` proves a superset of what the static
+    tier could (that is the whole point of versioning).
+    """
+
+    def __init__(self, code: CodeObject) -> None:
+        tf = _Typeflow(code)
+        if tf.instrs:
+            tf._find_sites()
+            tf._run_must()
+        self._tf = tf
+        self.flags_live = tf._compute_flags_live() if tf.instrs else False
+        self.spans = tf.spans
+        self.sites = tf.sites
+        #: converged must-state at each reachable block's entry
+        self.static_entry: Dict[int, FrozenSet[Fact]] = tf.entry_facts
+        # The lbbv tier's chain-gain search revisits the same
+        # (block, entry-state) pairs across many DFS roots; the transfer
+        # function is pure over the immutable code object, so both edge
+        # and plan queries memoize cleanly.
+        self._out_cache: Dict[
+            Tuple[int, FrozenSet[Fact]],
+            List[Tuple[int, FrozenSet[Fact]]],
+        ] = {}
+        self._plan_cache: Dict[
+            Tuple[int, FrozenSet[Fact]], Optional[TypedBlockPlan]
+        ] = {}
+
+    def out_states(
+        self, bid: int, entry,
+    ) -> List[Tuple[int, FrozenSet[Fact]]]:
+        """Outgoing ``(successor, fact-state)`` edges of ``bid`` under a
+        custom entry state (sound for any entry that actually holds)."""
+        key = (bid, frozenset(entry))
+        cached = self._out_cache.get(key)
+        if cached is None:
+            cached = self._out_cache[key] = self._tf._out_edges(bid, key[1])
+        return cached
+
+    def state_at_site(self, bid: int, entry) -> Optional[FrozenSet[Fact]]:
+        """Propagated fact state at the block's check site under
+        ``entry``, or None when the block has no classified site."""
+        site = self.sites.get(bid)
+        if site is None:
+            return None
+        start, _end = self.spans[bid]
+        facts: Set[Fact] = set(entry)
+        for pc in range(start, site.site_pc):
+            self._tf._apply(facts, self._tf.instrs[pc])
+        return frozenset(facts)
+
+    def plan_for(self, bid: int, entry) -> Optional[TypedBlockPlan]:
+        """Guard-free elision plan for ``bid`` assuming ``entry`` holds
+        at block entry; None when the site is not provably redundant
+        under that state (versions never carry hoisted guards — a state
+        that does not imply the fact simply gets no specialized body)."""
+        if self.flags_live:
+            return None
+        site = self.sites.get(bid)
+        if site is None or site.fact is None:
+            return None
+        memo_key = (bid, frozenset(entry))
+        if memo_key in self._plan_cache:
+            return self._plan_cache[memo_key]
+        plan = self._plan_for_uncached(bid, memo_key[1], site)
+        self._plan_cache[memo_key] = plan
+        return plan
+
+    def _plan_for_uncached(self, bid, entry, site):
+        state = self.state_at_site(bid, entry)
+        implied, _why = self._tf._implied(state, site.fact)
+        if not implied:
+            return None
+        actions = self._tf._actions(site)
+        if actions is None:
+            return None
+        elided = sum(1 for _pc, act in actions if act[0] != "keep")
+        start, end = self.spans[bid]
+        return TypedBlockPlan(
+            bid=bid, start=start, end=end, check_id=site.check_id,
+            site=site.site, site_pc=site.site_pc, fact=site.fact,
+            guards=(), actions=actions, n_cond_elided=elided,
+        )
+
+    def establishes(self, state, facts) -> bool:
+        """True when ``state`` implies every fact in ``facts`` — the
+        legality predicate for a guard-free chained edge (mclint's
+        ``version-entry-guard`` invariant re-derives edges with this)."""
+        snapshot = frozenset(state)
+        return all(self._tf._implied(snapshot, f)[0] for f in facts)
+
+
+def version_analysis(code: CodeObject) -> VersionAnalysis:
+    """Run (or fetch the cached) version-analysis context; cached on
+    ``code._version_analysis`` like ``_typeflow`` (code objects are
+    immutable once generation finishes)."""
+    cached = getattr(code, "_version_analysis", None)
+    if cached is not None:
+        return cached
+    ctx = VersionAnalysis(code)
+    code._version_analysis = ctx
+    return ctx
+
+
+def edge_type_states(
+    code: CodeObject,
+) -> Dict[int, List[Tuple[int, FrozenSet[Fact]]]]:
+    """Per-edge *outgoing* type-states of the converged must-analysis:
+    ``{bid: [(succ, facts-on-that-edge), ...]}`` for every reachable
+    block.  This is strictly finer than per-block entry facts — a merge
+    point's entry state is the meet over these edges, and the
+    difference between an individual edge state and the meet is exactly
+    the precision the LBBV tier recovers by versioning."""
+    ctx = version_analysis(code)
+    edges: Dict[int, List[Tuple[int, FrozenSet[Fact]]]] = {}
+    for bid, entry in ctx.static_entry.items():
+        edges[bid] = ctx.out_states(bid, entry)
+    return edges
+
+
 def analyze_typeflow(code: CodeObject) -> TypeflowResult:
     """Run (or fetch the cached) typeflow analysis for one code object.
 

@@ -112,6 +112,14 @@ class EngineConfig:
     #: step loop by construction; requires ``blockjit``.  None defers to
     #: REPRO_TRACEJIT (default on).
     tracejit: Optional[bool] = None
+    #: Lazy basic block versioning (repro.machine.lbbv): maintain up to
+    #: MAX_VERSIONS runtime type-state-specialized versions per fused
+    #: block, keyed on the typeflow fact vocabulary, compiled lazily on
+    #: first execution of each state and chained version-to-version with
+    #: zero entry guards on proven edges.  Bit-identical to every other
+    #: tier by construction; requires ``blockjit`` and ``typed_blocks``.
+    #: None defers to REPRO_LBBV (default on).
+    lbbv: Optional[bool] = None
     #: Deoptless continuation dispatch (repro.machine.continuations):
     #: a failing check re-dispatches into a variant specialized for the
     #: observed type-state (the guard's fact negated, seeded from the
@@ -241,6 +249,19 @@ class Engine:
             default_tracejit()
             if self.config.tracejit is None
             else bool(self.config.tracejit)
+        )
+        # The version tier rides on both the block tier (driver slots)
+        # and the typed tier (fact vocabulary / guard codegen).
+        from .machine.lbbv import default_lbbv
+
+        self.executor.lbbv = (
+            self.executor.blockjit
+            and self.executor.typed_blocks
+            and (
+                default_lbbv()
+                if self.config.lbbv is None
+                else bool(self.config.lbbv)
+            )
         )
         # Imported lazily: repro.supervise pulls in repro.exec, which
         # imports this module back (cells -> engine).
@@ -654,6 +675,15 @@ class Engine:
                 shared, interp_regs, point.bytecode_pc, this_word
             )
             cont.note_dispatch(shared.index, cost + self.total_cycles - before)
+            versions = code._versions
+            if versions is not None:
+                # The trip observed a concrete negated type-state; beyond
+                # the continuation, seed a block *version* keyed by it so
+                # the machine tier itself re-dispatches into specialized
+                # code the next time that state shows up (repro.machine
+                # .lbbv.VersionTable.observe_negated — par facts only,
+                # the invertible subset of the guard vocabulary).
+                versions.observe_negated(signal.check_id)
             if cont.loop_armed > 0:
                 # REDISPATCH_LOOP fault: re-arm the flipped guard so the
                 # next machine entry trips again — the breaker, not the
@@ -730,8 +760,9 @@ class Engine:
         """One graceful step down the degradation ladder.
 
         Drops ALL tier artifacts of the tripping code object (fused
-        blocks, traces chained over them, and the cached typeflow result
-        the typed variants compile from), evicts only the continuations
+        blocks, traces chained over them, the block-version table riding
+        in their driver, and the cached typeflow result the typed
+        variants compile from), evicts only the continuations
         of the storming type-state, resets the rung's strike counters
         and the re-optimization budget, and — only on reaching the final
         rung — disables optimization permanently.
@@ -742,6 +773,10 @@ class Engine:
         code._blocks = None
         code._traces = None
         code._typeflow = None
+        # The version table is built over the dropped block table (its
+        # driver slots literally hold the version entries), so it falls
+        # with it; rungs below RUNG_GENERIC never rebuild it.
+        code._versions = None
         cont = self.continuations
         if cont is not None:
             cont.evict_token(shared.index, token)
@@ -763,17 +798,67 @@ class Engine:
                 cont.evict_function(shared.index)
 
     def typed_check_stats(self) -> Dict[str, int]:
-        """Typed-block-tier elision counters (repro.analysis.typeflow).
+        """Typed/version-tier elision counters (repro.analysis.typeflow
+        and repro.machine.lbbv).
 
-        Python-level work the typed variants avoided — never part of the
-        simulated cycle/counter model, which stays bit-identical."""
+        Python-level work the specialized variants avoided — never part
+        of the simulated cycle/counter model, which stays bit-identical.
+        ``version_chained_entries`` counts guard-free version-to-version
+        transfers: body executions that did not come through a
+        dispatcher paid **zero** entry tests."""
         elided = self.executor.typed_counters
+        tables = self._version_tables()
         return {
             "branch_checks_elided": elided[0],
             "condition_instrs_elided": elided[1],
             "smi_tag_tests_elided": elided[2],
             "entry_guards_evaluated": elided[3],
             "guard_failures": elided[4],
+            "version_dispatch_entries": elided[5],
+            "version_executions": elided[6],
+            "version_chained_entries": elided[6] - elided[5],
+            "versions_registered": sum(t.created for t in tables),
+            "versions_compiled": sum(t.compiled for t in tables),
+            "version_widenings": sum(t.widenings for t in tables),
+            "version_negated_seeds": sum(t.negated_seeds for t in tables),
+        }
+
+    def _version_tables(self):
+        return [
+            code._versions
+            for code in self._code_objects
+            if code._versions is not None
+            and code._versions.executor is self.executor
+        ]
+
+    def version_stats(self) -> Dict[str, object]:
+        """LBBV-tier occupancy and usage detail (repro.machine.lbbv).
+
+        Structured counterpart to the flat integers in
+        :meth:`typed_check_stats`: per-block version-table occupancy,
+        per-state hit counts and chained edges, and widening events.
+        Diagnostic only — versions are bit-identical to the base tier."""
+        tables = self._version_tables()
+        return {
+            "code_objects_versioned": sum(1 for t in tables if t.created),
+            "versions_registered": sum(t.created for t in tables),
+            "versions_compiled": sum(t.compiled for t in tables),
+            "version_widenings": sum(t.widenings for t in tables),
+            "widened_blocks": sum(len(t.widened) for t in tables),
+            "negated_seeds": sum(t.negated_seeds for t in tables),
+            "dispatched_blocks": sum(len(t.dispatched) for t in tables),
+            "tables": [
+                {
+                    "code": getattr(
+                        getattr(t.code, "shared", None), "name", None
+                    ),
+                    "occupancy": t.occupancy(),
+                    "widened": dict(t.widened),
+                    "states": t.state_report(),
+                }
+                for t in tables
+                if t.created
+            ],
         }
 
     def trace_stats(self) -> Dict[str, int]:

@@ -8,8 +8,10 @@ cache — and writes ``BENCH_harness.json``::
 
 ``cpu_count`` is recorded so the parallel numbers are interpretable: on a
 single-core container the pool can only add overhead, so the payload is
-marked ``degenerate`` there and no parallel-speedup claim is made; the
-warm-cache speedup does not depend on core count.
+marked ``degenerate`` there and ``parallel_speedup`` carries the explicit
+``"skipped_single_core"`` marker instead of a number (CI's perf gate
+skips the parallel assertion on that marker rather than comparing
+against null); the warm-cache speedup does not depend on core count.
 
 The ``executor`` section measures the simulator core directly —
 instructions retired per wall-second with the per-instruction step loop
@@ -276,7 +278,10 @@ def main(argv=None) -> int:
             "jobs": args.jobs,
             "serial": serial,
             "parallel": parallel,
-            "parallel_speedup": None if degenerate else (
+            # Explicit marker rather than null + the degenerate flag:
+            # downstream gates key on the string and skip the parallel
+            # assertion instead of null-comparing their way to a failure.
+            "parallel_speedup": "skipped_single_core" if degenerate else (
                 round(serial["wall_s"] / parallel["wall_s"], 3)
                 if parallel["wall_s"] else 0.0
             ),

@@ -90,6 +90,10 @@ class CodeObject:
         self.serial = -1
         #: cached repro.analysis.typeflow result (immutable, like _decoded).
         self._typeflow: Optional[object] = None
+        #: cached repro.analysis.typeflow.VersionAnalysis context (the
+        #: prepared must-analysis the LBBV tier queries per version key);
+        #: immutable and never invalidated, like _typeflow.
+        self._version_analysis: Optional[object] = None
         #: per-check summary exported by the IR pipeline (pass-level check
         #: counts before/after elimination), attached by generate_code for
         #: the typeflow CLI's static-density provenance.
@@ -109,6 +113,12 @@ class CodeObject:
         #: to None) together with ``_blocks`` on a deopt storm, since its
         #: traces are built over those very blocks.
         self._traces: Optional[object] = None
+        #: version table (repro.machine.lbbv.VersionTable): runtime
+        #: type-state-specialized block versions keyed by incoming fact
+        #: state, compiled lazily on first execution of each state and
+        #: chained guard-free.  Dropped with ``_blocks``/``_traces`` on
+        #: every degradation-ladder descent.
+        self._versions: Optional[object] = None
         #: set by the divergence sentinel (repro.supervise.sentinel) when
         #: a fused block disagreed with its stepped twin: the executor
         #: then routes this code object through the step tier for the

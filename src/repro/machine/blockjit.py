@@ -361,7 +361,9 @@ class _BlockCompiler:
             # typed-variant bookkeeping (repro.analysis.typeflow): python-
             # level counters only — never part of ExecStats or the cycle
             # model, so simulated results stay bit-identical.
-            "tstat": getattr(executor, "typed_counters", [0, 0, 0, 0, 0]),
+            "tstat": getattr(
+                executor, "typed_counters", [0, 0, 0, 0, 0, 0, 0]
+            ),
         }
 
     # -- helpers ---------------------------------------------------------

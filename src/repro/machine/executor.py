@@ -295,11 +295,20 @@ class Executor:
         #: engine from EngineConfig.tracejit / REPRO_TRACEJIT; only
         #: meaningful while ``blockjit`` is also set.
         self.tracejit = False
+        #: lazy basic block versioning (repro.machine.lbbv): runtime
+        #: type-state-specialized block versions with guard-free
+        #: chaining.  Wired by the engine from EngineConfig.lbbv /
+        #: REPRO_LBBV; only meaningful while ``blockjit`` and
+        #: ``typed_blocks`` are also set (versions are keyed on the
+        #: typed tier's fact vocabulary).
+        self.lbbv = False
         #: python-level typed-tier counters (never part of ExecStats or
         #: the simulated cycle model): [branch checks elided, condition
         #: instructions elided or folded, jsldrsmi tag tests elided,
-        #: entry guards evaluated, guard failures].
-        self.typed_counters = [0, 0, 0, 0, 0]
+        #: entry guards evaluated, guard failures, version entries via
+        #: dispatcher, version body executions] — chained (guard-free)
+        #: version entries are executions minus dispatcher entries.
+        self.typed_counters = [0, 0, 0, 0, 0, 0, 0]
         #: result word stashed by a fused RET block for the block driver.
         self.ret_value = 0
         #: optional repro.supervise.sentinel.DivergenceSentinel; wired by
@@ -369,6 +378,12 @@ class Executor:
         table = code._blocks
         if table is None or table.executor is not self:
             table = code._blocks = compile_blocks(code, self)
+        if self.lbbv:
+            versions = code._versions
+            if versions is None or versions.table is not table:
+                from .lbbv import attach_versions
+
+                attach_versions(code, table, self)
         regs: List[int] = [0] * code.target.gpr_count
         fregs: List[float] = [0.0] * code.target.fpr_count
         frame: List[object] = [0] * max(1, code.stack_slots)

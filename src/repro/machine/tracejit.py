@@ -374,6 +374,64 @@ def _chain_guard_sets(code: "CodeObject", table: "BlockTable",
     return out, elided
 
 
+def _version_chain_plan(ctx, table: "BlockTable", chain: List[int],
+                        cyclic: bool):
+    """Version-aware chain analysis: traces *stitch versions*.
+
+    When the LBBV tier is active the trace inherits its chaining rule:
+    walk the chain's actual edges with the typeflow transfer function,
+    starting from the head's converged entry facts (which hold on every
+    entry, including a cyclic trace's back edge, because the static
+    must-analysis already met over that edge).  A position's hoisted
+    guard is dropped when the propagated state *establishes* its fact —
+    the same legality predicate as a guard-free chained version edge —
+    and a position with no static plan gains a guard-free version plan
+    wherever the edge state proves its site (elision the per-block meet
+    could never justify).  Per-position facts derive only from earlier
+    positions of the same iteration plus the head's all-paths entry
+    state, so cyclic chains stay sound on every iteration.
+
+    Returns ``(evaluated-guards per position, elided count, plan per
+    position)``; the caller uses it in place of the alive-set analysis.
+    """
+    plans = table.typed_plans
+    state = frozenset(ctx.static_entry.get(chain[0], frozenset()))
+    out: List[Tuple] = []
+    pos_plans: List[object] = []
+    elided = 0
+    n = len(chain)
+    for pos, bid in enumerate(chain):
+        plan = plans.get(bid)
+        if plan is None:
+            plan = ctx.plan_for(bid, state)  # guard-free or None
+            out.append(())
+            entry = state
+        else:
+            evaluated = tuple(
+                f for f in plan.guards if not ctx.establishes(state, (f,))
+            )
+            elided += len(plan.guards) - len(evaluated)
+            out.append(evaluated)
+            entry = frozenset(state | set(plan.guards))
+        pos_plans.append(plan)
+        if pos + 1 < n:
+            nxt: Optional[int] = chain[pos + 1]
+        elif cyclic:
+            nxt = chain[0]
+        else:
+            break
+        succ_states = [
+            s for succ, s in ctx.out_states(bid, entry) if succ == nxt
+        ]
+        if not succ_states:
+            state = frozenset()
+        else:
+            state = succ_states[0]
+            for s in succ_states[1:]:
+                state = state & s
+    return out, elided, pos_plans
+
+
 class _TraceCompiler(_BlockCompiler):
     """Generates trace closures by reusing the block compiler's per-kind
     emission, guard construction and statistics prologues, so chained
@@ -419,21 +477,37 @@ class _TraceCompiler(_BlockCompiler):
                 pos += 1
             seg_bounds[seg] = bound
         info.bound = seg_bounds[0]
-        eval_guards, info.guards_elided = _chain_guard_sets(
-            self.code, self.table, chain
-        )
+        versions = getattr(self.code, "_versions", None)
+        if (
+            versions is not None
+            and versions.active
+            and not versions.disabled
+        ):
+            # Stitch versions: edge-state chain analysis inherits the
+            # LBBV tier's guard-free chaining (and its extra site
+            # elisions) inside the trace.
+            eval_guards, info.guards_elided, pos_plans = _version_chain_plan(
+                versions.ctx, self.table, chain, cyclic
+            )
+        else:
+            eval_guards, info.guards_elided = _chain_guard_sets(
+                self.code, self.table, chain
+            )
+            pos_plans = [self.plans.get(bid) for bid in chain]
         src_l = self._assemble_trace(
             head, chain, cyclic, once=False, eval_guards=eval_guards,
-            seg_starts=seg_starts, seg_bounds=seg_bounds,
+            pos_plans=pos_plans, seg_starts=seg_starts,
+            seg_bounds=seg_bounds,
         )
         src_o = self._assemble_trace(
             head, chain, cyclic, once=True, eval_guards=eval_guards,
-            seg_starts=seg_starts, seg_bounds=seg_bounds,
+            pos_plans=pos_plans, seg_starts=seg_starts,
+            seg_bounds=seg_bounds,
         )
         return src_l, src_o, info
 
     def _assemble_trace(self, head: int, chain: List[int], cyclic: bool,
-                        once: bool, eval_guards, seg_starts,
+                        once: bool, eval_guards, pos_plans, seg_starts,
                         seg_bounds) -> str:
         lines: List[str] = []
         n = len(chain)
@@ -455,7 +529,7 @@ class _TraceCompiler(_BlockCompiler):
             # The once variant runs generic bodies: its stepped twin
             # replays the (generic) stepped closures, and typed-vs-
             # generic equivalence is already audited block-by-block.
-            plan = None if once else self.plans.get(bid)
+            plan = None if once else pos_plans[pos]
             if plan is not None:
                 evaluated = eval_guards[pos]
                 for fact in evaluated:
@@ -664,6 +738,15 @@ def run_traced(ex: "Executor", code: "CodeObject", args, this_word: int):
         table.traces = tt
     if tt.disabled:
         return ex._run_blocks(code, args, this_word)
+    versions = code._versions
+    if ex.lbbv and (versions is None or versions.table is not table):
+        from .lbbv import attach_versions
+
+        versions = attach_versions(code, table, ex)
+    # Version driver entries live past the anchor range; ``vmap``
+    # translates them back to base block ids for anchor lookup and edge
+    # counting, so trace formation sees the same base CFG either way.
+    vmap = versions.base_of if versions is not None else None
     regs: List[int] = [0] * code.target.gpr_count
     fregs: List[float] = [0.0] * code.target.fpr_count
     frame: List[object] = [0] * max(1, code.stack_slots)
@@ -674,6 +757,7 @@ def run_traced(ex: "Executor", code: "CodeObject", args, this_word: int):
     heap_words = ex.heap.words
     blocks = table.driver
     anchors = tt.anchors
+    n_anchor = len(anchors)
     local_cycles = ex.cycles
     bid = 0
     counting = tt.counting
@@ -686,7 +770,7 @@ def run_traced(ex: "Executor", code: "CodeObject", args, this_word: int):
         stats = ex.stats
         due = audit.due
         while True:
-            tr = anchors[bid]
+            tr = anchors[bid] if bid < n_anchor else None
             if tr is not None:
                 if stats.instructions >= due:
                     due = audit.due
@@ -745,7 +829,10 @@ def run_traced(ex: "Executor", code: "CodeObject", args, this_word: int):
             if nbid < 0:
                 return ex.ret_value
             if counting:
-                key = (bid, nbid)
+                if vmap is not None and nbid < len(vmap):
+                    key = (vmap[bid], vmap[nbid])
+                else:
+                    key = (bid, nbid)
                 ec[key] = ec.get(key, 0) + 1
                 tt.budget -= 1
                 if tt.budget <= 0:
@@ -753,7 +840,7 @@ def run_traced(ex: "Executor", code: "CodeObject", args, this_word: int):
                     counting = False
             bid = nbid
     while True:
-        tr = anchors[bid]
+        tr = anchors[bid] if bid < n_anchor else None
         if tr is not None:
             tt.trace_entries += 1
             bid, local_cycles = tr(
@@ -774,7 +861,10 @@ def run_traced(ex: "Executor", code: "CodeObject", args, this_word: int):
         if nbid < 0:
             return ex.ret_value
         if counting:
-            key = (bid, nbid)
+            if vmap is not None and nbid < len(vmap):
+                key = (vmap[bid], vmap[nbid])
+            else:
+                key = (bid, nbid)
             ec[key] = ec.get(key, 0) + 1
             tt.budget -= 1
             if tt.budget <= 0:

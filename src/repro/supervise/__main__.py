@@ -19,7 +19,10 @@ audit (``REPRO_CHAOS_CONT``): the run executes under its canonical
 fault plan so deopts actually dispatch, the Nth dispatch audit is
 forced to report the guard fact as still holding, and the sentinel
 must refuse it, poison the function's continuations and capture a
-``continuation-divergence`` bundle.
+``continuation-divergence`` bundle.  With ``--version`` the corruption
+lands in a *block version* audit shadow (``REPRO_CHAOS_LBBV``,
+``repro.machine.lbbv``), asserting a version divergence demotes the
+whole version table along with its block table.
 """
 
 from __future__ import annotations
@@ -83,6 +86,11 @@ def _cmd_inject(args) -> int:
         os.environ.setdefault("REPRO_TRACEJIT_ENTRY", "8")
     elif args.continuation:
         os.environ["REPRO_CHAOS_CONT"] = "spurious"
+    elif args.version:
+        # Corrupt a *block version* audit shadow: requires the lbbv
+        # tier on so version slots exist for the audit to land on.
+        os.environ["REPRO_CHAOS_LBBV"] = "corrupt"
+        os.environ["REPRO_LBBV"] = "1"
     else:
         os.environ["REPRO_CHAOS_AUDIT"] = "corrupt"
     if args.bundle_dir:
@@ -146,6 +154,14 @@ def _cmd_inject(args) -> int:
             )
         print(fresh[-1])
         return 0
+    if args.version and sentinel.version_audits == 0:
+        print(
+            "no version audit ran (no block version was executed under "
+            "audit; pick a typed-plan-heavy benchmark such as AES2 or "
+            "raise --iterations)",
+            file=sys.stderr,
+        )
+        return 1
     if args.trace and sentinel.trace_audits == 0:
         print(
             "no trace audit ran (no auditable trace formed; pick a "
@@ -211,6 +227,11 @@ def main(argv=None) -> int:
                           "(REPRO_CHAOS_CONT) under the benchmark's "
                           "canonical fault plan, asserting refusal, "
                           "poisoning and bundle capture")
+    cmd.add_argument("--version", action="store_true",
+                     help="seed the divergence in a *block version* "
+                          "audit shadow (REPRO_CHAOS_LBBV), asserting "
+                          "the version table demotes with its block "
+                          "table")
     cmd.add_argument("--bundle-dir", default=None)
     cmd.set_defaults(func=_cmd_inject)
 

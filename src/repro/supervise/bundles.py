@@ -92,6 +92,7 @@ def _relevant_env() -> Dict[str, str]:
         "REPRO_CHAOS_EXEC", "REPRO_TRACEJIT", "REPRO_TRACEJIT_BUDGET",
         "REPRO_TRACEJIT_HOT", "REPRO_TRACEJIT_ENTRY", "REPRO_CHAOS_TRACE",
         "REPRO_CONTINUATIONS", "REPRO_CONT_BUDGET", "REPRO_CHAOS_CONT",
+        "REPRO_TYPED_BLOCKS", "REPRO_LBBV", "REPRO_CHAOS_LBBV",
     )
     return {name: os.environ[name] for name in keep if name in os.environ}
 

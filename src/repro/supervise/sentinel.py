@@ -257,6 +257,21 @@ class DivergenceSentinel:
                 self._chaos_cont_at = max(1, int(nth)) if nth else 1
             except ValueError:
                 self._chaos_cont_at = 1
+        #: block-version audits (repro.machine.lbbv): a version's driver
+        #: slot shares the base block's stepped twin, so the regular
+        #: block audit covers it — these count how many audits landed on
+        #: version slots.  REPRO_CHAOS_LBBV=corrupt[:N] perturbs the Nth
+        #: such audit, deterministically seeding a version divergence
+        #: (and the whole-table demotion it triggers) for CI to replay.
+        self.version_audits = 0
+        chaos_lbbv = os.environ.get("REPRO_CHAOS_LBBV", "")
+        self._chaos_lbbv_at: Optional[int] = None
+        if chaos_lbbv.startswith("corrupt"):
+            _, _, nth = chaos_lbbv.partition(":")
+            try:
+                self._chaos_lbbv_at = max(1, int(nth)) if nth else 1
+            except ValueError:
+                self._chaos_lbbv_at = 1
 
     # -- schedule --------------------------------------------------------
 
@@ -366,13 +381,38 @@ class DivergenceSentinel:
         """
         if not table.auditable[bid]:
             return False
+        # A version slot (index past the block spans) carries the base
+        # block's cost and generic stepped twin, so the ordinary audit
+        # machinery applies verbatim; only the probes' exit indices need
+        # folding back onto base block ids (a version body legitimately
+        # returns a chained version index where the stepped twin returns
+        # the base successor) and the version hit counters need the same
+        # shadow-probe protection the typed counters get.
+        versions = getattr(code, "_versions", None)
+        base = bid
+        if bid >= len(table.spans):
+            if versions is None:
+                return False
+            base = versions.base_of[bid] if bid < len(versions.base_of) else -1
+            if base < 0:
+                return False
+            self.version_audits += 1
         self.audits += 1
         total_cost, fused_fn, stepped_fn = table.driver[bid]
+        hits_snap = None if versions is None else list(versions.hits)
         stepped = self._shadow(ex, stepped_fn, regs, fregs, frame, special,
                                cycles)
         fused = self._shadow(ex, fused_fn, regs, fregs, frame, special,
                              cycles + total_cost)
+        if versions is not None:
+            grown = len(versions.hits) - len(hits_snap)
+            versions.hits[:] = hits_snap + [0] * grown
+            fused.bid = versions.base_bid(fused.bid)
+            stepped.bid = versions.base_bid(stepped.bid)
         chaos = self._chaos_at is not None and self.audits == self._chaos_at
+        if bid != base and self._chaos_lbbv_at is not None \
+                and self.version_audits == self._chaos_lbbv_at:
+            chaos = True
         if chaos and fused.error is None:
             fused.regs[0] ^= 1
         mismatch = self._compare(stepped, fused)
@@ -380,14 +420,17 @@ class DivergenceSentinel:
             return True
         self.divergences += 1
         table.demote()
+        if versions is not None:
+            versions.disable()
         code._supervise_demoted = True
         name = getattr(getattr(code, "shared", None), "name", None)
-        self.demotions.append((name, bid))
-        start, end = table.spans[bid]
+        self.demotions.append((name, base))
+        start, end = table.spans[base]
         capture_bundle("divergence", {
             "code": name,
             "isa": getattr(code.target, "name", str(code.target)),
-            "block": bid,
+            "block": base,
+            "version": bid if bid != base else None,
             "span": [start, end],
             "mismatch": mismatch,
             "audit_index": self.audits,

@@ -19,8 +19,11 @@ As a CLI the module doubles as the trace tier's formation report::
 runs one benchmark with the trace tier armed at low thresholds and
 prints the per-edge retirement histogram the chain detector counted
 plus every chain it stitched (head, blocks, cyclic/call-spanning/
-auditable flags, guards elided).  Without ``--chains`` it prints the
-static per-block cost profile of the compiled code objects.
+auditable flags, guards elided).  With ``--versions`` it reports the
+lazy block versioning tier (:mod:`repro.machine.lbbv`) instead:
+per-block version-table occupancy, each version's keyed type-state
+with its hit count, and which states went hot.  Without either flag it
+prints the static per-block cost profile of the compiled code objects.
 """
 
 from __future__ import annotations
@@ -140,6 +143,48 @@ def _print_chains(engine) -> None:
                   + (f"  ({', '.join(flags)})" if flags else ""))
 
 
+def _print_versions(engine) -> None:
+    stats = engine.version_stats()
+    if not stats["tables"]:
+        print("no version tables (lbbv off, or typed tier inactive)")
+        return
+    for table in stats["tables"]:
+        name = table["code"] or "<anonymous>"
+        occupancy = table["occupancy"]
+        print(f"== {name} — {sum(occupancy.values())} versions over "
+              f"{len(occupancy)} blocks ==")
+        rows = sorted(table["states"], key=lambda r: (-r["hits"], r["block"]))
+        peak = max((r["hits"] for r in rows), default=0)
+        for row in rows:
+            flags = []
+            if row["elides_site"]:
+                flags.append("elides site")
+            if row["negated"]:
+                flags.append("negated seed")
+            if not row["compiled"]:
+                flags.append("lazy")
+            if row["chained_out"]:
+                chained = ",".join(
+                    f"{succ}->v{idx}" for succ, idx in row["chained_out"]
+                )
+                flags.append(f"chains [{chained}]")
+            bar = "#" * (max(1, round(30 * row["hits"] / peak))
+                         if peak and row["hits"] else 0)
+            state = " & ".join(row["state"]) or "<generic>"
+            print(f"  block {row['block']:3d} v{row['index']:<3d} "
+                  f"{row['hits']:8d} hits {bar:31s} {state}"
+                  + (f"  ({', '.join(flags)})" if flags else ""))
+        widened = table["widened"]
+        if widened:
+            print("  widened blocks: "
+                  + ", ".join(f"{bid} ({n}x)"
+                              for bid, n in sorted(widened.items())))
+    print("-- version_stats --")
+    for key, value in stats.items():
+        if key != "tables":
+            print(f"  {key}: {value}")
+
+
 def _print_profile(engine) -> None:
     for code in engine._code_objects:
         name = code.shared.info.name or "<anonymous>"
@@ -162,6 +207,10 @@ def main(argv=None) -> int:
     parser.add_argument("--chains", action="store_true",
                         help="run with the trace tier armed and print the "
                              "edge-frequency histogram and formed chains")
+    parser.add_argument("--versions", action="store_true",
+                        help="run with the lbbv tier armed and print "
+                             "per-block version occupancy, keyed states "
+                             "and hit counts (which states are hot)")
     parser.add_argument("--iterations", type=int, default=10)
     args = parser.parse_args(argv)
 
@@ -171,6 +220,8 @@ def main(argv=None) -> int:
         os.environ.setdefault("REPRO_TRACEJIT_BUDGET", "400")
         os.environ.setdefault("REPRO_TRACEJIT_HOT", "8")
         os.environ.setdefault("REPRO_TRACEJIT_ENTRY", "8")
+    if args.versions:
+        os.environ["REPRO_LBBV"] = "1"
 
     from ..suite.runner import BenchmarkRunner
     from ..suite.spec import get_benchmark
@@ -192,6 +243,8 @@ def main(argv=None) -> int:
         print("-- trace_stats --")
         for key, value in stats.items():
             print(f"  {key}: {value}")
+    elif args.versions:
+        _print_versions(engine)
     else:
         _print_profile(engine)
     return 0

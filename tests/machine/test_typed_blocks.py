@@ -118,9 +118,9 @@ def test_hoisted_guard_elides_check():
     got = typed_engine.executor.run(_smi_arg_code(), [4], 0)
     assert got == want == 4
     assert typed_engine.executor.cycles == plain_engine.executor.cycles
-    elided, conds, smi, guards, failures = typed_engine.executor.typed_counters
+    elided, conds, smi, guards, failures = typed_engine.executor.typed_counters[:5]
     assert (elided, conds, smi, guards, failures) == (1, 1, 0, 1, 0)
-    assert plain_engine.executor.typed_counters == [0, 0, 0, 0, 0]
+    assert plain_engine.executor.typed_counters == [0, 0, 0, 0, 0, 0, 0]
 
 
 def test_guard_failure_falls_back_to_generic():
@@ -135,7 +135,7 @@ def test_guard_failure_falls_back_to_generic():
         typed_engine.executor.run(_smi_arg_code(), [5], 0)
     assert typed_signal.value.check_id == plain_signal.value.check_id == 0
     assert typed_engine.executor.cycles == plain_engine.executor.cycles
-    elided, conds, smi, guards, failures = typed_engine.executor.typed_counters
+    elided, conds, smi, guards, failures = typed_engine.executor.typed_counters[:5]
     assert failures == 1
     assert elided == 0  # the site ran generically, nothing was elided
     assert smi == 0
@@ -195,7 +195,7 @@ def test_jsldrsmi_elided_under_packed_smi_proof():
     got, typed_engine = _run_packed_smi(True)
     assert got == want == 7
     assert typed_engine.executor.cycles == plain_engine.executor.cycles
-    elided, conds, smi, guards, failures = typed_engine.executor.typed_counters
+    elided, conds, smi, guards, failures = typed_engine.executor.typed_counters[:5]
     assert smi == 1  # the jsldrsmi tag test was proven away
     assert elided == 2  # both deopt branches
     assert conds == 2  # cmpi_mem + cmp_mem condition instructions

@@ -117,6 +117,57 @@ def test_bottomed_out_function_runs_interpreter_only_and_identically():
     assert shared.code is None  # stayed interpreter-only throughout
 
 
+def test_every_rung_descent_drops_block_versions():
+    """Each ladder descent must drop ``code._versions`` alongside
+    ``_blocks``/``_traces``/``_typeflow``: version bodies and rechained
+    edges jump into driver slots of the dead block table, so a stale
+    version table on a recompiled code object would dispatch into
+    freed closures."""
+    engine, shared = warmed_blockjit(lbbv=True)
+    descents = 0
+    for _ in range(200):
+        if shared.optimization_disabled:
+            break
+        rung = shared.tier_rung
+        dropped = None
+        while shared.tier_rung == rung and not shared.optimization_disabled:
+            code = trip_once(engine, shared)
+            if code is not None:
+                dropped = code
+                if code._blocks is not None:
+                    # lbbv attaches on every fused run (inactive past
+                    # rung 2, but always present to be torn down)
+                    assert code._versions is not None
+        descents += 1
+        assert dropped is not None
+        assert dropped._versions is None  # dropped on THIS descent
+        assert dropped._blocks is None
+        assert dropped._traces is None
+        assert dropped._typeflow is None
+    assert shared.optimization_disabled
+    assert shared.tier_rung == RUNG_INTERP
+    assert descents == RUNG_INTERP  # one descent per rung, all checked
+
+
+def test_storm_disabled_lbbv_function_runs_interpreter_identically():
+    """A function that bottoms out with the versioning tier armed runs
+    interpreter-only from then on, bit-identical to a never-compiled
+    engine (mirrors the PR 5 storm x blockjit guarantee)."""
+    engine, shared = warmed_blockjit(lbbv=True)
+    last_code = drive_to_disable(engine, shared)
+    assert shared.optimization_disabled
+    assert last_code is not None
+    assert last_code._versions is None
+
+    reference = Engine(EngineConfig(enable_optimizer=False))
+    reference.load(SOURCE)
+    for argument in range(-5, 50):
+        assert engine.call_global("f", argument) == reference.call_global(
+            "f", argument
+        )
+    assert shared.code is None  # stayed interpreter-only throughout
+
+
 def test_reopt_budget_exhaustion_descends_with_distinct_counters():
     """Budget exhaustion rides the same ladder as storms but keeps its
     own books: ``budget_exhaustions``/``budget_disabled``, never
