@@ -47,13 +47,14 @@ REMOVABLE_ITERATIONS = 40
 TIMED = "timed"
 PROFILED = "profiled"
 REMOVABLE = "removable"
+CORPUS = "corpus"
 
 
 @dataclass(frozen=True)
 class RunCell:
     """One schedulable measurement of one benchmark configuration."""
 
-    kind: str  # TIMED / PROFILED / REMOVABLE
+    kind: str  # TIMED / PROFILED / REMOVABLE / CORPUS
     benchmark: str
     target: str
     iterations: int
@@ -62,12 +63,15 @@ class RunCell:
     removed: Tuple[str, ...] = ()
     emit_check_branches: bool = True
     noise: bool = True
+    #: kind-specific discriminator; CORPUS cells carry the entry's source
+    #: digest here so a regenerated corpus entry invalidates its cache row
+    extra: str = ""
 
     def key(self) -> str:
         """Stable text form of the cell (the cache key before hashing)."""
         return "|".join(
             (
-                "cell-v1",
+                "cell-v2",
                 self.kind,
                 self.benchmark,
                 self.target,
@@ -76,6 +80,7 @@ class RunCell:
                 ",".join(self.removed),
                 "1" if self.emit_check_branches else "0",
                 "1" if self.noise else "0",
+                self.extra,
             )
         )
 
@@ -145,6 +150,23 @@ def removable_cell(
     return RunCell(REMOVABLE, _name_of(benchmark), target, iterations, 0, (), True, False)
 
 
+def corpus_cell(name: str, target: str, iterations: int = 14) -> RunCell:
+    """Cell running a graduated fuzz-corpus program through the tier matrix.
+
+    ``extra`` carries the entry's source digest: regenerating the corpus
+    (new generator version, re-fuzzed entry under the same name) changes
+    the digest and therefore the cache key, so stale matrix verdicts are
+    never served for a different program body.
+    """
+    from ..fuzz.corpus import corpus_dir, load_entry
+
+    entry = load_entry(corpus_dir() / f"{name}.json")
+    return RunCell(
+        CORPUS, name, target, iterations, 0, (), True, False,
+        extra=entry.source_sha256[:16],
+    )
+
+
 @dataclass
 class ProfiledRun:
     """A PC-sampled run plus its attribution and static check statistics."""
@@ -209,7 +231,9 @@ def compute_cell(cell: RunCell) -> object:
         rep=cell.rep,
     )
     try:
-        spec = get_benchmark(cell.benchmark)
+        spec = _resolve_spec(cell.benchmark)
+        if cell.kind == CORPUS:
+            return _corpus_matrix(spec, cell)
         if cell.kind == TIMED:
             config = EngineConfig(
                 target=cell.target,
@@ -230,6 +254,41 @@ def compute_cell(cell: RunCell) -> object:
             "cell_kind", "cell_token", "benchmark", "target", "iterations",
             "rep",
         )
+
+
+def _resolve_spec(name: str) -> BenchmarkSpec:
+    """Suite registry first, then graduated fuzz-corpus programs.
+
+    Lazy corpus import keeps the hot suite path free of the fuzz package
+    and avoids an import cycle (fuzz's oracle imports the resilience
+    oracle, which imports the suite runner this module also uses).
+    """
+    try:
+        return get_benchmark(name)
+    except KeyError:
+        from ..fuzz.corpus import corpus_benchmark
+
+        spec = corpus_benchmark(name)
+        if spec is None:
+            raise KeyError(f"unknown benchmark {name!r} (suite and corpus)")
+        return spec
+
+
+def _corpus_matrix(spec: BenchmarkSpec, cell: RunCell) -> object:
+    """Run one corpus program through the full differential tier matrix."""
+    from ..fuzz.oracle import fuzz_base_config
+    from ..resilience.faults import FaultPlan
+    from ..resilience.oracle import matrix_run
+
+    plan = FaultPlan(benchmark=spec.name, seed=cell.rep, faults=())
+    return matrix_run(
+        spec,
+        target=cell.target,
+        plan=plan,
+        iterations=cell.iterations,
+        base_config=fuzz_base_config(),
+        capture=False,
+    )
 
 
 def _profiled_run(

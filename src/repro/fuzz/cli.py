@@ -1,0 +1,182 @@
+"""``python -m repro.resilience fuzz`` — drive the correctness fleet.
+
+Generates ``--count`` seeded programs, runs each through the N-way tier
+matrix on every ``--targets`` ISA, captures ``fuzz-divergence`` bundles
+for any mismatch, and graduates the most interesting survivors into the
+corpus (``--graduate``).  Fully deterministic for a fixed
+``--seed``/``--count``: the per-program seed is a crc32 digest of
+``(generator version, base seed, index)``, the report is ordered by
+index regardless of ``--jobs``, and a ``--jobs 4`` run prints byte-
+identical output to a ``--jobs 1`` run.
+
+    python -m repro.resilience fuzz --seed 1 --count 200 --jobs 4
+    python -m repro.resilience fuzz --seed 1 --count 50 --graduate 5
+    REPRO_CHAOS_FUZZ=flip:typed python -m repro.resilience fuzz --count 3
+
+Exit code 0 when every program matches across all tiers; 1 otherwise.
+``--budget`` caps wall-clock seconds (a soft stop between programs for
+time-boxed CI lanes — coverage shrinks, verdicts stay deterministic).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .corpus import (
+    corpus_dir,
+    entry_for,
+    profile_score,
+    save_entry,
+    should_graduate,
+)
+from .generator import FuzzConfig, fuzz_case_seed, generate_program
+from .oracle import DEFAULT_ITERATIONS, DEFAULT_TARGETS, FuzzVerdict, run_fuzz_program
+
+
+def _run_case(case: Tuple[int, Tuple[str, ...], int]) -> FuzzVerdict:
+    seed, targets, iterations = case
+    program = generate_program(seed, FuzzConfig())
+    return run_fuzz_program(
+        program, targets=targets, iterations=iterations
+    )
+
+
+def _format_row(index: int, verdict: FuzzVerdict) -> str:
+    program = verdict.program
+    status = "ok" if verdict.ok else "DIVERGE"
+    profile = verdict.profile
+    detail = (
+        f"deopts={profile.get('eager_deopts', '-')} "
+        f"guards={profile.get('guard_failures', '-')} "
+        f"versions={profile.get('versions_registered', '-')} "
+        f"density={profile.get('check_density', '-')} "
+        f"disp={profile.get('continuation_dispatches', '-')}"
+        if profile
+        else ""
+    )
+    return (
+        f"[{index:>4}] {program.name} {status:<8} "
+        f"idioms={','.join(program.idioms)} {detail}"
+    )
+
+
+def fuzz_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience fuzz",
+        description="generative differential fuzzing over the executor ladder",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="base seed")
+    parser.add_argument(
+        "--count", type=int, default=50, help="programs to generate"
+    )
+    parser.add_argument(
+        "--budget", type=float, default=0.0,
+        help="soft wall-clock cap in seconds (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    parser.add_argument(
+        "--targets", nargs="+", default=list(DEFAULT_TARGETS),
+        help="ISAs to matrix over",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=DEFAULT_ITERATIONS,
+        help="iterations per tier run",
+    )
+    parser.add_argument(
+        "--graduate", type=int, default=0, metavar="N",
+        help="persist up to N most interesting survivors into the corpus",
+    )
+    parser.add_argument(
+        "--corpus-dir", type=Path, default=None,
+        help="corpus destination (default results/corpus or REPRO_CORPUS_DIR)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print per-tier mismatch detail"
+    )
+    args = parser.parse_args(argv)
+
+    targets = tuple(args.targets)
+    seeds = [fuzz_case_seed(args.seed, index) for index in range(args.count)]
+    cases = [(seed, targets, args.iterations) for seed in seeds]
+    print(
+        f"fuzz fleet: {args.count} program(s) x {len(targets)} target(s), "
+        f"base seed {args.seed}, {args.iterations} iterations, "
+        f"jobs={args.jobs}"
+    )
+
+    started = time.monotonic()
+    verdicts: List[Optional[FuzzVerdict]] = [None] * len(cases)
+    ran = 0
+    if args.jobs > 1:
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            for index, verdict in enumerate(pool.map(_run_case, cases)):
+                verdicts[index] = verdict
+                ran += 1
+                if args.budget and time.monotonic() - started > args.budget:
+                    break
+    else:
+        for index, case in enumerate(cases):
+            verdicts[index] = _run_case(case)
+            ran += 1
+            if args.budget and time.monotonic() - started > args.budget:
+                break
+
+    divergent: List[Tuple[int, FuzzVerdict]] = []
+    survivors: List[Tuple[int, FuzzVerdict]] = []
+    for index, verdict in enumerate(verdicts):
+        if verdict is None:
+            continue  # budget stop
+        print(_format_row(index, verdict))
+        if verdict.ok:
+            survivors.append((index, verdict))
+        else:
+            divergent.append((index, verdict))
+            if args.verbose:
+                for line in verdict.mismatches[:8]:
+                    print(f"    {line}")
+
+    if ran < len(cases):
+        print(f"budget stop: ran {ran}/{len(cases)} programs")
+
+    graduated: List[str] = []
+    if args.graduate > 0:
+        candidates = [
+            (index, verdict)
+            for index, verdict in survivors
+            if should_graduate(verdict.profile)
+        ]
+        # rank by interest, break ties by index so the pick is stable
+        candidates.sort(
+            key=lambda pair: (-profile_score(pair[1].profile), pair[0])
+        )
+        root = args.corpus_dir if args.corpus_dir is not None else corpus_dir()
+        for _index, verdict in candidates[: args.graduate]:
+            path = save_entry(entry_for(verdict), root)
+            graduated.append(str(path))
+
+    print(
+        f"\n{len(survivors)}/{ran} programs matched across the ladder"
+        + (f"; {len(graduated)} graduated into {root}" if graduated else "")
+    )
+    for index, verdict in divergent:
+        program = verdict.program
+        print(
+            f"\nDIVERGE [{index}] {program.name} seed={program.seed} "
+            f"idioms={','.join(program.idioms)}"
+        )
+        for line in verdict.mismatches[:8]:
+            print(f"  {line}")
+        for path in verdict.bundle_paths:
+            print(f"  bundle: {path}")
+    return 1 if divergent else 0
+
+
+if __name__ == "__main__":
+    sys.exit(fuzz_main())

@@ -1,0 +1,523 @@
+"""Seeded deterministic program generator for the JS subset.
+
+Programs are *built as ASTs* and rendered through
+:func:`repro.lang.unparse.unparse`, so every generated program is by
+construction inside the grammar the engine's front end accepts, and the
+corpus/minimizer share one canonical text form.
+
+Determinism contract: ``generate_program(seed)`` is a pure function of
+``(seed, config)`` — same arguments produce a **byte-identical** source
+string in any process, under any ``PYTHONHASHSEED``, on any worker of a
+``--jobs`` pool.  All randomness flows through one ``random.Random(seed)``
+(Mersenne Twister is specified and platform-stable) and seeds are derived
+with the crc32 :func:`fuzz_case_seed` scheme, never ``hash()``.
+
+The generator is biased toward the idioms the speculation ladder bets
+on, each emitted with a config-controlled probability:
+
+* ``unstable_phi`` — hot loops whose accumulator alternates SMI/double
+  depending on a loop-carried condition (type-unstable phi nodes);
+* ``smi_boundary`` — arithmetic that walks an accumulator across the
+  2**30 SMI tagging boundary (box/unbox churn, overflow checks);
+* ``poly_call`` — call sites whose target flips between helper
+  functions (polymorphic feedback, call-target speculation);
+* ``shape_mutation`` — property stores that add fields to *live*
+  objects mid-loop (map checks, megamorphic loads);
+* ``elements_transition`` — element stores that retype a packed-SMI
+  array to doubles or tagged, or grow it via the append idiom
+  (elements-kind checks);
+* ``nested_loop`` — inner loops over array reads (trace/lbbv fodder).
+
+Programs always define ``setup()`` and ``run()`` (the suite protocol),
+terminate by construction (all loops are literal-bounded counted
+loops), and never produce NaN/undefined reads, so a cross-tier value
+difference is always an engine bug, not program nondeterminism.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import ast_nodes as ast
+from ..lang.unparse import unparse
+
+#: bump when generated-program shape changes: corpus entries and
+#: fuzz-divergence bundles record it, and replay refuses on mismatch
+#: (a stale bundle must not silently replay a different program).
+GENERATOR_VERSION = 1
+
+#: largest SMI under the default 31-bit tagging (2**30 - 1)
+_SMI_MAX = 1073741823
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Bias knobs of the generator (all probabilities in [0, 1])."""
+
+    version: int = GENERATOR_VERSION
+    p_unstable_phi: float = 0.85
+    p_smi_boundary: float = 0.7
+    p_poly_call: float = 0.75
+    p_shape_mutation: float = 0.65
+    p_elements_transition: float = 0.65
+    p_nested_loop: float = 0.45
+    #: extra helper functions beyond the two poly-call targets
+    max_helpers: int = 2
+    #: outer hot-loop trip-count range (literal-bounded, so termination
+    #: is guaranteed by construction)
+    min_loop: int = 16
+    max_loop: int = 56
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """One generated program plus the provenance needed to regenerate it."""
+
+    seed: int
+    name: str
+    source: str
+    idioms: Tuple[str, ...]
+    config: FuzzConfig
+
+    @property
+    def source_crc(self) -> int:
+        return zlib.crc32(self.source.encode("utf-8"))
+
+
+def fuzz_case_seed(base_seed: int, index: int) -> int:
+    """Per-program seed digest, stable across processes and pool shards.
+
+    crc32 over a canonical text key — the same scheme as
+    :func:`repro.suite.runner.stable_seed`; ``hash()`` is salted per
+    process and must never feed generation.
+    """
+    key = f"repro-fuzz:{GENERATOR_VERSION}:{base_seed}:{index}"
+    return zlib.crc32(key.encode("utf-8"))
+
+
+def program_name(seed: int) -> str:
+    return f"FZ-{seed & 0xFFFFFFFF:08x}"
+
+
+# ---------------------------------------------------------------------------
+# tiny AST-building helpers
+# ---------------------------------------------------------------------------
+
+
+def _num(value) -> ast.NumberLiteral:
+    if isinstance(value, int):
+        return ast.NumberLiteral(value=float(value), is_integer=True)
+    return ast.NumberLiteral(value=float(value), is_integer=False)
+
+
+def _ident(name: str) -> ast.Identifier:
+    return ast.Identifier(name=name)
+
+
+def _bin(op: str, left: ast.Node, right: ast.Node) -> ast.BinaryExpression:
+    return ast.BinaryExpression(operator=op, left=left, right=right)
+
+
+def _assign(target: ast.Node, value: ast.Node, op: str = "=") -> ast.ExpressionStatement:
+    return ast.ExpressionStatement(
+        expression=ast.AssignmentExpression(operator=op, target=target, value=value)
+    )
+
+
+def _var(name: str, init: Optional[ast.Node]) -> ast.VariableDeclaration:
+    return ast.VariableDeclaration(kind="var", declarations=[(name, init)])
+
+
+def _call(callee: ast.Node, *args: ast.Node) -> ast.CallExpression:
+    return ast.CallExpression(callee=callee, arguments=list(args))
+
+
+def _member(obj: ast.Node, prop: str) -> ast.MemberExpression:
+    return ast.MemberExpression(object=obj, property=_ident(prop), computed=False)
+
+
+def _index(obj: ast.Node, key: ast.Node) -> ast.MemberExpression:
+    return ast.MemberExpression(object=obj, property=key, computed=True)
+
+
+def _block(statements: List[ast.Node]) -> ast.BlockStatement:
+    return ast.BlockStatement(body=statements)
+
+
+def _for(var: str, bound: int, body: List[ast.Node]) -> ast.ForStatement:
+    return ast.ForStatement(
+        init=_var(var, _num(0)),
+        test=_bin("<", _ident(var), _num(bound)),
+        update=ast.UpdateExpression(operator="++", target=_ident(var), prefix=False),
+        body=_block(body),
+    )
+
+
+def _if(test: ast.Node, then: List[ast.Node],
+        alt: Optional[List[ast.Node]] = None) -> ast.IfStatement:
+    return ast.IfStatement(
+        test=test,
+        consequent=_block(then),
+        alternate=None if alt is None else _block(alt),
+    )
+
+
+def _ret(value: ast.Node) -> ast.ReturnStatement:
+    return ast.ReturnStatement(argument=value)
+
+
+def _new_array(length: int) -> ast.NewExpression:
+    return ast.NewExpression(callee=_ident("Array"), arguments=[_num(length)])
+
+
+def _mod(expr: ast.Node, modulus: int) -> ast.Node:
+    return _bin("%", expr, _num(modulus))
+
+
+# ---------------------------------------------------------------------------
+# the generator
+# ---------------------------------------------------------------------------
+
+
+class _Builder:
+    """Accumulates one program; every rng draw is sequence-deterministic."""
+
+    def __init__(self, rng: random.Random, config: FuzzConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.top: List[ast.Node] = []
+        self.setup: List[ast.Node] = []
+        self.run: List[ast.Node] = []
+        self.terms: List[str] = []  # run-local names folded into the checksum
+        self.idioms: List[str] = []
+        self.locals = 0
+        self.loops = 0
+
+    def fresh(self, prefix: str = "t") -> str:
+        self.locals += 1
+        return f"{prefix}{self.locals}"
+
+    def loop_var(self) -> str:
+        self.loops += 1
+        return f"i{self.loops}"
+
+    def trip(self) -> int:
+        return self.rng.randrange(self.config.min_loop, self.config.max_loop + 1)
+
+    # -- helper functions ------------------------------------------------
+
+    def helper(self, name: str, flavor: str) -> None:
+        x, y = _ident("x"), _ident("y")
+        if flavor == "int":
+            body = _mod(_bin("+", _bin("*", x, _num(self.rng.randrange(3, 97))),
+                             _bin("*", y, _num(self.rng.randrange(3, 97)))), 65521)
+        elif flavor == "double":
+            body = _bin("+", _bin("*", x, _num(0.5)), _bin("*", y, _num(1.25)))
+        else:  # "bits"
+            body = _bin("&", _bin("^", x, _bin("<<", y, _num(self.rng.randrange(1, 4)))),
+                        _num(1023))
+        self.top.append(ast.FunctionDeclaration(
+            name=name, params=["x", "y"], body=[_ret(body)]
+        ))
+
+    # -- idioms ----------------------------------------------------------
+
+    def idiom_unstable_phi(self) -> None:
+        acc = self.fresh("p")
+        var = self.loop_var()
+        period = self.rng.choice([2, 3, 5])
+        step_d = self.rng.choice([0.5, 0.25, 1.5])
+        step_i = self.rng.randrange(1, 7)
+        self.run.append(_var(acc, _num(0)))
+        self.run.append(_for(var, self.trip(), [
+            _if(_bin("==", _mod(_ident(var), period), _num(0)),
+                [_assign(_ident(acc), _bin("+", _ident(acc), _num(step_d)))],
+                [_assign(_ident(acc), _bin("+", _ident(acc), _num(step_i)))]),
+        ]))
+        self.terms.append(acc)
+        self.idioms.append("unstable_phi")
+
+    def idiom_smi_boundary(self) -> None:
+        acc = self.fresh("s")
+        var = self.loop_var()
+        start = _SMI_MAX - self.rng.randrange(200, 4000)
+        stride = self.rng.randrange(97, 1500)
+        self.run.append(_var(acc, _num(start)))
+        body: List[ast.Node] = [
+            _assign(_ident(acc), _bin("+", _ident(acc), _num(stride))),
+            _if(_bin(">", _ident(acc), _num(_SMI_MAX)),
+                [_assign(_ident(acc),
+                         _bin("-", _ident(acc), _num(_SMI_MAX + stride // 2)))]),
+        ]
+        if self.rng.random() < 0.5:
+            # multiplication overflow: 46341**2 > 2**31
+            sq = self.fresh("q")
+            self.run.append(_var(sq, _num(46000 + self.rng.randrange(0, 1000))))
+            body.append(_assign(
+                _ident(acc),
+                _bin("+", _ident(acc), _mod(_bin("*", _ident(sq), _ident(sq)), 524287)),
+            ))
+        self.run.append(_for(var, self.trip(), body))
+        self.terms.append(acc)
+        self.idioms.append("smi_boundary")
+
+    def idiom_poly_call(self, helpers: List[str]) -> None:
+        acc = self.fresh("c")
+        var = self.loop_var()
+        f0, f1 = self.rng.sample(helpers, 2)
+        k0, k1 = self.rng.randrange(1, 9), self.rng.randrange(1, 9)
+        self.run.append(_var(acc, _num(0)))
+        if self.rng.random() < 0.5:
+            # branchy dispatch: two monomorphic sites made polymorphic by
+            # the shared return-value phi
+            body: List[ast.Node] = [
+                _if(_bin("==", _mod(_ident(var), 2), _num(0)),
+                    [_assign(_ident(acc), _bin(
+                        "+", _ident(acc),
+                        _call(_ident(f0), _ident(var), _num(k0))))],
+                    [_assign(_ident(acc), _bin(
+                        "+", _ident(acc),
+                        _call(_ident(f1), _ident(var), _num(k1))))]),
+            ]
+        else:
+            # one call site, rebinding target: classic polymorphic feedback
+            fn = self.fresh("fn")
+            self.run.append(_var(fn, _ident(f0)))
+            body = [
+                _if(_bin("==", _mod(_ident(var), 3), _num(0)),
+                    [_assign(_ident(fn), _ident(f1))],
+                    [_assign(_ident(fn), _ident(f0))]),
+                _assign(_ident(acc), _bin(
+                    "+", _ident(acc), _call(_ident(fn), _ident(var), _num(k0)))),
+            ]
+        self.run.append(_for(var, self.trip(), body))
+        self.terms.append(acc)
+        self.idioms.append("poly_call")
+
+    def idiom_shape_mutation(self) -> None:
+        count = self.rng.randrange(5, 12)
+        mutate_at = self.rng.randrange(0, count)
+        mutate_iter = self.rng.randrange(3, 11)
+        arr = self.fresh("boxes")
+        if not any(
+            isinstance(node, ast.FunctionDeclaration) and node.name == "Box"
+            for node in self.top
+        ):
+            self.top.append(ast.FunctionDeclaration(
+                name="Box", params=["a", "b"],
+                body=[
+                    _assign(_member(ast.ThisExpression(), "a"), _ident("a")),
+                    _assign(_member(ast.ThisExpression(), "b"), _ident("b")),
+                ],
+            ))
+        self.top.append(_var(arr, _new_array(count)))
+        jvar = self.loop_var()
+        self.setup.append(_for(jvar, count, [
+            _assign(_index(_ident(arr), _ident(jvar)),
+                    ast.NewExpression(callee=_ident("Box"), arguments=[
+                        _mod(_ident(jvar), 7),
+                        _bin("+", _ident(jvar), _num(2)),
+                    ])),
+        ]))
+        acc = self.fresh("m")
+        box = self.fresh("b")
+        var = self.loop_var()
+        self.run.append(_var(acc, _num(0)))
+        body: List[ast.Node] = [
+            _var(box, _index(_ident(arr), _mod(_ident(var), count))),
+            _assign(_ident(acc), _bin(
+                "+", _ident(acc),
+                _bin("+", _bin("*", _member(_ident(box), "a"), _num(3)),
+                     _member(_ident(box), "b")))),
+            # adds a field to a *live* object: the map of boxes[mutate_at]
+            # transitions while the loop's property loads stay hot
+            _if(_bin("==", _ident(var), _num(mutate_iter)),
+                [_assign(_member(_index(_ident(arr), _num(mutate_at)), "extra"),
+                         _num(self.rng.randrange(1, 50)))]),
+        ]
+        if self.rng.random() < 0.5:
+            # retype a field on the same live object: SMI field -> double
+            body.append(_if(
+                _bin("==", _ident(var), _num(mutate_iter + 2)),
+                [_assign(_member(_index(_ident(arr), _num(mutate_at)), "b"),
+                         _bin("+", _member(_index(_ident(arr), _num(mutate_at)), "b"),
+                              _num(0.5)))],
+            ))
+        self.run.append(_for(var, self.trip(), body))
+        # the mutated field is always present after the loop (mutate_iter
+        # is below every possible trip count), so this read is defined
+        self.run.append(_assign(
+            _ident(acc),
+            _bin("+", _ident(acc), _member(_index(_ident(arr), _num(mutate_at)), "extra")),
+        ))
+        self.terms.append(acc)
+        self.idioms.append("shape_mutation")
+
+    def idiom_elements_transition(self) -> None:
+        length = self.rng.randrange(16, 40)
+        arr = self.fresh("ea")
+        self.top.append(_var(arr, _new_array(length)))
+        jvar = self.loop_var()
+        self.setup.append(_for(jvar, length, [
+            _assign(_index(_ident(arr), _ident(jvar)),
+                    _mod(_bin("*", _ident(jvar), _num(self.rng.randrange(3, 31))), 1024)),
+        ]))
+        acc = self.fresh("e")
+        var = self.loop_var()
+        flip_iter = self.rng.randrange(4, 12)
+        mode = self.rng.choice(["double", "tagged", "append", "both"])
+        body: List[ast.Node] = [
+            _assign(_index(_ident(arr), _mod(_ident(var), length)),
+                    _mod(_bin("+", _index(_ident(arr), _mod(_ident(var), length)),
+                              _ident(var)), 16384)),
+            _assign(_ident(acc), _bin(
+                "+", _ident(acc),
+                _index(_ident(arr), _mod(_bin("*", _ident(var), _num(7)), length)))),
+        ]
+        if mode in ("double", "both"):
+            # packed SMI -> packed double, mid-loop, on a live array
+            body.append(_if(_bin("==", _ident(var), _num(flip_iter)), [
+                _assign(_index(_ident(arr), _num(0)),
+                        _bin("+", _index(_ident(arr), _num(0)), _num(0.25))),
+            ]))
+        if mode in ("tagged", "both"):
+            # -> PACKED (tagged): the map transition is one-way, so
+            # storing a boolean and immediately restoring an SMI retypes
+            # the elements for good without poisoning later reads
+            body.append(_if(_bin("==", _ident(var), _num(flip_iter + 1)), [
+                _assign(_index(_ident(arr), _num(1)),
+                        ast.BooleanLiteral(value=True)),
+                _assign(_index(_ident(arr), _num(1)), _num(3)),
+            ]))
+        if mode == "append":
+            # the a[a.length] = v append idiom: out-of-bounds store
+            # feedback plus a push-grown backing store
+            body.append(_if(_bin("==", _ident(var), _num(flip_iter + 1)), [
+                _assign(_index(_ident(arr), _member(_ident(arr), "length")),
+                        _num(7)),
+            ]))
+        self.run.append(_var(acc, _num(0)))
+        self.run.append(_for(var, self.trip(), body))
+        if mode == "append":
+            # the first run() call appends exactly at the original length
+            # and in-loop stores never touch that slot again, so this read
+            # is defined and stable from the first iteration on
+            self.run.append(_assign(
+                _ident(acc),
+                _bin("+", _ident(acc), _index(_ident(arr), _num(length))),
+            ))
+        self.terms.append(acc)
+        self.idioms.append("elements_transition")
+
+    def idiom_nested_loop(self, data_arrays: List[Tuple[str, int]]) -> None:
+        if not data_arrays:
+            return
+        arr, length = data_arrays[self.rng.randrange(len(data_arrays))]
+        acc = self.fresh("w")
+        outer, inner = self.loop_var(), self.loop_var()
+        inner_trip = self.rng.randrange(4, 12)
+        self.run.append(_var(acc, _num(0)))
+        self.run.append(_for(outer, self.trip(), [
+            _for(inner, inner_trip, [
+                _assign(_ident(acc), _mod(
+                    _bin("+", _ident(acc),
+                         _index(_ident(arr),
+                                _mod(_bin("+", _ident(outer), _ident(inner)), length))),
+                    262139)),
+            ]),
+        ]))
+        self.terms.append(acc)
+        self.idioms.append("nested_loop")
+
+
+def generate_program(seed: int, config: Optional[FuzzConfig] = None) -> FuzzProgram:
+    """Generate one program; pure function of ``(seed, config)``."""
+    config = config or FuzzConfig()
+    rng = random.Random(seed)
+    builder = _Builder(rng, config)
+
+    # helper pool (poly-call targets need >= 2 with distinct return types)
+    helper_names = ["f0", "f1"]
+    builder.helper("f0", "int")
+    builder.helper("f1", "double")
+    for extra in range(rng.randrange(0, config.max_helpers + 1)):
+        name = f"f{2 + extra}"
+        helper_names.append(name)
+        builder.helper(name, rng.choice(["int", "bits"]))
+
+    # data arrays idioms may index into (name, length)
+    data_arrays: List[Tuple[str, int]] = []
+    base_len = rng.randrange(16, 48)
+    builder.top.append(_var("data0", _new_array(base_len)))
+    jvar = builder.loop_var()
+    builder.setup.append(_for(jvar, base_len, [
+        _assign(_index(_ident("data0"), _ident(jvar)),
+                _mod(_bin("*", _ident(jvar), _num(rng.randrange(5, 61))), 2048)),
+    ]))
+    data_arrays.append(("data0", base_len))
+
+    # a couple of user globals so the heap snapshot has state to diff
+    builder.top.append(_var("gAcc", _num(0)))
+    builder.top.append(_var("gMix", _num(0)))
+
+    chosen = [
+        (config.p_unstable_phi, builder.idiom_unstable_phi),
+        (config.p_smi_boundary, builder.idiom_smi_boundary),
+        (config.p_poly_call, lambda: builder.idiom_poly_call(helper_names)),
+        (config.p_shape_mutation, builder.idiom_shape_mutation),
+        (config.p_elements_transition, builder.idiom_elements_transition),
+        (config.p_nested_loop, lambda: builder.idiom_nested_loop(data_arrays)),
+    ]
+    emitted_any = False
+    for probability, emit in chosen:
+        if rng.random() < probability:
+            emit()
+            emitted_any = True
+    if not emitted_any:
+        builder.idiom_unstable_phi()
+
+    # fold every idiom's accumulator into one integer checksum; Math.floor
+    # collapses double accumulators deterministically, and every term is
+    # NaN-free by construction
+    checksum: List[ast.Node] = [_var("check", _num(0))]
+    for term in builder.terms:
+        checksum.append(_assign(
+            _ident("check"),
+            _mod(_bin("+", _bin("*", _ident("check"), _num(31)),
+                      _call(_member(_ident("Math"), "floor"),
+                            _bin("*", _ident(term), _num(64)))), 16777213),
+        ))
+    checksum.append(_assign(
+        _ident("gAcc"), _mod(_bin("+", _ident("gAcc"), _ident("check")), 1048573)))
+    checksum.append(_assign(
+        _ident("gMix"), _bin("+", _ident("gMix"),
+                             _bin("*", _mod(_ident("check"), 97), _num(0.125)))))
+    checksum.append(_ret(_ident("check")))
+
+    builder.top.append(ast.FunctionDeclaration(
+        name="setup", params=[],
+        body=list(builder.setup) or [ast.EmptyStatement()],
+    ))
+    builder.top.append(ast.FunctionDeclaration(
+        name="run", params=[], body=list(builder.run) + checksum,
+    ))
+
+    program = ast.Program(body=builder.top)
+    return FuzzProgram(
+        seed=seed,
+        name=program_name(seed),
+        source=unparse(program),
+        idioms=tuple(builder.idioms),
+        config=config,
+    )

@@ -1,0 +1,176 @@
+"""AST-level shrinker for divergent generated programs.
+
+Works on the parse tree and re-renders through
+:func:`repro.lang.unparse.unparse`, so every candidate is a valid
+program text and the final minimized form is in the same canonical
+style the corpus stores.  Two greedy passes run to a fixpoint under an
+attempt budget:
+
+* **statement deletion** — try removing each statement (innermost lists
+  last, so whole loops go before their bodies are nibbled); a removal
+  survives if the caller's interestingness predicate still holds;
+* **literal shrinking** — try collapsing integer literals toward small
+  values (0, 1, value/2), which in practice shrinks loop trip counts
+  and array lengths.
+
+The predicate receives candidate *source text* and must return True
+when the divergence still reproduces.  Callers should make their
+predicate reject programs that fail the baseline (interpreter) run:
+deleting a ``var`` a later statement uses must not count as progress.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..lang import ast_nodes as ast
+from ..lang.parser import parse
+from ..lang.unparse import unparse
+
+#: default cap on candidate evaluations (each one runs the full oracle)
+DEFAULT_ATTEMPTS = 400
+
+
+@dataclass
+class MinimizeResult:
+    source: str
+    attempts: int
+    #: statements deleted + literals shrunk that survived
+    reductions: int
+
+    @property
+    def improved(self) -> bool:
+        return self.reductions > 0
+
+
+def _statement_lists(program: ast.Program) -> List[List[ast.Node]]:
+    """Every mutable statement list in the tree, outermost first."""
+    lists: List[List[ast.Node]] = []
+
+    def visit_block(body: List[ast.Node]) -> None:
+        lists.append(body)
+        for node in body:
+            visit_statement(node)
+
+    def visit_statement(node: ast.Node) -> None:
+        if isinstance(node, ast.FunctionDeclaration):
+            visit_block(node.body)
+        elif isinstance(node, ast.BlockStatement):
+            visit_block(node.body)
+        elif isinstance(node, ast.IfStatement):
+            visit_statement(node.consequent)
+            if node.alternate is not None:
+                visit_statement(node.alternate)
+        elif isinstance(node, (ast.WhileStatement, ast.DoWhileStatement)):
+            visit_statement(node.body)
+        elif isinstance(node, ast.ForStatement):
+            visit_statement(node.body)
+
+    visit_block(program.body)
+    return lists
+
+
+def _number_literals(program: ast.Program) -> List[ast.NumberLiteral]:
+    """Every integer literal > 1, in source order."""
+    found: List[ast.NumberLiteral] = []
+
+    def visit(node: object) -> None:
+        if isinstance(node, ast.NumberLiteral):
+            if node.is_integer and node.value > 1:
+                found.append(node)
+            return
+        if isinstance(node, ast.Node):
+            for name in node.__dataclass_fields__:
+                visit(getattr(node, name))
+        elif isinstance(node, (list, tuple)):
+            for item in node:
+                visit(item)
+
+    visit(program)
+    return found
+
+
+def minimize_source(
+    source: str,
+    is_interesting: Callable[[str], bool],
+    max_attempts: int = DEFAULT_ATTEMPTS,
+) -> MinimizeResult:
+    """Greedy fixpoint shrink of ``source`` under ``is_interesting``.
+
+    Deterministic: candidate order is a pure function of the current
+    tree, and the predicate is assumed deterministic (the whole fuzz
+    stack is).  Never returns an uninteresting program — if even the
+    input fails the predicate, the input is returned unchanged.
+    """
+    attempts = 0
+    reductions = 0
+    if not is_interesting(source):
+        return MinimizeResult(source=source, attempts=1, reductions=0)
+
+    current = parse(source)
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+
+        # pass 1: statement deletion, scanning lists outermost-first and
+        # statements last-to-first (tail statements — checksum folds,
+        # extra idioms — are the cheapest to lose)
+        for list_index in range(len(_statement_lists(current))):
+            lists = _statement_lists(current)
+            if list_index >= len(lists):
+                break
+            body = lists[list_index]
+            position = len(body) - 1
+            while position >= 0 and attempts < max_attempts:
+                if len(body) <= 1 and body is not current.body:
+                    break  # keep function bodies non-empty
+                candidate = copy.deepcopy(current)
+                candidate_body = _statement_lists(candidate)[list_index]
+                del candidate_body[position]
+                attempts += 1
+                if is_interesting(unparse(candidate)):
+                    current = candidate
+                    body = _statement_lists(current)[list_index]
+                    reductions += 1
+                    changed = True
+                position -= 1
+
+        # pass 2: integer-literal shrinking (loop bounds, array lengths)
+        literal_index = 0
+        while attempts < max_attempts:
+            literals = _number_literals(current)
+            if literal_index >= len(literals):
+                break
+            value = int(literals[literal_index].value)
+            shrunk = False
+            for replacement in _shrink_values(value):
+                candidate = copy.deepcopy(current)
+                target = _number_literals(candidate)[literal_index]
+                object.__setattr__(target, "value", float(replacement))
+                attempts += 1
+                if is_interesting(unparse(candidate)):
+                    current = candidate
+                    reductions += 1
+                    changed = True
+                    shrunk = True
+                    break
+                if attempts >= max_attempts:
+                    break
+            if not shrunk:
+                literal_index += 1
+
+    return MinimizeResult(
+        source=unparse(current), attempts=attempts, reductions=reductions
+    )
+
+
+def _shrink_values(value: int) -> Tuple[int, ...]:
+    """Candidate replacements for an integer literal, most aggressive
+    first; deduplicated, all strictly smaller than ``value``."""
+    candidates = []
+    for proposal in (0, 1, 2, value // 2):
+        if 0 <= proposal < value and proposal not in candidates:
+            candidates.append(proposal)
+    return tuple(candidates)

@@ -1,0 +1,239 @@
+"""N-way differential oracle over generated programs.
+
+Every generated program runs through the full executor ladder
+(:data:`repro.resilience.oracle.EXECUTOR_LADDER`) on every requested ISA
+target, and the matrix demands bitwise-identical per-iteration values,
+post-run globals snapshots, and — among the classic-bailout tiers —
+eager-deopt event streams.  A divergence captures a replayable
+``fuzz-divergence`` crash bundle carrying the generator seed and config
+(regeneration provenance), the source and its sha256 (so replay can
+prove it re-runs the same program), and the mismatch details.
+
+``REPRO_CHAOS_FUZZ=flip:<tier>`` is the seeded fault: it corrupts the
+named tier's last collected value before comparison, forcing a
+divergence through the *entire* pipeline — capture, replay, minimize —
+which is how CI proves the fleet would actually catch a real bug.  The
+tamper keys on the tier name only (never the program), so a shrunken
+program still diverges and the minimizer can make progress.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import EngineConfig
+from ..resilience.faults import FaultPlan
+from ..resilience.oracle import EXECUTOR_LADDER, MatrixOutcome, TierSpec, matrix_run
+from ..suite.runner import BenchmarkRunner, NoiseModel
+from ..suite.spec import BenchmarkSpec
+from .generator import GENERATOR_VERSION, FuzzProgram
+
+#: ISAs the fleet exercises by default (the paper's two targets)
+DEFAULT_TARGETS: Tuple[str, ...] = ("arm64", "x64")
+
+#: iterations per tier run — enough to tier all the way up under the
+#: fuzz thresholds below and still take a post-warm-up mutation or two
+DEFAULT_ITERATIONS = 14
+
+#: marker value the seeded REPRO_CHAOS_FUZZ tamper plants (recognizable
+#: in bundles and obviously impossible for a generated checksum)
+TAMPER_MARKER = -123456789.5
+
+
+def fuzz_base_config() -> EngineConfig:
+    """Engine base config for fuzz runs: aggressive tier-up thresholds so
+    a 14-iteration run still exercises every executor."""
+    return EngineConfig(tierup_invocations=3, tierup_backedges=200)
+
+
+def fuzz_spec(program: FuzzProgram) -> BenchmarkSpec:
+    """A generated program as a directly-runnable (unregistered) spec."""
+    return BenchmarkSpec(
+        name=program.name,
+        category="Objects",
+        source=program.source,
+        expected=None,
+        description=f"generated (seed={program.seed})",
+    )
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def parse_tamper(value: Optional[str] = None) -> Optional[str]:
+    """Parse ``REPRO_CHAOS_FUZZ`` (``flip:<tier>``) into a tier name."""
+    raw = os.environ.get("REPRO_CHAOS_FUZZ", "") if value is None else value
+    if not raw:
+        return None
+    if raw.startswith("flip:"):
+        return raw[len("flip:"):]
+    raise ValueError(
+        f"REPRO_CHAOS_FUZZ={raw!r}: expected 'flip:<tier>'"
+    )
+
+
+def _tamper_for(tier_name: Optional[str]):
+    if tier_name is None:
+        return None
+
+    def tamper(name: str, values: List[object]) -> List[object]:
+        if name == tier_name and values:
+            values[-1] = TAMPER_MARKER
+        return values
+
+    return tamper
+
+
+@dataclass
+class FuzzVerdict:
+    """Verdict of one generated program across targets and tiers."""
+
+    program: FuzzProgram
+    ok: bool
+    targets: Tuple[str, ...]
+    iterations: int
+    #: target -> full ladder outcome
+    matrices: Dict[str, MatrixOutcome]
+    #: interestingness profile from a dedicated lbbv+deoptless run
+    profile: Dict[str, object] = field(default_factory=dict)
+    #: captured fuzz-divergence bundle paths (one per diverging target)
+    bundle_paths: List[str] = field(default_factory=list)
+
+    @property
+    def mismatches(self) -> List[str]:
+        out: List[str] = []
+        for target in self.targets:
+            matrix = self.matrices.get(target)
+            if matrix is not None:
+                out.extend(f"{target}:{m}" for m in matrix.mismatches)
+        return out
+
+
+def collect_profile(
+    program: FuzzProgram,
+    target: str = "arm64",
+    iterations: int = DEFAULT_ITERATIONS,
+) -> Dict[str, object]:
+    """Static/dynamic interestingness profile of a generated program.
+
+    One dedicated run with the whole ladder live (lbbv + deoptless):
+    check density from the optimizer's emitted code, eager-deopt count,
+    version-table occupancy and guard traffic from
+    ``typed_check_stats()``, and continuation dispatches.
+    """
+    config = EXECUTOR_LADDER[-1].apply(
+        dataclasses.replace(fuzz_base_config(), target=target)
+    )
+    runner = BenchmarkRunner(fuzz_spec(program), config, NoiseModel(enabled=False))
+    result = runner.run(iterations=iterations)
+    engine = runner.last_engine
+    assert engine is not None
+    typed = engine.typed_check_stats()
+    body = max(1, result.code_stats["body_instructions"])
+    resilience = engine.resilience_stats()
+    return {
+        "check_instructions": result.code_stats["check_instructions"],
+        "body_instructions": result.code_stats["body_instructions"],
+        "check_density": round(
+            100.0 * result.code_stats["check_instructions"] / body, 2
+        ),
+        "eager_deopts": len(result.deopts),
+        "guard_failures": typed["guard_failures"],
+        "versions_registered": typed["versions_registered"],
+        "version_widenings": typed["version_widenings"],
+        "continuation_dispatches": int(
+            resilience["continuation_dispatches"]  # type: ignore[index]
+        ),
+        "idioms": list(program.idioms),
+    }
+
+
+def run_fuzz_program(
+    program: FuzzProgram,
+    targets: Tuple[str, ...] = DEFAULT_TARGETS,
+    iterations: int = DEFAULT_ITERATIONS,
+    tiers: Tuple[TierSpec, ...] = EXECUTOR_LADDER,
+    capture: bool = True,
+    with_profile: bool = True,
+) -> FuzzVerdict:
+    """Run one generated program through the tier matrix on every target.
+
+    No faults are injected (an empty plan): the program's own idioms are
+    the speculation stressors, and any cross-tier difference is an
+    engine bug by the generator's determinism contract.  Divergences
+    capture ``fuzz-divergence`` bundles unless ``capture=False``.
+    """
+    spec = fuzz_spec(program)
+    tamper = _tamper_for(parse_tamper())
+    matrices: Dict[str, MatrixOutcome] = {}
+    bundle_paths: List[str] = []
+    for target in targets:
+        plan = FaultPlan(benchmark=program.name, seed=program.seed, faults=())
+        matrix = matrix_run(
+            spec,
+            target=target,
+            plan=plan,
+            iterations=iterations,
+            base_config=fuzz_base_config(),
+            tiers=tiers,
+            capture=False,
+            tamper=tamper,
+        )
+        matrices[target] = matrix
+        if not matrix.ok and capture:
+            path = _capture_fuzz_bundle(program, target, iterations, matrix)
+            if path is not None:
+                bundle_paths.append(str(path))
+
+    ok = all(matrix.ok for matrix in matrices.values())
+    profile: Dict[str, object] = {}
+    if ok and with_profile:
+        profile = collect_profile(program, targets[0], iterations)
+    return FuzzVerdict(
+        program=program,
+        ok=ok,
+        targets=tuple(targets),
+        iterations=iterations,
+        matrices=matrices,
+        profile=profile,
+        bundle_paths=bundle_paths,
+    )
+
+
+def _capture_fuzz_bundle(
+    program: FuzzProgram,
+    target: str,
+    iterations: int,
+    matrix: MatrixOutcome,
+):
+    from ..supervise.bundles import capture_bundle
+
+    per_tier = {
+        name: {
+            "ok": outcome.ok,
+            "eager_deopts": outcome.eager_deopts,
+            "continuation_dispatches": outcome.continuation_dispatches,
+            "mismatches": list(outcome.mismatches),
+            "error": outcome.error,
+        }
+        for name, outcome in matrix.tiers.items()
+    }
+    return capture_bundle("fuzz-divergence", {
+        "benchmark": program.name,
+        "target": target,
+        "iterations": iterations,
+        "generator_seed": program.seed,
+        "generator_version": GENERATOR_VERSION,
+        "generator_config": program.config.to_dict(),
+        "source": program.source,
+        "source_sha256": source_digest(program.source),
+        "idioms": list(program.idioms),
+        "baseline": matrix.baseline,
+        "tiers": per_tier,
+        "mismatches": matrix.mismatches[:10],
+    })

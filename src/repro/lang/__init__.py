@@ -1,9 +1,10 @@
-"""Language front end: lexer, parser, AST."""
+"""Language front end: lexer, parser, AST, pretty-printer."""
 
 from . import ast_nodes
 from .errors import JSRangeError, JSReferenceError, JSSyntaxError, JSTypeError
 from .lexer import Lexer, Token, tokenize
 from .parser import Parser, parse
+from .unparse import unparse
 
 __all__ = [
     "JSRangeError",
@@ -16,4 +17,5 @@ __all__ = [
     "ast_nodes",
     "parse",
     "tokenize",
+    "unparse",
 ]

@@ -1,0 +1,433 @@
+"""AST → source pretty-printer for the JavaScript subset.
+
+The inverse of :func:`repro.lang.parser.parse`: ``unparse(parse(src))``
+produces canonical source whose re-parse is structurally equal to the
+original AST (``line`` fields are excluded from node equality, so the
+dataclass ``==`` is exactly "same program shape").  The printer is the
+storage format of the fuzzing corpus (``repro.fuzz``) and the substrate
+of the AST-level crash-bundle minimizer, which both rely on the
+**fixed-point property**: for any program ``p``,
+
+    unparse(parse(unparse(parse(p)))) == unparse(parse(p))
+
+i.e. one round of parse→unparse reaches canonical form and further
+rounds are the identity.  Property-tested over all 31 suite programs in
+``tests/lang/test_unparse.py``.
+
+One deliberate structural exception: a consequent whose rightmost
+statement chain ends in an ``if`` without an ``else`` is wrapped in a
+block when the outer ``if`` carries an ``else`` (the dangling-else
+hazard).  The wrap inserts a :class:`~repro.lang.ast_nodes.BlockStatement`
+on re-parse, which is the only way to print such an AST without the
+``else`` re-binding to the inner ``if``; the generator and minimizer
+always emit braced bodies, so in practice the round-trip is exact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .lexer import KEYWORDS
+
+# Expression precedence levels, mirroring the parser's grammar shape:
+# parse_expression (comma) < parse_assignment < conditional < the binary
+# table < unary < postfix-update < call/member < primary.
+_COMMA = 0
+_ASSIGN = 1
+_COND = 2
+_BINARY_BASE = 2  # binary levels are parser precedence (1..10) + this
+_UNARY = 13
+_POSTFIX = 14
+_CALL = 15
+_PRIMARY = 17
+
+#: parser precedence table, re-stated here (operator -> level)
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "===": 6, "!==": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_STRING_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\t": "\\t",
+    "\r": "\\r",
+    "\b": "\\b",
+    "\f": "\\f",
+    "\v": "\\v",
+    "\0": "\\0",
+}
+
+_INDENT = "  "
+
+
+def _escape_string(value: str) -> str:
+    out: List[str] = ['"']
+    for char in value:
+        if char in _STRING_ESCAPES:
+            out.append(_STRING_ESCAPES[char])
+        elif ord(char) < 0x20 or ord(char) > 0xFFFF:
+            out.append(f"\\u{ord(char) & 0xFFFF:04x}")
+        elif ord(char) >= 0x7F:
+            out.append(f"\\u{ord(char):04x}")
+        else:
+            out.append(char)
+    out.append('"')
+    return "".join(out)
+
+
+def _number(node: ast.NumberLiteral) -> str:
+    if node.is_integer:
+        return str(int(node.value))
+    text = repr(float(node.value))
+    return text
+
+
+def _is_identifier(text: str) -> bool:
+    if not text or text in KEYWORDS:
+        return False
+    head = text[0]
+    if not (head.isalpha() or head in "_$"):
+        return False
+    return all(char.isalnum() or char in "_$" for char in text[1:])
+
+
+def _object_key(key: str) -> str:
+    # The parser accepts identifier, keyword, string and number tokens as
+    # keys, normalizing each to a plain string; print the cheapest form
+    # that re-lexes to the same key string.
+    if _is_identifier(key) or key in KEYWORDS:
+        return key
+    if key.isdigit():
+        return key
+    return _escape_string(key)
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(_INDENT * self.depth + text)
+
+    def program(self, node: ast.Program) -> str:
+        for statement in node.body:
+            self.statement(statement)
+        return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+    def statement(self, node: ast.Node) -> None:
+        if isinstance(node, ast.VariableDeclaration):
+            self.emit(self._variable_declaration(node) + ";")
+        elif isinstance(node, ast.FunctionDeclaration):
+            self._function(node.name, node.params, node.body, declaration=True)
+        elif isinstance(node, ast.ExpressionStatement):
+            text = self.expression(node.expression, _COMMA)
+            if self._needs_statement_parens(node.expression):
+                text = f"({text})"
+            self.emit(text + ";")
+        elif isinstance(node, ast.BlockStatement):
+            self.emit("{")
+            self.depth += 1
+            for child in node.body:
+                self.statement(child)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(node, ast.IfStatement):
+            self._if(node)
+        elif isinstance(node, ast.WhileStatement):
+            self._suite(f"while ({self.expression(node.test, _COMMA)})", node.body)
+        elif isinstance(node, ast.DoWhileStatement):
+            self._do_while(node)
+        elif isinstance(node, ast.ForStatement):
+            self._for(node)
+        elif isinstance(node, ast.ReturnStatement):
+            if node.argument is None:
+                self.emit("return;")
+            else:
+                self.emit(f"return {self.expression(node.argument, _COMMA)};")
+        elif isinstance(node, ast.BreakStatement):
+            self.emit("break;")
+        elif isinstance(node, ast.ContinueStatement):
+            self.emit("continue;")
+        elif isinstance(node, ast.EmptyStatement):
+            self.emit(";")
+        else:
+            raise TypeError(f"cannot unparse statement {type(node).__name__}")
+
+    def _variable_declaration(self, node: ast.VariableDeclaration) -> str:
+        parts = []
+        for name, init in node.declarations:
+            if init is None:
+                parts.append(name)
+            else:
+                parts.append(f"{name} = {self.expression(init, _ASSIGN)}")
+        return f"{node.kind} " + ", ".join(parts)
+
+    def _function(
+        self, name: Optional[str], params: List[str], body: List[ast.Node],
+        declaration: bool,
+    ) -> None:
+        keyword = f"function {name}" if name else "function"
+        self.emit(f"{keyword}({', '.join(params)}) {{")
+        self.depth += 1
+        for child in body:
+            self.statement(child)
+        self.depth -= 1
+        self.emit("}")
+
+    def _suite(self, head: str, body: ast.Node) -> None:
+        """A statement head followed by its (possibly non-block) body."""
+        if isinstance(body, ast.BlockStatement):
+            self.emit(head + " {")
+            self.depth += 1
+            for child in body.body:
+                self.statement(child)
+            self.depth -= 1
+            self.emit("}")
+        else:
+            self.emit(head)
+            self.depth += 1
+            self.statement(body)
+            self.depth -= 1
+
+    def _if(self, node: ast.IfStatement) -> None:
+        head = f"if ({self.expression(node.test, _COMMA)})"
+        consequent = node.consequent
+        if node.alternate is not None and _ends_with_open_if(consequent):
+            # Dangling-else hazard: printed bare, the `else` would bind to
+            # the consequent's trailing open `if`.  Bracing is the only
+            # faithful rendering (see module docstring).
+            consequent = ast.BlockStatement(line=consequent.line, body=[consequent])
+        self._suite(head, consequent)
+        if node.alternate is None:
+            return
+        closing = self.lines.pop()
+        if isinstance(consequent, ast.BlockStatement) and closing.strip() == "}":
+            # canonical `} else ...` on the consequent's closing line
+            prefix = closing + " else"
+        else:
+            self.lines.append(closing)
+            prefix = _INDENT * self.depth + "else"
+        if isinstance(node.alternate, ast.IfStatement):
+            # else-if chain: splice onto the first line of the nested if
+            mark = len(self.lines)
+            self._if(node.alternate)
+            self.lines[mark] = prefix + " " + self.lines[mark].strip()
+            return
+        self._suite_tail(prefix, node.alternate)
+
+    def _suite_tail(self, head: str, body: ast.Node) -> None:
+        if isinstance(body, ast.BlockStatement):
+            self.lines.append(head + " {")
+            self.depth += 1
+            for child in body.body:
+                self.statement(child)
+            self.depth -= 1
+            self.emit("}")
+        else:
+            self.lines.append(head)
+            self.depth += 1
+            self.statement(body)
+            self.depth -= 1
+
+    def _do_while(self, node: ast.DoWhileStatement) -> None:
+        self._suite("do", node.body)
+        closing = self.lines.pop()
+        test = self.expression(node.test, _COMMA)
+        if closing.strip() == "}":
+            self.lines.append(f"{closing} while ({test});")
+        else:
+            self.lines.append(closing)
+            self.emit(f"while ({test});")
+
+    def _for(self, node: ast.ForStatement) -> None:
+        if node.init is None:
+            init = ""
+        elif isinstance(node.init, ast.VariableDeclaration):
+            init = self._variable_declaration(node.init)
+        elif isinstance(node.init, ast.ExpressionStatement):
+            init = self.expression(node.init.expression, _COMMA)
+        else:
+            init = self.expression(node.init, _COMMA)
+        test = "" if node.test is None else self.expression(node.test, _COMMA)
+        update = "" if node.update is None else self.expression(node.update, _COMMA)
+        self._suite(f"for ({init}; {test}; {update})", node.body)
+
+    def _needs_statement_parens(self, node: ast.Node) -> bool:
+        # An expression statement whose leftmost token would be `function`
+        # or `{` re-parses as a declaration / block; parenthesize.
+        while True:
+            if isinstance(node, (ast.FunctionExpression, ast.ObjectLiteral)):
+                return True
+            if isinstance(node, (ast.BinaryExpression, ast.LogicalExpression)):
+                node = node.left
+            elif isinstance(node, ast.ConditionalExpression):
+                node = node.test
+            elif isinstance(node, ast.AssignmentExpression):
+                node = node.target
+            elif isinstance(node, ast.MemberExpression):
+                node = node.object
+            elif isinstance(node, ast.CallExpression):
+                node = node.callee
+            elif isinstance(node, ast.UpdateExpression) and not node.prefix:
+                node = node.target
+            else:
+                return False
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def expression(self, node: ast.Node, parent: int) -> str:
+        text, prec = self._expr(node)
+        if prec < parent:
+            return f"({text})"
+        return text
+
+    def _expr(self, node: ast.Node):
+        if isinstance(node, ast.NumberLiteral):
+            return _number(node), _PRIMARY
+        if isinstance(node, ast.StringLiteral):
+            return _escape_string(node.value), _PRIMARY
+        if isinstance(node, ast.BooleanLiteral):
+            return ("true" if node.value else "false"), _PRIMARY
+        if isinstance(node, ast.NullLiteral):
+            return "null", _PRIMARY
+        if isinstance(node, ast.UndefinedLiteral):
+            return "undefined", _PRIMARY
+        if isinstance(node, ast.Identifier):
+            return node.name, _PRIMARY
+        if isinstance(node, ast.ThisExpression):
+            return "this", _PRIMARY
+        if isinstance(node, ast.ArrayLiteral):
+            elements = ", ".join(
+                self.expression(element, _ASSIGN) for element in node.elements
+            )
+            return f"[{elements}]", _PRIMARY
+        if isinstance(node, ast.ObjectLiteral):
+            if not node.properties:
+                return "{}", _PRIMARY
+            properties = ", ".join(
+                f"{_object_key(key)}: {self.expression(value, _ASSIGN)}"
+                for key, value in node.properties
+            )
+            return f"{{{properties}}}", _PRIMARY
+        if isinstance(node, ast.FunctionExpression):
+            return self._inline_function(node), _PRIMARY
+        if isinstance(node, ast.BinaryExpression):
+            if node.operator == ",":
+                left = self.expression(node.left, _COMMA)
+                right = self.expression(node.right, _ASSIGN)
+                return f"{left}, {right}", _COMMA
+            prec = _BINARY_PRECEDENCE[node.operator] + _BINARY_BASE
+            left = self.expression(node.left, prec)
+            right = self.expression(node.right, prec + 1)
+            return f"{left} {node.operator} {right}", prec
+        if isinstance(node, ast.LogicalExpression):
+            prec = _BINARY_PRECEDENCE[node.operator] + _BINARY_BASE
+            left = self.expression(node.left, prec)
+            right = self.expression(node.right, prec + 1)
+            return f"{left} {node.operator} {right}", prec
+        if isinstance(node, ast.ConditionalExpression):
+            test = self.expression(node.test, _COND + 1)
+            consequent = self.expression(node.consequent, _ASSIGN)
+            alternate = self.expression(node.alternate, _ASSIGN)
+            return f"{test} ? {consequent} : {alternate}", _COND
+        if isinstance(node, ast.AssignmentExpression):
+            target = self.expression(node.target, _CALL)
+            value = self.expression(node.value, _ASSIGN)
+            return f"{target} {node.operator} {value}", _ASSIGN
+        if isinstance(node, ast.UnaryExpression):
+            operand = self.expression(node.operand, _UNARY)
+            if node.operator == "typeof":
+                return f"typeof {operand}", _UNARY
+            if node.operator in ("-", "+") and operand[:1] == node.operator:
+                # `- -x`, not `--x` (which would lex as a decrement)
+                return f"{node.operator} {operand}", _UNARY
+            return f"{node.operator}{operand}", _UNARY
+        if isinstance(node, ast.UpdateExpression):
+            target = self.expression(node.target, _CALL)
+            if node.prefix:
+                return f"{node.operator}{target}", _UNARY
+            return f"{target}{node.operator}", _POSTFIX
+        if isinstance(node, ast.CallExpression):
+            callee = self.expression(node.callee, _CALL)
+            arguments = ", ".join(
+                self.expression(argument, _ASSIGN) for argument in node.arguments
+            )
+            return f"{callee}({arguments})", _CALL
+        if isinstance(node, ast.NewExpression):
+            callee, callee_prec = self._expr(node.callee)
+            # `new` callees parse without call tails; a call (or lower
+            # precedence) callee must be parenthesized.
+            if callee_prec < _PRIMARY or isinstance(node.callee, ast.CallExpression):
+                callee = f"({callee})"
+            arguments = ", ".join(
+                self.expression(argument, _ASSIGN) for argument in node.arguments
+            )
+            return f"new {callee}({arguments})", _CALL
+        if isinstance(node, ast.MemberExpression):
+            target = self.expression(node.object, _CALL)
+            if isinstance(node.object, ast.NumberLiteral):
+                target = f"({target})"
+            if node.computed:
+                index = self.expression(node.property, _COMMA)
+                return f"{target}[{index}]", _CALL
+            assert isinstance(node.property, ast.Identifier)
+            return f"{target}.{node.property.name}", _CALL
+        raise TypeError(f"cannot unparse expression {type(node).__name__}")
+
+    def _inline_function(self, node: ast.FunctionExpression) -> str:
+        nested = _Printer()
+        nested.depth = self.depth
+        nested._function(node.name, node.params, node.body, declaration=False)
+        first = nested.lines[0].strip()
+        rest = nested.lines[1:]
+        if not rest:
+            return first
+        body = "\n".join(rest)
+        return first + "\n" + body
+
+
+def _ends_with_open_if(node: ast.Node) -> bool:
+    """Does this statement's rightmost chain end in an else-less ``if``?"""
+    while True:
+        if isinstance(node, ast.IfStatement):
+            if node.alternate is None:
+                return True
+            node = node.alternate
+        elif isinstance(node, (ast.WhileStatement, ast.ForStatement)):
+            node = node.body
+        else:
+            return False
+
+
+def unparse(node: ast.Node) -> str:
+    """Render an AST back to canonical JS-subset source."""
+    printer = _Printer()
+    if isinstance(node, ast.Program):
+        return printer.program(node)
+    if isinstance(
+        node,
+        (
+            ast.VariableDeclaration, ast.FunctionDeclaration,
+            ast.ExpressionStatement, ast.BlockStatement, ast.IfStatement,
+            ast.WhileStatement, ast.DoWhileStatement, ast.ForStatement,
+            ast.ReturnStatement, ast.BreakStatement, ast.ContinueStatement,
+            ast.EmptyStatement,
+        ),
+    ):
+        printer.statement(node)
+        return "\n".join(printer.lines) + "\n"
+    return printer.expression(node, _COMMA)

@@ -8,6 +8,8 @@ run under the same plan.
     python -m repro.resilience                 # full sweep, arm64 + x64
     python -m repro.resilience --smoke         # quick CI slice
     python -m repro.resilience --benchmark FIB --seed 3 --iterations 50
+    python -m repro.resilience --corpus        # include fuzz-corpus programs
+    python -m repro.resilience fuzz --count 200 --jobs 4   # the fuzz fleet
 
 Exit code 0 when every cell recovers and matches; 1 otherwise.
 """
@@ -43,6 +45,11 @@ def _format_row(out: ChaosOutcome) -> str:
 
 
 def main(argv: List[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "fuzz":
+        from ..fuzz.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.resilience",
         description="speculation fault-injection sweep with differential oracle",
@@ -66,6 +73,10 @@ def main(argv: List[str] | None = None) -> int:
         help=f"quick slice ({len(SMOKE_BENCHMARKS)} benchmarks, fewer iterations)",
     )
     parser.add_argument(
+        "--corpus", action="store_true",
+        help="also sweep every fuzz-corpus program (results/corpus/)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="print applied faults per cell"
     )
     args = parser.parse_args(argv)
@@ -76,6 +87,10 @@ def main(argv: List[str] | None = None) -> int:
         names = list(SMOKE_BENCHMARKS)
     else:
         names = [spec.name for spec in all_benchmarks()]
+    if args.corpus:
+        from ..fuzz.corpus import load_corpus
+
+        names.extend(entry.name for entry in load_corpus())
     iterations = min(args.iterations, 16) if args.smoke else args.iterations
 
     cases = [

@@ -1,12 +1,21 @@
-"""Differential oracle: faulted optimized run vs. pure-interpreter run.
+"""Differential oracle: the executor ladder as an N-way tier matrix.
 
 Deoptimization is only correct if it is *invisible*: a run that tiers up,
 speculates, takes injected faults, deopts and re-optimizes must produce
 exactly the results of an interpreter-only run under the same fault plan.
-:func:`differential_run` executes both and compares
+:func:`differential_run` executes the classic pairwise comparison
+(optimized vs. pure interpreter); :func:`matrix_run` generalizes it to
+the full :data:`EXECUTOR_LADDER` — pure interpreter, optimizer with
+every machine executor off, blockjit, +typed blocks, +traces, +lbbv
+versions, and everything with deoptless dispatch — with a per-tier
+:class:`ChaosOutcome` breakdown.  Both compare
 
-* every iteration's ``run()`` result, and
-* a canonical snapshot of all user-defined globals after the run
+* every iteration's ``run()`` result,
+* a canonical snapshot of all user-defined globals after the run, and
+* (matrix only) the eager-deopt event stream across the tiers that
+  share the classic bailout discipline — ``opt`` through ``lbbv`` are
+  bit-identical by construction, while ``deoptless`` keeps optimized
+  code installed on trips so its stream may legitimately differ
 
 under a **bitwise** notion of equality for numbers: values are compared as
 IEEE-754 bit patterns (so ``-0.0 != 0.0`` and NaN payloads must agree),
@@ -16,9 +25,10 @@ differs between tiers — is normalized away by converting through double.
 
 from __future__ import annotations
 
+import dataclasses
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..engine import Engine, EngineConfig
 from ..jit.checks import DeoptCategory, category_of
@@ -30,6 +40,9 @@ from .faults import FaultInjector, FaultPlan
 
 #: cap on mismatch details carried back to the caller/CLI
 _MAX_MISMATCHES = 5
+
+#: tamper(tier_name, values) -> possibly-corrupted values (seeded faults)
+ValueTamper = Callable[[str, List[object]], List[object]]
 
 
 def canonical_value(value: object) -> str:
@@ -100,13 +113,75 @@ def _canonical_word(engine: Engine, word: int, depth: int, seen: frozenset) -> s
 
 
 def snapshot_globals(engine: Engine) -> Dict[str, str]:
-    """Canonical form of every user-defined global (post-run heap state)."""
+    """Canonical form of every user-defined global (post-run heap state).
+
+    Names are visited in sorted order so the snapshot — and any diff or
+    serialization derived from it — is byte-stable across processes and
+    PYTHONHASHSEED values, not dependent on definition/insertion order.
+    """
     out: Dict[str, str] = {}
-    for name in engine.user_global_names():
+    for name in sorted(engine.user_global_names()):
         word = engine.get_global_word(name)
         assert word is not None
         out[name] = _canonical_word(engine, word, 0, frozenset())
     return out
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One rung of the executor ladder as an engine-config transform.
+
+    ``None`` flags defer to the base config (and its REPRO_* env
+    defaults); explicit booleans pin the executor on or off so a ladder
+    run is insensitive to the ambient environment.
+    """
+
+    name: str
+    #: participates in cross-tier deopt-stream comparison?  True for the
+    #: tiers sharing the classic bailout discipline (bit-identical eager
+    #: deopt streams by construction); False for the interpreter (which
+    #: never deopts) and for deoptless dispatch (which absorbs trips
+    #: instead of bailing, legitimately changing the stream).
+    compare_deopts: bool = True
+    optimizer: bool = True
+    blockjit: Optional[bool] = None
+    typed_blocks: Optional[bool] = None
+    tracejit: Optional[bool] = None
+    lbbv: Optional[bool] = None
+    continuations: Optional[bool] = None
+
+    def apply(self, base: EngineConfig) -> EngineConfig:
+        overrides: Dict[str, object] = {"enable_optimizer": self.optimizer}
+        for flag in ("blockjit", "typed_blocks", "tracejit", "lbbv", "continuations"):
+            value = getattr(self, flag)
+            if value is not None:
+                overrides[flag] = value
+        return dataclasses.replace(base, **overrides)  # type: ignore[arg-type]
+
+
+#: The full executor ladder, weakest to strongest speculation.  Feature
+#: dependencies (typed requires blockjit; lbbv requires blockjit+typed)
+#: are satisfied by construction of each rung.
+EXECUTOR_LADDER: Tuple[TierSpec, ...] = (
+    TierSpec("interp", compare_deopts=False, optimizer=False,
+             blockjit=False, typed_blocks=False, tracejit=False,
+             lbbv=False, continuations=False),
+    TierSpec("opt", blockjit=False, typed_blocks=False, tracejit=False,
+             lbbv=False, continuations=False),
+    TierSpec("block", blockjit=True, typed_blocks=False, tracejit=False,
+             lbbv=False, continuations=False),
+    TierSpec("typed", blockjit=True, typed_blocks=True, tracejit=False,
+             lbbv=False, continuations=False),
+    TierSpec("trace", blockjit=True, typed_blocks=True, tracejit=True,
+             lbbv=False, continuations=False),
+    TierSpec("lbbv", blockjit=True, typed_blocks=True, tracejit=True,
+             lbbv=True, continuations=False),
+    TierSpec("deoptless", compare_deopts=False, blockjit=True,
+             typed_blocks=True, tracejit=True, lbbv=True, continuations=True),
+)
+
+#: name -> TierSpec lookup for CLI --targets parsing
+LADDER_BY_NAME: Dict[str, TierSpec] = {tier.name: tier for tier in EXECUTOR_LADDER}
 
 
 @dataclass
@@ -174,6 +249,23 @@ def _capture_oracle_bundle(
     })
 
 
+def resolve_benchmark(name: str) -> BenchmarkSpec:
+    """Suite benchmark by name, falling back to the fuzz corpus.
+
+    Lets every chaos entry point (CLI sweep, replay, grid cells) address
+    graduated ``FZ-<seed>`` programs exactly like suite members.
+    """
+    try:
+        return get_benchmark(name)
+    except KeyError:
+        from ..fuzz.corpus import corpus_benchmark
+
+        spec = corpus_benchmark(name)
+        if spec is None:
+            raise KeyError(name) from None
+        return spec
+
+
 def differential_run(
     benchmark: str,
     target: str,
@@ -185,7 +277,7 @@ def differential_run(
     the interpreter, and compare bitwise."""
     from .faults import plan_for
 
-    spec = get_benchmark(benchmark)
+    spec = resolve_benchmark(benchmark)
     if plan is None:
         plan = plan_for(benchmark, seed, iterations)
 
@@ -260,3 +352,183 @@ def differential_run(
         mismatches=mismatches,
         resilience=stats,
     )
+
+
+# ---------------------------------------------------------------------------
+# N-way tier matrix
+# ---------------------------------------------------------------------------
+
+
+def deopt_stream(engine: Engine) -> List[Tuple[int, str, str, int, int]]:
+    """Canonical eager-deopt event stream of a finished run.
+
+    ``(iteration, function, kind, bytecode_pc, check_id)`` per event —
+    everything semantically meaningful, nothing timing-dependent (cycle
+    counts differ legitimately between executors).
+    """
+    return [
+        (event.iteration, event.function_name, event.kind.name,
+         event.bytecode_pc, event.check_id)
+        for event in engine.deopt_events
+        if category_of(event.kind) != DeoptCategory.SOFT
+    ]
+
+
+@dataclass
+class MatrixOutcome:
+    """Verdict of one program run through the full executor ladder."""
+
+    benchmark: str
+    target: str
+    seed: int
+    ok: bool
+    #: tier name -> per-tier verdict, in ladder order; each tier is
+    #: compared against the baseline (first) tier
+    tiers: Dict[str, ChaosOutcome]
+    #: canonical per-iteration values of the baseline tier
+    baseline: str = "interp"
+
+    @property
+    def mismatches(self) -> List[str]:
+        out: List[str] = []
+        for name, outcome in self.tiers.items():
+            out.extend(f"[{name}] {m}" for m in outcome.mismatches)
+            if outcome.error:
+                out.append(f"[{name}] error: {outcome.error}")
+        return out
+
+
+def _compare_streams(
+    got: List[Tuple[int, str, str, int, int]],
+    want: List[Tuple[int, str, str, int, int]],
+    mismatches: List[str],
+) -> None:
+    if got == want:
+        return
+    if len(got) != len(want):
+        mismatches.append(
+            f"deopt stream length {len(got)} != {len(want)}"
+        )
+    for index, (g, w) in enumerate(zip(got, want)):
+        if g != w:
+            mismatches.append(f"deopt event {index}: {g!r} != {w!r}")
+        if len(mismatches) >= _MAX_MISMATCHES:
+            return
+
+
+def matrix_run(
+    spec: BenchmarkSpec,
+    target: str = "arm64",
+    plan: Optional[FaultPlan] = None,
+    iterations: int = 30,
+    base_config: Optional[EngineConfig] = None,
+    tiers: Tuple[TierSpec, ...] = EXECUTOR_LADDER,
+    capture: bool = True,
+    tamper: Optional[ValueTamper] = None,
+) -> MatrixOutcome:
+    """Run ``spec`` through every ladder tier and demand equivalence.
+
+    The first tier is the baseline: every other tier must match its
+    per-iteration values and post-run globals snapshot bitwise, and all
+    ``compare_deopts`` tiers must additionally agree on the eager-deopt
+    event stream among themselves.  Accepts a :class:`BenchmarkSpec`
+    directly so generated (unregistered) programs can be run; pass
+    ``capture=False`` when the caller owns bundle capture (the fuzz
+    oracle records richer ``fuzz-divergence`` bundles instead).
+
+    ``tamper(tier_name, values) -> values`` corrupts a tier's collected
+    per-iteration values *before* comparison — the seeded-fault hook
+    (REPRO_CHAOS_FUZZ) that proves the divergence→bundle→replay→minimize
+    pipeline stays live end to end.
+    """
+    from .faults import plan_for
+
+    if plan is None:
+        plan = plan_for(spec.name, 0, iterations)
+    base = base_config or EngineConfig()
+    base = dataclasses.replace(base, target=target)
+
+    outcomes: Dict[str, ChaosOutcome] = {}
+    baseline_values: Optional[List[object]] = None
+    baseline_globals: Optional[Dict[str, str]] = None
+    reference_stream: Optional[List[Tuple[int, str, str, int, int]]] = None
+
+    for tier in tiers:
+        config = tier.apply(base)
+        try:
+            result, engine, injector = _chaos_run(spec, config, plan, iterations)
+        except Exception as failure:
+            outcomes[tier.name] = ChaosOutcome(
+                spec.name, target, plan.seed, ok=False,
+                eager_deopts=0, lazy_deopts=0, storms_detected=0,
+                max_reopt_count=0,
+                error=f"{type(failure).__name__}: {failure}",
+            )
+            continue
+
+        mismatches: List[str] = []
+        assert result.values is not None
+        values = result.values
+        if tamper is not None:
+            values = tamper(tier.name, list(values))
+        tier_globals = snapshot_globals(engine)
+        if baseline_values is None:
+            baseline_values = values
+            baseline_globals = tier_globals
+        else:
+            for index, (got, want) in enumerate(
+                zip(values, baseline_values)
+            ):
+                if canonical_value(got) != canonical_value(want):
+                    mismatches.append(
+                        f"iteration {index}: {got!r} != baseline {want!r}"
+                    )
+                    if len(mismatches) >= _MAX_MISMATCHES:
+                        break
+            assert baseline_globals is not None
+            if len(mismatches) < _MAX_MISMATCHES:
+                for name in sorted(set(tier_globals) | set(baseline_globals)):
+                    if tier_globals.get(name) != baseline_globals.get(name):
+                        mismatches.append(
+                            f"global {name!r} diverged from baseline"
+                        )
+                        if len(mismatches) >= _MAX_MISMATCHES:
+                            break
+        if tier.compare_deopts and len(mismatches) < _MAX_MISMATCHES:
+            stream = deopt_stream(engine)
+            if reference_stream is None:
+                reference_stream = stream
+            else:
+                _compare_streams(stream, reference_stream, mismatches)
+
+        stats = engine.resilience_stats()
+        outcomes[tier.name] = ChaosOutcome(
+            spec.name, target, plan.seed,
+            ok=not mismatches,
+            eager_deopts=len(deopt_stream(engine)),
+            lazy_deopts=engine.lazy_deopts,
+            storms_detected=engine.storms_detected,
+            max_reopt_count=int(stats["max_reopt_count"]),  # type: ignore[arg-type]
+            continuation_dispatches=int(
+                stats["continuation_dispatches"]  # type: ignore[arg-type]
+            ),
+            faults_applied=list(injector.applied),
+            mismatches=mismatches,
+            resilience=stats,
+        )
+
+    ok = all(outcome.ok and outcome.error is None for outcome in outcomes.values())
+    outcome = MatrixOutcome(
+        benchmark=spec.name,
+        target=target,
+        seed=plan.seed,
+        ok=ok,
+        tiers=outcomes,
+        baseline=tiers[0].name if tiers else "interp",
+    )
+    if not ok and capture:
+        _capture_oracle_bundle(
+            spec.name, target, plan, iterations,
+            mismatches=outcome.mismatches[:_MAX_MISMATCHES],
+        )
+    return outcome

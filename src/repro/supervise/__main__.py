@@ -48,7 +48,8 @@ def _cmd_list(args) -> int:
             print(f"{path.name}: unreadable ({reason})")
             continue
         benchmark = record.get("benchmark", "?")
-        detail = record.get("error") or ",".join(record.get("mismatch", []))
+        mismatches = record.get("mismatch") or record.get("mismatches") or []
+        detail = record.get("error") or ",".join(mismatches[:2])
         print(f"{path.name}: {record.get('kind')} {benchmark}"
               + (f" — {detail}" if detail else ""))
     return 0

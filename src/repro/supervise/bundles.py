@@ -93,6 +93,7 @@ def _relevant_env() -> Dict[str, str]:
         "REPRO_TRACEJIT_HOT", "REPRO_TRACEJIT_ENTRY", "REPRO_CHAOS_TRACE",
         "REPRO_CONTINUATIONS", "REPRO_CONT_BUDGET", "REPRO_CHAOS_CONT",
         "REPRO_TYPED_BLOCKS", "REPRO_LBBV", "REPRO_CHAOS_LBBV",
+        "REPRO_CHAOS_FUZZ",
     )
     return {name: os.environ[name] for name in keep if name in os.environ}
 

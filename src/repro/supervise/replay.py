@@ -22,10 +22,17 @@ same failure happens again:
 * ``cell-failure`` — re-run the cell in a fresh single-worker process
   pool with the recorded chaos environment; reproduced iff the worker
   crashes, hangs past the watchdog, or raises the recorded error.
+* ``fuzz-divergence`` — regenerate the program from the recorded
+  generator seed + config, prove the regeneration is byte-identical by
+  sha256, and re-run the N-way tier matrix under the recorded
+  environment (including ``REPRO_CHAOS_FUZZ`` when a seeded fault
+  caused the divergence); reproduced iff the matrix diverges again.
 
 ``--minimize`` shrinks the reproducer while it still reproduces: the
 iteration count is halved toward the latest fault-plan entry, then each
-fault entry is dropped greedily.  The minimized bundle is captured next
+fault entry is dropped greedily — except ``fuzz-divergence`` bundles,
+which are shrunk at the *program* level by the AST minimizer
+(:mod:`repro.fuzz.minimize`).  The minimized bundle is captured next
 to the original with a ``minimized_from`` back-reference.
 """
 
@@ -50,6 +57,7 @@ _ENV_KEYS = (
     "REPRO_TRACEJIT_HOT", "REPRO_TRACEJIT_ENTRY", "REPRO_CHAOS_TRACE",
     "REPRO_CONTINUATIONS", "REPRO_CONT_BUDGET", "REPRO_CHAOS_CONT",
     "REPRO_TYPED_BLOCKS", "REPRO_LBBV", "REPRO_CHAOS_LBBV",
+    "REPRO_CHAOS_FUZZ",
 )
 
 #: wall-clock watchdog for cell-failure replays (a recorded hang chaos
@@ -304,6 +312,106 @@ def _reproduce_cell_failure(record: Dict[str, object]) -> Tuple[bool, str]:
                 pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _regenerate_fuzz_program(record: Dict[str, object], source: Optional[str]):
+    """Rebuild the generated program a fuzz bundle records.
+
+    Regenerates from (seed, config) and — when no candidate ``source``
+    override is supplied — refuses a generator whose output no longer
+    matches the recorded sha256: a stale bundle must never silently
+    replay a different program.
+    """
+    import dataclasses
+
+    from ..fuzz.generator import (
+        GENERATOR_VERSION,
+        FuzzConfig,
+        generate_program,
+    )
+    from ..fuzz.oracle import source_digest
+
+    version = int(record.get("generator_version", GENERATOR_VERSION))  # type: ignore[arg-type]
+    if version != GENERATOR_VERSION:
+        raise ValueError(
+            f"bundle generator version {version} != {GENERATOR_VERSION}"
+        )
+    config = FuzzConfig.from_dict(record.get("generator_config") or {})  # type: ignore[arg-type]
+    program = generate_program(int(record["generator_seed"]), config)  # type: ignore[arg-type]
+    if source is None:
+        recorded = record.get("source_sha256")
+        if recorded and source_digest(program.source) != str(recorded):
+            raise ValueError(
+                "regenerated source does not match the recorded sha256"
+            )
+        return program
+    return dataclasses.replace(program, source=source)
+
+
+def _reproduce_fuzz_divergence(
+    record: Dict[str, object], iterations: int, source: Optional[str] = None
+) -> bool:
+    from ..fuzz.oracle import run_fuzz_program
+
+    if source is None and record.get("minimized_from"):
+        # a minimized bundle's source is no longer the generator's
+        # output — replay the recorded (shrunken) program directly
+        source = str(record["source"])
+    try:
+        program = _regenerate_fuzz_program(record, source)
+    except ValueError:
+        return False
+    targets = (str(record.get("target", "arm64")),)
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as scratch:
+        with _replay_env(record, {"REPRO_BUNDLE_DIR": scratch}):
+            verdict = run_fuzz_program(
+                program,
+                targets=targets,
+                iterations=iterations,
+                capture=False,
+                with_profile=False,
+            )
+    return not verdict.ok
+
+
+def _baseline_runs_clean(record: Dict[str, object], source: str) -> bool:
+    """Does the candidate program complete an interpreter-only run?"""
+    from ..engine import EngineConfig
+    from ..suite.runner import BenchmarkRunner, NoiseModel
+    from ..suite.spec import BenchmarkSpec
+
+    spec = BenchmarkSpec(
+        name=str(record.get("benchmark", "FZ-candidate")),
+        category="Objects",
+        source=source,
+        expected=None,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as scratch:
+        with _replay_env(record, {"REPRO_BUNDLE_DIR": scratch}):
+            try:
+                BenchmarkRunner(
+                    spec,
+                    EngineConfig(enable_optimizer=False),
+                    NoiseModel(enabled=False),
+                ).run(iterations=2)
+            except Exception:
+                return False
+    return True
+
+
+def _minimize_fuzz(record: Dict[str, object], iterations: int):
+    """AST-level shrink of a fuzz bundle's program; the divergence must
+    still reproduce and the baseline run must stay clean (a candidate
+    that crashes the interpreter is a broken program, not a smaller
+    reproducer)."""
+    from ..fuzz.minimize import minimize_source
+
+    def predicate(source: str) -> bool:
+        if not _baseline_runs_clean(record, source):
+            return False
+        return _reproduce_fuzz_divergence(record, iterations, source)
+
+    return minimize_source(str(record["source"]), predicate)
+
+
 # ----------------------------------------------------------------------
 # minimization
 # ----------------------------------------------------------------------
@@ -433,6 +541,40 @@ def replay_bundle(
     elif kind == "cell-failure":
         reproduced, detail = _reproduce_cell_failure(record)
         return ReplayResult(reproduced, detail)  # no minimizer for cells
+    elif kind == "fuzz-divergence":
+        iterations = int(record.get("iterations", 14))  # type: ignore[arg-type]
+        reproduced = _reproduce_fuzz_divergence(record, iterations)
+        result = ReplayResult(
+            reproduced,
+            "regenerated program diverged across the tier matrix again"
+            if reproduced
+            else "tier matrix agreed on replay (or regeneration mismatched)",
+        )
+        if minimize and reproduced:
+            shrunk = _minimize_fuzz(record, iterations)
+            from ..fuzz.oracle import source_digest
+
+            payload = {
+                key: value
+                for key, value in record.items()
+                if key not in ("bundle_id", "captured_at", "pid", "schema",
+                               "kind")
+            }
+            payload["source"] = shrunk.source
+            payload["source_sha256"] = source_digest(shrunk.source)
+            payload["minimized_from"] = record.get("bundle_id")
+            payload["minimize_attempts"] = shrunk.attempts
+            payload["minimize_reductions"] = shrunk.reductions
+            result.minimized = capture_bundle(
+                "fuzz-divergence", payload, root=bundle_dir
+            )
+            before = len(str(record.get("source", "")).splitlines())
+            after = len(shrunk.source.splitlines())
+            result.detail += (
+                f"; program minimized {before} -> {after} line(s) in "
+                f"{shrunk.attempts} attempt(s)"
+            )
+        return result
     else:
         return ReplayResult(False, f"unknown bundle kind {kind!r}")
 

@@ -455,11 +455,17 @@ class Heap:
         elements_word = self.read(addr, JS_ARRAY_ELEMENTS_OFFSET)
         assert isinstance(elements_word, int)
         elements = pointer_untag(elements_word)
-        length_word = self.read(elements, FIXED_ARRAY_LENGTH_OFFSET)
+        capacity_word = self.read(elements, FIXED_ARRAY_LENGTH_OFFSET)
+        assert isinstance(capacity_word, int)
+        capacity = capacity_word
+        # Convert only the array's live elements: after a push grew the
+        # backing store, the slack slots past length hold the allocator's
+        # filler (undefined / 0.0), which is not a value of the old kind.
+        length_word = self.read(addr, JS_ARRAY_LENGTH_OFFSET)
         assert isinstance(length_word, int)
-        length = length_word
+        length = min(smi_untag(length_word), capacity)
         if old_kind == ElementsKind.PACKED_SMI and new_kind == ElementsKind.PACKED_DOUBLE:
-            new_elements = self.alloc_fixed_double_array(length)
+            new_elements = self.alloc_fixed_double_array(capacity)
             dst = pointer_untag(new_elements)
             for i in range(length):
                 value = self.read(elements, FIXED_ARRAY_ELEMENTS_OFFSET + i)
@@ -467,7 +473,7 @@ class Heap:
                 self.write(dst, FIXED_ARRAY_ELEMENTS_OFFSET + i, float(smi_untag(value)))
             self.write(addr, JS_ARRAY_ELEMENTS_OFFSET, new_elements)
         elif old_kind == ElementsKind.PACKED_DOUBLE and new_kind == ElementsKind.PACKED:
-            new_elements = self.alloc_fixed_array(length)
+            new_elements = self.alloc_fixed_array(capacity)
             dst = pointer_untag(new_elements)
             for i in range(length):
                 value = self.read(elements, FIXED_ARRAY_ELEMENTS_OFFSET + i)

@@ -1,0 +1,56 @@
+"""Fuzz fleet CLI: determinism across --jobs, graduation, exit codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.cli import fuzz_main
+
+ARGS = ["--seed", "1", "--count", "3", "--targets", "arm64"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CORPUS_DIR", str(tmp_path / "corpus"))
+    monkeypatch.delenv("REPRO_CHAOS_FUZZ", raising=False)
+
+
+def test_clean_fleet_exits_zero(capsys):
+    assert fuzz_main(ARGS) == 0
+    out = capsys.readouterr().out
+    assert "3/3 programs matched across the ladder" in out
+
+
+def test_report_is_identical_across_jobs(capsys):
+    assert fuzz_main(ARGS + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert fuzz_main(ARGS + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial.replace("jobs=1", "jobs=2") == parallel
+
+
+def test_dispatched_via_resilience_cli(capsys):
+    from repro.resilience.__main__ import main
+
+    assert main(["fuzz"] + ARGS) == 0
+    assert "fuzz fleet" in capsys.readouterr().out
+
+
+def test_graduation_persists_entries(tmp_path, capsys):
+    corpus = tmp_path / "grads"
+    code = fuzz_main(
+        ["--seed", "1", "--count", "8", "--targets", "arm64",
+         "--graduate", "2", "--corpus-dir", str(corpus)]
+    )
+    assert code == 0
+    entries = sorted(corpus.glob("*.json"))
+    assert 1 <= len(entries) <= 2
+    assert "graduated into" in capsys.readouterr().out
+
+
+def test_seeded_divergence_exits_one(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CHAOS_FUZZ", "flip:lbbv")
+    assert fuzz_main(["--seed", "1", "--count", "1", "--targets", "arm64"]) == 1
+    out = capsys.readouterr().out
+    assert "DIVERGE" in out
+    assert "bundle:" in out

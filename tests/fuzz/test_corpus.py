@@ -1,0 +1,128 @@
+"""Corpus graduation, persistence, and grid/CLI addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    corpus_benchmark,
+    entry_for,
+    graduation_reasons,
+    load_corpus,
+    profile_score,
+    save_entry,
+    should_graduate,
+)
+from repro.fuzz.generator import fuzz_case_seed, generate_program
+from repro.fuzz.oracle import run_fuzz_program
+
+
+@pytest.fixture(autouse=True)
+def _corpus_tmp(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CORPUS_DIR", str(tmp_path / "corpus"))
+    monkeypatch.delenv("REPRO_CHAOS_FUZZ", raising=False)
+
+
+def _verdict():
+    program = generate_program(fuzz_case_seed(1, 0))
+    return run_fuzz_program(program, targets=("arm64",), capture=False)
+
+
+class TestGraduation:
+    def test_empty_profile_does_not_graduate(self):
+        assert graduation_reasons({}) == []
+        assert not should_graduate({})
+
+    def test_two_criteria_graduate(self):
+        profile = {"eager_deopts": 9, "guard_failures": 2}
+        assert set(graduation_reasons(profile)) == {
+            "eager_deopts", "guard_failures",
+        }
+        assert should_graduate(profile)
+
+    def test_one_criterion_is_not_enough(self):
+        assert not should_graduate({"eager_deopts": 100})
+
+    def test_score_orders_by_interest(self):
+        hot = {"eager_deopts": 20, "guard_failures": 3, "check_density": 40.0}
+        mild = {"eager_deopts": 8, "guard_failures": 1}
+        assert profile_score(hot) > profile_score(mild)
+
+
+class TestPersistence:
+    def test_entry_roundtrip(self, tmp_path):
+        verdict = _verdict()
+        assert verdict.ok
+        entry = entry_for(verdict)
+        path = save_entry(entry)
+        assert path.name == f"{entry.name}.json"
+        loaded = load_corpus()
+        assert loaded == [entry]
+        assert isinstance(loaded[0], CorpusEntry)
+
+    def test_corpus_benchmark_resolves(self):
+        entry = entry_for(_verdict())
+        save_entry(entry)
+        spec = corpus_benchmark(entry.name)
+        assert spec is not None
+        assert spec.name == entry.name
+        assert spec.source == entry.source
+        assert corpus_benchmark("FZ-ffffffff") is None
+
+    def test_missing_corpus_dir_is_empty(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CORPUS_DIR", str(tmp_path / "nowhere"))
+        assert load_corpus() == []
+
+    def test_save_overwrites_same_seed(self):
+        entry = entry_for(_verdict())
+        save_entry(entry)
+        save_entry(entry)
+        assert len(load_corpus()) == 1
+
+
+class TestResolution:
+    def test_resilience_oracle_resolves_corpus_names(self):
+        from repro.resilience.oracle import resolve_benchmark
+
+        entry = entry_for(_verdict())
+        save_entry(entry)
+        spec = resolve_benchmark(entry.name)
+        assert spec.source == entry.source
+        with pytest.raises(KeyError):
+            resolve_benchmark("FZ-ffffffff")
+
+    def test_suite_names_still_win(self):
+        from repro.resilience.oracle import resolve_benchmark
+
+        assert resolve_benchmark("FIB").name == "FIB"
+
+    def test_grid_corpus_cell(self):
+        from repro.exec.cells import CORPUS, compute_cell, corpus_cell
+
+        entry = entry_for(_verdict())
+        save_entry(entry)
+        cell = corpus_cell(entry.name, "arm64")
+        assert cell.kind == CORPUS
+        assert cell.extra == entry.source_sha256[:16]
+        assert "cell-v2" in cell.key()
+        outcome = compute_cell(cell)
+        assert outcome.ok, outcome.mismatches
+
+    def test_corpus_cell_key_tracks_source(self):
+        import dataclasses
+
+        from repro.exec.cells import corpus_cell
+
+        entry = entry_for(_verdict())
+        save_entry(entry)
+        first = corpus_cell(entry.name, "arm64")
+        changed = dataclasses.replace(
+            entry,
+            source=entry.source + "\n",
+            source_sha256="f" * 64,
+        )
+        save_entry(changed)
+        second = corpus_cell(entry.name, "arm64")
+        assert first.key() != second.key()
+        assert first.token() != second.token()

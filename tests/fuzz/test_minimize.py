@@ -1,0 +1,82 @@
+"""AST minimizer: shrinks under a predicate, never regresses it."""
+
+from __future__ import annotations
+
+from repro.fuzz.minimize import MinimizeResult, minimize_source
+from repro.lang import parse, unparse
+
+PROGRAM = """
+function setup() { return 0; }
+function helper(x) { return x * 2; }
+function run() {
+  var acc = 0;
+  var junk = 111;
+  for (var i = 0; i < 32; i = i + 1) {
+    acc = acc + helper(i);
+    junk = junk + 1;
+  }
+  acc = acc + MARKER_CALL(acc);
+  junk = junk * 3;
+  return acc;
+}
+"""
+
+
+def _keeps_marker(source: str) -> bool:
+    """Stand-in interestingness: the marker call must survive and the
+    program must still parse (minimize candidates always do)."""
+    return "MARKER_CALL" in source
+
+
+class TestShrinking:
+    def test_deletes_irrelevant_statements(self):
+        result = minimize_source(PROGRAM, _keeps_marker)
+        assert result.improved
+        assert "MARKER_CALL" in result.source
+        assert "junk" not in result.source
+        assert len(result.source.splitlines()) < len(PROGRAM.splitlines())
+
+    def test_shrinks_integer_literals(self):
+        result = minimize_source(PROGRAM, _keeps_marker)
+        assert "32" not in result.source
+        assert "111" not in result.source
+
+    def test_output_is_canonical(self):
+        result = minimize_source(PROGRAM, _keeps_marker)
+        assert result.source == unparse(parse(result.source))
+
+    def test_deterministic(self):
+        first = minimize_source(PROGRAM, _keeps_marker)
+        second = minimize_source(PROGRAM, _keeps_marker)
+        assert first.source == second.source
+        assert first.attempts == second.attempts
+
+
+class TestContracts:
+    def test_uninteresting_input_returned_unchanged(self):
+        result = minimize_source(PROGRAM, lambda source: False)
+        assert isinstance(result, MinimizeResult)
+        assert result.source == PROGRAM
+        assert not result.improved
+
+    def test_never_returns_uninteresting(self):
+        result = minimize_source(PROGRAM, _keeps_marker)
+        assert _keeps_marker(result.source)
+
+    def test_respects_attempt_budget(self):
+        calls = []
+
+        def counting(source: str) -> bool:
+            calls.append(1)
+            return "MARKER_CALL" in source
+
+        result = minimize_source(PROGRAM, counting, max_attempts=5)
+        # one free call for the input check, then at most 5 candidates
+        assert result.attempts <= 5
+        assert len(calls) <= 6
+
+    def test_function_bodies_stay_nonempty(self):
+        source = "function run() { return MARKER_CALL(1); }"
+        result = minimize_source(source, _keeps_marker)
+        assert "function run()" in result.source
+        assert "MARKER_CALL" in result.source

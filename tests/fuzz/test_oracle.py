@@ -1,0 +1,90 @@
+"""N-way fuzz oracle: clean verdicts, seeded tamper, bundle capture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generator import fuzz_case_seed, generate_program
+from repro.fuzz.oracle import (
+    TAMPER_MARKER,
+    FuzzVerdict,
+    parse_tamper,
+    run_fuzz_program,
+    source_digest,
+)
+from repro.resilience.oracle import EXECUTOR_LADDER
+
+
+@pytest.fixture
+def program():
+    return generate_program(fuzz_case_seed(1, 0))
+
+
+class TestParseTamper:
+    def test_absent_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_FUZZ", raising=False)
+        assert parse_tamper() is None
+        assert parse_tamper("") is None
+
+    def test_flip_names_a_tier(self):
+        assert parse_tamper("flip:typed") == "typed"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_tamper("corrupt:typed")
+
+
+class TestCleanVerdict:
+    def test_full_ladder_agrees(self, program, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_FUZZ", raising=False)
+        verdict = run_fuzz_program(program, targets=("arm64",))
+        assert isinstance(verdict, FuzzVerdict)
+        assert verdict.ok
+        assert verdict.mismatches == []
+        matrix = verdict.matrices["arm64"]
+        assert set(matrix.tiers) == {tier.name for tier in EXECUTOR_LADDER}
+        assert all(outcome.ok for outcome in matrix.tiers.values())
+
+    def test_profile_collected_on_pass(self, program, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_FUZZ", raising=False)
+        verdict = run_fuzz_program(program, targets=("arm64",))
+        for key in (
+            "check_density", "eager_deopts", "guard_failures",
+            "versions_registered", "continuation_dispatches",
+        ):
+            assert key in verdict.profile
+
+
+class TestSeededTamper:
+    def test_flip_diverges_and_captures_bundle(self, program, monkeypatch,
+                                               tmp_path):
+        from repro.supervise.bundles import load_bundle
+
+        monkeypatch.setenv("REPRO_CHAOS_FUZZ", "flip:typed")
+        verdict = run_fuzz_program(program, targets=("arm64",))
+        assert not verdict.ok
+        assert any("[typed]" in line for line in verdict.mismatches)
+        assert verdict.profile == {}  # no profile for diverging programs
+        assert len(verdict.bundle_paths) == 1
+        record = load_bundle(verdict.bundle_paths[0])
+        assert record["kind"] == "fuzz-divergence"
+        assert record["generator_seed"] == program.seed
+        assert record["source"] == program.source
+        assert record["source_sha256"] == source_digest(program.source)
+        assert record["env"].get("REPRO_CHAOS_FUZZ") == "flip:typed"
+        assert not record["tiers"]["typed"]["ok"]
+        assert record["tiers"]["interp"]["ok"]
+
+    def test_tamper_marker_is_unmistakable(self, program, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_FUZZ", "flip:trace")
+        verdict = run_fuzz_program(
+            program, targets=("arm64",), capture=False
+        )
+        assert not verdict.ok
+        assert any(str(TAMPER_MARKER) in line for line in verdict.mismatches)
+
+    def test_capture_false_skips_bundles(self, program, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_FUZZ", "flip:lbbv")
+        verdict = run_fuzz_program(program, targets=("arm64",), capture=False)
+        assert not verdict.ok
+        assert verdict.bundle_paths == []

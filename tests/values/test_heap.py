@@ -170,6 +170,24 @@ class TestArrays:
         )
         assert heap.to_python(arr) == [1.0, 2.5]
 
+    def test_transition_after_push_ignores_backing_slack(self, heap):
+        # Regression (found by the fuzz corpus under chaos): a push that
+        # grows the backing store leaves filler in the slack slots; a
+        # later SMI->double transition must convert only the live
+        # elements, not untag the filler — and must keep the capacity.
+        arr = heap.to_word([1, 2, 3])
+        heap.array_push(arr, heap.to_word(4))  # grows 3 -> capacity 6
+        heap.array_set(arr, 0, heap.to_word(0.5))  # SMI -> double
+        assert heap.to_python(arr) == [0.5, 2.0, 3.0, 4.0]
+        assert heap.array_push(arr, heap.to_word(5)) == 5  # slack intact
+
+    def test_double_to_tagged_after_push_ignores_slack(self, heap):
+        arr = heap.to_word([1.5])
+        heap.array_push(arr, heap.to_word(2.5))  # grows 1 -> capacity 4
+        heap.array_set(arr, 0, heap.to_word("s"))  # double -> tagged
+        assert heap.map_of(pointer_untag(arr)).elements_kind == ElementsKind.PACKED
+        assert heap.to_python(arr) == ["s", 2.5]
+
     @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=30))
     @settings(max_examples=40)
     def test_array_roundtrip_property(self, values):
